@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The §5.2.4 future-work experiment the paper leaves open:
+ *
+ *   "To truly harvest the benefits of replay as a recovery mechanism,
+ *    one can trade accuracy for higher coverage, and then, identify
+ *    the sweet spot at which maximum performance can be achieved."
+ *
+ * We sweep PAP's confidence requirement (via the FPC probability
+ * vector) under both recovery mechanisms. Under flushes, lower
+ * confidence is punished; under (oracle) replay, the misprediction
+ * cost collapses, so the sweet spot moves toward lower confidence /
+ * higher coverage — exactly the paper's conjecture.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace dlvp;
+    using namespace dlvp::bench;
+
+    struct ConfPoint
+    {
+        const char *name;
+        std::vector<double> probs;
+        double obs;
+    };
+    const ConfPoint points[] = {
+        {"conf~1", {1.0}, 1},
+        {"conf~3", {1.0, 1.0, 1.0}, 3},
+        {"conf~8 (paper)", {1.0, 0.5, 0.25}, 7},
+        {"conf~13", {1.0, 0.25, 0.125}, 13},
+    };
+
+    std::vector<Config> configs;
+    for (const auto &pt : points) {
+        auto flush = sim::dlvpConfig();
+        flush.pap.confProbs = pt.probs;
+        configs.push_back({std::string(pt.name) + "/flush", flush});
+        auto replay = flush;
+        replay.recovery = core::RecoveryMode::OracleReplay;
+        configs.push_back({std::string(pt.name) + "/replay", replay});
+    }
+
+    const std::vector<std::string> sample = {
+        "mcf", "perlbmk", "aifirf", "omnetpp", "bzip2", "vpr",
+        "dromaeo", "astar"};
+    const auto rows = runSuite(configs, sample, 150000);
+
+    sim::Table t("SS5.2.4 future work: accuracy-for-coverage "
+                 "trade-off under flush vs replay recovery");
+    t.columns({"confidence", "flush_speedup", "replay_speedup",
+               "coverage", "accuracy"});
+    double best_flush = 0, best_replay = 0;
+    std::size_t best_flush_i = 0, best_replay_i = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double f = meanSpeedup(rows, 2 * i);
+        const double r = meanSpeedup(rows, 2 * i + 1);
+        if (f > best_flush) {
+            best_flush = f;
+            best_flush_i = i;
+        }
+        if (r > best_replay) {
+            best_replay = r;
+            best_replay_i = i;
+        }
+        t.row({std::string(points[i].name), f, r,
+               meanOf(rows,
+                      [i](const WorkloadRow &w) {
+                          return w.results[2 * i].coverage();
+                      }),
+               meanOf(rows, [i](const WorkloadRow &w) {
+                   return w.results[2 * i].accuracy();
+               })});
+    }
+    t.print(std::cout);
+    std::printf("\nsweet spots: flush at %s, replay at %s "
+                "(the paper conjectures replay's moves toward lower "
+                "confidence)\n",
+                points[best_flush_i].name, points[best_replay_i].name);
+    return 0;
+}

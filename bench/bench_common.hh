@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure/table bench harnesses: run a set
+ * of configurations over the workload suite (building each trace once
+ * and evicting it afterwards to bound memory), and collect speedups.
+ */
+
+#ifndef DLVP_BENCH_BENCH_COMMON_HH
+#define DLVP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/core_stats.hh"
+#include "sim/configs.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "trace/workloads.hh"
+
+namespace dlvp::bench
+{
+
+/** Instructions per workload for the experiment harnesses. */
+inline constexpr std::size_t kBenchInsts = 300000;
+
+/** Named configuration to evaluate. */
+struct Config
+{
+    std::string name;
+    core::VpConfig vp;
+};
+
+/** One workload's results across all configurations. */
+struct WorkloadRow
+{
+    std::string workload;
+    core::CoreStats baseline;
+    std::vector<core::CoreStats> results; ///< one per config
+};
+
+/**
+ * Run baseline + configs over @p workloads (all registered workloads
+ * if empty). Prints a progress dot per workload on stderr.
+ */
+inline std::vector<WorkloadRow>
+runSuite(const std::vector<Config> &configs,
+         std::vector<std::string> workloads = {},
+         std::size_t insts = kBenchInsts)
+{
+    if (workloads.empty())
+        workloads = trace::WorkloadRegistry::names();
+    sim::Simulator simulator(sim::baselineCore(), insts);
+    std::vector<WorkloadRow> rows;
+    for (const auto &w : workloads) {
+        WorkloadRow row;
+        row.workload = w;
+        row.baseline = simulator.run(w, sim::baselineVp());
+        for (const auto &c : configs)
+            row.results.push_back(simulator.run(w, c.vp));
+        simulator.evict(w);
+        rows.push_back(std::move(row));
+        std::fputc('.', stderr);
+        std::fflush(stderr);
+    }
+    std::fputc('\n', stderr);
+    return rows;
+}
+
+/** Arithmetic-mean speedup of config @p idx across rows. */
+inline double
+meanSpeedup(const std::vector<WorkloadRow> &rows, std::size_t idx)
+{
+    std::vector<double> v;
+    for (const auto &r : rows)
+        v.push_back(sim::speedup(r.baseline, r.results[idx]));
+    return sim::amean(v);
+}
+
+/** Arithmetic-mean of an arbitrary per-row metric. */
+inline double
+meanOf(const std::vector<WorkloadRow> &rows,
+       const std::function<double(const WorkloadRow &)> &f)
+{
+    std::vector<double> v;
+    for (const auto &r : rows)
+        v.push_back(f(r));
+    return sim::amean(v);
+}
+
+} // namespace dlvp::bench
+
+#endif // DLVP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Extension bench: how DLVP's benefit scales with machine width.
+ *
+ * Value prediction attacks true-dependency stalls, which bind harder
+ * as the machine gets wider relative to its chains (the paper's
+ * motivation: "current flagship processors excel at extracting ILP
+ * ... extracting ILP is inherently limited by true data
+ * dependencies"). Sweeping the core width shows where DLVP's benefit
+ * comes from — and that a too-narrow machine can't use the broken
+ * chains.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace dlvp;
+    using namespace dlvp::bench;
+
+    struct WidthPoint
+    {
+        const char *name;
+        unsigned fetch, dispatch, issue, ls, commit;
+    };
+    const WidthPoint points[] = {
+        {"2-wide", 2, 2, 4, 1, 4},
+        {"4-wide (paper)", 4, 4, 8, 2, 8},
+        {"6-wide", 6, 6, 10, 3, 10},
+    };
+    const std::vector<std::string> sample = {
+        "mcf", "astar", "perlbmk", "aifirf", "pdfjs", "dromaeo"};
+
+    sim::Table t("extension: DLVP benefit vs machine width "
+                 "(sample averages)");
+    t.columns({"width", "baseline_ipc", "dlvp_speedup"});
+    for (const auto &pt : points) {
+        core::CoreParams params = sim::baselineCore();
+        params.fetchWidth = pt.fetch;
+        params.dispatchWidth = pt.dispatch;
+        params.issueWidth = pt.issue;
+        params.lsLanes = pt.ls;
+        params.commitWidth = pt.commit;
+        sim::Simulator simulator(params, 150000);
+        std::vector<double> ipcs, spds;
+        for (const auto &w : sample) {
+            const auto base = simulator.run(w, sim::baselineVp());
+            const auto dlvp = simulator.run(w, sim::dlvpConfig());
+            ipcs.push_back(base.ipc());
+            spds.push_back(sim::speedup(base, dlvp));
+            simulator.evict(w);
+            std::fputc('.', stderr);
+        }
+        t.row({std::string(pt.name), sim::amean(ipcs),
+               sim::amean(spds)});
+    }
+    std::fputc('\n', stderr);
+    t.print(std::cout);
+    std::printf("\nexpected: the absolute benefit holds or grows with "
+                "width — dependency chains, not structural width, are "
+                "the binding constraint value prediction attacks\n");
+    return 0;
+}

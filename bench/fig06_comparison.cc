@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Figure 6: the paper's main result — CAP vs VTAGE vs DLVP across
+ * the workload suite.
+ *   6a: per-workload speedup over the no-value-prediction baseline
+ *   6b: per-workload coverage
+ *   6c: total core energy normalized to baseline
+ *   6d: predictor array area / read / write energy normalized to PAP
+ * Also prints the §3.2.2 side claims (PAQ drop rate, way
+ * mispredictions) the text reports.
+ *
+ * Paper anchors: DLVP +4.8% avg (max +71% on perlbmk), VTAGE +2.1%,
+ * CAP +2.3%; coverage DLVP 31.1% vs VTAGE 29.6%; DLVP core energy on
+ * par with VTAGE.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "energy/core_energy.hh"
+
+int
+main()
+{
+    using namespace dlvp;
+    using namespace dlvp::bench;
+
+    const std::vector<Config> configs = {
+        {"CAP", sim::capConfig()},
+        {"VTAGE", sim::vtageConfig()},
+        {"DLVP", sim::dlvpConfig()},
+    };
+    const auto rows = runSuite(configs);
+
+    sim::Table a("Figure 6a/6b: speedup and coverage per workload");
+    a.columns({"workload", "cap_spd", "vtage_spd", "dlvp_spd",
+               "cap_cov", "vtage_cov", "dlvp_cov"});
+    for (const auto &r : rows)
+        a.row({r.workload, sim::speedup(r.baseline, r.results[0]),
+               sim::speedup(r.baseline, r.results[1]),
+               sim::speedup(r.baseline, r.results[2]),
+               r.results[0].coverage(), r.results[1].coverage(),
+               r.results[2].coverage()});
+    // Per-suite rows (the paper's figure groups the x-axis by suite).
+    for (const char *suite :
+         {"SPEC2K", "SPEC2K6", "EEMBC", "Other", "JS"}) {
+        std::vector<double> s0, s1, s2;
+        for (const auto &r : rows) {
+            if (trace::WorkloadRegistry::find(r.workload).suite !=
+                suite)
+                continue;
+            s0.push_back(sim::speedup(r.baseline, r.results[0]));
+            s1.push_back(sim::speedup(r.baseline, r.results[1]));
+            s2.push_back(sim::speedup(r.baseline, r.results[2]));
+        }
+        if (!s0.empty())
+            a.row({std::string("  avg:") + suite, sim::amean(s0),
+                   sim::amean(s1), sim::amean(s2), std::string(""),
+                   std::string(""), std::string("")});
+    }
+    a.row({std::string("AVERAGE"), meanSpeedup(rows, 0),
+           meanSpeedup(rows, 1), meanSpeedup(rows, 2),
+           meanOf(rows, [](const WorkloadRow &r) {
+               return r.results[0].coverage();
+           }),
+           meanOf(rows, [](const WorkloadRow &r) {
+               return r.results[1].coverage();
+           }),
+           meanOf(rows, [](const WorkloadRow &r) {
+               return r.results[2].coverage();
+           })});
+    a.print(std::cout);
+
+    sim::Table c("Figure 6c: total core energy normalized to "
+                 "baseline");
+    c.columns({"workload", "cap", "vtage", "dlvp"});
+    double esum[3] = {0, 0, 0};
+    for (const auto &r : rows) {
+        const double base = energy::coreEnergy(r.baseline);
+        double e[3];
+        for (int i = 0; i < 3; ++i) {
+            e[i] = energy::coreEnergy(r.results[i]) / base;
+            esum[i] += e[i];
+        }
+        c.row({r.workload, e[0], e[1], e[2]});
+    }
+    c.row({std::string("AVERAGE"), esum[0] / rows.size(),
+           esum[1] / rows.size(), esum[2] / rows.size()});
+    c.print(std::cout);
+
+    const auto pap = energy::papArrayCosts();
+    const auto cap = energy::capArrayCosts();
+    const auto vt = energy::vtageArrayCosts();
+    sim::Table d("Figure 6d: predictor array area/energy normalized "
+                 "to PAP");
+    d.columns({"predictor", "area", "read_energy", "write_energy"});
+    d.row({std::string("PAP"), 1.0, 1.0, 1.0});
+    d.row({std::string("CAP"), cap.area / pap.area,
+           cap.readEnergy / pap.readEnergy,
+           cap.writeEnergy / pap.writeEnergy});
+    d.row({std::string("VTAGE"), vt.area / pap.area,
+           vt.readEnergy / pap.readEnergy,
+           vt.writeEnergy / pap.writeEnergy});
+    d.print(std::cout);
+
+    // §3.2.2 side claims.
+    std::uint64_t paq_allocs = 0, paq_drops = 0, probes = 0,
+                  way_miss = 0;
+    for (const auto &r : rows) {
+        paq_allocs += r.results[2].paqAllocs;
+        paq_drops += r.results[2].paqDrops;
+        probes += r.results[2].probes;
+        way_miss += r.results[2].wayMispredicts;
+    }
+    std::printf("\nDLVP PAQ drop rate: %.3f%% of allocations "
+                "(paper: <0.1%%)\n",
+                paq_allocs ? 100.0 * paq_drops / paq_allocs : 0.0);
+    std::printf("DLVP way mispredictions: %.4f%% of probes "
+                "(paper: almost never)\n",
+                probes ? 100.0 * way_miss / probes : 0.0);
+    std::printf("\npaper anchors: DLVP +4.8%% avg / VTAGE +2.1%% / "
+                "CAP +2.3%%; coverage DLVP 31.1%% vs VTAGE 29.6%%\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 7: the VTAGE design-space findings of §5.2.2 — vanilla
+ * VTAGE vs dynamic vs static opcode filters, each predicting loads
+ * only or all instructions: average speedup, coverage, and accuracy.
+ *
+ * Paper shape: vanilla improves significantly with a filter; static
+ * beats dynamic (no filter-training mispredictions); loads-only beats
+ * all-instructions at an 8KB budget.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace dlvp;
+    using namespace dlvp::bench;
+
+    const std::vector<Config> configs = {
+        {"vanilla/loads", sim::vtageConfigWith(pred::VtageFilter::None,
+                                               true)},
+        {"dynamic/loads",
+         sim::vtageConfigWith(pred::VtageFilter::Dynamic, true)},
+        {"static/loads",
+         sim::vtageConfigWith(pred::VtageFilter::Static, true)},
+        {"vanilla/all", sim::vtageConfigWith(pred::VtageFilter::None,
+                                             false)},
+        {"dynamic/all",
+         sim::vtageConfigWith(pred::VtageFilter::Dynamic, false)},
+        {"static/all", sim::vtageConfigWith(pred::VtageFilter::Static,
+                                            false)},
+    };
+    const auto rows = runSuite(configs);
+
+    sim::Table t("Figure 7: VTAGE flavors (suite averages)");
+    t.columns({"configuration", "avg_speedup", "avg_coverage",
+               "avg_accuracy"});
+    std::vector<double> spd(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        spd[i] = meanSpeedup(rows, i);
+        std::uint64_t pred = 0, correct = 0;
+        for (const auto &r : rows) {
+            pred += r.results[i].vpPredictedLoads +
+                    r.results[i].vpPredictedInsts;
+            correct += r.results[i].vpCorrectLoads +
+                       r.results[i].vpCorrectInsts;
+        }
+        t.row({configs[i].name, spd[i],
+               meanOf(rows,
+                      [i](const WorkloadRow &r) {
+                          return r.results[i].coverage();
+                      }),
+               pred ? static_cast<double>(correct) / pred : 0.0});
+    }
+    t.print(std::cout);
+
+    std::printf("\nshape checks: static >= dynamic >= vanilla "
+                "(loads)? %s | loads-only static >= all-insts "
+                "static? %s\n",
+                (spd[2] >= spd[1] - 0.002 && spd[1] >= spd[0] - 0.002)
+                    ? "yes"
+                    : "NO",
+                spd[2] >= spd[5] - 0.002 ? "yes" : "NO");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the predictor structures
+ * themselves: lookup/train throughput of PAP, CAP, VTAGE, TAGE, and
+ * the probe path. These bound the simulator's own hot loops (useful
+ * when extending the library) — they are not paper experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "pred/cap.hh"
+#include "pred/pap.hh"
+#include "pred/tage.hh"
+#include "pred/vtage.hh"
+#include "trace/instruction.hh"
+
+namespace
+{
+
+using namespace dlvp;
+
+void
+BM_PapPredictTrain(benchmark::State &state)
+{
+    pred::Pap pap({});
+    Rng rng(1);
+    std::uint64_t hist = 0;
+    for (auto _ : state) {
+        const Addr group = (rng.next64() & 0xff) << 4;
+        const Addr addr = 0x1000 + (rng.next64() & 0xffff);
+        benchmark::DoNotOptimize(pap.predict(group, 0, hist));
+        pap.train(group, 0, hist, addr, 8, 0);
+        hist = (hist << 1) ^ (addr & 1);
+    }
+}
+BENCHMARK(BM_PapPredictTrain);
+
+void
+BM_CapPredictTrain(benchmark::State &state)
+{
+    pred::Cap cap(pred::CapParams{});
+    Rng rng(2);
+    for (auto _ : state) {
+        const Addr pc = 0x400000 + ((rng.next64() & 0xff) << 2);
+        const Addr addr = 0x1000 + (rng.next64() & 0xffff);
+        benchmark::DoNotOptimize(cap.predict(pc));
+        cap.train(pc, addr);
+    }
+}
+BENCHMARK(BM_CapPredictTrain);
+
+void
+BM_VtagePredictTrain(benchmark::State &state)
+{
+    pred::Vtage vtage({});
+    trace::TraceInst inst;
+    inst.cls = trace::OpClass::Load;
+    inst.loadKind = trace::LoadKind::Simple;
+    inst.numDests = 1;
+    Rng rng(3);
+    for (auto _ : state) {
+        inst.pc = 0x400000 + ((rng.next64() & 0xff) << 2);
+        const std::uint64_t ghr = rng.next64();
+        benchmark::DoNotOptimize(vtage.predict(inst, 0, ghr));
+        vtage.train(inst, 0, ghr, rng.next64() & 0xff, false, false);
+    }
+}
+BENCHMARK(BM_VtagePredictTrain);
+
+void
+BM_TagePredictUpdate(benchmark::State &state)
+{
+    pred::Tage tage({});
+    Rng rng(4);
+    std::uint64_t ghr = 0;
+    for (auto _ : state) {
+        const Addr pc = 0x400000 + ((rng.next64() & 0x3f) << 2);
+        const bool taken = rng.chance(0.6);
+        benchmark::DoNotOptimize(tage.predict(pc, ghr));
+        tage.update(pc, ghr, taken);
+        ghr = (ghr << 1) | (taken ? 1 : 0);
+    }
+}
+BENCHMARK(BM_TagePredictUpdate);
+
+void
+BM_CacheProbe(benchmark::State &state)
+{
+    mem::Cache l1({"l1d", 64 * 1024, 4, 64, 2});
+    Rng rng(5);
+    for (int i = 0; i < 2048; ++i)
+        l1.fill(rng.next64() & 0xffffff);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            l1.probe(rng.next64() & 0xffffff, -1));
+}
+BENCHMARK(BM_CacheProbe);
+
+} // namespace
+
+BENCHMARK_MAIN();

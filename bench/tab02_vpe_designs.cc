@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table 2: area and energy of the three value-prediction-engine
+ * design options (§3.2.1), normalized to design #1 (PRF with 8R/8W),
+ * assuming 30% of register values are predicted. Paper values are
+ * printed alongside the analytic model's.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "energy/sram_model.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace dlvp;
+    const auto r = energy::compareVpeDesigns();
+
+    sim::Table t("Table 2: area and energy normalized to design #1");
+    t.columns({"metric", "PVT(2r/2w)", "D1(8r/8w)", "D2(8r/10w)",
+               "D3(D1+PVT)", "paper_PVT", "paper_D2", "paper_D3"});
+    t.row({std::string("area"), r.pvtArea, r.d1Area, r.d2Area,
+           r.d3Area, 0.06, 1.16, 1.06});
+    t.row({std::string("read energy"), r.pvtRead, r.d1Read, r.d2Read,
+           r.d3Read, 0.10, 1.10, 0.80});
+    t.row({std::string("write energy"), r.pvtWrite, r.d1Write,
+           r.d2Write, r.d3Write, 0.07, 1.51, 1.07});
+    t.print(std::cout);
+
+    std::printf("\nshape checks: PVT tiny? %s | D3 cheaper than D2? "
+                "%s | D3 read < 1? %s | D3 write > 1? %s\n",
+                r.pvtArea < 0.2 ? "yes" : "NO",
+                r.d3Area < r.d2Area ? "yes" : "NO",
+                r.d3Read < 1.0 ? "yes" : "NO",
+                r.d3Write > 1.0 ? "yes" : "NO");
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 3: the benchmark suite. Prints every registered workload with
+ * its suite, recipe description, and instruction mix — the analogue
+ * of the paper's application list (§4.1).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace dlvp;
+    sim::Table t("Table 3: applications used in the evaluation "
+                 "(synthetic analogues; see DESIGN.md)");
+    t.columns({"workload", "suite", "loads%", "stores%", "branches%",
+               "multi-dest%", "description"});
+    t.precision(1);
+    for (const auto &spec : trace::WorkloadRegistry::all()) {
+        const auto trace =
+            trace::WorkloadRegistry::build(spec.name, 60000);
+        const auto mix = trace.mix();
+        const double n = static_cast<double>(mix.total);
+        t.row({spec.name, spec.suite, 100.0 * mix.loads / n,
+               100.0 * mix.stores / n, 100.0 * mix.branches / n,
+               mix.loads ? 100.0 * mix.multiDestLoads / mix.loads
+                         : 0.0,
+               spec.description});
+        std::fputc('.', stderr);
+    }
+    std::fputc('\n', stderr);
+    t.print(std::cout);
+    std::printf("\n%zu workloads across 5 suites (paper: SPEC2K, "
+                "SPEC2K6, EEMBC, Linpack/media/browser, Javascript)\n",
+                trace::WorkloadRegistry::all().size());
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Developer diagnostic: run one workload under one scheme and dump
+ * every counter the core collects. Useful when predictor behaviour on
+ * a workload needs explaining.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "sim/configs.hh"
+#include "sim/simulator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dlvp;
+    const std::string workload = argc > 1 ? argv[1] : "aifirf";
+    const std::string scheme = argc > 2 ? argv[2] : "dlvp";
+    const std::size_t insts =
+        argc > 3 ? static_cast<std::size_t>(std::atol(argv[3]))
+                 : 200000;
+
+    core::VpConfig vp;
+    if (scheme == "baseline")
+        vp = sim::baselineVp();
+    else if (scheme == "dlvp")
+        vp = sim::dlvpConfig();
+    else if (scheme == "cap")
+        vp = sim::capConfig();
+    else if (scheme == "vtage")
+        vp = sim::vtageConfig();
+    else if (scheme == "vtage-vanilla")
+        vp = sim::vtageConfigWith(pred::VtageFilter::None, true);
+    else if (scheme == "tournament")
+        vp = sim::tournamentConfig();
+    else {
+        std::cerr << "unknown scheme " << scheme << "\n";
+        return 1;
+    }
+
+    sim::Simulator simulator(sim::baselineCore(), insts);
+    const auto stats = simulator.run(workload, vp);
+    std::cout << "workload=" << workload << " scheme=" << scheme
+              << "\n";
+    stats.dump(std::cout);
+    std::cout << "probe_late " << stats.probeLate << "\n"
+              << "pvt_full_drops " << stats.pvtFullDrops << "\n"
+              << "addr_correct " << stats.addrPredCorrect << "\n"
+              << "addr_wrong " << stats.addrPredWrong << "\n"
+              << "lscd_blocked " << stats.lscdBlocked << "\n"
+              << "vp_predicted " << stats.vpPredictedLoads << "\n"
+              << "committed_loads " << stats.committedLoads << "\n"
+              << "issue_wait_avg "
+              << double(stats.issueWaitCycles) / stats.committedInsts
+              << "\n"
+              << "dispatch_wait_avg "
+              << double(stats.dispatchWaitCycles) / stats.committedInsts
+              << "\n"
+              << "rob_full_stalls " << stats.robFullStalls << "\n"
+              << "iq_full_stalls " << stats.iqFullStalls << "\n"
+              << "fetch_halt_cycles " << stats.fetchHaltCycles << "\n";
+    return 0;
+}

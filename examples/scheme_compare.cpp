@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Compare every value-prediction scheme (baseline, DLVP, CAP, VTAGE,
+ * tournament) on a few representative workloads — a smaller, faster
+ * rendition of Figure 6 for interactive use.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "sim/configs.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dlvp;
+
+    std::vector<std::string> workloads = {"perlbmk", "aifirf", "nat",
+                                          "gobmk", "mcf"};
+    if (argc > 1) {
+        workloads.clear();
+        for (int i = 1; i < argc; ++i)
+            workloads.emplace_back(argv[i]);
+    }
+
+    sim::Simulator simulator(sim::baselineCore(), 200000);
+    sim::Table t("scheme comparison (speedup vs baseline, "
+                 "coverage, accuracy)");
+    t.columns({"workload", "base_ipc", "dlvp_spd", "dlvp_cov",
+               "dlvp_acc", "cap_spd", "vtage_spd", "vtage_cov",
+               "tourn_spd"});
+
+    for (const auto &w : workloads) {
+        const auto base = simulator.run(w, sim::baselineVp());
+        const auto dlvp = simulator.run(w, sim::dlvpConfig());
+        const auto cap = simulator.run(w, sim::capConfig());
+        const auto vtage = simulator.run(w, sim::vtageConfig());
+        const auto tourn = simulator.run(w, sim::tournamentConfig());
+        t.row({w, base.ipc(), sim::speedup(base, dlvp),
+               dlvp.coverage(), dlvp.accuracy(),
+               sim::speedup(base, cap), sim::speedup(base, vtage),
+               vtage.coverage(), sim::speedup(base, tourn)});
+        simulator.evict(w);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by predictors and caches.
+ */
+
+#ifndef DLVP_COMMON_BITS_HH
+#define DLVP_COMMON_BITS_HH
+
+#include <cstdint>
+
+namespace dlvp
+{
+
+/** Mask with the low @p n bits set (n may be 0..64). */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [lo, lo+n) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned n)
+{
+    return (v >> lo) & mask(n);
+}
+
+/** Extract the single bit @p pos of @p v. */
+constexpr std::uint64_t
+bit(std::uint64_t v, unsigned pos)
+{
+    return (v >> pos) & 1;
+}
+
+/** True if @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2 of @p v (v must be non-zero). */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling of log2 of @p v (v must be non-zero). */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/**
+ * Fold a wide value down to @p width bits by XOR-ing successive
+ * width-bit chunks. Used to compress PCs and histories into table
+ * indices and tags.
+ */
+constexpr std::uint64_t
+xorFold(std::uint64_t v, unsigned width)
+{
+    if (width == 0)
+        return 0;
+    if (width >= 64)
+        return v;
+    std::uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & mask(width);
+        v >>= width;
+    }
+    return r;
+}
+
+/**
+ * A quick 64-bit integer mixer (splitmix64 finalizer); used to hash
+ * addresses/PCs where a plain fold would alias too regularly.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace dlvp
+
+#endif // DLVP_COMMON_BITS_HH

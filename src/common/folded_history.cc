@@ -1,0 +1,95 @@
+#include "folded_history.hh"
+
+namespace dlvp
+{
+
+LongHistory::LongHistory(unsigned capacity)
+    : capacity_(capacity), head_(0),
+      bits_((capacity + 63) / 64, 0)
+{
+    dlvp_assert(capacity >= 1);
+}
+
+bool
+LongHistory::bitAbs(unsigned idx) const
+{
+    return (bits_[idx / 64] >> (idx % 64)) & 1;
+}
+
+bool
+LongHistory::bitAt(unsigned age) const
+{
+    dlvp_assert(age < capacity_);
+    // head_ points at the slot that will be written next; the most
+    // recent bit lives just behind it.
+    const unsigned idx = (head_ + capacity_ - 1 - age) % capacity_;
+    return bitAbs(idx);
+}
+
+unsigned
+LongHistory::addFold(unsigned length, unsigned width)
+{
+    dlvp_assert(length >= 1 && length <= capacity_);
+    dlvp_assert(width >= 1 && width <= 64);
+    FoldSpec spec;
+    spec.length = length;
+    spec.width = width;
+    spec.value = 0;
+    spec.outPoint = length % width;
+    folds_.push_back(spec);
+    return static_cast<unsigned>(folds_.size() - 1);
+}
+
+void
+LongHistory::shiftIn(bool b)
+{
+    // Update each folded view before overwriting the buffer: the bit
+    // aging out of a view of length L is the one L positions back.
+    for (auto &f : folds_) {
+        const bool out = bitAt(f.length - 1);
+        // Rotate-left by 1 within `width` bits, inject the new bit,
+        // and cancel the outgoing bit at its rotated position.
+        std::uint64_t v = f.value;
+        v = ((v << 1) | (b ? 1 : 0)) ^ ((v >> (f.width - 1)) & 1);
+        v ^= (out ? std::uint64_t{1} : 0) << f.outPoint;
+        f.value = v & mask(f.width);
+    }
+    const unsigned idx = head_;
+    if (b)
+        bits_[idx / 64] |= (std::uint64_t{1} << (idx % 64));
+    else
+        bits_[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+    head_ = (head_ + 1) % capacity_;
+}
+
+std::uint64_t
+LongHistory::fold(unsigned id) const
+{
+    dlvp_assert(id < folds_.size());
+    return folds_[id].value;
+}
+
+LongHistory::Snapshot
+LongHistory::snapshot() const
+{
+    Snapshot s;
+    s.words = bits_;
+    s.folds.reserve(folds_.size());
+    for (const auto &f : folds_)
+        s.folds.push_back(f.value);
+    s.head = head_;
+    return s;
+}
+
+void
+LongHistory::restore(const Snapshot &s)
+{
+    dlvp_assert(s.words.size() == bits_.size());
+    dlvp_assert(s.folds.size() == folds_.size());
+    bits_ = s.words;
+    for (std::size_t i = 0; i < folds_.size(); ++i)
+        folds_[i].value = s.folds[i];
+    head_ = s.head;
+}
+
+} // namespace dlvp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Incrementally folded shift-register history (Michaud/Seznec style).
+ *
+ * Maintains a long history of single bits together with a compressed
+ * (XOR-folded) view of its most recent @p length bits at a given target
+ * width, updated in O(1) per shift. Used by TAGE (branch history),
+ * VTAGE, and PAP (load-path history).
+ */
+
+#ifndef DLVP_COMMON_FOLDED_HISTORY_HH
+#define DLVP_COMMON_FOLDED_HISTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bits.hh"
+#include "logging.hh"
+
+namespace dlvp
+{
+
+/**
+ * A raw history register of up to 64 bits with shift-in semantics.
+ * Snapshot/restore is a plain value copy, which is exactly the
+ * "snapshot the history register" recovery scheme the paper credits
+ * PAP's global context for enabling.
+ */
+class HistoryRegister
+{
+  public:
+    explicit HistoryRegister(unsigned length)
+        : length_(length), value_(0)
+    {
+        dlvp_assert(length >= 1 && length <= 64);
+    }
+
+    /** Shift one bit into the least-significant end. */
+    void
+    shiftIn(bool b)
+    {
+        value_ = ((value_ << 1) | (b ? 1 : 0)) & mask(length_);
+    }
+
+    std::uint64_t value() const { return value_; }
+    unsigned length() const { return length_; }
+
+    /** Snapshot for speculative-state recovery. */
+    std::uint64_t snapshot() const { return value_; }
+    void restore(std::uint64_t snap) { value_ = snap & mask(length_); }
+
+    /** Fold the history down to @p width bits. */
+    std::uint64_t folded(unsigned width) const { return xorFold(value_, width); }
+
+  private:
+    unsigned length_;
+    std::uint64_t value_;
+};
+
+/**
+ * Arbitrarily long bit history with O(1) folded views. TAGE tables use
+ * history lengths beyond 64 bits; this class keeps the full history in
+ * a circular bit buffer plus per-view folded registers.
+ */
+class LongHistory
+{
+  public:
+    explicit LongHistory(unsigned capacity);
+
+    /** Shift a bit in; all registered folded views update incrementally. */
+    void shiftIn(bool b);
+
+    /** Register a folded view of the last @p length bits at @p width bits. */
+    unsigned addFold(unsigned length, unsigned width);
+
+    /** Current value of folded view @p id. */
+    std::uint64_t fold(unsigned id) const;
+
+    /** Raw bit @p age positions back (age 0 = most recent). */
+    bool bitAt(unsigned age) const;
+
+    unsigned capacity() const { return capacity_; }
+
+    /** Opaque full-state snapshot (small; meant for infrequent use). */
+    struct Snapshot
+    {
+        std::vector<std::uint64_t> words;
+        std::vector<std::uint64_t> folds;
+        unsigned head;
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+
+  private:
+    struct FoldSpec
+    {
+        unsigned length;
+        unsigned width;
+        std::uint64_t value;
+        unsigned outPoint; ///< (length % width), rotation amount on shift
+    };
+
+    unsigned capacity_;
+    unsigned head_; ///< index of the next bit slot to write
+    std::vector<std::uint64_t> bits_;
+    std::vector<FoldSpec> folds_;
+
+    bool bitAbs(unsigned idx) const;
+};
+
+} // namespace dlvp
+
+#endif // DLVP_COMMON_FOLDED_HISTORY_HH

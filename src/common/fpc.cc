@@ -1,0 +1,15 @@
+#include "fpc.hh"
+
+namespace dlvp
+{
+
+double
+FpcVector::expectedObservationsToSaturate() const
+{
+    double total = 0.0;
+    for (double p : probs_)
+        total += 1.0 / p;
+    return total;
+}
+
+} // namespace dlvp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Forward Probabilistic Counter (Riley & Zilles, HPCA 2006).
+ *
+ * Each forward (increment) transition out of state i only happens with
+ * probability prob[i]; decrements/resets are deterministic. A small
+ * counter thus emulates the hysteresis of a much wider one: e.g. the
+ * paper's 2-bit APT confidence with probabilities {1, 1/2, 1/4} needs
+ * ~1 + 2 + 4 = 7 additional correct observations (8 total including the
+ * allocating one) to saturate, while VTAGE's 3-bit FPC emulates a
+ * 64-128 observation requirement.
+ */
+
+#ifndef DLVP_COMMON_FPC_HH
+#define DLVP_COMMON_FPC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "logging.hh"
+#include "rng.hh"
+
+namespace dlvp
+{
+
+/**
+ * Shared description of an FPC: the per-state forward probabilities.
+ * One instance is shared by all counters of a predictor table.
+ */
+class FpcVector
+{
+  public:
+    /**
+     * @param probs Probability of the i-th forward transition
+     *              (state i -> i+1). Size defines the ceiling.
+     */
+    explicit FpcVector(std::vector<double> probs)
+        : probs_(std::move(probs))
+    {
+        dlvp_assert(!probs_.empty());
+        for (double p : probs_)
+            dlvp_assert(p > 0.0 && p <= 1.0);
+    }
+
+    /** Saturation ceiling (number of states - 1). */
+    std::uint32_t maxValue() const { return probs_.size(); }
+
+    /** Roll the dice for the transition out of @p state. */
+    bool
+    forwardAllowed(std::uint32_t state, Rng &rng) const
+    {
+        dlvp_assert(state < probs_.size());
+        const double p = probs_[state];
+        return p >= 1.0 || rng.chance(p);
+    }
+
+    /**
+     * Expected number of correct observations needed to move from 0 to
+     * saturation (sum of expected geometric trials).
+     */
+    double expectedObservationsToSaturate() const;
+
+  private:
+    std::vector<double> probs_;
+};
+
+/**
+ * One forward probabilistic counter instance. Kept intentionally tiny
+ * (a single byte of state) since predictors hold thousands.
+ */
+class Fpc
+{
+  public:
+    Fpc() : value_(0) {}
+
+    /** Probabilistic increment. Returns true if the state advanced. */
+    bool
+    increment(const FpcVector &vec, Rng &rng)
+    {
+        if (value_ >= vec.maxValue())
+            return false;
+        if (!vec.forwardAllowed(value_, rng))
+            return false;
+        ++value_;
+        return true;
+    }
+
+    /** Deterministic decrement. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    void reset() { value_ = 0; }
+
+    std::uint8_t value() const { return value_; }
+
+    bool
+    saturated(const FpcVector &vec) const
+    {
+        return value_ == vec.maxValue();
+    }
+
+  private:
+    std::uint8_t value_;
+};
+
+} // namespace dlvp
+
+#endif // DLVP_COMMON_FPC_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal logging helpers in the spirit of gem5's base/logging.hh.
+ *
+ * panic() aborts on internal invariant violations; fatal() exits on user
+ * configuration errors; warn()/inform() print status without stopping.
+ */
+
+#ifndef DLVP_COMMON_LOGGING_HH
+#define DLVP_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dlvp
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace dlvp
+
+/** Abort: an internal simulator bug (invariant violated). */
+#define dlvp_panic(...) \
+    ::dlvp::detail::panicImpl(__FILE__, __LINE__, \
+                              ::dlvp::detail::format(__VA_ARGS__))
+
+/** Exit: the simulation cannot continue due to a user/config error. */
+#define dlvp_fatal(...) \
+    ::dlvp::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::dlvp::detail::format(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define dlvp_warn(...) \
+    ::dlvp::detail::warnImpl(::dlvp::detail::format(__VA_ARGS__))
+
+/** Informational status message. */
+#define dlvp_inform(...) \
+    ::dlvp::detail::informImpl(::dlvp::detail::format(__VA_ARGS__))
+
+/** Panic unless a condition holds. */
+#define dlvp_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::dlvp::detail::panicImpl(__FILE__, __LINE__, \
+                ::dlvp::detail::format("assertion failed: %s", #cond)); \
+        } \
+    } while (0)
+
+#endif // DLVP_COMMON_LOGGING_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (FPC updates, workload
+ * generation) draws from explicitly seeded Rng instances so that every
+ * run is reproducible.
+ */
+
+#ifndef DLVP_COMMON_RNG_HH
+#define DLVP_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace dlvp
+{
+
+/**
+ * xoshiro256** generator: fast, high quality, deterministic.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound) — bound must be non-zero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p of success. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace dlvp
+
+#endif // DLVP_COMMON_RNG_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Conventional saturating counter.
+ */
+
+#ifndef DLVP_COMMON_SAT_COUNTER_HH
+#define DLVP_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace dlvp
+{
+
+/**
+ * An up/down saturating counter with a configurable ceiling.
+ *
+ * Used for branch predictor hysteresis, CAP confidence, the tournament
+ * chooser, and the dynamic opcode filter.
+ */
+class SatCounter
+{
+  public:
+    /** @param max_value Saturation ceiling (inclusive). */
+    explicit SatCounter(std::uint32_t max_value = 3,
+                        std::uint32_t initial = 0)
+        : value_(initial), max_(max_value)
+    {
+        dlvp_assert(initial <= max_value);
+    }
+
+    /** Increment, saturating at the ceiling. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+    /** Force a specific value (clamped to the ceiling). */
+    void
+    set(std::uint32_t v)
+    {
+        value_ = v > max_ ? max_ : v;
+    }
+
+    std::uint32_t value() const { return value_; }
+    std::uint32_t maxValue() const { return max_; }
+    bool saturated() const { return value_ == max_; }
+
+    /** True in the "taken"/"strong" half of the range. */
+    bool high() const { return value_ > max_ / 2; }
+
+  private:
+    std::uint32_t value_;
+    std::uint32_t max_;
+};
+
+} // namespace dlvp
+
+#endif // DLVP_COMMON_SAT_COUNTER_HH

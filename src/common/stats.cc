@@ -1,0 +1,138 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "bits.hh"
+#include "logging.hh"
+
+namespace dlvp
+{
+
+Histogram::Histogram(unsigned num_buckets)
+    : buckets_(num_buckets, 0), raw_ge_(num_buckets, 0), total_(0)
+{
+    dlvp_assert(num_buckets >= 1);
+}
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t weight)
+{
+    unsigned b = (v <= 1) ? 0 : floorLog2(v);
+    if (b >= buckets_.size())
+        b = buckets_.size() - 1;
+    buckets_[b] += weight;
+    total_ += weight;
+    // raw_ge_[i] counts samples with value >= 2^i.
+    for (unsigned i = 0; i < raw_ge_.size(); ++i) {
+        if (v >= (std::uint64_t{1} << i))
+            raw_ge_[i] += weight;
+        else
+            break;
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    std::fill(raw_ge_.begin(), raw_ge_.end(), 0);
+    total_ = 0;
+}
+
+std::uint64_t
+Histogram::bucket(unsigned i) const
+{
+    dlvp_assert(i < buckets_.size());
+    return buckets_[i];
+}
+
+double
+Histogram::fractionAtLeast(std::uint64_t threshold) const
+{
+    if (total_ == 0)
+        return 0.0;
+    if (threshold == 0)
+        return 1.0;
+    const unsigned i = floorLog2(threshold);
+    dlvp_assert((std::uint64_t{1} << i) == threshold &&
+                "fractionAtLeast requires a power-of-two threshold");
+    dlvp_assert(i < raw_ge_.size());
+    return static_cast<double>(raw_ge_[i]) / static_cast<double>(total_);
+}
+
+StatCounter &
+StatSet::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Histogram &
+StatSet::histogram(const std::string &name, unsigned buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(buckets)).first;
+    return it->second;
+}
+
+void
+StatSet::setScalar(const std::string &name, double v)
+{
+    scalars_[name] = v;
+}
+
+bool
+StatSet::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+std::uint64_t
+StatSet::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+double
+StatSet::ratio(const std::string &num, const std::string &denom) const
+{
+    const auto d = counterValue(denom);
+    if (d == 0)
+        return 0.0;
+    return static_cast<double>(counterValue(num)) / static_cast<double>(d);
+}
+
+void
+StatSet::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+    scalars_.clear();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << std::left << std::setw(48) << kv.first
+           << kv.second.value() << "\n";
+    for (const auto &kv : scalars_)
+        os << std::left << std::setw(48) << kv.first
+           << std::fixed << std::setprecision(6) << kv.second << "\n";
+    for (const auto &kv : histograms_) {
+        os << kv.first << " (histogram, total=" << kv.second.total()
+           << ")\n";
+        for (unsigned i = 0; i < kv.second.numBuckets(); ++i) {
+            if (kv.second.bucket(i) == 0)
+                continue;
+            os << "  [2^" << i << ", 2^" << (i + 1) << ") "
+               << kv.second.bucket(i) << "\n";
+        }
+    }
+}
+
+} // namespace dlvp

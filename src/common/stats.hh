@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Lightweight statistics: named counters, ratios, and histograms
+ * collected into a registry that can be dumped as text.
+ */
+
+#ifndef DLVP_COMMON_STATS_HH
+#define DLVP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dlvp
+{
+
+/** A monotonically increasing event counter. */
+class StatCounter
+{
+  public:
+    StatCounter() : value_(0) {}
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_;
+};
+
+/**
+ * A power-of-two bucketed histogram: bucket i counts samples in
+ * [2^i, 2^(i+1)); bucket 0 covers {0, 1}. Used by the Figure 2
+ * repeatability profiler.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(unsigned num_buckets = 16);
+
+    void sample(std::uint64_t v, std::uint64_t weight = 1);
+    void reset();
+
+    std::uint64_t bucket(unsigned i) const;
+    unsigned numBuckets() const { return buckets_.size(); }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples with value >= threshold. */
+    double fractionAtLeast(std::uint64_t threshold) const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::vector<std::uint64_t> raw_ge_; ///< exact >= counts per pow2 point
+    std::uint64_t total_;
+};
+
+/**
+ * Hierarchical name -> value registry; statistics objects register at
+ * construction and are dumped in name order.
+ */
+class StatSet
+{
+  public:
+    StatCounter &counter(const std::string &name);
+    Histogram &histogram(const std::string &name, unsigned buckets = 16);
+
+    /** Register a derived value computed at dump time. */
+    void setScalar(const std::string &name, double v);
+
+    bool hasCounter(const std::string &name) const;
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Ratio helper: numerator/denominator counters, 0 if denom == 0. */
+    double ratio(const std::string &num, const std::string &denom) const;
+
+    void reset();
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, StatCounter> counters_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace dlvp
+
+#endif // DLVP_COMMON_STATS_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the DLVP simulator.
+ */
+
+#ifndef DLVP_COMMON_TYPES_HH
+#define DLVP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dlvp
+{
+
+/** Byte address in the simulated (virtual == physical) address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle. */
+using Cycle = std::uint64_t;
+
+/** Architectural or physical register identifier. */
+using RegId = std::uint16_t;
+
+/** Dynamic instruction sequence number (trace order, 0-based). */
+using InstSeqNum = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not yet scheduled". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no register". */
+inline constexpr RegId kNoReg = std::numeric_limits<RegId>::max();
+
+/** Sentinel for an invalid address. */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Number of architectural integer registers in the mini-ISA. */
+inline constexpr unsigned kNumArchRegs = 32;
+
+/** Instruction size in bytes (ARM-like fixed-width encoding). */
+inline constexpr unsigned kInstBytes = 4;
+
+} // namespace dlvp
+
+#endif // DLVP_COMMON_TYPES_HH

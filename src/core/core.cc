@@ -1,0 +1,1174 @@
+#include "core.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace dlvp::core
+{
+
+using trace::OpClass;
+using trace::TraceInst;
+
+OoOCore::OoOCore(const CoreParams &params, const VpConfig &vp,
+                 const trace::Trace &trace)
+    : params_(params), vp_(vp), trace_(trace), mem_(params.memory),
+      tage_({}), ittage_({}), mdp_(),
+      lph_(vp.pap.histBits),
+      paq_(vp.paqSize, vp.paqLifetime),
+      archMem_(trace.initialImage), committedMem_(trace.initialImage)
+{
+    switch (vp_.scheme) {
+      case VpScheme::Dlvp:
+        pap_ = std::make_unique<pred::Pap>(vp_.pap);
+        break;
+      case VpScheme::CapDlvp:
+        cap_ = std::make_unique<pred::Cap>(vp_.cap);
+        break;
+      case VpScheme::StrideDlvp:
+        strideAp_ = std::make_unique<pred::StrideAp>(vp_.strideAp);
+        break;
+      case VpScheme::Vtage:
+        vtage_ = std::make_unique<pred::Vtage>(vp_.vtage);
+        break;
+      case VpScheme::Dvtage:
+        dvtage_ = std::make_unique<pred::Dvtage>(vp_.dvtage);
+        break;
+      case VpScheme::Tournament:
+        pap_ = std::make_unique<pred::Pap>(vp_.pap);
+        vtage_ = std::make_unique<pred::Vtage>(vp_.vtage);
+        break;
+      case VpScheme::None:
+        break;
+    }
+    dlvp_assert(params_.numPhysRegs > kNumArchRegs);
+    freePhys_ = params_.numPhysRegs - kNumArchRegs;
+}
+
+OoOCore::~OoOCore() = default;
+
+unsigned
+OoOCore::frontendCapacity() const
+{
+    // In-order front-end depth times width: instructions that can sit
+    // between fetch and dispatch.
+    return params_.fetchToDispatch * params_.fetchWidth;
+}
+
+OoOCore::InstState *
+OoOCore::byQSeq(InstSeqNum seq)
+{
+    if (window_.empty())
+        return nullptr;
+    const InstSeqNum base = window_.front().seq;
+    if (seq < base || seq >= base + window_.size())
+        return nullptr;
+    return &window_[seq - base];
+}
+
+bool
+OoOCore::overlaps(const TraceInst &a, const TraceInst &b) const
+{
+    const Addr a_lo = a.memAddr;
+    const Addr a_hi = a.memAddr +
+        (a.isLoad() ? a.loadBytes() : a.memSize);
+    const Addr b_lo = b.memAddr;
+    const Addr b_hi = b.memAddr +
+        (b.isLoad() ? b.loadBytes() : b.memSize);
+    return a_lo < b_hi && b_lo < a_hi;
+}
+
+// ---------------------------------------------------------------------
+// Functional first-fetch: advance archMem in program order exactly
+// once per trace index and capture load values.
+// ---------------------------------------------------------------------
+
+void
+OoOCore::firstFetchFunctional(InstSeqNum seq, const TraceInst &inst)
+{
+    if (seq != archApplied_)
+        return;
+    ++archApplied_;
+    if (inst.isLoad() || inst.cls == OpClass::Atomic) {
+        auto &vals = loadValues_[seq];
+        const unsigned n = std::max<unsigned>(1, inst.numDests);
+        for (unsigned d = 0; d < n; ++d)
+            vals[d] = archMem_.read(inst.memAddr + d * inst.memSize,
+                                    inst.memSize);
+    }
+    if (inst.isStore() || inst.cls == OpClass::Atomic)
+        archMem_.write(inst.memAddr, inst.storeValue, inst.memSize);
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+OoOCore::fetchStage()
+{
+    if (fetchHaltSeq_ != kNoSeq) {
+        ++stats_.fetchHaltCycles;
+        return;
+    }
+    if (now_ < fetchResumeCycle_)
+        return;
+    if (window_.size() >= params_.robSize + frontendCapacity())
+        return;
+
+    // The front-end sustains fetchWidth instructions per cycle from
+    // the fetch buffer; a cycle's fetch ends at a (predicted) taken
+    // branch or when the buffer/width is exhausted. Fetch groups are
+    // tracked per cycle: every cycle re-accesses the I-cache for its
+    // group(s), and the APT predicts at most two loads per group
+    // access (§3.1.1).
+    curFetchGroup_ = kNoAddr;
+    unsigned fetched = 0;
+    while (fetched < params_.fetchWidth && nextFetch_ < trace_.size() &&
+           window_.size() < params_.robSize + frontendCapacity()) {
+        const TraceInst &inst = trace_.insts[nextFetch_];
+        const Addr group = inst.pc >> 4;
+        if (group != curFetchGroup_) {
+            const unsigned ic_lat = mem_.fetchAccess(inst.pc, now_);
+            if (ic_lat > 0) {
+                fetchResumeCycle_ = now_ + ic_lat;
+                return;
+            }
+            curFetchGroup_ = group;
+            groupLoadCount_ = 0;
+        }
+        fetchOne(inst);
+        ++fetched;
+
+        const InstState &s = window_.back();
+        if (inst.isControl()) {
+            if (s.branchMispredicted) {
+                curFetchGroup_ = kNoAddr;
+                fetchHaltSeq_ = s.seq;
+                if (getenv("DLVP_DEBUG_HALT"))
+                    fprintf(stderr, "halt at seq=%llu pc=%llx cls=%d cyc=%llu\n",
+                        (unsigned long long)s.seq, (unsigned long long)inst.pc,
+                        (int)inst.cls, (unsigned long long)now_);
+                break;
+            }
+            // Predicted-taken control redirects: end the fetch cycle.
+            bool predicted_taken = inst.taken;
+            if (inst.cls == OpClass::CondBranch)
+                predicted_taken =
+                    tage_.predict(inst.pc, s.ghrSnap); // same as fetch
+            if (predicted_taken) {
+                curFetchGroup_ = kNoAddr;
+                break;
+            }
+        }
+    }
+}
+
+void
+OoOCore::fetchOne(const TraceInst &inst)
+{
+    const InstSeqNum seq = nextFetch_++;
+    ++stats_.fetchedInsts;
+
+    window_.emplace_back();
+    InstState &s = window_.back();
+    s.seq = seq;
+    s.inst = &inst;
+    s.fetchCycle = now_;
+    s.ghrSnap = ghr_;
+    s.indHistSnap = indHist_;
+    s.lphSnap = lph_.snapshot();
+    s.rasSnap = ras_.snapshot();
+
+    firstFetchFunctional(seq, inst);
+    if (inst.isLoad() || inst.cls == OpClass::Atomic) {
+        auto it = loadValues_.find(seq);
+        dlvp_assert(it != loadValues_.end());
+        s.actualValues = it->second;
+    } else if (inst.numDests > 0) {
+        s.actualValues[0] = inst.destValue;
+    }
+
+    // ---- branch prediction ----
+    if (inst.isControl()) {
+        const Addr actual_next =
+            seq + 1 < trace_.size() ? trace_.insts[seq + 1].pc : 0;
+        s.branchActualTarget = actual_next;
+        switch (inst.cls) {
+          case OpClass::CondBranch: {
+            const bool pred = tage_.predict(inst.pc, ghr_);
+            // A taken prediction also needs the BTB to supply the
+            // target in time; a miss is a redirect like any other
+            // misprediction.
+            const auto b = btb_.lookup(inst.pc);
+            s.branchMispredicted =
+                pred != inst.taken || (inst.taken && !b.hit);
+            if (inst.taken)
+                btb_.update(inst.pc, actual_next);
+            ghr_ = (ghr_ << 1) | (inst.taken ? 1 : 0);
+            break;
+          }
+          case OpClass::DirectJump: {
+            const auto b = btb_.lookup(inst.pc);
+            s.branchMispredicted = !b.hit;
+            btb_.update(inst.pc, actual_next);
+            break;
+          }
+          case OpClass::Call: {
+            const auto b = btb_.lookup(inst.pc);
+            s.branchMispredicted = !b.hit;
+            btb_.update(inst.pc, actual_next);
+            ras_.push(inst.pc + kInstBytes);
+            break;
+          }
+          case OpClass::Ret: {
+            const Addr pred = ras_.pop();
+            s.branchMispredicted = pred != actual_next;
+            break;
+          }
+          case OpClass::IndirectJump: {
+            const Addr pred = ittage_.predict(inst.pc, indHist_);
+            s.branchMispredicted = pred != actual_next;
+            indHist_ =
+                pred::Ittage::advanceHistory(indHist_, actual_next);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    // ---- VTAGE / D-VTAGE prediction at fetch ----
+    if (vtage_ && vtage_->eligible(inst)) {
+        s.vpEligible = true;
+        const unsigned n = std::max<unsigned>(1, inst.numDests);
+        for (unsigned d = 0; d < n; ++d) {
+            const auto p = vtage_->predict(inst, d, s.ghrSnap);
+            ++stats_.predictorLookups;
+            if (p.valid) {
+                s.vtMask |= (1u << d);
+                s.vtValues[d] = p.value;
+            }
+        }
+    }
+    if (dvtage_ && dvtage_->eligible(inst)) {
+        s.vpEligible = true;
+        const unsigned n = std::max<unsigned>(1, inst.numDests);
+        for (unsigned d = 0; d < n; ++d) {
+            const auto p = dvtage_->predictSpec(inst, d, s.ghrSnap);
+            ++stats_.predictorLookups;
+            if (p.valid) {
+                s.vtMask |= (1u << d);
+                s.vtValues[d] = p.value;
+            }
+        }
+    }
+
+    // ---- DLVP address prediction at fetch stage 1 ----
+    if (inst.isLoad()) {
+        const unsigned slot = groupLoadCount_++;
+        const bool scheme_ap = vp_.scheme == VpScheme::Dlvp ||
+                               vp_.scheme == VpScheme::CapDlvp ||
+                               vp_.scheme == VpScheme::StrideDlvp ||
+                               vp_.scheme == VpScheme::Tournament;
+        if (scheme_ap && slot < 2) {
+            s.apLooked = true;
+            s.apSlot = static_cast<std::uint8_t>(slot);
+            if (vp_.useLscd && lscd_.contains(inst.pc)) {
+                s.apBlocked = true;
+                ++stats_.lscdBlocked;
+            } else {
+                pred::Pap::Prediction pp;
+                if (pap_) {
+                    pp = pap_->predict(inst.pc & ~Addr{15}, slot,
+                                       s.lphSnap);
+                } else if (cap_) {
+                    // CAP predicts and trains at fetch: idealized
+                    // zero-latency per-load history management (see
+                    // pred/cap.hh).
+                    const auto cp = cap_->predict(inst.pc);
+                    cap_->train(inst.pc, inst.memAddr);
+                    ++stats_.predictorWrites;
+                    pp.valid = cp.valid;
+                    pp.addr = cp.addr;
+                    pp.size = inst.memSize;
+                    pp.way = -1;
+                } else if (strideAp_) {
+                    const auto sp = strideAp_->predict(inst.pc);
+                    pp.valid = sp.valid;
+                    pp.addr = sp.addr;
+                    pp.size = inst.memSize;
+                    pp.way = -1;
+                }
+                ++stats_.predictorLookups;
+                if (pp.valid && !paq_.full()) {
+                    s.apPredicted = true;
+                    s.apAddr = pp.addr;
+                    s.apSize = pp.size ? pp.size : inst.memSize;
+                    s.apWay = static_cast<std::int8_t>(pp.way);
+                    PaqEntry e;
+                    e.seq = seq;
+                    e.addr = pp.addr;
+                    e.size = s.apSize;
+                    e.way = pp.way;
+                    e.allocCycle = now_ + 1;
+                    paq_.push(e);
+                    ++stats_.paqAllocs;
+                }
+            }
+        }
+        lph_.shiftLoad(inst.pc);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch (rename + allocate + VPE activation)
+// ---------------------------------------------------------------------
+
+void
+OoOCore::activatePredictions(InstState &s)
+{
+    const TraceInst &inst = *s.inst;
+    const unsigned n = std::max<unsigned>(1, inst.numDests);
+    const std::uint16_t full_mask =
+        static_cast<std::uint16_t>((1u << n) - 1);
+
+    // DLVP candidate: the probe must have delivered by rename.
+    bool dlvp_avail = false;
+    if (s.apPredicted && s.probeDone && s.probeHit) {
+        if (s.probeReady <= now_) {
+            dlvp_avail = true;
+        } else {
+            ++stats_.probeLate;
+        }
+    }
+    const bool vtage_avail = s.vtMask != 0;
+    if (!dlvp_avail && !vtage_avail)
+        return;
+
+    std::uint16_t mask = 0;
+    std::uint8_t source = 0;
+    const std::array<std::uint64_t, trace::kMaxDests> *values = nullptr;
+
+    switch (vp_.scheme) {
+      case VpScheme::Dlvp:
+      case VpScheme::CapDlvp:
+      case VpScheme::StrideDlvp:
+        if (!dlvp_avail)
+            return;
+        mask = full_mask;
+        values = &s.dlValues;
+        source = 1;
+        break;
+      case VpScheme::Vtage:
+      case VpScheme::Dvtage:
+        if (!vtage_avail)
+            return;
+        mask = s.vtMask;
+        values = &s.vtValues;
+        source = 2;
+        break;
+      case VpScheme::Tournament: {
+        bool use_dlvp;
+        if (dlvp_avail && vtage_avail)
+            use_dlvp = chooser_.preferDlvp(inst.pc);
+        else
+            use_dlvp = dlvp_avail;
+        if (use_dlvp) {
+            mask = full_mask;
+            values = &s.dlValues;
+            source = 1;
+        } else {
+            mask = s.vtMask;
+            values = &s.vtValues;
+            source = 2;
+        }
+        break;
+      }
+      case VpScheme::None:
+        return;
+    }
+
+    // Oracle replay (§5.2.4): a misprediction is treated as if the
+    // load had never been predicted.
+    bool would_be_wrong = false;
+    for (unsigned d = 0; d < n; ++d) {
+        if ((mask & (1u << d)) &&
+            (*values)[d] != s.actualValues[d]) {
+            would_be_wrong = true;
+            break;
+        }
+    }
+    if (vp_.recovery == RecoveryMode::OracleReplay && would_be_wrong) {
+        ++stats_.vpReplays;
+        return;
+    }
+
+    const unsigned needed =
+        static_cast<unsigned>(std::popcount(mask));
+    if (vp_.vpeDesign == VpeDesign::PortArbitration) {
+        // Design #1 (SS3.2.1): predicted values are written through
+        // the 8 shared PRF write ports; when execution writebacks
+        // have consumed them this cycle, the prediction is dropped —
+        // "PRF write ports can become a bottleneck".
+        if (prfPortsUsed_ + needed > params_.issueWidth) {
+            ++stats_.prfPortDrops;
+            return;
+        }
+        prfPortsUsed_ += needed;
+        stats_.prfWrites += needed;
+    } else {
+        // Design #3: a dedicated PVT. A full PVT turns the prediction
+        // into no-prediction.
+        if (pvtUsed_ + needed > vp_.pvtSize) {
+            ++stats_.pvtFullDrops;
+            return;
+        }
+        pvtUsed_ += needed;
+        stats_.pvtWrites += needed;
+    }
+
+    s.vpActiveMask = mask;
+    s.vpSource = source;
+    s.vpWrong = would_be_wrong;
+    if (getenv("DLVP_DEBUG_ACT") && s.seq % 1000 < 3)
+        fprintf(stderr,
+                "act seq=%llu pc=%llx mask=%x src=%u disp=%llu "
+                "probeReady=%llu\n",
+                (unsigned long long)s.seq,
+                (unsigned long long)s.inst->pc, mask, source,
+                (unsigned long long)now_,
+                (unsigned long long)s.probeReady);
+    for (unsigned d = 0; d < n; ++d)
+        if (mask & (1u << d))
+            s.vpValues[d] = (*values)[d];
+}
+
+void
+OoOCore::dispatchStage()
+{
+    unsigned n = 0;
+    while (n < params_.dispatchWidth) {
+        // Dispatch proceeds strictly in program order.
+        InstState *s = byQSeq(nextDispatch_);
+        if (s == nullptr)
+            return;
+        dlvp_assert(!s->dispatched);
+        if (s->fetchCycle + params_.fetchToDispatch > now_)
+            return;
+        const TraceInst &inst = *s->inst;
+        // Structural resources.
+        if (dispatchedCount_ >= params_.robSize) {
+            ++stats_.robFullStalls;
+            return;
+        }
+        if (iqCount_ >= params_.iqSize) {
+            ++stats_.iqFullStalls;
+            return;
+        }
+        if ((inst.isLoad() || inst.cls == OpClass::Atomic) &&
+            ldqCount_ >= params_.ldqSize)
+            return;
+        if ((inst.isStore() || inst.cls == OpClass::Atomic) &&
+            stqCount_ >= params_.stqSize)
+            return;
+        if (inst.numDests > freePhys_)
+            return;
+
+        s->dispatched = true;
+        s->dispatchCycle = now_;
+        stats_.dispatchWaitCycles +=
+            now_ - s->fetchCycle - params_.fetchToDispatch;
+        ++dispatchedCount_;
+        ++iqCount_;
+        if (inst.isLoad() || inst.cls == OpClass::Atomic)
+            ++ldqCount_;
+        if (inst.isStore() || inst.cls == OpClass::Atomic)
+            ++stqCount_;
+        freePhys_ -= inst.numDests;
+
+        // Rename: resolve sources against the latest producers.
+        for (unsigned i = 0; i < inst.numSrcs; ++i) {
+            const RegId r = inst.srcs[i];
+            if (r == 0)
+                continue; // hard-wired zero register
+            s->srcs[i] = archProducer_[r];
+        }
+        for (unsigned d = 0; d < inst.numDests; ++d) {
+            const RegId r = inst.destBase + d;
+            if (r >= kNumArchRegs)
+                continue;
+            archProducer_[r] = {s->seq, true,
+                                static_cast<std::uint8_t>(d)};
+        }
+
+        if (inst.isLoad())
+            s->mdpWait = mdp_.shouldWait(inst.pc);
+        if (inst.cls == OpClass::Barrier)
+            ++incompleteBarriers_;
+
+        activatePredictions(*s);
+        ++nextDispatch_;
+        ++n;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue + probe
+// ---------------------------------------------------------------------
+
+bool
+OoOCore::srcsReady(const InstState &s) const
+{
+    for (unsigned i = 0; i < s.inst->numSrcs; ++i) {
+        const auto &src = s.srcs[i];
+        if (!src.valid)
+            continue;
+        // Locate the producer (const-cast-free linear mapping).
+        const InstSeqNum base = window_.front().seq;
+        if (src.producer < base)
+            continue; // committed
+        const InstState &p = window_[src.producer - base];
+        // A value-predicted destination is ready from rename onward.
+        if (p.vpActiveMask & (1u << src.destIdx))
+            continue;
+        if (!p.completed || p.completeCycle > now_)
+            return false;
+    }
+    return true;
+}
+
+bool
+OoOCore::memOrderReady(const InstState &s) const
+{
+    const TraceInst &inst = *s.inst;
+    const InstSeqNum base = window_.front().seq;
+    const auto done = [this](const InstState &o) {
+        return o.issued && o.completeCycle <= now_;
+    };
+    if (inst.cls == OpClass::Barrier) {
+        // Barriers wait for all older memory operations.
+        for (InstSeqNum q = base; q < s.seq; ++q) {
+            const InstState &o = window_[q - base];
+            if (o.inst->isMemRef() && !done(o))
+                return false;
+        }
+        return true;
+    }
+    if (!inst.isMemRef())
+        return true;
+    // Memory ops wait for older barriers (cheap guard: barriers are
+    // rare, so skip the scan when none are in flight).
+    if (incompleteBarriers_ > 0) {
+        for (InstSeqNum q = base; q < s.seq; ++q) {
+            const InstState &o = window_[q - base];
+            if (o.inst->cls == OpClass::Barrier && !done(o))
+                return false;
+        }
+    }
+    if (inst.isLoad() && s.mdpWait) {
+        // Store-wait: hold until all older stores have issued.
+        for (InstSeqNum q = base; q < s.seq; ++q) {
+            const InstState &o = window_[q - base];
+            if (o.dispatched && o.inst->isStore() && !o.issued)
+                return false;
+            if (!o.dispatched && o.inst->isStore())
+                return false;
+        }
+    }
+    return true;
+}
+
+unsigned
+OoOCore::issueLoad(InstState &s)
+{
+    const TraceInst &inst = *s.inst;
+    // Store-to-load forwarding from the youngest older overlapping
+    // store whose address is known.
+    const InstSeqNum base = window_.front().seq;
+    for (InstSeqNum q = s.seq; q-- > base;) {
+        const InstState &o = window_[q - base];
+        if (!o.inst->isStore() && o.inst->cls != OpClass::Atomic)
+            continue;
+        if (!o.issued)
+            continue; // unknown address: speculate no conflict
+        if (overlaps(inst, *o.inst))
+            return params_.forwardLatency;
+    }
+    const auto r = mem_.loadAccess(inst.pc, inst.memAddr, now_);
+    ++stats_.l1dAccesses;
+    if (!r.l1Hit)
+        ++stats_.l1dMisses;
+    if (r.tlbMiss)
+        ++stats_.tlbMisses;
+    return r.latency + params_.loadExtraLatency;
+}
+
+void
+OoOCore::issueStage()
+{
+    unsigned generic_free =
+        params_.issueWidth - params_.lsLanes; // 6 generic lanes
+    unsigned ls_free = params_.lsLanes;
+
+    for (auto &s : window_) {
+        if (generic_free == 0 && ls_free == 0)
+            break;
+        if (!s.dispatched || s.issued)
+            continue;
+        const TraceInst &inst = *s.inst;
+        const bool is_mem = inst.isMemRef() ||
+                            inst.cls == OpClass::Barrier;
+        if (is_mem && ls_free == 0)
+            continue;
+        if (!is_mem && generic_free == 0)
+            continue;
+        if (!srcsReady(s))
+            continue;
+        if (!memOrderReady(s))
+            continue;
+
+        s.issued = true;
+        s.issueCycle = now_;
+        stats_.issueWaitCycles += now_ - s.dispatchCycle;
+        if (getenv("DLVP_DEBUG_WAIT")) {
+            static std::uint64_t wait_sum[16], wait_cnt[16];
+            static bool registered = false;
+            const unsigned c =
+                static_cast<unsigned>(inst.cls) & 15;
+            wait_sum[c] += now_ - s.dispatchCycle;
+            ++wait_cnt[c];
+            if (!registered) {
+                registered = true;
+                atexit(+[] {
+                    for (unsigned k = 0; k < 16; ++k)
+                        if (wait_cnt[k])
+                            fprintf(stderr, "wait cls=%u avg=%.2f "
+                                            "n=%llu\n",
+                                    k,
+                                    double(wait_sum[k]) / wait_cnt[k],
+                                    (unsigned long long)wait_cnt[k]);
+                });
+            }
+        }
+        --iqCount_;
+        if (is_mem)
+            --ls_free;
+        else
+            --generic_free;
+
+        unsigned lat = params_.aluLatency;
+        switch (inst.cls) {
+          case OpClass::Load:
+            lat = issueLoad(s);
+            break;
+          case OpClass::Store:
+            lat = params_.storeLatency;
+            break;
+          case OpClass::Atomic:
+            lat = issueLoad(s) + 1;
+            break;
+          case OpClass::IntMul:
+            lat = params_.mulLatency;
+            break;
+          case OpClass::IntDiv:
+            lat = params_.divLatency;
+            break;
+          case OpClass::FpAlu:
+            lat = params_.fpLatency;
+            break;
+          default:
+            lat = params_.aluLatency;
+            break;
+        }
+        s.completeCycle = now_ + std::max(1u, lat);
+        s.completed = true; // completion processed when the cycle hits
+    }
+
+    probeStage(ls_free);
+}
+
+void
+OoOCore::probeStage(unsigned free_ls_lanes)
+{
+    if (vp_.scheme != VpScheme::Dlvp &&
+        vp_.scheme != VpScheme::CapDlvp &&
+        vp_.scheme != VpScheme::StrideDlvp &&
+        vp_.scheme != VpScheme::Tournament)
+        return;
+    paq_.expire(now_, stats_.paqDrops);
+    for (unsigned lane = 0; lane < free_ls_lanes; ++lane) {
+        PaqEntry e;
+        if (!paq_.popLive(now_, e, stats_.paqDrops))
+            return;
+        ++stats_.probes;
+        InstState *s = byQSeq(e.seq);
+        if (s == nullptr)
+            continue; // squashed between allocation and probe
+        // The probe translates through the TLB like any L1 request —
+        // the second-order TLB effects of Figure 9 come from here.
+        const unsigned tlb_lat = mem_.tlb().access(e.addr);
+        if (tlb_lat > 0)
+            ++stats_.tlbMisses;
+        const auto pr =
+            mem_.probe(e.addr, vp_.pap.wayPrediction ? e.way : -1);
+        ++stats_.l1dAccesses;
+        s->probeDone = true;
+        if (pr.wayMispredict)
+            ++stats_.wayMispredicts;
+        if (pr.hit && tlb_lat == 0) {
+            ++stats_.probeHits;
+            s->probeHit = true;
+            // 1 cycle cache read + 1 cycle transfer to the VPE.
+            s->probeReady = now_ + 2;
+            const TraceInst &inst = *s->inst;
+            const unsigned n = std::max<unsigned>(1, inst.numDests);
+            for (unsigned d = 0; d < n; ++d)
+                s->dlValues[d] = committedMem_.read(
+                    e.addr + d * inst.memSize, inst.memSize);
+        } else {
+            ++stats_.probeMisses;
+            if (vp_.dlvpPrefetch && !pr.hit && !pr.wayMispredict) {
+                mem_.prefetchIntoL1D(e.addr, now_);
+                ++stats_.dlvpPrefetches;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Completion: validation, branch resolution, memory-order checks
+// ---------------------------------------------------------------------
+
+void
+OoOCore::requestFlush(InstSeqNum from, Cycle redirect,
+                      std::uint64_t CoreStats::*counter)
+{
+    ++(stats_.*counter);
+    if (!flushPending_ || from < flushFrom_ ||
+        (from == flushFrom_ && redirect < flushRedirect_)) {
+        flushPending_ = true;
+        flushFrom_ = from;
+        flushRedirect_ = redirect;
+    }
+}
+
+void
+OoOCore::validatePrediction(InstState &s)
+{
+    if (s.vpActiveMask == 0)
+        return;
+    // Release the PVT entries: the value now lives in the PRF.
+    if (vp_.vpeDesign == VpeDesign::Pvt)
+        pvtUsed_ -= static_cast<unsigned>(std::popcount(s.vpActiveMask));
+    if (!s.vpWrong)
+        return;
+    // Under oracle replay wrong predictions were never activated.
+    dlvp_assert(vp_.recovery == RecoveryMode::Flush);
+    const TraceInst &inst = *s.inst;
+    if (s.vpSource == 1 && s.apPredicted &&
+        s.apAddr == inst.memAddr && vp_.useLscd) {
+        // Correct address, wrong value: an in-flight store conflicted.
+        lscd_.insert(inst.pc);
+        if (pap_)
+            pap_->invalidate(inst.pc & ~Addr{15}, s.apSlot, s.lphSnap);
+        ++stats_.lscdInserts;
+        if (getenv("DLVP_DEBUG_LSCD"))
+            fprintf(stderr,
+                    "lscd insert pc=%llx site=%llu seq=%llu cyc=%llu "
+                    "addr=%llx nd=%u sz=%u pred=[%llx %llx] "
+                    "act=[%llx %llx]\n",
+                    (unsigned long long)inst.pc,
+                    (unsigned long long)((inst.pc - 0x400000) / 4),
+                    (unsigned long long)s.seq,
+                    (unsigned long long)now_,
+                    (unsigned long long)inst.memAddr,
+                    inst.numDests, inst.memSize,
+                    (unsigned long long)s.vpValues[0],
+                    (unsigned long long)s.vpValues[1],
+                    (unsigned long long)s.actualValues[0],
+                    (unsigned long long)s.actualValues[1]);
+    }
+    requestFlush(s.seq + 1,
+                 s.completeCycle + 1 + vp_.valueCheckPenalty,
+                 &CoreStats::vpFlushes);
+}
+
+void
+OoOCore::completeInst(InstState &s)
+{
+    const TraceInst &inst = *s.inst;
+
+    if (inst.cls == OpClass::Barrier) {
+        dlvp_assert(incompleteBarriers_ > 0);
+        --incompleteBarriers_;
+    }
+
+    // Branch resolution.
+    if (inst.isControl()) {
+        if (s.seq == fetchHaltSeq_) {
+            fetchHaltSeq_ = kNoSeq;
+            fetchResumeCycle_ = s.completeCycle + 1;
+            curFetchGroup_ = kNoAddr;
+            if (getenv("DLVP_DEBUG_HALT"))
+                fprintf(stderr, "resume seq=%llu cyc=%llu\n",
+                    (unsigned long long)s.seq, (unsigned long long)now_);
+        }
+        if (s.branchMispredicted)
+            requestFlush(s.seq + 1, s.completeCycle + 1,
+                         &CoreStats::branchFlushes);
+    }
+
+    if (inst.isLoad()) {
+        // Address-predictor training happens at execute (§3.1.2).
+        const int way = mem_.l1dWayOf(inst.memAddr);
+        if (s.apLooked && !s.apBlocked && pap_) {
+            pap_->train(inst.pc & ~Addr{15}, s.apSlot, s.lphSnap,
+                        inst.memAddr, inst.memSize, way);
+            ++stats_.predictorWrites;
+        }
+        if (s.apLooked && !s.apBlocked && strideAp_) {
+            strideAp_->train(inst.pc, inst.memAddr);
+            ++stats_.predictorWrites;
+        }
+        if (s.apPredicted) {
+            if (s.apAddr == inst.memAddr)
+                ++stats_.addrPredCorrect;
+            else
+                ++stats_.addrPredWrong;
+        }
+        // Tournament chooser learns from both candidates.
+        if (vp_.scheme == VpScheme::Tournament &&
+            (s.probeHit || s.vtMask)) {
+            const unsigned n = std::max<unsigned>(1, inst.numDests);
+            bool dl_ok = s.probeHit;
+            for (unsigned d = 0; dl_ok && d < n; ++d)
+                dl_ok = s.dlValues[d] == s.actualValues[d];
+            bool vt_ok = s.vtMask != 0;
+            for (unsigned d = 0; vt_ok && d < n; ++d)
+                if (s.vtMask & (1u << d))
+                    vt_ok = s.vtValues[d] == s.actualValues[d];
+            if (s.probeHit && s.vtMask)
+                chooser_.update(inst.pc, dl_ok, vt_ok);
+        }
+        validatePrediction(s);
+    } else if (s.vpActiveMask) {
+        // All-instructions VTAGE mode.
+        validatePrediction(s);
+    }
+
+    // Memory-order violation detection: a store resolving its address
+    // squashes younger loads that already read around it.
+    if (inst.isStore() || inst.cls == OpClass::Atomic) {
+        const InstSeqNum base = window_.front().seq;
+        for (InstSeqNum q = s.seq + 1;
+             q < base + window_.size(); ++q) {
+            InstState &y = window_[q - base];
+            if (!y.inst->isLoad())
+                continue;
+            // Only loads that issued strictly before the store's
+            // address was known read stale data; a load issuing the
+            // same cycle sees the store in the queue and forwards.
+            if (!y.issued || y.issueCycle >= s.issueCycle)
+                continue;
+            if (!overlaps(*y.inst, inst))
+                continue;
+            mdp_.recordViolation(y.inst->pc);
+            requestFlush(y.seq, s.completeCycle + 1,
+                         &CoreStats::memOrderFlushes);
+            break;
+        }
+    }
+}
+
+void
+OoOCore::completeStage()
+{
+    prfPortsUsed_ = 0;
+    for (auto &s : window_) {
+        if (!s.issued || s.completeCycle != now_)
+            continue;
+        prfPortsUsed_ += s.inst->numDests; // PRF writeback ports
+        completeInst(s);
+    }
+    if (flushPending_)
+        applyFlush();
+}
+
+// ---------------------------------------------------------------------
+// Flush
+// ---------------------------------------------------------------------
+
+void
+OoOCore::rebuildRenameMap()
+{
+    for (auto &p : archProducer_)
+        p.valid = false;
+    for (auto &s : window_) {
+        if (!s.dispatched)
+            break;
+        for (unsigned d = 0; d < s.inst->numDests; ++d) {
+            const RegId r = s.inst->destBase + d;
+            if (r >= kNumArchRegs)
+                continue;
+            archProducer_[r] = {s.seq, true,
+                                static_cast<std::uint8_t>(d)};
+        }
+    }
+}
+
+void
+OoOCore::applyFlush()
+{
+    flushPending_ = false;
+    const InstSeqNum from = flushFrom_;
+
+    // Restore speculative state from the oldest squashed instruction's
+    // pre-fetch snapshots.
+    InstState *first = byQSeq(from);
+    if (first != nullptr) {
+        ghr_ = first->ghrSnap;
+        indHist_ = first->indHistSnap;
+        lph_.restore(first->lphSnap);
+        ras_.restore(first->rasSnap);
+    }
+
+    // Squash from the back.
+    while (!window_.empty() && window_.back().seq >= from) {
+        InstState &s = window_.back();
+        const TraceInst &inst = *s.inst;
+        if (s.dispatched) {
+            --dispatchedCount_;
+            if (inst.cls == OpClass::Barrier &&
+                !(s.issued && s.completeCycle <= now_))
+                --incompleteBarriers_;
+            if (!s.issued)
+                --iqCount_;
+            if (inst.isLoad() || inst.cls == OpClass::Atomic)
+                --ldqCount_;
+            if (inst.isStore() || inst.cls == OpClass::Atomic)
+                --stqCount_;
+            freePhys_ += inst.numDests;
+            if (vp_.vpeDesign == VpeDesign::Pvt && s.vpActiveMask &&
+                (!s.completed || s.completeCycle > now_))
+                pvtUsed_ -= static_cast<unsigned>(
+                    std::popcount(s.vpActiveMask));
+        }
+        window_.pop_back();
+    }
+    paq_.squashAfter(from == 0 ? 0 : from - 1);
+
+    nextFetch_ = from;
+    nextDispatch_ = std::min(nextDispatch_, from);
+    if (dvtage_)
+        dvtage_->flushResync();
+    if (strideAp_)
+        strideAp_->flushResync();
+    // Any pending front-end stall was for the squashed path.
+    fetchResumeCycle_ = flushRedirect_;
+    if (fetchHaltSeq_ != kNoSeq && fetchHaltSeq_ >= from)
+        fetchHaltSeq_ = kNoSeq;
+    curFetchGroup_ = kNoAddr;
+    rebuildRenameMap();
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+OoOCore::commitStage()
+{
+    unsigned n = 0;
+    while (n < params_.commitWidth && !window_.empty()) {
+        InstState &s = window_.front();
+        // Strictly-older completion: an instruction completing this
+        // cycle is validated by completeStage (which runs after
+        // commit) before it may retire next cycle.
+        if (!s.completed || s.completeCycle >= now_ ||
+            !s.dispatched || !s.issued)
+            return;
+        const TraceInst &inst = *s.inst;
+
+        // Value mispredictions flush at complete+1(+check); make sure
+        // the flush lands before younger instructions could commit —
+        // the load itself is architecturally fine to commit.
+        if (s.vpWrong && now_ <= s.completeCycle + 1 +
+                                     vp_.valueCheckPenalty)
+            return;
+
+        // Functional commit.
+        if (inst.isStore() || inst.cls == OpClass::Atomic) {
+            committedMem_.write(inst.memAddr, inst.storeValue,
+                                inst.memSize);
+            mem_.storeCommit(inst.memAddr, now_);
+            ++stats_.l1dAccesses;
+        }
+
+        // Branch predictor training at commit (once per committed
+        // dynamic instance).
+        if (inst.isControl()) {
+            ++stats_.committedBranches;
+            switch (inst.cls) {
+              case OpClass::CondBranch:
+                ++stats_.condBranches;
+                if (s.branchMispredicted)
+                    ++stats_.condMispredicts;
+                tage_.update(inst.pc, s.ghrSnap, inst.taken);
+                break;
+              case OpClass::IndirectJump:
+                ++stats_.indirectBranches;
+                if (s.branchMispredicted)
+                    ++stats_.indirectMispredicts;
+                ittage_.update(inst.pc, s.indHistSnap,
+                               s.branchActualTarget);
+                break;
+              case OpClass::Ret:
+                if (s.branchMispredicted)
+                    ++stats_.returnMispredicts;
+                break;
+              default:
+                break;
+            }
+        }
+
+        // D-VTAGE trains at commit.
+        if (dvtage_ && dvtage_->eligible(inst)) {
+            const unsigned nd = std::max<unsigned>(1, inst.numDests);
+            for (unsigned d = 0; d < nd; ++d) {
+                dvtage_->train(inst, d, s.ghrSnap, s.actualValues[d]);
+                ++stats_.predictorWrites;
+            }
+        }
+        // VTAGE trains at commit.
+        if (vtage_) {
+            const unsigned nd = std::max<unsigned>(1, inst.numDests);
+            const bool was_pred = s.vtMask != 0;
+            bool was_correct = was_pred;
+            for (unsigned d = 0; was_correct && d < nd; ++d)
+                if (s.vtMask & (1u << d))
+                    was_correct = s.vtValues[d] == s.actualValues[d];
+            // Partitioned tournament (SS5.2.3 future work): a load
+            // DLVP handled correctly does not compete for VTAGE
+            // capacity.
+            bool dlvp_owned = false;
+            if (vp_.tournamentPartition && inst.isLoad() &&
+                s.probeHit) {
+                dlvp_owned = true;
+                for (unsigned d = 0; dlvp_owned && d < nd; ++d)
+                    dlvp_owned = s.dlValues[d] == s.actualValues[d];
+            }
+            if (!dlvp_owned &&
+                (vtage_->eligible(inst) || was_pred)) {
+                for (unsigned d = 0; d < nd; ++d) {
+                    vtage_->train(inst, d, s.ghrSnap,
+                                  s.actualValues[d], was_pred,
+                                  was_correct);
+                    ++stats_.predictorWrites;
+                }
+            }
+        }
+
+        // Statistics.
+        ++stats_.committedInsts;
+        stats_.prfReads += inst.numSrcs;
+        stats_.prfWrites += inst.numDests;
+        if (inst.isLoad()) {
+            ++stats_.committedLoads;
+            if (vp_.scheme != VpScheme::None)
+                ++stats_.vpEligibleLoads;
+            if (s.vpActiveMask && getenv("DLVP_DEBUG_COV"))
+                fprintf(stderr, "cov pc=%llx\n",
+                        (unsigned long long)inst.pc);
+            if (s.vpActiveMask) {
+                ++stats_.vpPredictedLoads;
+                stats_.pvtReads +=
+                    static_cast<unsigned>(std::popcount(s.vpActiveMask));
+                if (!s.vpWrong)
+                    ++stats_.vpCorrectLoads;
+                if (s.vpSource == 1)
+                    ++stats_.tournamentDlvpFinal;
+                else if (s.vpSource == 2)
+                    ++stats_.tournamentVtageFinal;
+            }
+        } else if (s.vpActiveMask) {
+            ++stats_.vpPredictedInsts;
+            if (!s.vpWrong)
+                ++stats_.vpCorrectInsts;
+        }
+        if (inst.isStore())
+            ++stats_.committedStores;
+
+        // Release the physical registers of the previous mapping.
+        freePhys_ += inst.numDests;
+        --dispatchedCount_;
+        if (inst.isLoad() || inst.cls == OpClass::Atomic)
+            --ldqCount_;
+        if (inst.isStore() || inst.cls == OpClass::Atomic)
+            --stqCount_;
+
+        // Retire rename-map entries that still point at this inst.
+        for (unsigned d = 0; d < inst.numDests; ++d) {
+            const RegId r = inst.destBase + d;
+            if (r < kNumArchRegs && archProducer_[r].valid &&
+                archProducer_[r].producer == s.seq)
+                archProducer_[r].valid = false;
+        }
+
+        loadValues_.erase(s.seq);
+        ++committed_;
+        window_.pop_front();
+        ++n;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------------
+
+CoreStats
+OoOCore::run(std::size_t warmup_insts)
+{
+    const Cycle deadlock_limit = 200000;
+    Cycle last_commit_cycle = 0;
+    InstSeqNum last_committed = 0;
+    Cycle warmup_cycles = 0;
+    bool warm = warmup_insts == 0;
+
+    while (committed_ < trace_.size()) {
+        if (!warm && committed_ >= warmup_insts) {
+            // End of warmup: measurement region starts here, as with
+            // the paper's simpoint methodology.
+            warm = true;
+            warmup_cycles = now_;
+            stats_ = CoreStats{};
+            mem_.resetStats();
+        }
+        commitStage();
+        completeStage();
+        issueStage();
+        dispatchStage();
+        fetchStage();
+        ++now_;
+
+        if (committed_ != last_committed) {
+            last_committed = committed_;
+            last_commit_cycle = now_;
+        } else if (now_ - last_commit_cycle > deadlock_limit) {
+            dlvp_panic("core deadlock: no commit for %llu cycles "
+                       "(committed=%llu window=%zu)",
+                       static_cast<unsigned long long>(deadlock_limit),
+                       static_cast<unsigned long long>(committed_),
+                       window_.size());
+        }
+    }
+    stats_.cycles = now_ - warmup_cycles;
+    stats_.tlbMisses = mem_.tlb().misses();
+    stats_.l2Accesses = mem_.l2().hits() + mem_.l2().misses();
+    stats_.l3Accesses = mem_.l3().hits() + mem_.l3().misses();
+    stats_.memAccesses = mem_.l3().misses();
+    return stats_;
+}
+
+} // namespace dlvp::core

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The cycle-driven out-of-order core model (Figure 3's pipeline).
+ *
+ * Trace-driven with a committed-path trace: wrong-path instructions
+ * are not simulated; their cost appears as fetch bubbles between a
+ * mispredicted branch's fetch and its resolution. The model tracks the
+ * structures that matter to the paper: ROB/IQ/LDQ/STQ occupancy,
+ * physical-register budget, the 2 load-store + 6 generic execution
+ * lanes (whose bubbles DLVP's probes consume), the in-order front-end
+ * depth (which sets the probe deadline N), and flush-based recovery
+ * for branch, memory-order, and value mispredictions.
+ *
+ * Functional semantics: two memory images are maintained. archMem
+ * advances in program order the first time each instruction is fetched
+ * and defines every load's architectural value; committedMem advances
+ * when stores commit and is what a DLVP cache probe observes. An older
+ * in-flight store is therefore visible in archMem but not yet in
+ * committedMem — producing exactly the correct-address/wrong-value
+ * misprediction the LSCD exists to suppress (§3.2.2).
+ */
+
+#ifndef DLVP_CORE_CORE_HH
+#define DLVP_CORE_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "core/core_stats.hh"
+#include "core/paq.hh"
+#include "core/params.hh"
+#include "mem/hierarchy.hh"
+#include "pred/btb.hh"
+#include "pred/cap.hh"
+#include "pred/chooser.hh"
+#include "pred/dvtage.hh"
+#include "pred/ittage.hh"
+#include "pred/lscd.hh"
+#include "pred/mdp.hh"
+#include "pred/pap.hh"
+#include "pred/ras.hh"
+#include "pred/stride_ap.hh"
+#include "pred/tage.hh"
+#include "pred/vtage.hh"
+#include "trace/trace.hh"
+
+namespace dlvp::core
+{
+
+class OoOCore
+{
+  public:
+    OoOCore(const CoreParams &params, const VpConfig &vp,
+            const trace::Trace &trace);
+    ~OoOCore();
+
+    /**
+     * Run the whole trace to commit; returns the collected stats.
+     * Counters (and the cycle count) cover only the measurement
+     * region after the first @p warmup_insts committed instructions;
+     * predictor and cache state trains through warmup.
+     */
+    CoreStats run(std::size_t warmup_insts = 0);
+
+    const CoreStats &stats() const { return stats_; }
+    const mem::MemoryHierarchy &memory() const { return mem_; }
+    const pred::Pap *pap() const { return pap_.get(); }
+    const pred::Cap *cap() const { return cap_.get(); }
+    const pred::Vtage *vtage() const { return vtage_.get(); }
+
+  private:
+    /** Per-in-flight-instruction state (ROB + front-end entry). */
+    struct InstState
+    {
+        InstSeqNum seq = 0;
+        const trace::TraceInst *inst = nullptr;
+
+        Cycle fetchCycle = kNoCycle;
+        Cycle dispatchCycle = kNoCycle;
+        Cycle issueCycle = kNoCycle;
+        Cycle completeCycle = kNoCycle;
+        bool dispatched = false;
+        bool issued = false;
+        bool completed = false;
+
+        // Speculative-state snapshots taken before this instruction's
+        // own fetch-time updates; restoring the oldest squashed
+        // instruction's snapshots recovers all predictor state.
+        std::uint64_t ghrSnap = 0;
+        std::uint64_t indHistSnap = 0;
+        std::uint64_t lphSnap = 0;
+        pred::Ras::Snapshot rasSnap{};
+
+        // Branch state resolved at fetch (trace-driven).
+        bool branchMispredicted = false;
+        Addr branchActualTarget = 0;
+
+        // Renamed sources.
+        struct Src
+        {
+            InstSeqNum producer = 0;
+            bool valid = false;   ///< producer still in flight
+            std::uint8_t destIdx = 0;
+        };
+        std::array<Src, trace::kMaxSrcs> srcs{};
+
+        bool mdpWait = false;
+
+        // Value prediction.
+        bool vpEligible = false;
+        std::uint16_t vtMask = 0; ///< VTAGE per-dest predictions
+        std::array<std::uint64_t, trace::kMaxDests> vtValues{};
+        std::uint16_t vpActiveMask = 0; ///< delivered to the PVT
+        std::array<std::uint64_t, trace::kMaxDests> vpValues{};
+        std::array<std::uint64_t, trace::kMaxDests> actualValues{};
+        bool vpWrong = false;
+        std::uint8_t vpSource = 0; ///< 0 none, 1 DLVP, 2 VTAGE
+
+        // DLVP address prediction.
+        bool apLooked = false;   ///< indexed the APT (slot < 2)
+        bool apBlocked = false;  ///< LSCD filtered this PC
+        std::uint8_t apSlot = 0;
+        bool apPredicted = false;
+        Addr apAddr = 0;
+        std::uint8_t apSize = 0;
+        std::int8_t apWay = -1;
+        bool probeDone = false;
+        bool probeHit = false;
+        Cycle probeReady = kNoCycle;
+        std::array<std::uint64_t, trace::kMaxDests> dlValues{};
+    };
+
+    // ---- configuration and substrate ----
+    CoreParams params_;
+    VpConfig vp_;
+    const trace::Trace &trace_;
+    mem::MemoryHierarchy mem_;
+
+    // ---- predictors ----
+    pred::Tage tage_;
+    pred::Ittage ittage_;
+    pred::Btb btb_;
+    pred::Ras ras_;
+    pred::Mdp mdp_;
+    std::unique_ptr<pred::Pap> pap_;
+    std::unique_ptr<pred::Cap> cap_;
+    std::unique_ptr<pred::StrideAp> strideAp_;
+    std::unique_ptr<pred::Vtage> vtage_;
+    std::unique_ptr<pred::Dvtage> dvtage_;
+    pred::Lscd lscd_;
+    pred::TournamentChooser chooser_;
+    pred::LoadPathHistory lph_;
+    std::uint64_t ghr_ = 0;
+    std::uint64_t indHist_ = 0;
+
+    // ---- DLVP machinery ----
+    Paq paq_;
+    unsigned pvtUsed_ = 0;
+    /** Design #1: PRF write ports consumed this cycle (completions +
+     *  prediction writes share the 8 ports). */
+    unsigned prfPortsUsed_ = 0;
+
+    // ---- functional state ----
+    trace::MemoryImage archMem_;
+    trace::MemoryImage committedMem_;
+    InstSeqNum archApplied_ = 0;
+    std::unordered_map<InstSeqNum,
+                       std::array<std::uint64_t, trace::kMaxDests>>
+        loadValues_;
+
+    // ---- pipeline state ----
+    std::deque<InstState> window_; ///< contiguous in-flight seqs
+    InstSeqNum nextFetch_ = 0;
+    InstSeqNum nextDispatch_ = 0;
+    InstSeqNum committed_ = 0;
+    unsigned incompleteBarriers_ = 0;
+    Cycle now_ = 0;
+    Cycle fetchResumeCycle_ = 0;
+    InstSeqNum fetchHaltSeq_ = kNoSeq; ///< waiting on this branch
+    unsigned iqCount_ = 0;
+    unsigned ldqCount_ = 0;
+    unsigned stqCount_ = 0;
+    unsigned dispatchedCount_ = 0; ///< ROB occupancy
+    unsigned freePhys_ = 0;
+    std::array<InstState::Src, kNumArchRegs> archProducer_{};
+
+    // Fetch-group tracking for APT slot assignment.
+    Addr curFetchGroup_ = kNoAddr;
+    unsigned groupLoadCount_ = 0;
+
+    // Pending flush request (oldest wins within a cycle).
+    bool flushPending_ = false;
+    InstSeqNum flushFrom_ = 0;   ///< first squashed sequence number
+    Cycle flushRedirect_ = 0;
+
+    CoreStats stats_;
+
+    static constexpr InstSeqNum kNoSeq = ~InstSeqNum{0};
+
+    // ---- pipeline stages ----
+    void commitStage();
+    void completeStage();
+    void issueStage();
+    void probeStage(unsigned free_ls_lanes);
+    void dispatchStage();
+    void fetchStage();
+
+    // ---- helpers ----
+    InstState *byQSeq(InstSeqNum seq);
+    bool srcsReady(const InstState &s) const;
+    bool memOrderReady(const InstState &s) const;
+    unsigned issueLoad(InstState &s);
+    void completeInst(InstState &s);
+    void validatePrediction(InstState &s);
+    void activatePredictions(InstState &s);
+    void requestFlush(InstSeqNum from, Cycle redirect,
+                      std::uint64_t CoreStats::*counter);
+    void applyFlush();
+    void rebuildRenameMap();
+    void fetchOne(const trace::TraceInst &inst);
+    void firstFetchFunctional(InstSeqNum seq,
+                              const trace::TraceInst &inst);
+    bool overlaps(const trace::TraceInst &a,
+                  const trace::TraceInst &b) const;
+    unsigned frontendCapacity() const;
+};
+
+} // namespace dlvp::core
+
+#endif // DLVP_CORE_CORE_HH

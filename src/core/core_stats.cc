@@ -1,0 +1,40 @@
+#include "core_stats.hh"
+
+#include <iomanip>
+
+namespace dlvp::core
+{
+
+void
+CoreStats::dump(std::ostream &os) const
+{
+    const auto line = [&os](const char *name, double v) {
+        os << std::left << std::setw(28) << name << std::fixed
+           << std::setprecision(4) << v << "\n";
+    };
+    const auto iline = [&os](const char *name, std::uint64_t v) {
+        os << std::left << std::setw(28) << name << v << "\n";
+    };
+    iline("cycles", cycles);
+    iline("committed_insts", committedInsts);
+    iline("committed_loads", committedLoads);
+    line("ipc", ipc());
+    line("branch_mpki", branchMpki());
+    line("vp_coverage", coverage());
+    line("vp_accuracy", accuracy());
+    iline("vp_flushes", vpFlushes);
+    iline("vp_replays", vpReplays);
+    iline("paq_allocs", paqAllocs);
+    iline("paq_drops", paqDrops);
+    iline("probe_hits", probeHits);
+    iline("probe_misses", probeMisses);
+    iline("way_mispredicts", wayMispredicts);
+    iline("lscd_inserts", lscdInserts);
+    iline("dlvp_prefetches", dlvpPrefetches);
+    iline("branch_flushes", branchFlushes);
+    iline("mem_order_flushes", memOrderFlushes);
+    iline("l1d_misses", l1dMisses);
+    iline("tlb_misses", tlbMisses);
+}
+
+} // namespace dlvp::core

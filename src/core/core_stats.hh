@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Counters collected by one core run; everything the benches and the
+ * energy model need.
+ */
+
+#ifndef DLVP_CORE_CORE_STATS_HH
+#define DLVP_CORE_CORE_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.hh"
+
+namespace dlvp::core
+{
+
+struct CoreStats
+{
+    Cycle cycles = 0;
+    std::uint64_t committedInsts = 0;
+    std::uint64_t committedLoads = 0;
+    std::uint64_t committedStores = 0;
+    std::uint64_t committedBranches = 0;
+    std::uint64_t fetchedInsts = 0;
+
+    // Branch prediction.
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t indirectBranches = 0;
+    std::uint64_t indirectMispredicts = 0;
+    std::uint64_t returnMispredicts = 0;
+
+    // Value prediction (counted at commit).
+    std::uint64_t vpEligibleLoads = 0;
+    std::uint64_t vpPredictedLoads = 0;   ///< coverage numerator
+    std::uint64_t vpCorrectLoads = 0;     ///< accuracy numerator
+    std::uint64_t vpPredictedInsts = 0;   ///< all-instructions mode
+    std::uint64_t vpCorrectInsts = 0;
+    std::uint64_t vpFlushes = 0;
+    std::uint64_t vpReplays = 0;          ///< oracle-replay suppressions
+    std::uint64_t pvtFullDrops = 0;
+    std::uint64_t prfPortDrops = 0; ///< design #1 write-port conflicts
+
+    // Tournament breakdown (Figure 8b).
+    std::uint64_t tournamentDlvpFinal = 0;
+    std::uint64_t tournamentVtageFinal = 0;
+
+    // DLVP specifics.
+    std::uint64_t paqAllocs = 0;
+    std::uint64_t paqDrops = 0;
+    std::uint64_t paqBypass = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t probeHits = 0;
+    std::uint64_t probeMisses = 0;
+    std::uint64_t probeLate = 0;          ///< value arrived after rename
+    std::uint64_t wayMispredicts = 0;
+    std::uint64_t dlvpPrefetches = 0;
+    std::uint64_t lscdBlocked = 0;
+    std::uint64_t lscdInserts = 0;
+    std::uint64_t addrPredCorrect = 0;    ///< predicted addr == actual
+    std::uint64_t addrPredWrong = 0;
+
+    // Memory system.
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l3Accesses = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t tlbMisses = 0;
+
+    // Other recovery.
+    std::uint64_t branchFlushes = 0;
+    std::uint64_t memOrderFlushes = 0;
+
+    // Pipeline bottleneck diagnostics.
+    std::uint64_t issueWaitCycles = 0;    ///< sum(issue - dispatch)
+    std::uint64_t dispatchWaitCycles = 0; ///< sum(dispatch - fetch - depth)
+    std::uint64_t robFullStalls = 0;
+    std::uint64_t iqFullStalls = 0;
+    std::uint64_t fetchHaltCycles = 0;    ///< waiting on a branch
+
+    // Register-file / VPE traffic (for the energy model).
+    std::uint64_t prfReads = 0;
+    std::uint64_t prfWrites = 0;
+    std::uint64_t pvtReads = 0;
+    std::uint64_t pvtWrites = 0;
+    std::uint64_t predictorLookups = 0;
+    std::uint64_t predictorWrites = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(committedInsts) /
+                                 static_cast<double>(cycles);
+    }
+
+    /** Coverage over loads (§5.1 footnote definition). */
+    double
+    coverage() const
+    {
+        return committedLoads == 0
+                   ? 0.0
+                   : static_cast<double>(vpPredictedLoads) /
+                         static_cast<double>(committedLoads);
+    }
+
+    double
+    accuracy() const
+    {
+        return vpPredictedLoads == 0
+                   ? 0.0
+                   : static_cast<double>(vpCorrectLoads) /
+                         static_cast<double>(vpPredictedLoads);
+    }
+
+    double
+    branchMpki() const
+    {
+        return committedInsts == 0
+                   ? 0.0
+                   : 1000.0 *
+                         static_cast<double>(condMispredicts +
+                                             indirectMispredicts +
+                                             returnMispredicts) /
+                         static_cast<double>(committedInsts);
+    }
+
+    void dump(std::ostream &os) const;
+};
+
+} // namespace dlvp::core
+
+#endif // DLVP_CORE_CORE_STATS_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * PAQ: the Predicted Address Queue (§3.2.2) — a small FIFO in the OoO
+ * engine holding predicted addresses awaiting an opportunistic cache
+ * probe on a load-store-lane bubble. Entries expire N cycles after
+ * allocation (N = 4 in the paper's pipeline).
+ */
+
+#ifndef DLVP_CORE_PAQ_HH
+#define DLVP_CORE_PAQ_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+
+namespace dlvp::core
+{
+
+struct PaqEntry
+{
+    InstSeqNum seq = 0;      ///< load this prediction belongs to
+    Addr addr = 0;           ///< predicted memory address
+    std::uint8_t size = 0;   ///< bytes per destination register
+    int way = -1;            ///< predicted cache way (-1: unknown)
+    Cycle allocCycle = 0;
+};
+
+class Paq
+{
+  public:
+    explicit Paq(unsigned capacity, unsigned lifetime)
+        : capacity_(capacity), lifetime_(lifetime)
+    {
+    }
+
+    bool full() const { return q_.size() >= capacity_; }
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+
+    bool
+    push(const PaqEntry &e)
+    {
+        if (full())
+            return false;
+        q_.push_back(e);
+        return true;
+    }
+
+    /**
+     * Pop the next live entry at cycle @p now, counting expired ones
+     * into @p dropped. Returns false when nothing is ready.
+     */
+    bool
+    popLive(Cycle now, PaqEntry &out, std::uint64_t &dropped)
+    {
+        while (!q_.empty()) {
+            const PaqEntry &e = q_.front();
+            if (now > e.allocCycle + lifetime_) {
+                ++dropped;
+                q_.pop_front();
+                continue;
+            }
+            out = e;
+            q_.pop_front();
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Age out expired entries from the head (called every cycle —
+     * entries must expire even when the load-store lanes never have
+     * a free slot to probe with).
+     */
+    void
+    expire(Cycle now, std::uint64_t &dropped)
+    {
+        while (!q_.empty() &&
+               now > q_.front().allocCycle + lifetime_) {
+            ++dropped;
+            q_.pop_front();
+        }
+    }
+
+    /** Drop entries belonging to squashed instructions. */
+    void
+    squashAfter(InstSeqNum seq)
+    {
+        while (!q_.empty() && q_.back().seq > seq)
+            q_.pop_back();
+    }
+
+    void clear() { q_.clear(); }
+
+  private:
+    unsigned capacity_;
+    unsigned lifetime_;
+    std::deque<PaqEntry> q_;
+};
+
+} // namespace dlvp::core
+
+#endif // DLVP_CORE_PAQ_HH

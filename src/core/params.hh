@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Core configuration (Table 4) and value-prediction configuration.
+ */
+
+#ifndef DLVP_CORE_PARAMS_HH
+#define DLVP_CORE_PARAMS_HH
+
+#include <cstdint>
+
+#include "mem/hierarchy.hh"
+#include "pred/cap.hh"
+#include "pred/dvtage.hh"
+#include "pred/pap.hh"
+#include "pred/stride_ap.hh"
+#include "pred/vtage.hh"
+
+namespace dlvp::core
+{
+
+/**
+ * Baseline core parameters, configured as close as possible to Intel's
+ * Skylake core per Table 4 of the paper.
+ */
+struct CoreParams
+{
+    unsigned fetchWidth = 4;    ///< in-order front-end width
+    unsigned dispatchWidth = 4;
+    unsigned issueWidth = 8;    ///< 8 execution lanes
+    unsigned lsLanes = 2;       ///< lanes supporting load-store ops
+    unsigned commitWidth = 8;
+
+    unsigned robSize = 224;
+    unsigned iqSize = 97;
+    unsigned ldqSize = 72;
+    unsigned stqSize = 56;
+    unsigned numPhysRegs = 348;
+
+    /**
+     * Fetch-to-execute is 13 cycles (Table 4): fetch(5) + decode(3) +
+     * rename(1) + regfile(1) + allocate(1) = 11 to enter the IQ, then
+     * issue + execute.
+     */
+    unsigned fetchToDispatch = 11;
+    /** Stage at which predicted values must have reached the VPE. */
+    unsigned fetchToRename = 9;
+
+    unsigned aluLatency = 1;
+    /**
+     * Extra load pipeline cycles beyond the cache array access (AGU,
+     * alignment, writeback): L1 load-to-use = l1d.hitLatency + this
+     * (about 4 cycles total, Skylake-class).
+     */
+    unsigned loadExtraLatency = 2;
+    unsigned mulLatency = 3;
+    unsigned divLatency = 12;
+    unsigned fpLatency = 3;
+    unsigned storeLatency = 1;
+    unsigned forwardLatency = 1; ///< store-to-load forwarding
+
+    mem::HierarchyParams memory{};
+};
+
+/** Which value-prediction scheme the core runs. */
+enum class VpScheme : std::uint8_t
+{
+    None,       ///< baseline, no value prediction
+    Dlvp,       ///< PAP address prediction + cache probing
+    CapDlvp,    ///< DLVP microarchitecture but with the CAP predictor
+    StrideDlvp, ///< DLVP with a computation-based stride predictor
+    Vtage,      ///< conventional VTAGE value prediction
+    Dvtage,     ///< D-VTAGE (SS2.1): last values + stride deltas
+    Tournament, ///< DLVP + VTAGE with a chooser (Figure 8)
+};
+
+/** Misprediction recovery model (§5.2.4, Figure 10). */
+enum class RecoveryMode : std::uint8_t
+{
+    Flush,        ///< squash everything younger, refetch
+    OracleReplay, ///< treat mispredictions as no-predictions
+};
+
+/**
+ * How predicted values reach consumers (SS3.2.1). Design #2 (extra
+ * PRF write ports) behaves like design #3 in timing — its cost is
+ * area/energy (Table 2) — so it shares the Pvt timing model here.
+ */
+enum class VpeDesign : std::uint8_t
+{
+    PortArbitration, ///< design #1: share the 8 PRF write ports
+    Pvt,             ///< design #3 (the paper's choice) / design #2
+};
+
+struct VpConfig
+{
+    VpScheme scheme = VpScheme::None;
+    RecoveryMode recovery = RecoveryMode::Flush;
+    VpeDesign vpeDesign = VpeDesign::Pvt;
+
+    /** DLVP: generate an L1 prefetch on a probe miss (Figure 5). */
+    bool dlvpPrefetch = true;
+    /** DLVP: the 4-entry in-flight-conflict filter (§3.2.2). */
+    bool useLscd = true;
+
+    unsigned paqSize = 32;
+    /**
+     * N: cycles before a PAQ entry drops (SS3.2.2). The paper derives
+     * N = 4 from a Cortex-A72-like 8-stage fetch+decode; this model's
+     * front-end leaves 9 cycles from fetch to rename, so the probe
+     * window is correspondingly larger.
+     */
+    unsigned paqLifetime = 8;
+    unsigned pvtSize = 32;
+
+    pred::PapParams pap{};
+    pred::CapParams cap{};
+    pred::StrideApParams strideAp{};
+    pred::VtageParams vtage{};
+    pred::DvtageParams dvtage{};
+
+    /** 1-cycle penalty for checking a predicted value (SS3.2.2). */
+    unsigned valueCheckPenalty = 1;
+
+    /**
+     * Tournament-only: implement the "more intelligent chooser"
+     * future work of SS5.2.3 — partition the loads by suppressing
+     * VTAGE training for loads DLVP already covers correctly, freeing
+     * VTAGE capacity for loads only it can catch.
+     */
+    bool tournamentPartition = false;
+};
+
+} // namespace dlvp::core
+
+#endif // DLVP_CORE_PARAMS_HH

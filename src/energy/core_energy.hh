@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Event-based core energy model for Figure 6c (total core energy,
+ * normalized to the no-value-prediction baseline) and Figure 6d
+ * (predictor array area/read/write energy, normalized to PAP).
+ */
+
+#ifndef DLVP_ENERGY_CORE_ENERGY_HH
+#define DLVP_ENERGY_CORE_ENERGY_HH
+
+#include "core/core_stats.hh"
+#include "energy/sram_model.hh"
+
+namespace dlvp::energy
+{
+
+/**
+ * Per-event energies in arbitrary consistent units and a static power
+ * term; only ratios between runs are meaningful.
+ */
+struct CoreEnergyParams
+{
+    double committedOp = 20.0;  ///< execute + bookkeeping per µop
+    double fetchedOp = 6.0;     ///< front-end per fetched µop (wrong
+                                ///< path waste appears here)
+    double l1dAccess = 30.0;    ///< demand access (full set read)
+    double probeAccess = 9.0;   ///< DLVP probe: way-predicted, one way
+    double l2Access = 80.0;
+    double l3Access = 200.0;
+    double memAccess = 600.0;
+    double prfRead = 4.0;
+    double prfWrite = 6.0;
+    double pvtAccess = 0.6;
+    double predictorLookup = 3.0; ///< 8KB-class prediction table
+    double predictorWrite = 3.5;
+    double flush = 120.0;         ///< recovery machinery per flush
+    double staticPerCycle = 60.0;
+};
+
+/** Total core energy for one run. */
+double coreEnergy(const core::CoreStats &s,
+                  const CoreEnergyParams &p = {});
+
+/** Predictor storage comparison for Figure 6d. */
+struct PredictorArrayCosts
+{
+    double area;
+    double readEnergy;
+    double writeEnergy;
+};
+
+/**
+ * Array cost of each prediction scheme's tables (Table 4 budgets),
+ * single read + single write port, via the SRAM model.
+ */
+PredictorArrayCosts papArrayCosts();
+PredictorArrayCosts capArrayCosts();
+PredictorArrayCosts vtageArrayCosts();
+
+} // namespace dlvp::energy
+
+#endif // DLVP_ENERGY_CORE_ENERGY_HH

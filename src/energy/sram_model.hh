@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Analytic SRAM area/energy model.
+ *
+ * The paper used an in-house, RTL-PTPX-validated 28nm model; this is
+ * an analytic stand-in calibrated so the *relative* numbers of Table 2
+ * come out right (see DESIGN.md's substitution table):
+ *
+ *  - area grows with bits and quadratically with total ports, plus a
+ *    fixed per-array overhead that keeps tiny arrays from looking
+ *    free;
+ *  - read energy grows sublinearly with bits (bitline segmentation)
+ *    and linearly with ports, plus a fixed wordline/driver overhead;
+ *  - write energy grows quadratically with write ports (drivers).
+ *
+ * All outputs are in arbitrary consistent units; only ratios are
+ * meaningful, exactly as in the paper's normalized tables.
+ */
+
+#ifndef DLVP_ENERGY_SRAM_MODEL_HH
+#define DLVP_ENERGY_SRAM_MODEL_HH
+
+#include <cstdint>
+
+namespace dlvp::energy
+{
+
+struct SramConfig
+{
+    std::uint64_t bits = 0;
+    unsigned readPorts = 1;
+    unsigned writePorts = 1;
+};
+
+class SramModel
+{
+  public:
+    /** Area in arbitrary units. */
+    static double area(const SramConfig &c);
+
+    /** Energy of one read access. */
+    static double readEnergy(const SramConfig &c);
+
+    /** Energy of one write access. */
+    static double writeEnergy(const SramConfig &c);
+
+  private:
+    // Calibration constants (see file comment).
+    static constexpr double kPortBase = 10.0;
+    static constexpr double kAreaOverhead = 5.0e5;
+    static constexpr double kReadPortBase = 3.0;
+    static constexpr double kAccessOverhead = 1731.0;
+    static constexpr double kWritePortBase = 1.0;
+};
+
+/**
+ * The three VPE design options of §3.2.1 / Table 2, evaluated with the
+ * SRAM model. @p predicted_fraction is the fraction of register values
+ * that are predicted (the paper assumes 30%).
+ */
+struct VpeDesignComparison
+{
+    double pvtArea, pvtRead, pvtWrite;
+    double d1Area, d1Read, d1Write; ///< PRF 8R/8W (reference = 1.0)
+    double d2Area, d2Read, d2Write; ///< PRF 8R/10W
+    double d3Area, d3Read, d3Write; ///< design #1 + PVT + bypass mux
+};
+
+VpeDesignComparison compareVpeDesigns(unsigned num_phys_regs = 348,
+                                      unsigned pvt_entries = 32,
+                                      double predicted_fraction = 0.3);
+
+} // namespace dlvp::energy
+
+#endif // DLVP_ENERGY_SRAM_MODEL_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Branch target buffer: tagged, direct-mapped. Taken control flow
+ * can only redirect fetch in time when the BTB knows the target;
+ * a miss costs a pipeline redirect even if the direction predictor
+ * was right (cold branches, capacity evictions).
+ */
+
+#ifndef DLVP_PRED_BTB_HH
+#define DLVP_PRED_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/types.hh"
+
+namespace dlvp::pred
+{
+
+struct BtbParams
+{
+    unsigned tableBits = 12; ///< 4k entries
+    unsigned tagBits = 16;
+};
+
+class Btb
+{
+  public:
+    explicit Btb(const BtbParams &params = {})
+        : params_(params), table_(std::size_t{1} << params.tableBits)
+    {
+    }
+
+    struct Result
+    {
+        bool hit = false;
+        Addr target = 0;
+    };
+
+    Result
+    lookup(Addr pc) const
+    {
+        Result r;
+        const Entry &e = table_[indexOf(pc)];
+        if (e.valid && e.tag == tagOf(pc)) {
+            r.hit = true;
+            r.target = e.target;
+        }
+        return r;
+    }
+
+    void
+    update(Addr pc, Addr target)
+    {
+        Entry &e = table_[indexOf(pc)];
+        e.valid = true;
+        e.tag = tagOf(pc);
+        e.target = target;
+    }
+
+    std::uint64_t
+    storageBits() const
+    {
+        return table_.size() * (params_.tagBits + 49);
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint16_t tag = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+
+    BtbParams params_;
+    std::vector<Entry> table_;
+
+    unsigned
+    indexOf(Addr pc) const
+    {
+        return static_cast<unsigned>(
+            ((pc >> 2) ^ (pc >> (2 + params_.tableBits))) &
+            mask(params_.tableBits));
+    }
+
+    std::uint16_t
+    tagOf(Addr pc) const
+    {
+        return static_cast<std::uint16_t>(
+            ((pc >> 2) ^ (pc >> 9) ^ (pc >> 18)) &
+            mask(params_.tagBits));
+    }
+};
+
+} // namespace dlvp::pred
+
+#endif // DLVP_PRED_BTB_HH

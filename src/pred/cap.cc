@@ -1,0 +1,116 @@
+#include "cap.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace dlvp::pred
+{
+
+Cap::Cap(const CapParams &params)
+    : params_(params),
+      loadBuffer_(std::size_t{1} << params.lbBits),
+      linkTable_(std::size_t{1} << params.linkBits)
+{
+    dlvp_assert(params_.confThreshold >= 1);
+}
+
+unsigned
+Cap::lbIndex(Addr pc) const
+{
+    return static_cast<unsigned>(
+        ((pc >> 2) ^ (pc >> (2 + params_.lbBits))) & mask(params_.lbBits));
+}
+
+std::uint16_t
+Cap::lbTag(Addr pc) const
+{
+    return static_cast<std::uint16_t>(
+        ((pc >> 2) ^ (pc >> 9) ^ (pc >> 17)) & mask(params_.tagBits));
+}
+
+unsigned
+Cap::linkIndex(Addr pc, std::uint16_t hist) const
+{
+    return static_cast<unsigned>(
+        (hist ^ (pc >> 2) ^ (hist >> 3)) & mask(params_.linkBits));
+}
+
+std::uint16_t
+Cap::linkTag(Addr pc, std::uint16_t hist) const
+{
+    return static_cast<std::uint16_t>(
+        (hist ^ ((pc >> 2) << 3) ^ (pc >> 12)) & mask(params_.tagBits));
+}
+
+std::uint16_t
+Cap::advanceHist(std::uint16_t hist, Addr addr) const
+{
+    // Fold 4 bits of the new address into the shifted history.
+    const std::uint64_t a = (addr >> 2) ^ (addr >> 9) ^ (addr >> 15);
+    return static_cast<std::uint16_t>(
+        ((static_cast<std::uint64_t>(hist) << 4) ^ (a & 0xf)) &
+        mask(params_.histBits));
+}
+
+Cap::Prediction
+Cap::predict(Addr pc)
+{
+    ++lookups_;
+    Prediction pred;
+    const LbEntry &lb = loadBuffer_[lbIndex(pc)];
+    if (!lb.valid || lb.tag != lbTag(pc))
+        return pred;
+    if (lb.conf < params_.confThreshold)
+        return pred;
+    const LinkEntry &lk = linkTable_[linkIndex(pc, lb.hist)];
+    if (!lk.valid || lk.tag != linkTag(pc, lb.hist))
+        return pred;
+    pred.valid = true;
+    pred.addr = lk.addr;
+    return pred;
+}
+
+void
+Cap::train(Addr pc, Addr actual_addr)
+{
+    LbEntry &lb = loadBuffer_[lbIndex(pc)];
+    ++tableWrites_;
+    if (!lb.valid || lb.tag != lbTag(pc)) {
+        lb.valid = true;
+        lb.tag = lbTag(pc);
+        lb.hist = 0;
+        lb.conf = 0;
+        return;
+    }
+    // Check what the link table would have predicted from the old
+    // history, then install the actual address there.
+    LinkEntry &lk = linkTable_[linkIndex(pc, lb.hist)];
+    const bool link_hit =
+        lk.valid && lk.tag == linkTag(pc, lb.hist);
+    const bool correct = link_hit && lk.addr == actual_addr;
+    if (correct) {
+        if (lb.conf < params_.confThreshold)
+            ++lb.conf;
+    } else {
+        lb.conf = 0;
+        lk.valid = true;
+        lk.tag = linkTag(pc, lb.hist);
+        lk.addr = actual_addr;
+        ++tableWrites_;
+    }
+    lb.hist = advanceHist(lb.hist, actual_addr);
+}
+
+std::uint64_t
+Cap::storageBits() const
+{
+    // Table 4: load buffer entry = 14-bit tag + conf + 8-bit offset +
+    // 16-bit history; link entry = 14-bit tag + 41-bit link (ARMv8).
+    const std::uint64_t lb_bits =
+        loadBuffer_.size() * (params_.tagBits + 6 + 8 + params_.histBits);
+    const std::uint64_t link_bits =
+        linkTable_.size() * (params_.tagBits + (params_.addrBits - 8));
+    return lb_bits + link_bits;
+}
+
+} // namespace dlvp::pred

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tournament chooser for combining DLVP and VTAGE (§5.2.3, Figure 8):
+ * a PC-indexed table of 2-bit counters tracking which predictor has
+ * been more accurate for each load.
+ */
+
+#ifndef DLVP_PRED_CHOOSER_HH
+#define DLVP_PRED_CHOOSER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/types.hh"
+
+namespace dlvp::pred
+{
+
+class TournamentChooser
+{
+  public:
+    explicit TournamentChooser(unsigned table_bits = 12)
+        : counters_(std::size_t{1} << table_bits, 2),
+          tableBits_(table_bits)
+    {
+    }
+
+    /** True: prefer DLVP; false: prefer VTAGE. */
+    bool
+    preferDlvp(Addr pc) const
+    {
+        return counters_[indexOf(pc)] >= 2;
+    }
+
+    /**
+     * Update when both predictors made a claim and exactly one was
+     * right (the only informative case).
+     */
+    void
+    update(Addr pc, bool dlvp_correct, bool vtage_correct)
+    {
+        if (dlvp_correct == vtage_correct)
+            return;
+        auto &c = counters_[indexOf(pc)];
+        if (dlvp_correct) {
+            if (c < 3)
+                ++c;
+        } else {
+            if (c > 0)
+                --c;
+        }
+    }
+
+  private:
+    std::vector<std::uint8_t> counters_;
+    unsigned tableBits_;
+
+    std::size_t
+    indexOf(Addr pc) const
+    {
+        return static_cast<std::size_t>(
+            ((pc >> 2) ^ (pc >> (2 + tableBits_))) & mask(tableBits_));
+    }
+};
+
+} // namespace dlvp::pred
+
+#endif // DLVP_PRED_CHOOSER_HH

@@ -1,0 +1,110 @@
+#include "ittage.hh"
+
+#include "common/bits.hh"
+
+namespace dlvp::pred
+{
+
+Ittage::Ittage(const IttageParams &params)
+    : params_(params),
+      base_(std::size_t{1} << params.baseBits, 0)
+{
+    tables_.resize(params_.histLengths.size());
+    for (auto &t : tables_)
+        t.resize(std::size_t{1} << params_.tableBits);
+}
+
+unsigned
+Ittage::index(unsigned t, Addr pc, std::uint64_t hist) const
+{
+    const std::uint64_t h =
+        xorFold(hist & mask(params_.histLengths[t]), params_.tableBits);
+    return static_cast<unsigned>(
+        ((pc >> 2) ^ (pc >> (2 + t + 1)) ^ h) & mask(params_.tableBits));
+}
+
+std::uint16_t
+Ittage::tag(unsigned t, Addr pc, std::uint64_t hist) const
+{
+    const std::uint64_t masked = hist & mask(params_.histLengths[t]);
+    return static_cast<std::uint16_t>(
+        ((pc >> 2) ^ xorFold(masked, params_.tagBits) ^
+         (xorFold(masked, params_.tagBits - 1) << 1)) &
+        mask(params_.tagBits));
+}
+
+int
+Ittage::provider(Addr pc, std::uint64_t hist) const
+{
+    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
+        const auto &e = tables_[t][index(t, pc, hist)];
+        if (e.valid && e.tag == tag(t, pc, hist))
+            return t;
+    }
+    return -1;
+}
+
+Addr
+Ittage::predict(Addr pc, std::uint64_t hist) const
+{
+    const int p = provider(pc, hist);
+    if (p >= 0) {
+        const auto &e =
+            tables_[p][index(static_cast<unsigned>(p), pc, hist)];
+        if (e.conf > 0)
+            return e.target;
+    }
+    return base_[(pc >> 2) & mask(params_.baseBits)];
+}
+
+void
+Ittage::update(Addr pc, std::uint64_t hist, Addr target)
+{
+    const int p = provider(pc, hist);
+    bool provider_correct = false;
+    if (p >= 0) {
+        auto &e = tables_[p][index(static_cast<unsigned>(p), pc, hist)];
+        if (e.target == target) {
+            provider_correct = true;
+            if (e.conf < 3)
+                ++e.conf;
+        } else {
+            if (e.conf > 0) {
+                --e.conf;
+            } else {
+                e.target = target;
+                e.conf = 1;
+            }
+        }
+    }
+    auto &b = base_[(pc >> 2) & mask(params_.baseBits)];
+    const bool base_correct = b == target;
+    b = target;
+
+    if (!provider_correct && !base_correct) {
+        // Allocate in a longer table (the next one up).
+        const unsigned start = static_cast<unsigned>(p + 1);
+        for (unsigned t = start; t < tables_.size(); ++t) {
+            auto &e = tables_[t][index(t, pc, hist)];
+            if (!e.valid || e.conf == 0) {
+                e.valid = true;
+                e.tag = tag(t, pc, hist);
+                e.target = target;
+                e.conf = 1;
+                break;
+            }
+        }
+    }
+}
+
+std::uint64_t
+Ittage::storageBits() const
+{
+    std::uint64_t bits =
+        (std::uint64_t{1} << params_.baseBits) * 49;
+    for (const auto &t : tables_)
+        bits += t.size() * (params_.tagBits + 49 + 2);
+    return bits;
+}
+
+} // namespace dlvp::pred

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * ITTAGE-style indirect target predictor (Seznec, CBP 2011), sized
+ * down to match the simulator's workloads. A per-PC last-target base
+ * table is backed by tagged tables indexed with folded branch+target
+ * history.
+ */
+
+#ifndef DLVP_PRED_ITTAGE_HH
+#define DLVP_PRED_ITTAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dlvp::pred
+{
+
+struct IttageParams
+{
+    unsigned baseBits = 10; ///< log2 base-table entries
+    std::vector<unsigned> histLengths = {8, 24, 48};
+    unsigned tableBits = 9;
+    unsigned tagBits = 11;
+};
+
+class Ittage
+{
+  public:
+    explicit Ittage(const IttageParams &params);
+
+    /**
+     * Predict the target of an indirect branch. @p hist is the
+     * fetch-time indirect history (managed speculatively by the core).
+     * Returns 0 when the predictor has never seen the branch.
+     */
+    Addr predict(Addr pc, std::uint64_t hist) const;
+
+    /** Train with the resolved target. */
+    void update(Addr pc, std::uint64_t hist, Addr target);
+
+    /** Fold a resolved target into an indirect history register. */
+    static std::uint64_t
+    advanceHistory(std::uint64_t hist, Addr target)
+    {
+        // Mix bits from the whole target so branches whose targets
+        // differ only in high bits still produce distinct histories.
+        const std::uint64_t t = target >> 2;
+        return (hist << 3) ^ (t & 0x7) ^ ((t >> 6) & 0x7) ^
+               ((t >> 12) & 0x7) ^ ((t >> 18) & 0x7);
+    }
+
+    std::uint64_t storageBits() const;
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        Addr target = 0;
+        std::uint8_t conf = 0; ///< 2-bit hysteresis
+        bool valid = false;
+    };
+
+    IttageParams params_;
+    std::vector<Addr> base_;
+    std::vector<std::vector<TaggedEntry>> tables_;
+
+    unsigned index(unsigned t, Addr pc, std::uint64_t hist) const;
+    std::uint16_t tag(unsigned t, Addr pc, std::uint64_t hist) const;
+    int provider(Addr pc, std::uint64_t hist) const;
+};
+
+} // namespace dlvp::pred
+
+#endif // DLVP_PRED_ITTAGE_HH

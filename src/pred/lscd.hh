@@ -1,0 +1,69 @@
+/**
+ * @file
+ * LSCD: Load-Store Conflict Detector (§3.2.2) — a 4-entry PC filter.
+ *
+ * A load PC is inserted when its *address* was predicted correctly
+ * but the *value* retrieved by the cache probe was wrong: an older
+ * in-flight store updated the location after the probe. Captured PCs
+ * are barred from predicting and from updating the APT; they leave the
+ * filter only by FIFO replacement.
+ */
+
+#ifndef DLVP_PRED_LSCD_HH
+#define DLVP_PRED_LSCD_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dlvp::pred
+{
+
+class Lscd
+{
+  public:
+    static constexpr unsigned kEntries = 4;
+
+    bool
+    contains(Addr pc) const
+    {
+        for (unsigned i = 0; i < valid_; ++i)
+            if (pcs_[i] == pc)
+                return true;
+        return false;
+    }
+
+    void
+    insert(Addr pc)
+    {
+        if (contains(pc))
+            return;
+        if (valid_ < kEntries) {
+            pcs_[valid_++] = pc;
+        } else {
+            pcs_[head_] = pc;
+            head_ = (head_ + 1) % kEntries;
+        }
+        ++inserts_;
+    }
+
+    std::uint64_t inserts() const { return inserts_; }
+
+    void
+    clear()
+    {
+        valid_ = 0;
+        head_ = 0;
+    }
+
+  private:
+    std::array<Addr, kEntries> pcs_{};
+    unsigned valid_ = 0;
+    unsigned head_ = 0;
+    std::uint64_t inserts_ = 0;
+};
+
+} // namespace dlvp::pred
+
+#endif // DLVP_PRED_LSCD_HH

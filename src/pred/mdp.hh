@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Memory dependence predictor: Alpha 21264-style store-wait bits
+ * (Kessler, IEEE Micro 1999) — the baseline MDP of Table 4. A load
+ * whose bit is set waits until all older stores have resolved their
+ * addresses; bits are set on memory-order violations and the table is
+ * periodically cleared to avoid permanent conservatism.
+ */
+
+#ifndef DLVP_PRED_MDP_HH
+#define DLVP_PRED_MDP_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/types.hh"
+
+namespace dlvp::pred
+{
+
+class Mdp
+{
+  public:
+    /**
+     * The 21264 cleared its store-wait table every few tens of
+     * thousands of *cycles*; an 8K-access interval keeps transient
+     * conservatism (e.g. wait bits learned during a predictor's
+     * training phase) from outliving its cause.
+     */
+    explicit Mdp(unsigned table_bits = 11, std::uint64_t clear_interval = 8192)
+        : bits_(std::size_t{1} << table_bits, false),
+          tableBits_(table_bits),
+          clearInterval_(clear_interval)
+    {
+    }
+
+    /** Should this load wait for older stores? */
+    bool
+    shouldWait(Addr pc)
+    {
+        if (++accesses_ >= clearInterval_) {
+            accesses_ = 0;
+            std::fill(bits_.begin(), bits_.end(), false);
+        }
+        return bits_[indexOf(pc)];
+    }
+
+    /** A violation was detected on this load: train. */
+    void
+    recordViolation(Addr pc)
+    {
+        bits_[indexOf(pc)] = true;
+        ++violations_;
+    }
+
+    std::uint64_t violations() const { return violations_; }
+
+  private:
+    std::vector<bool> bits_;
+    unsigned tableBits_;
+    std::uint64_t clearInterval_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t violations_ = 0;
+
+    std::size_t
+    indexOf(Addr pc) const
+    {
+        return static_cast<std::size_t>((pc >> 2) & mask(tableBits_));
+    }
+};
+
+} // namespace dlvp::pred
+
+#endif // DLVP_PRED_MDP_HH

@@ -1,0 +1,153 @@
+#include "pap.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace dlvp::pred
+{
+
+Pap::Pap(const PapParams &params)
+    : params_(params), confVec_(params.confProbs),
+      table_(std::size_t{1} << params.tableBits)
+{
+    dlvp_assert(params_.tagBits <= 16);
+    dlvp_assert(params_.assoc >= 1 && isPowerOfTwo(params_.assoc));
+    dlvp_assert((std::size_t{1} << params_.tableBits) >=
+                params_.assoc);
+}
+
+std::uint64_t
+Pap::key(Addr group_pc, unsigned slot) const
+{
+    // "load PC and load PC plus one (aka fetch group PC and fetch
+    // group PC plus one)": the group number with the slot appended.
+    return ((group_pc >> 4) << 1) | slot;
+}
+
+unsigned
+Pap::index(std::uint64_t k, std::uint64_t hist) const
+{
+    const unsigned set_bits =
+        params_.tableBits - floorLog2(params_.assoc);
+    return static_cast<unsigned>(
+        (k ^ (k >> set_bits) ^ xorFold(hist, set_bits)) &
+        mask(set_bits));
+}
+
+Pap::Entry *
+Pap::find(unsigned set, std::uint16_t t)
+{
+    Entry *base = &table_[static_cast<std::size_t>(set) *
+                          params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].tag == t)
+            return &base[w];
+    return nullptr;
+}
+
+Pap::Entry &
+Pap::victim(unsigned set)
+{
+    Entry *base = &table_[static_cast<std::size_t>(set) *
+                          params_.assoc];
+    Entry *v = &base[0];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lastUse < v->lastUse)
+            v = &base[w];
+    }
+    return *v;
+}
+
+std::uint16_t
+Pap::tag(std::uint64_t k, std::uint64_t hist) const
+{
+    return static_cast<std::uint16_t>(
+        (k ^ (k >> 7) ^ xorFold(hist, params_.tagBits) ^
+         (xorFold(hist, params_.tagBits - 1) << 1)) &
+        mask(params_.tagBits));
+}
+
+Pap::Prediction
+Pap::predict(Addr group_pc, unsigned slot, std::uint64_t hist)
+{
+    ++lookups_;
+    Prediction pred;
+    const std::uint64_t k = key(group_pc, slot);
+    Entry *e = find(index(k, hist), tag(k, hist));
+    if (e == nullptr)
+        return pred; // APT miss: no prediction
+    e->lastUse = ++tick_;
+    if (!e->conf.saturated(confVec_))
+        return pred; // still training
+    pred.valid = true;
+    pred.addr = e->addr;
+    pred.size = e->size;
+    pred.way = params_.wayPrediction ? e->way : -1;
+    return pred;
+}
+
+void
+Pap::train(Addr group_pc, unsigned slot, std::uint64_t hist,
+           Addr actual_addr, std::uint8_t size, int way)
+{
+    const std::uint64_t k = key(group_pc, slot);
+    const unsigned set = index(k, hist);
+    const std::uint16_t t = tag(k, hist);
+    ++tableWrites_;
+    if (Entry *e = find(set, t)) {
+        e->lastUse = ++tick_;
+        if (e->addr == actual_addr) {
+            e->conf.increment(confVec_, rng_);
+            // Refresh the way hint: the block may have moved.
+            e->way = static_cast<std::int8_t>(way);
+            e->size = size;
+        } else {
+            // Mispredicted address: reset and reallocate in place.
+            e->addr = actual_addr;
+            e->size = size;
+            e->way = static_cast<std::int8_t>(way);
+            e->conf.reset();
+        }
+        return;
+    }
+    // APT miss: allocate per the configured policy.
+    Entry &e = victim(set);
+    if (params_.allocPolicy == PapAllocPolicy::Policy1 || !e.valid ||
+        e.conf.value() == 0) {
+        e.valid = true;
+        e.tag = t;
+        e.addr = actual_addr;
+        e.size = size;
+        e.way = static_cast<std::int8_t>(way);
+        e.conf.reset();
+        e.lastUse = ++tick_;
+    } else {
+        e.conf.decrement();
+    }
+}
+
+void
+Pap::invalidate(Addr group_pc, unsigned slot, std::uint64_t hist)
+{
+    const std::uint64_t k = key(group_pc, slot);
+    if (Entry *e = find(index(k, hist), tag(k, hist))) {
+        e->valid = false;
+        e->conf.reset();
+        ++tableWrites_;
+    }
+}
+
+std::uint64_t
+Pap::storageBits() const
+{
+    // Table 1 fields: tag + address + 2-bit conf + 2-bit size
+    // (+ log2(assoc) way bits when way prediction is on).
+    const std::uint64_t per_entry =
+        params_.tagBits + params_.addrBits + 2 + 2 +
+        (params_.wayPrediction ? 2 : 0);
+    return table_.size() * per_entry;
+}
+
+} // namespace dlvp::pred

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Return address stack (Table 4: 16 entries) with checkpoint-based
+ * repair: each control instruction snapshots the top-of-stack pointer
+ * and the entry a call will overwrite, which suffices to undo the
+ * speculative pushes/pops of squashed instructions.
+ */
+
+#ifndef DLVP_PRED_RAS_HH
+#define DLVP_PRED_RAS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dlvp::pred
+{
+
+class Ras
+{
+  public:
+    static constexpr unsigned kEntries = 16;
+
+    struct Snapshot
+    {
+        std::uint8_t top = 0;
+        Addr savedEntry = 0; ///< value a push is about to clobber
+    };
+
+    /** Snapshot before a speculative push/pop. */
+    Snapshot
+    snapshot() const
+    {
+        return {top_, stack_[(top_ + 1) % kEntries]};
+    }
+
+    void
+    restore(const Snapshot &s)
+    {
+        stack_[(s.top + 1) % kEntries] = s.savedEntry;
+        top_ = s.top;
+    }
+
+    void
+    push(Addr return_addr)
+    {
+        top_ = (top_ + 1) % kEntries;
+        stack_[top_] = return_addr;
+    }
+
+    Addr
+    pop()
+    {
+        const Addr t = stack_[top_];
+        top_ = (top_ + kEntries - 1) % kEntries;
+        return t;
+    }
+
+    Addr peek() const { return stack_[top_]; }
+
+  private:
+    std::array<Addr, kEntries> stack_{};
+    std::uint8_t top_ = 0;
+};
+
+} // namespace dlvp::pred
+
+#endif // DLVP_PRED_RAS_HH

@@ -1,0 +1,146 @@
+#include "tage.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace dlvp::pred
+{
+
+Tage::Tage(const TageParams &params)
+    : params_(params),
+      bimodal_(std::size_t{1} << params.bimodalBits, 2)
+{
+    tables_.resize(params_.histLengths.size());
+    for (auto &t : tables_)
+        t.resize(std::size_t{1} << params_.tableBits);
+}
+
+unsigned
+Tage::index(unsigned t, Addr pc, std::uint64_t ghr) const
+{
+    const std::uint64_t hist = ghr & mask(params_.histLengths[t]);
+    const std::uint64_t h = xorFold(hist, params_.tableBits);
+    return static_cast<unsigned>(
+        ((pc >> 2) ^ (pc >> (2 + params_.tableBits - t)) ^ h) &
+        mask(params_.tableBits));
+}
+
+std::uint16_t
+Tage::tag(unsigned t, Addr pc, std::uint64_t ghr) const
+{
+    const std::uint64_t hist = ghr & mask(params_.histLengths[t]);
+    const std::uint64_t h1 = xorFold(hist, params_.tagBits);
+    const std::uint64_t h2 = xorFold(hist, params_.tagBits - 1) << 1;
+    return static_cast<std::uint16_t>(
+        ((pc >> 2) ^ h1 ^ h2) & mask(params_.tagBits));
+}
+
+bool
+Tage::bimodalPred(Addr pc) const
+{
+    return bimodal_[(pc >> 2) & mask(params_.bimodalBits)] >= 2;
+}
+
+int
+Tage::provider(Addr pc, std::uint64_t ghr) const
+{
+    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
+        const auto &e = tables_[t][index(t, pc, ghr)];
+        if (e.valid && e.tag == tag(t, pc, ghr))
+            return t;
+    }
+    return -1;
+}
+
+bool
+Tage::predict(Addr pc, std::uint64_t ghr) const
+{
+    ++lookups_;
+    const int p = provider(pc, ghr);
+    if (p < 0)
+        return bimodalPred(pc);
+    return tables_[p][index(static_cast<unsigned>(p), pc, ghr)].ctr >= 4;
+}
+
+void
+Tage::update(Addr pc, std::uint64_t ghr, bool taken)
+{
+    const int p = provider(pc, ghr);
+    bool provider_pred;
+    bool alt_pred = bimodalPred(pc);
+    if (p >= 0) {
+        // Alternate prediction: next-longest hit below the provider.
+        for (int t = p - 1; t >= 0; --t) {
+            const auto &e = tables_[t][index(t, pc, ghr)];
+            if (e.valid && e.tag == tag(t, pc, ghr)) {
+                alt_pred = e.ctr >= 4;
+                break;
+            }
+        }
+        auto &e = tables_[p][index(static_cast<unsigned>(p), pc, ghr)];
+        provider_pred = e.ctr >= 4;
+        if (taken && e.ctr < 7)
+            ++e.ctr;
+        else if (!taken && e.ctr > 0)
+            --e.ctr;
+        if (provider_pred != alt_pred) {
+            if (provider_pred == taken) {
+                if (e.useful < 3)
+                    ++e.useful;
+            } else if (e.useful > 0) {
+                --e.useful;
+            }
+        }
+    } else {
+        provider_pred = alt_pred;
+        auto &b = bimodal_[(pc >> 2) & mask(params_.bimodalBits)];
+        if (taken && b < 3)
+            ++b;
+        else if (!taken && b > 0)
+            --b;
+    }
+
+    // Allocate a longer entry on a misprediction.
+    if (provider_pred != taken &&
+        p + 1 < static_cast<int>(tables_.size())) {
+        // Collect candidate tables with a non-useful victim.
+        int chosen = -1;
+        unsigned seen = 0;
+        for (unsigned t = static_cast<unsigned>(p + 1);
+             t < tables_.size(); ++t) {
+            auto &e = tables_[t][index(t, pc, ghr)];
+            if (!e.valid || e.useful == 0) {
+                ++seen;
+                // Reservoir-style choice biased toward shorter tables.
+                if (chosen < 0 || rng_.below(2 * seen) == 0)
+                    chosen = static_cast<int>(t);
+            }
+        }
+        if (chosen >= 0) {
+            auto &e = tables_[chosen][index(static_cast<unsigned>(chosen),
+                                            pc, ghr)];
+            e.valid = true;
+            e.tag = tag(static_cast<unsigned>(chosen), pc, ghr);
+            e.ctr = taken ? 4 : 3;
+            e.useful = 0;
+        } else {
+            for (unsigned t = static_cast<unsigned>(p + 1);
+                 t < tables_.size(); ++t) {
+                auto &e = tables_[t][index(t, pc, ghr)];
+                if (e.useful > 0)
+                    --e.useful;
+            }
+        }
+    }
+}
+
+std::uint64_t
+Tage::storageBits() const
+{
+    std::uint64_t bits = (std::uint64_t{1} << params_.bimodalBits) * 2;
+    for (const auto &t : tables_)
+        bits += t.size() * (params_.tagBits + 3 + 2);
+    return bits;
+}
+
+} // namespace dlvp::pred

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * TAGE conditional branch predictor (Seznec, "A New Case for the TAGE
+ * Branch Predictor", MICRO 2011) — the baseline core's direction
+ * predictor (Table 4).
+ *
+ * Histories are capped at 64 bits so the speculative global history is
+ * a single word: snapshot/restore on a flush is a copy, mirroring how
+ * the core recovers all of its predictor state.
+ */
+
+#ifndef DLVP_PRED_TAGE_HH
+#define DLVP_PRED_TAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace dlvp::pred
+{
+
+struct TageParams
+{
+    unsigned bimodalBits = 13; ///< log2 of bimodal entries
+    std::vector<unsigned> histLengths = {4, 7, 13, 24, 40, 64};
+    unsigned tableBits = 10;   ///< log2 entries per tagged table
+    unsigned tagBits = 11;
+};
+
+class Tage
+{
+  public:
+    explicit Tage(const TageParams &params);
+
+    /** Direction prediction using the fetch-time history @p ghr. */
+    bool predict(Addr pc, std::uint64_t ghr) const;
+
+    /** Train with the resolved outcome (same @p ghr as at predict). */
+    void update(Addr pc, std::uint64_t ghr, bool taken);
+
+    /** Approximate storage in bits (for budget audits). */
+    std::uint64_t storageBits() const;
+
+    std::uint64_t lookups() const { return lookups_; }
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        std::uint8_t ctr = 4;    ///< 3-bit, taken if >= 4
+        std::uint8_t useful = 0; ///< 2-bit
+        bool valid = false;
+    };
+
+    TageParams params_;
+    std::vector<std::uint8_t> bimodal_; ///< 2-bit counters
+    std::vector<std::vector<TaggedEntry>> tables_;
+    mutable std::uint64_t lookups_ = 0;
+    Rng rng_{0xdeadbeef12345678ULL};
+
+    unsigned index(unsigned t, Addr pc, std::uint64_t ghr) const;
+    std::uint16_t tag(unsigned t, Addr pc, std::uint64_t ghr) const;
+    int provider(Addr pc, std::uint64_t ghr) const;
+    bool bimodalPred(Addr pc) const;
+};
+
+} // namespace dlvp::pred
+
+#endif // DLVP_PRED_TAGE_HH

@@ -1,0 +1,224 @@
+#include "vtage.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace dlvp::pred
+{
+
+OpType
+classifyOpType(const trace::TraceInst &inst)
+{
+    using trace::LoadKind;
+    using trace::OpClass;
+    switch (inst.cls) {
+      case OpClass::Load:
+        switch (inst.loadKind) {
+          case LoadKind::Pair:
+            return OpType::PairLoad;
+          case LoadKind::Multi:
+            return OpType::MultiLoad;
+          case LoadKind::Vector:
+            return OpType::VectorLoad;
+          default:
+            return OpType::SimpleLoad;
+        }
+      case OpClass::IntAlu:
+        return OpType::IntAlu;
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        return OpType::IntMulDiv;
+      case OpClass::FpAlu:
+        return OpType::FpAlu;
+      default:
+        return OpType::Other;
+    }
+}
+
+Vtage::Vtage(const VtageParams &params)
+    : params_(params), confVec_(params.confProbs)
+{
+    tables_.resize(params_.histLengths.size());
+    for (auto &t : tables_)
+        t.resize(std::size_t{1} << params_.tableBits);
+    if (params_.filter == VtageFilter::Static) {
+        // Preloaded with the low-accuracy types found in §5.2.2.
+        typeStats_[static_cast<unsigned>(OpType::PairLoad)].blocked = true;
+        typeStats_[static_cast<unsigned>(OpType::MultiLoad)].blocked = true;
+        typeStats_[static_cast<unsigned>(OpType::VectorLoad)].blocked =
+            true;
+    }
+}
+
+Addr
+Vtage::effectivePc(Addr pc, unsigned dest_idx)
+{
+    // The paper's workaround: concatenate the destination index into
+    // the hashed PC so each destination of an LDP/LDM/VLD gets its own
+    // predictor entries.
+    return pc ^ (static_cast<Addr>(dest_idx) << 20) ^
+           (static_cast<Addr>(dest_idx) * 0x9e3779b9ULL);
+}
+
+unsigned
+Vtage::index(unsigned t, Addr epc, std::uint64_t ghr) const
+{
+    const std::uint64_t hist = ghr & mask(params_.histLengths[t]);
+    return static_cast<unsigned>(
+        ((epc >> 2) ^ (epc >> (2 + params_.tableBits)) ^
+         xorFold(hist, params_.tableBits)) &
+        mask(params_.tableBits));
+}
+
+std::uint16_t
+Vtage::tag(unsigned t, Addr epc, std::uint64_t ghr) const
+{
+    const std::uint64_t hist = ghr & mask(params_.histLengths[t]);
+    return static_cast<std::uint16_t>(
+        ((epc >> 2) ^ (epc >> 11) ^ xorFold(hist, params_.tagBits) ^
+         (xorFold(hist, params_.tagBits - 1) << 1)) &
+        mask(params_.tagBits));
+}
+
+int
+Vtage::provider(Addr epc, std::uint64_t ghr) const
+{
+    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
+        const auto &e = tables_[t][index(t, epc, ghr)];
+        if (e.valid && e.tag == tag(t, epc, ghr))
+            return t;
+    }
+    return -1;
+}
+
+bool
+Vtage::typeAllowed(OpType ty) const
+{
+    const auto &ts = typeStats_[static_cast<unsigned>(ty)];
+    return !ts.blocked;
+}
+
+bool
+Vtage::eligible(const trace::TraceInst &inst) const
+{
+    using trace::OpClass;
+    if (params_.loadsOnly) {
+        if (!inst.isLoad())
+            return false;
+    } else {
+        // All-instructions mode: any value-producing instruction.
+        if (inst.numDests == 0)
+            return false;
+        if (inst.cls == OpClass::Atomic || inst.cls == OpClass::Barrier)
+            return false;
+    }
+    return typeAllowed(classifyOpType(inst));
+}
+
+Vtage::Prediction
+Vtage::predict(const trace::TraceInst &inst, unsigned dest_idx,
+               std::uint64_t ghr)
+{
+    Prediction pred;
+    if (!eligible(inst))
+        return pred;
+    ++lookups_;
+    const Addr epc = effectivePc(inst.pc, dest_idx);
+    const int p = provider(epc, ghr);
+    if (p < 0)
+        return pred;
+    const auto &e = tables_[p][index(static_cast<unsigned>(p), epc, ghr)];
+    if (!e.conf.saturated(confVec_))
+        return pred;
+    pred.valid = true;
+    pred.value = e.value;
+    return pred;
+}
+
+void
+Vtage::train(const trace::TraceInst &inst, unsigned dest_idx,
+             std::uint64_t ghr, std::uint64_t actual,
+             bool was_predicted, bool was_correct)
+{
+    // Dynamic filter bookkeeping happens even for blocked types so an
+    // unblocked type can become blocked as soon as evidence appears.
+    if (params_.filter == VtageFilter::Dynamic) {
+        auto &ts = typeStats_[static_cast<unsigned>(
+            classifyOpType(inst))];
+        if (was_predicted) {
+            ++ts.predictions;
+            if (was_correct)
+                ++ts.correct;
+            if (ts.predictions >= params_.dynFilterMinSamples) {
+                const double acc =
+                    static_cast<double>(ts.correct) /
+                    static_cast<double>(ts.predictions);
+                ts.blocked = acc < params_.dynFilterThreshold;
+            }
+        }
+        // Periodic probation: halve the evidence and let blocked
+        // types retry, so a one-time bad phase is not a life sentence.
+        if (++ts.trains >= 16384) {
+            ts.trains = 0;
+            ts.predictions /= 2;
+            ts.correct /= 2;
+            if (ts.predictions < params_.dynFilterMinSamples)
+                ts.blocked = false;
+        }
+    }
+    if (!eligible(inst))
+        return;
+
+    const Addr epc = effectivePc(inst.pc, dest_idx);
+    const int p = provider(epc, ghr);
+    bool provider_correct = false;
+    if (p >= 0) {
+        auto &e = tables_[p][index(static_cast<unsigned>(p), epc, ghr)];
+        if (e.value == actual) {
+            provider_correct = true;
+            e.conf.increment(confVec_, rng_);
+        } else {
+            // Wrong value: reset confidence; replace once drained.
+            if (e.conf.value() == 0) {
+                e.value = actual;
+                ++tableWrites_;
+            } else {
+                e.conf.reset();
+            }
+        }
+        ++tableWrites_;
+    }
+
+    if (!provider_correct) {
+        // Allocate into one longer table (random among them).
+        const unsigned start = static_cast<unsigned>(p + 1);
+        if (start < tables_.size()) {
+            const unsigned t = start + static_cast<unsigned>(
+                rng_.below(tables_.size() - start));
+            auto &e = tables_[t][index(t, epc, ghr)];
+            // Entries with residual confidence survive (they are
+            // being useful for another instruction).
+            if (!e.valid || e.conf.value() == 0) {
+                e.valid = true;
+                e.tag = tag(t, epc, ghr);
+                e.value = actual;
+                e.conf.reset();
+                ++tableWrites_;
+            } else {
+                e.conf.decrement();
+            }
+        }
+    }
+}
+
+std::uint64_t
+Vtage::storageBits() const
+{
+    // Table 4: 3 x 256 x (16-bit tag + 64-bit value + 3-bit conf).
+    std::uint64_t bits = 0;
+    for (const auto &t : tables_)
+        bits += t.size() * (params_.tagBits + 64 + 3);
+    return bits;
+}
+
+} // namespace dlvp::pred

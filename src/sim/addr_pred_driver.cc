@@ -1,0 +1,158 @@
+#include "addr_pred_driver.hh"
+
+#include "pred/dvtage.hh"
+#include "pred/lvp.hh"
+#include "pred/vtage.hh"
+#include "trace/memory_image.hh"
+
+namespace dlvp::sim
+{
+
+AddrPredResult
+drivePap(const trace::Trace &trace, const pred::PapParams &params)
+{
+    AddrPredResult r;
+    pred::Pap pap(params);
+    pred::LoadPathHistory lph(params.histBits);
+
+    // Track the per-fetch-group load slot the way the front-end
+    // does: a group access covers at most four sequential
+    // instructions (one fetch cycle).
+    Addr cur_group = kNoAddr;
+    unsigned slot_count = 0;
+    unsigned insts_in_group = 0;
+
+    for (const auto &inst : trace.insts) {
+        // A control instruction ends the fetch group.
+        if (inst.isControl()) {
+            cur_group = kNoAddr;
+            continue;
+        }
+        const Addr group = inst.pc >> 4;
+        if (group != cur_group || insts_in_group >= 4) {
+            cur_group = group;
+            slot_count = 0;
+            insts_in_group = 0;
+        }
+        ++insts_in_group;
+        if (!inst.isLoad())
+            continue;
+        const unsigned slot = slot_count++;
+        if (slot < 2) {
+            ++r.loads;
+            const std::uint64_t hist = lph.value();
+            const auto p =
+                pap.predict(inst.pc & ~Addr{15}, slot, hist);
+            if (p.valid) {
+                ++r.predicted;
+                if (p.addr == inst.memAddr)
+                    ++r.correct;
+            }
+            pap.train(inst.pc & ~Addr{15}, slot, hist, inst.memAddr,
+                      inst.memSize, 0);
+        }
+        lph.shiftLoad(inst.pc);
+    }
+    return r;
+}
+
+AddrPredResult
+driveCap(const trace::Trace &trace, const pred::CapParams &params)
+{
+    AddrPredResult r;
+    pred::Cap cap(params);
+    for (const auto &inst : trace.insts) {
+        if (!inst.isLoad())
+            continue;
+        ++r.loads;
+        const auto p = cap.predict(inst.pc);
+        if (p.valid) {
+            ++r.predicted;
+            if (p.addr == inst.memAddr)
+                ++r.correct;
+        }
+        cap.train(inst.pc, inst.memAddr);
+    }
+    return r;
+}
+
+AddrPredResult
+driveStrideAp(const trace::Trace &trace,
+              const pred::StrideApParams &params)
+{
+    AddrPredResult r;
+    pred::StrideAp ap(params);
+    for (const auto &inst : trace.insts) {
+        if (!inst.isLoad())
+            continue;
+        ++r.loads;
+        const auto p = ap.predict(inst.pc);
+        if (p.valid) {
+            ++r.predicted;
+            if (p.addr == inst.memAddr)
+                ++r.correct;
+        }
+        ap.train(inst.pc, inst.memAddr);
+    }
+    return r;
+}
+
+AddrPredResult
+driveValuePred(const trace::Trace &trace, ValuePredKind kind)
+{
+    AddrPredResult r;
+    pred::Lvp lvp({});
+    pred::Vtage vtage({});
+    pred::Dvtage dvtage({});
+    trace::MemoryImage mem = trace.initialImage;
+    std::uint64_t ghr = 0;
+    for (const auto &inst : trace.insts) {
+        if (inst.isStore() || inst.cls == trace::OpClass::Atomic)
+            mem.write(inst.memAddr, inst.storeValue, inst.memSize);
+        if (inst.cls == trace::OpClass::CondBranch)
+            ghr = (ghr << 1) | (inst.taken ? 1 : 0);
+        if (!inst.isLoad())
+            continue;
+        ++r.loads;
+        const std::uint64_t actual =
+            mem.read(inst.memAddr, inst.memSize);
+        bool valid = false;
+        std::uint64_t value = 0;
+        switch (kind) {
+          case ValuePredKind::Lvp: {
+            const auto p = lvp.predict(inst.pc);
+            valid = p.valid;
+            value = p.value;
+            lvp.train(inst.pc, actual);
+            break;
+          }
+          case ValuePredKind::Vtage: {
+            if (vtage.eligible(inst)) {
+                const auto p = vtage.predict(inst, 0, ghr);
+                valid = p.valid;
+                value = p.value;
+            }
+            vtage.train(inst, 0, ghr, actual, valid,
+                        valid && value == actual);
+            break;
+          }
+          case ValuePredKind::Dvtage: {
+            if (dvtage.eligible(inst)) {
+                const auto p = dvtage.predictSpec(inst, 0, ghr);
+                valid = p.valid;
+                value = p.value;
+            }
+            dvtage.train(inst, 0, ghr, actual);
+            break;
+          }
+        }
+        if (valid) {
+            ++r.predicted;
+            if (value == actual)
+                ++r.correct;
+        }
+    }
+    return r;
+}
+
+} // namespace dlvp::sim

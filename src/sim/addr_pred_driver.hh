@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Standalone address-predictor driver (§5.1 / Figure 4): runs PAP or
+ * CAP over a trace's committed load stream — predict at each load,
+ * train with the actual address — and reports coverage and accuracy
+ * with no pipeline in the loop.
+ */
+
+#ifndef DLVP_SIM_ADDR_PRED_DRIVER_HH
+#define DLVP_SIM_ADDR_PRED_DRIVER_HH
+
+#include <cstdint>
+
+#include "pred/cap.hh"
+#include "pred/stride_ap.hh"
+#include "pred/pap.hh"
+#include "trace/trace.hh"
+
+namespace dlvp::sim
+{
+
+struct AddrPredResult
+{
+    std::uint64_t loads = 0;       ///< loads eligible for prediction
+    std::uint64_t predicted = 0;
+    std::uint64_t correct = 0;
+
+    double
+    coverage() const
+    {
+        return loads == 0 ? 0.0
+                          : static_cast<double>(predicted) / loads;
+    }
+
+    double
+    accuracy() const
+    {
+        return predicted == 0
+                   ? 0.0
+                   : static_cast<double>(correct) / predicted;
+    }
+};
+
+/** Drive PAP over the trace's load stream. */
+AddrPredResult drivePap(const trace::Trace &trace,
+                        const pred::PapParams &params = {});
+
+/** Drive CAP over the trace's load stream. */
+AddrPredResult driveCap(const trace::Trace &trace,
+                        const pred::CapParams &params);
+
+/** Drive the computation-based stride address predictor. */
+AddrPredResult driveStrideAp(const trace::Trace &trace,
+                             const pred::StrideApParams &params);
+
+/**
+ * Drive a value predictor over the committed load stream (predict and
+ * train each load's first destination value): the value-side analogue
+ * of the Figure 4 methodology, used by the predictor-zoo bench.
+ */
+enum class ValuePredKind
+{
+    Lvp,
+    Vtage,
+    Dvtage,
+};
+
+AddrPredResult driveValuePred(const trace::Trace &trace,
+                              ValuePredKind kind);
+
+} // namespace dlvp::sim
+
+#endif // DLVP_SIM_ADDR_PRED_DRIVER_HH

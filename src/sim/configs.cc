@@ -1,0 +1,86 @@
+#include "configs.hh"
+
+namespace dlvp::sim
+{
+
+core::CoreParams
+baselineCore()
+{
+    return core::CoreParams{};
+}
+
+core::VpConfig
+baselineVp()
+{
+    core::VpConfig vp;
+    vp.scheme = core::VpScheme::None;
+    return vp;
+}
+
+core::VpConfig
+dlvpConfig()
+{
+    core::VpConfig vp;
+    vp.scheme = core::VpScheme::Dlvp;
+    return vp;
+}
+
+core::VpConfig
+capConfig(unsigned confidence)
+{
+    core::VpConfig vp;
+    vp.scheme = core::VpScheme::CapDlvp;
+    vp.cap.confThreshold = confidence;
+    return vp;
+}
+
+core::VpConfig
+vtageConfig()
+{
+    return vtageConfigWith(pred::VtageFilter::Static, true);
+}
+
+core::VpConfig
+vtageConfigWith(pred::VtageFilter filter, bool loads_only)
+{
+    core::VpConfig vp;
+    vp.scheme = core::VpScheme::Vtage;
+    vp.vtage.filter = filter;
+    vp.vtage.loadsOnly = loads_only;
+    return vp;
+}
+
+core::VpConfig
+strideDlvpConfig()
+{
+    core::VpConfig vp;
+    vp.scheme = core::VpScheme::StrideDlvp;
+    return vp;
+}
+
+core::VpConfig
+dvtageConfig()
+{
+    core::VpConfig vp;
+    vp.scheme = core::VpScheme::Dvtage;
+    return vp;
+}
+
+core::VpConfig
+tournamentConfig()
+{
+    core::VpConfig vp;
+    vp.scheme = core::VpScheme::Tournament;
+    return vp;
+}
+
+core::VpConfig
+partitionedTournamentConfig()
+{
+    core::VpConfig vp;
+    vp.scheme = core::VpScheme::Tournament;
+    vp.tournamentPartition = true;
+    return vp;
+}
+
+} // namespace dlvp::sim

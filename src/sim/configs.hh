@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Named simulator configurations matching the paper's evaluated design
+ * points (Table 4 plus the §5 sweeps).
+ */
+
+#ifndef DLVP_SIM_CONFIGS_HH
+#define DLVP_SIM_CONFIGS_HH
+
+#include "core/params.hh"
+
+namespace dlvp::sim
+{
+
+/** Baseline core (Table 4); shared by every scheme. */
+core::CoreParams baselineCore();
+
+/** No value prediction. */
+core::VpConfig baselineVp();
+
+/** DLVP with PAP (the paper's proposal, §3). */
+core::VpConfig dlvpConfig();
+
+/** DLVP microarchitecture with the CAP address predictor (§5.2.3). */
+core::VpConfig capConfig(unsigned confidence = 24);
+
+/** VTAGE (static opcode filter, loads only — §5.2.2's best point). */
+core::VpConfig vtageConfig();
+
+/** VTAGE flavors for Figure 7. */
+core::VpConfig vtageConfigWith(pred::VtageFilter filter,
+                               bool loads_only);
+
+/** DLVP + VTAGE tournament (Figure 8). */
+core::VpConfig tournamentConfig();
+
+/** DLVP with a computation-based stride address predictor (SS2.2). */
+core::VpConfig strideDlvpConfig();
+
+/** D-VTAGE (SS2.1): last-value table + stride deltas. */
+core::VpConfig dvtageConfig();
+
+/** Tournament with partitioned training (SS5.2.3 future work). */
+core::VpConfig partitionedTournamentConfig();
+
+} // namespace dlvp::sim
+
+#endif // DLVP_SIM_CONFIGS_HH

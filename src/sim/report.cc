@@ -1,0 +1,83 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace dlvp::sim
+{
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::columns(std::vector<std::string> names)
+{
+    cols_ = std::move(names);
+}
+
+void
+Table::row(std::vector<Cell> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render(const Cell &c, int precision)
+{
+    if (const auto *s = std::get_if<std::string>(&c))
+        return *s;
+    if (const auto *d = std::get_if<double>(&c)) {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << *d;
+        return os.str();
+    }
+    return std::to_string(std::get<long long>(c));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    os << "\n== " << title_ << " ==\n";
+    std::vector<std::size_t> widths(cols_.size());
+    for (std::size_t i = 0; i < cols_.size(); ++i)
+        widths[i] = cols_[i].size();
+    std::vector<std::vector<std::string>> rendered;
+    rendered.reserve(rows_.size());
+    for (const auto &r : rows_) {
+        std::vector<std::string> rr;
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            rr.push_back(render(r[i], precision_));
+            if (i < widths.size())
+                widths[i] = std::max(widths[i], rr.back().size());
+        }
+        rendered.push_back(std::move(rr));
+    }
+    for (std::size_t i = 0; i < cols_.size(); ++i)
+        os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+           << cols_[i];
+    os << "\n";
+    for (std::size_t i = 0; i < cols_.size(); ++i)
+        os << std::string(widths[i], '-') << "  ";
+    os << "\n";
+    for (const auto &rr : rendered) {
+        for (std::size_t i = 0; i < rr.size(); ++i) {
+            const std::size_t w = i < widths.size() ? widths[i]
+                                                    : rr[i].size();
+            os << std::left << std::setw(static_cast<int>(w) + 2)
+               << rr[i];
+        }
+        os << "\n";
+    }
+}
+
+std::string
+pct(double ratio)
+{
+    std::ostringstream os;
+    const double p = (ratio - 1.0) * 100.0;
+    os << std::showpos << std::fixed << std::setprecision(1) << p
+       << "%";
+    return os.str();
+}
+
+} // namespace dlvp::sim

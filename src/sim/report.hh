@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fixed-width table printing for the bench harnesses: every Figure/
+ * Table binary prints the same rows/series the paper reports.
+ */
+
+#ifndef DLVP_SIM_REPORT_HH
+#define DLVP_SIM_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dlvp::sim
+{
+
+class Table
+{
+  public:
+    using Cell = std::variant<std::string, double, long long>;
+
+    explicit Table(std::string title);
+
+    /** Column headers; call once before rows. */
+    void columns(std::vector<std::string> names);
+
+    void row(std::vector<Cell> cells);
+
+    /** Precision for double cells (default 3). */
+    void precision(int p) { precision_ = p; }
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> cols_;
+    std::vector<std::vector<Cell>> rows_;
+    int precision_ = 3;
+
+    static std::string render(const Cell &c, int precision);
+};
+
+/** Print "pct" as e.g. "+4.8%" (for speedups given as ratios). */
+std::string pct(double ratio);
+
+} // namespace dlvp::sim
+
+#endif // DLVP_SIM_REPORT_HH

@@ -1,0 +1,85 @@
+#include "simulator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "trace/workloads.hh"
+
+namespace dlvp::sim
+{
+
+Simulator::Simulator(core::CoreParams params,
+                     std::size_t insts_per_workload)
+    : params_(params), insts_(insts_per_workload)
+{
+}
+
+const trace::Trace &
+Simulator::workload(const std::string &name)
+{
+    auto it = cache_.find(name);
+    if (it == cache_.end()) {
+        it = cache_
+                 .emplace(name,
+                          trace::WorkloadRegistry::build(name, insts_))
+                 .first;
+    }
+    return it->second;
+}
+
+core::CoreStats
+Simulator::run(const std::string &workload_name,
+               const core::VpConfig &vp)
+{
+    return run(workload(workload_name), vp);
+}
+
+core::CoreStats
+Simulator::run(const trace::Trace &trace,
+               const core::VpConfig &vp) const
+{
+    core::OoOCore core(params_, vp, trace);
+    const auto warmup = static_cast<std::size_t>(
+        static_cast<double>(trace.size()) * kWarmupFraction);
+    return core.run(warmup);
+}
+
+void
+Simulator::evict(const std::string &name)
+{
+    cache_.erase(name);
+}
+
+double
+speedup(const core::CoreStats &baseline, const core::CoreStats &other)
+{
+    dlvp_assert(other.cycles > 0);
+    return static_cast<double>(baseline.cycles) /
+           static_cast<double>(other.cycles);
+}
+
+double
+amean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const double x : v) {
+        dlvp_assert(x > 0.0);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+} // namespace dlvp::sim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Simulation façade: builds workload traces (cached) and runs core
+ * configurations over them.
+ */
+
+#ifndef DLVP_SIM_SIMULATOR_HH
+#define DLVP_SIM_SIMULATOR_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "core/core_stats.hh"
+#include "core/params.hh"
+#include "trace/trace.hh"
+
+namespace dlvp::sim
+{
+
+/** Default per-workload instruction count for experiments. */
+inline constexpr std::size_t kDefaultInsts = 400000;
+
+/** Fraction of each trace used to warm caches and predictors. */
+inline constexpr double kWarmupFraction = 0.25;
+
+class Simulator
+{
+  public:
+    explicit Simulator(core::CoreParams params = {},
+                       std::size_t insts_per_workload = kDefaultInsts);
+
+    /** Build (or fetch from cache) a workload trace. */
+    const trace::Trace &workload(const std::string &name);
+
+    /** Run one configuration on one workload. */
+    core::CoreStats run(const std::string &workload_name,
+                        const core::VpConfig &vp);
+
+    /** Run one configuration on an explicit trace. */
+    core::CoreStats run(const trace::Trace &trace,
+                        const core::VpConfig &vp) const;
+
+    /** Release a cached trace (they are tens of MB each). */
+    void evict(const std::string &name);
+
+    const core::CoreParams &params() const { return params_; }
+    std::size_t instsPerWorkload() const { return insts_; }
+
+  private:
+    core::CoreParams params_;
+    std::size_t insts_;
+    std::map<std::string, trace::Trace> cache_;
+};
+
+/** speedup = baseline_cycles / config_cycles. */
+double speedup(const core::CoreStats &baseline,
+               const core::CoreStats &other);
+
+/** Arithmetic mean. */
+double amean(const std::vector<double> &v);
+
+/** Geometric mean (values must be positive). */
+double geomean(const std::vector<double> &v);
+
+} // namespace dlvp::sim
+
+#endif // DLVP_SIM_SIMULATOR_HH

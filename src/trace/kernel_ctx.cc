@@ -1,0 +1,300 @@
+#include "kernel_ctx.hh"
+
+#include "common/logging.hh"
+
+namespace dlvp::trace
+{
+
+KernelCtx::KernelCtx(Trace &trace, std::uint64_t seed, Addr code_base)
+    : trace_(trace), rng_(seed), codeBase_(code_base),
+      nextReg_(kFirstAllocReg), sealed_(false)
+{
+}
+
+void
+KernelCtx::sealInitialImage()
+{
+    dlvp_assert(trace_.insts.empty() &&
+                "seal the image before emitting instructions");
+    trace_.initialImage = mem_;
+    sealed_ = true;
+}
+
+std::uint8_t
+KernelCtx::allocReg()
+{
+    const std::uint8_t r = nextReg_;
+    nextReg_ = (nextReg_ == kLastAllocReg) ? kFirstAllocReg
+                                           : nextReg_ + 1;
+    return r;
+}
+
+std::uint8_t
+KernelCtx::allocRegs(unsigned n)
+{
+    dlvp_assert(n >= 1 && n <= kMaxDests);
+    if (nextReg_ + n - 1 > kLastAllocReg)
+        nextReg_ = kFirstAllocReg;
+    const std::uint8_t base = nextReg_;
+    nextReg_ = base + n;
+    if (nextReg_ > kLastAllocReg)
+        nextReg_ = kFirstAllocReg;
+    return base;
+}
+
+TraceInst &
+KernelCtx::emit(int site, OpClass cls)
+{
+    dlvp_assert(sealed_ && "call sealInitialImage() before emitting");
+    trace_.insts.emplace_back();
+    TraceInst &inst = trace_.insts.back();
+    inst.pc = sitePc(site);
+    inst.cls = cls;
+    return inst;
+}
+
+Val
+KernelCtx::imm(int site, std::uint64_t value)
+{
+    TraceInst &i = emit(site, OpClass::IntAlu);
+    i.numDests = 1;
+    i.destBase = allocReg();
+    i.destValue = value;
+    return {i.destBase, value};
+}
+
+Val
+KernelCtx::alu(int site, std::uint64_t result, Val a)
+{
+    TraceInst &i = emit(site, OpClass::IntAlu);
+    i.numSrcs = 1;
+    i.srcs[0] = a.reg;
+    i.numDests = 1;
+    i.destBase = allocReg();
+    i.destValue = result;
+    return {i.destBase, result};
+}
+
+Val
+KernelCtx::alu(int site, std::uint64_t result, Val a, Val b)
+{
+    TraceInst &i = emit(site, OpClass::IntAlu);
+    i.numSrcs = 2;
+    i.srcs[0] = a.reg;
+    i.srcs[1] = b.reg;
+    i.numDests = 1;
+    i.destBase = allocReg();
+    i.destValue = result;
+    return {i.destBase, result};
+}
+
+Val
+KernelCtx::mul(int site, std::uint64_t result, Val a, Val b)
+{
+    TraceInst &i = emit(site, OpClass::IntMul);
+    i.numSrcs = 2;
+    i.srcs[0] = a.reg;
+    i.srcs[1] = b.reg;
+    i.numDests = 1;
+    i.destBase = allocReg();
+    i.destValue = result;
+    return {i.destBase, result};
+}
+
+Val
+KernelCtx::div(int site, std::uint64_t result, Val a, Val b)
+{
+    TraceInst &i = emit(site, OpClass::IntDiv);
+    i.numSrcs = 2;
+    i.srcs[0] = a.reg;
+    i.srcs[1] = b.reg;
+    i.numDests = 1;
+    i.destBase = allocReg();
+    i.destValue = result;
+    return {i.destBase, result};
+}
+
+Val
+KernelCtx::fp(int site, std::uint64_t result, Val a, Val b)
+{
+    TraceInst &i = emit(site, OpClass::FpAlu);
+    i.numSrcs = 2;
+    i.srcs[0] = a.reg;
+    i.srcs[1] = b.reg;
+    i.numDests = 1;
+    i.destBase = allocReg();
+    i.destValue = result;
+    return {i.destBase, result};
+}
+
+Val
+KernelCtx::load(int site, Addr addr, Val addr_dep, unsigned size)
+{
+    dlvp_assert(size == 1 || size == 2 || size == 4 || size == 8);
+    TraceInst &i = emit(site, OpClass::Load);
+    i.loadKind = LoadKind::Simple;
+    i.numSrcs = 1;
+    i.srcs[0] = addr_dep.reg;
+    i.numDests = 1;
+    i.destBase = allocReg();
+    i.memSize = static_cast<std::uint8_t>(size);
+    i.memAddr = addr;
+    const std::uint64_t v = mem_.read(addr, size);
+    i.destValue = v;
+    return {i.destBase, v};
+}
+
+std::pair<Val, Val>
+KernelCtx::loadPair(int site, Addr addr, Val addr_dep, unsigned size)
+{
+    dlvp_assert(size == 4 || size == 8);
+    TraceInst &i = emit(site, OpClass::Load);
+    i.loadKind = LoadKind::Pair;
+    i.numSrcs = 1;
+    i.srcs[0] = addr_dep.reg;
+    i.numDests = 2;
+    i.destBase = allocRegs(2);
+    i.memSize = static_cast<std::uint8_t>(size);
+    i.memAddr = addr;
+    const std::uint64_t v0 = mem_.read(addr, size);
+    const std::uint64_t v1 = mem_.read(addr + size, size);
+    i.destValue = v0;
+    return {Val{i.destBase, v0},
+            Val{static_cast<std::uint8_t>(i.destBase + 1), v1}};
+}
+
+std::vector<Val>
+KernelCtx::loadMulti(int site, Addr addr, Val addr_dep, unsigned count,
+                     unsigned size)
+{
+    dlvp_assert(count >= 2 && count <= kMaxDests);
+    dlvp_assert(size == 4 || size == 8);
+    TraceInst &i = emit(site, OpClass::Load);
+    i.loadKind = LoadKind::Multi;
+    i.numSrcs = 1;
+    i.srcs[0] = addr_dep.reg;
+    i.numDests = static_cast<std::uint8_t>(count);
+    i.destBase = allocRegs(count);
+    i.memSize = static_cast<std::uint8_t>(size);
+    i.memAddr = addr;
+    std::vector<Val> vals;
+    vals.reserve(count);
+    for (unsigned k = 0; k < count; ++k) {
+        const std::uint64_t v = mem_.read(addr + k * size, size);
+        vals.push_back(Val{static_cast<std::uint8_t>(i.destBase + k), v});
+    }
+    i.destValue = vals[0].v;
+    return vals;
+}
+
+std::pair<Val, Val>
+KernelCtx::loadVector(int site, Addr addr, Val addr_dep)
+{
+    TraceInst &i = emit(site, OpClass::Load);
+    i.loadKind = LoadKind::Vector;
+    i.numSrcs = 1;
+    i.srcs[0] = addr_dep.reg;
+    i.numDests = 2;
+    i.destBase = allocRegs(2);
+    i.memSize = 8;
+    i.memAddr = addr;
+    const std::uint64_t v0 = mem_.read(addr, 8);
+    const std::uint64_t v1 = mem_.read(addr + 8, 8);
+    i.destValue = v0;
+    return {Val{i.destBase, v0},
+            Val{static_cast<std::uint8_t>(i.destBase + 1), v1}};
+}
+
+void
+KernelCtx::store(int site, Addr addr, std::uint64_t value, Val addr_dep,
+                 Val data_dep, unsigned size)
+{
+    dlvp_assert(size == 1 || size == 2 || size == 4 || size == 8);
+    TraceInst &i = emit(site, OpClass::Store);
+    i.numSrcs = 2;
+    i.srcs[0] = addr_dep.reg;
+    i.srcs[1] = data_dep.reg;
+    i.memSize = static_cast<std::uint8_t>(size);
+    i.memAddr = addr;
+    i.storeValue = value;
+    mem_.write(addr, value, size);
+}
+
+Val
+KernelCtx::atomic(int site, Addr addr, std::uint64_t new_value,
+                  Val addr_dep, unsigned size)
+{
+    TraceInst &i = emit(site, OpClass::Atomic);
+    i.numSrcs = 1;
+    i.srcs[0] = addr_dep.reg;
+    i.numDests = 1;
+    i.destBase = allocReg();
+    i.memSize = static_cast<std::uint8_t>(size);
+    i.memAddr = addr;
+    const std::uint64_t old = mem_.read(addr, size);
+    i.destValue = old;
+    i.storeValue = new_value;
+    mem_.write(addr, new_value, size);
+    return {i.destBase, old};
+}
+
+void
+KernelCtx::condBranch(int site, bool taken, Val dep, int target_site)
+{
+    TraceInst &i = emit(site, OpClass::CondBranch);
+    i.numSrcs = 1;
+    i.srcs[0] = dep.reg;
+    i.taken = taken;
+    i.branchTarget = sitePc(target_site);
+}
+
+void
+KernelCtx::directJump(int site, int target_site)
+{
+    TraceInst &i = emit(site, OpClass::DirectJump);
+    i.taken = true;
+    i.branchTarget = sitePc(target_site);
+}
+
+void
+KernelCtx::indirectJump(int site, int target_site, Val dep)
+{
+    TraceInst &i = emit(site, OpClass::IndirectJump);
+    i.numSrcs = 1;
+    i.srcs[0] = dep.reg;
+    i.taken = true;
+    i.branchTarget = sitePc(target_site);
+}
+
+void
+KernelCtx::call(int site, int target_site)
+{
+    TraceInst &i = emit(site, OpClass::Call);
+    i.taken = true;
+    i.branchTarget = sitePc(target_site);
+}
+
+void
+KernelCtx::ret(int site)
+{
+    TraceInst &i = emit(site, OpClass::Ret);
+    i.taken = true;
+    // The return target is the instruction after the matching call;
+    // the core model resolves it via the trace's committed path (the
+    // next trace instruction), so the recorded target is advisory.
+    i.branchTarget = 0;
+}
+
+void
+KernelCtx::barrier(int site)
+{
+    emit(site, OpClass::Barrier);
+}
+
+void
+KernelCtx::nop(int site)
+{
+    emit(site, OpClass::Nop);
+}
+
+} // namespace dlvp::trace

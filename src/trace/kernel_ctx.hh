@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Emission context for workload kernels.
+ *
+ * A kernel is an ordinary C++ function that *runs* its algorithm
+ * against a live MemoryImage while emitting the corresponding dynamic
+ * micro-op stream. Each emission call names a *site id*: the static
+ * instruction it corresponds to. The context maps site ids to stable
+ * PCs (pc = codeBase + site * 4), so predictors can learn per-PC and
+ * per-path patterns exactly as they would on a real binary.
+ *
+ * Register dependencies: helpers return a Val handle carrying the
+ * architectural register that holds the result and the value itself.
+ * Destination registers are allocated round-robin from a pool of 27;
+ * a Val must therefore be consumed within the next ~27 emissions
+ * (plenty for natural kernel code — rename removes false dependencies
+ * anyway, only true-dependency edges matter for timing).
+ */
+
+#ifndef DLVP_TRACE_KERNEL_CTX_HH
+#define DLVP_TRACE_KERNEL_CTX_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace dlvp::trace
+{
+
+/** A value handle: which register holds it, and what it is. */
+struct Val
+{
+    std::uint8_t reg = 0; ///< r0 is the hard-wired zero register
+    std::uint64_t v = 0;
+};
+
+class KernelCtx
+{
+  public:
+    KernelCtx(Trace &trace, std::uint64_t seed,
+              Addr code_base = 0x400000);
+
+    /** Live memory image; initialize data structures through this. */
+    MemoryImage &mem() { return mem_; }
+
+    /**
+     * Snapshot the current image as the trace's initial image. Must be
+     * called after initialization and before the first emission.
+     */
+    void sealInitialImage();
+
+    Rng &rng() { return rng_; }
+
+    /** PC assigned to a site. */
+    Addr
+    sitePc(int site) const
+    {
+        return codeBase_ + static_cast<Addr>(site) * kInstBytes;
+    }
+
+    std::size_t emitted() const { return trace_.insts.size(); }
+
+    // ---- emission helpers -------------------------------------------
+
+    /** Materialize a constant (an ALU op with no register inputs). */
+    Val imm(int site, std::uint64_t value);
+
+    Val alu(int site, std::uint64_t result, Val a);
+    Val alu(int site, std::uint64_t result, Val a, Val b);
+    Val mul(int site, std::uint64_t result, Val a, Val b);
+    Val div(int site, std::uint64_t result, Val a, Val b);
+    Val fp(int site, std::uint64_t result, Val a, Val b);
+
+    /** Load @p size bytes; returns the loaded value read from mem(). */
+    Val load(int site, Addr addr, Val addr_dep, unsigned size = 8);
+
+    /** LDP: two registers from consecutive memory. */
+    std::pair<Val, Val> loadPair(int site, Addr addr, Val addr_dep,
+                                 unsigned size = 8);
+
+    /** LDM: @p count registers from consecutive memory. */
+    std::vector<Val> loadMulti(int site, Addr addr, Val addr_dep,
+                               unsigned count, unsigned size = 8);
+
+    /** VLD: one 128-bit value as two 64-bit destinations. */
+    std::pair<Val, Val> loadVector(int site, Addr addr, Val addr_dep);
+
+    /** Store @p value (also updates the live image). */
+    void store(int site, Addr addr, std::uint64_t value, Val addr_dep,
+               Val data_dep, unsigned size = 8);
+
+    /** Atomic read-modify-write (never address-predicted). */
+    Val atomic(int site, Addr addr, std::uint64_t new_value,
+               Val addr_dep, unsigned size = 8);
+
+    /**
+     * Conditional branch. @p target_site is where it goes when taken
+     * (backward sites model loops).
+     */
+    void condBranch(int site, bool taken, Val dep, int target_site);
+
+    void directJump(int site, int target_site);
+    void indirectJump(int site, int target_site, Val dep);
+    void call(int site, int target_site);
+    void ret(int site);
+    void barrier(int site);
+    void nop(int site);
+
+  private:
+    Trace &trace_;
+    MemoryImage mem_;
+    Rng rng_;
+    Addr codeBase_;
+    std::uint8_t nextReg_;
+    bool sealed_;
+
+    static constexpr std::uint8_t kFirstAllocReg = 1;
+    static constexpr std::uint8_t kLastAllocReg = 27;
+
+    std::uint8_t allocReg();
+    /** Allocate @p n consecutive registers (wraps if needed). */
+    std::uint8_t allocRegs(unsigned n);
+
+    TraceInst &emit(int site, OpClass cls);
+};
+
+} // namespace dlvp::trace
+
+#endif // DLVP_TRACE_KERNEL_CTX_HH

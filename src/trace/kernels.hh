@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Workload kernel library.
+ *
+ * Each kernel is a real mini-program executed against the live memory
+ * image, emitting the corresponding committed-path micro-op stream.
+ * The kernels are designed to span the behaviour space that drives the
+ * paper's results:
+ *
+ *  - address repeatability with path correlation (PAP strength),
+ *  - value repeatability without address repeatability (VTAGE strength),
+ *  - Load -> committed Store -> Load conflicts (Challenge #1; DLVP wins),
+ *  - Load -> in-flight Store -> Load conflicts (LSCD territory),
+ *  - multi-destination loads LDP/LDM/VLD (the ISA findings of §5.2.2),
+ *  - data-dependent branches resolved early by value prediction
+ *    (the perlbmk 71% effect),
+ *  - large footprints for cache/TLB second-order effects (Figure 9).
+ *
+ * Usage: call prepareX() for every kernel in the workload (this
+ * initializes its data structures in the shared memory image and
+ * returns a run closure), then seal the initial image, then drive the
+ * closures — possibly interleaved — until the trace is long enough:
+ *
+ * @code
+ *   KernelCtx ctx(trace, seed);
+ *   auto run = kernels::prepareInterpreter(ctx, params);
+ *   ctx.sealInitialImage();
+ *   run(500000); // emit until trace holds >= 500k micro-ops
+ * @endcode
+ */
+
+#ifndef DLVP_TRACE_KERNELS_HH
+#define DLVP_TRACE_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "trace/kernel_ctx.hh"
+
+namespace dlvp::trace::kernels
+{
+
+/**
+ * A kernel execution closure: runs the kernel (resuming where it left
+ * off) until the trace holds at least @p stop_at micro-ops.
+ */
+using KernelRun = std::function<void(std::size_t stop_at)>;
+
+/**
+ * Linked-list traversal over a fixed list whose node-type pattern
+ * creates per-position load paths (mcf / omnetpp / astar analogues).
+ */
+struct PointerChaseParams
+{
+    unsigned numNodes = 48;
+    unsigned nodeStride = 64;      ///< bytes between node allocations
+    double mutateRate = 0.02;      ///< per-node chance of a data store
+    double relinkRate = 0.0;       ///< per-traversal chance of relinking
+    std::uint64_t seed = 1;
+};
+KernelRun preparePointerChase(KernelCtx &ctx, const PointerChaseParams &p,
+                              int site_base = 0);
+
+/**
+ * Bytecode interpreter: indirect dispatch, VM stack traffic (in-flight
+ * conflicts), globals read often / written rarely (committed conflicts
+ * DLVP survives), value-dependent branches (perlbmk / avmshell / JS
+ * analogues).
+ */
+struct InterpreterParams
+{
+    unsigned programLen = 96;      ///< bytecode instructions per pass
+    bool useLdm = true;            ///< frame save/restore uses LDM
+    double hardBranchRate = 0.3;   ///< fraction of compares on noisy data
+    std::uint64_t seed = 2;
+};
+KernelRun prepareInterpreter(KernelCtx &ctx, const InterpreterParams &p,
+                             int site_base = 0);
+
+/**
+ * Chained hash table with a recurring key set and occasional inserts
+ * that mutate chains (parser / vortex analogues).
+ */
+struct HashTableParams
+{
+    unsigned numBuckets = 64;
+    unsigned hotKeys = 48;
+    double insertRate = 0.05;      ///< per-lookup chance of an insert
+    std::uint64_t seed = 3;
+};
+KernelRun prepareHashTable(KernelCtx &ctx, const HashTableParams &p,
+                           int site_base = 0);
+
+/**
+ * Dense streaming sweep; addresses stride, values sit in long
+ * single-value runs (nat / hmmer / libquantum analogues — where VTAGE
+ * beats DLVP).
+ */
+struct StrideSweepParams
+{
+    unsigned arrayElems = 4096;
+    unsigned runLen = 192;         ///< average single-value run length
+    unsigned workPerElem = 2;      ///< independent ALU/FP ops per step
+    std::uint64_t seed = 4;
+};
+KernelRun prepareStrideSweep(KernelCtx &ctx, const StrideSweepParams &p,
+                             int site_base = 0);
+
+/**
+ * Shared helper called from many call sites, each touching its own
+ * stable object — the cleanest showcase of load-path history
+ * disambiguation (crafty / sjeng analogues).
+ */
+struct CallSitesParams
+{
+    unsigned numSites = 12;
+    unsigned scheduleLen = 24;     ///< repeating call-site sequence
+    double mutateRate = 0.01;      ///< chance a helper updates a field
+    bool useLdp = true;
+    std::uint64_t seed = 5;
+};
+KernelRun prepareCallSites(KernelCtx &ctx, const CallSitesParams &p,
+                           int site_base = 0);
+
+/**
+ * Recursive tree walk with LDM register save/restore: stack slots are
+ * re-read after being overwritten by committed stores — conventional
+ * value predictors go stale, DLVP reads the live cache (primary
+ * Figure 7 driver).
+ */
+struct RecursionParams
+{
+    unsigned depth = 9;            ///< binary tree depth
+    unsigned ldmRegs = 6;          ///< registers saved per frame
+    unsigned workPerNode = 4;      ///< ALU ops per visit
+    std::uint64_t seed = 6;
+};
+KernelRun prepareRecursion(KernelCtx &ctx, const RecursionParams &p,
+                           int site_base = 0);
+
+/**
+ * Table-driven finite state machine over a repeating input tape
+ * (gcc / sjeng analogues).
+ */
+struct StateMachineParams
+{
+    unsigned numStates = 16;
+    unsigned numSymbols = 8;
+    unsigned tapeLen = 160;
+    std::uint64_t seed = 7;
+};
+KernelRun prepareStateMachine(KernelCtx &ctx, const StateMachineParams &p,
+                              int site_base = 0);
+
+/**
+ * Sparse matrix-vector product with a large footprint: indirect
+ * x[col[j]] gathers miss in L1, exercising DLVP's prefetch-on-probe-
+ * miss and the TLB second-order effects of Figure 9 (soplex / h264ref
+ * analogues).
+ */
+struct SparseSolverParams
+{
+    unsigned rows = 256;
+    unsigned nnzPerRow = 12;
+    std::size_t vectorBytes = std::size_t{1} << 21;
+    std::uint64_t seed = 8;
+};
+KernelRun prepareSparseSolver(KernelCtx &ctx, const SparseSolverParams &p,
+                              int site_base = 0);
+
+/**
+ * Longest-prefix-match trie walk for a recurring flow set; next-hop
+ * values repeat even more than addresses (EEMBC nat / routelookup /
+ * ospf analogues).
+ */
+struct PacketRouterParams
+{
+    unsigned numFlows = 32;
+    unsigned trieLevels = 3;
+    unsigned numNextHops = 4;
+    std::uint64_t seed = 9;
+};
+KernelRun preparePacketRouter(KernelCtx &ctx, const PacketRouterParams &p,
+                              int site_base = 0);
+
+/**
+ * FIR filter with unrolled taps: coefficient loads hit identical
+ * addresses every sample (aifirf / autcor analogues — where DLVP
+ * shines); optional VLD coefficient pairs; occasional adaptive
+ * coefficient updates create committed conflicts VTAGE trips on.
+ */
+struct DspFilterParams
+{
+    unsigned taps = 8;
+    unsigned bufferLen = 64;
+    bool useVld = true;
+    double adaptRate = 0.01;       ///< per-sample coefficient update
+    std::uint64_t seed = 10;
+};
+KernelRun prepareDspFilter(KernelCtx &ctx, const DspFilterParams &p,
+                           int site_base = 0);
+
+/**
+ * Frequency-table compressor: freq[sym]++ produces the canonical
+ * Load -> Store -> Load conflict pattern at scale; run-structured
+ * symbol data gives PAP footholds; a large table adds TLB pressure
+ * (bzip2 / gzip analogues).
+ */
+struct CompressorParams
+{
+    unsigned alphabet = 256;
+    unsigned blockLen = 512;
+    unsigned avgRunLen = 12;       ///< symbol run length (RLE structure)
+    std::size_t tableBytes = std::size_t{1} << 20;
+    std::uint64_t seed = 11;
+};
+KernelRun prepareCompressor(KernelCtx &ctx, const CompressorParams &p,
+                            int site_base = 0);
+
+/**
+ * String table operations: byte-wise compares/copies over a recurring
+ * string set (perl-ish text processing, EEMBC text analogues).
+ */
+struct StringOpsParams
+{
+    unsigned numStrings = 24;
+    unsigned avgLen = 20;
+    double copyRate = 0.2;
+    std::uint64_t seed = 12;
+};
+KernelRun prepareStringOps(KernelCtx &ctx, const StringOpsParams &p,
+                           int site_base = 0);
+
+/**
+ * B-tree index search: root -> inner -> leaf descent for a recurring
+ * key set. Inner-node addresses repeat per key with rich branch paths
+ * (binary search direction bits); leaf updates and occasional splits
+ * provide committed conflicts (database / xalancbmk analogues).
+ */
+struct BtreeParams
+{
+    unsigned fanout = 8;
+    unsigned leaves = 64;
+    unsigned hotKeys = 48;
+    double updateRate = 0.05;  ///< per-lookup leaf value update
+    std::uint64_t seed = 15;
+};
+KernelRun prepareBtree(KernelCtx &ctx, const BtreeParams &p,
+                       int site_base = 0);
+
+/**
+ * Table-driven lexical scanner: per input byte, a class-table load
+ * (256-entry, read-only) and an action-table load indexed by
+ * (state, class); token-boundary branches follow the input's token
+ * structure (lexer/parser front-end analogues).
+ */
+struct ScannerParams
+{
+    unsigned numStates = 12;
+    unsigned inputLen = 384;
+    unsigned avgTokenLen = 6;
+    std::uint64_t seed = 16;
+};
+KernelRun prepareScanner(KernelCtx &ctx, const ScannerParams &p,
+                         int site_base = 0);
+
+/**
+ * Garbage-collector mark phase: a worklist-driven object-graph
+ * traversal. Header loads re-visit stable addresses with per-object
+ * branch paths (PAP food); mark-bit read-modify-writes conflict with
+ * the *previous collection's* clearing stores (committed conflicts);
+ * the worklist ring pushes/pops within the window (LSCD food).
+ * (xalancbmk / JS-heap analogues.)
+ */
+struct GcMarkParams
+{
+    unsigned numObjects = 96;
+    unsigned edgesPerObject = 2;
+    double promoteRate = 0.01; ///< graph rewiring between collections
+    std::uint64_t seed = 14;
+};
+KernelRun prepareGcMark(KernelCtx &ctx, const GcMarkParams &p,
+                        int site_base = 0);
+
+/**
+ * Blocked dense matrix multiply: strided FP loads whose addresses and
+ * values both rotate — poorly covered by every predictor, keeping the
+ * suite average honest (linpack / scimark analogues).
+ */
+struct MatrixParams
+{
+    unsigned n = 24;
+    unsigned tile = 8;
+    std::uint64_t seed = 13;
+};
+KernelRun prepareMatrix(KernelCtx &ctx, const MatrixParams &p,
+                        int site_base = 0);
+
+} // namespace dlvp::trace::kernels
+
+#endif // DLVP_TRACE_KERNELS_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Database/front-end kernels: btree (ordered-index descent) and
+ * scanner (table-driven lexer). Both revisit stable table addresses
+ * along data-dependent-but-recurring paths — prime PAP territory —
+ * and mutate leaf/state data at committed distance.
+ */
+
+#include "kernels.hh"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dlvp::trace::kernels
+{
+
+// ---------------------------------------------------------------------
+// btree
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareBtree(KernelCtx &ctx, const BtreeParams &p, int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        BtreeParams p;
+        int S;
+        Addr heap;
+        Addr root, inner, leaves;
+        std::vector<std::uint64_t> keys;   ///< sorted hot keys
+        std::vector<unsigned> sched;
+        std::size_t pos = 0;
+        Rng rng;
+
+        State(KernelCtx &c, const BtreeParams &pp, int sb)
+            : ctx(c), p(pp), S(sb),
+              heap(0x70000000ULL +
+                   static_cast<Addr>(sb + 1) * 0x2000000),
+              rng(pp.seed ^ 0xb7)
+        {
+            root = heap;
+            inner = heap + 0x1000;
+            leaves = heap + 0x10000;
+        }
+
+        Addr leafAddr(unsigned l) const { return leaves + l * 64; }
+        Addr innerAddr(unsigned n) const { return inner + n * 64; }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    // Two-level tree: the root holds fanout separators pointing at
+    // inner nodes; each inner node holds fanout separators pointing
+    // at leaves. Keys are dense so separator math is simple.
+    const unsigned total_leaves = p.leaves;
+    const unsigned inners = (total_leaves + p.fanout - 1) / p.fanout;
+    st->keys.resize(p.hotKeys);
+    for (unsigned k = 0; k < p.hotKeys; ++k)
+        st->keys[k] = 1000 + k * 37;
+    for (unsigned n = 0; n < inners; ++n) {
+        mem.write(st->innerAddr(n), 0xbeef0000 + n, 8); // node header
+        for (unsigned f = 0; f < p.fanout; ++f)
+            mem.write(st->innerAddr(n) + 8 + f * 8,
+                      st->leafAddr((n * p.fanout + f) %
+                                   total_leaves),
+                      8);
+    }
+    for (unsigned n = 0; n < p.fanout; ++n)
+        mem.write(st->root + 8 + n * 8,
+                  st->innerAddr(n % inners), 8);
+    mem.write(st->root, 0xcafe, 8);
+    for (unsigned l = 0; l < total_leaves; ++l) {
+        mem.write(st->leafAddr(l), init.next64() & 0xffff, 8);
+        mem.write(st->leafAddr(l) + 8, init.next64() & 0xffff, 8);
+    }
+    st->sched.resize(48);
+    for (auto &q : st->sched) {
+        const auto r = init.below(100);
+        q = static_cast<unsigned>(r < 60 ? init.below(p.hotKeys / 4)
+                                         : init.below(p.hotKeys));
+    }
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        const unsigned fanout = st->p.fanout;
+        while (ctx.emitted() < stop_at) {
+            const unsigned q = st->sched[st->pos];
+            st->pos = (st->pos + 1) % st->sched.size();
+            const std::uint64_t key = st->keys[q];
+            // Descent: the slot taken at each level is a stable
+            // function of the key; emit the separator-compare
+            // branches so the path history carries the route.
+            const unsigned slot0 = q % fanout;
+            const unsigned slot1 = (q / fanout) % fanout;
+            Val kv = ctx.imm(S + 0, key);
+            Val rh = ctx.load(S + 1, st->root, kv); // root header
+            // Separator-compare branches (route bits).
+            ctx.condBranch(S + 2, (slot0 & 1) != 0, rh, S + 4);
+            ctx.condBranch(S + 3, (slot0 & 2) != 0, rh, S + 4);
+            // The slot-select load is unrolled per slot in real
+            // binary-search code: the PC carries the route, so each
+            // site sees one address.
+            Val child = ctx.load(S + 4 + static_cast<int>(slot0 & 7),
+                                 st->root + 8 + slot0 * 8, rh);
+            Val ih = ctx.load(S + 12, child.v, child); // inner header
+            ctx.condBranch(S + 13, (slot1 & 1) != 0, ih, S + 15);
+            ctx.condBranch(S + 14, (slot1 & 2) != 0, ih, S + 16);
+            Val leaf = ctx.load(S + 16 + static_cast<int>(slot1 & 7),
+                                child.v + 8 + slot1 * 8, ih);
+            // Leaf record: an LDP of {key, value}.
+            auto [lk, lv] = ctx.loadPair(S + 26 + (q & 1), leaf.v,
+                                         leaf);
+            Val acc = ctx.alu(S + 30, lk.v + lv.v, lk, lv);
+            if (st->rng.chance(st->p.updateRate)) {
+                // Update the record: the next lookup of this key (a
+                // schedule round away, committed) reloads it.
+                ctx.store(S + 31, leaf.v + 8, acc.v, leaf, acc);
+            }
+            ctx.condBranch(S + 32, true, acc, S + 0);
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// scanner
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareScanner(KernelCtx &ctx, const ScannerParams &p, int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        ScannerParams p;
+        int S;
+        Addr heap;
+        Addr classTab, actionTab, input, symCount;
+        std::vector<std::uint8_t> text;
+        unsigned pos = 0;
+        unsigned state = 0;
+
+        State(KernelCtx &c, const ScannerParams &pp, int sb)
+            : ctx(c), p(pp), S(sb),
+              heap(0x78000000ULL +
+                   static_cast<Addr>(sb + 1) * 0x2000000)
+        {
+            classTab = heap;
+            actionTab = heap + 0x1000;
+            input = heap + 0x8000;
+            symCount = heap + 0x9000;
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    // Character classes: letters, digits, space, punct (4 classes).
+    for (unsigned c = 0; c < 256; ++c) {
+        unsigned cls;
+        if (c >= 'a' && c <= 'z')
+            cls = 0;
+        else if (c >= '0' && c <= '9')
+            cls = 1;
+        else if (c == ' ')
+            cls = 2;
+        else
+            cls = 3;
+        mem.write(st->classTab + c, cls, 1);
+    }
+    for (unsigned s = 0; s < p.numStates; ++s)
+        for (unsigned c = 0; c < 4; ++c)
+            mem.write(st->actionTab + (s * 4 + c) * 8,
+                      init.below(p.numStates), 8);
+    // Token-structured input: words and numbers separated by spaces.
+    st->text.reserve(p.inputLen);
+    while (st->text.size() < p.inputLen) {
+        const bool digits = init.chance(0.4);
+        const unsigned len =
+            1 + static_cast<unsigned>(init.below(p.avgTokenLen * 2));
+        for (unsigned i = 0;
+             i < len && st->text.size() < p.inputLen; ++i)
+            st->text.push_back(static_cast<std::uint8_t>(
+                digits ? '0' + init.below(10)
+                       : 'a' + init.below(26)));
+        if (st->text.size() < p.inputLen)
+            st->text.push_back(' ');
+    }
+    for (unsigned i = 0; i < p.inputLen; ++i)
+        mem.write(st->input + i, st->text[i], 1);
+    mem.write(st->symCount, 0, 8);
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        while (ctx.emitted() < stop_at) {
+            const unsigned ch = st->text[st->pos];
+            const unsigned cls =
+                static_cast<unsigned>(ctx.mem().read(
+                    st->classTab + ch, 1));
+            Val pv = ctx.imm(S + 0, st->pos);
+            Val cv = ctx.load(S + 1, st->input + st->pos, pv, 1);
+            // Class lookup: read-only 256-entry table; the address
+            // recurs per character value.
+            Val clv = ctx.load(S + 2, st->classTab + ch, cv, 1);
+            // Action lookup: (state, class) — per-class sites write
+            // the class into the load path.
+            const Addr aa =
+                st->actionTab + (st->state * 4 + cls) * 8;
+            Val av = ctx.load(S + 4 + static_cast<int>(cls), aa, clv);
+            // Token-boundary branch: biased by token structure.
+            const bool boundary = cls == 2;
+            ctx.condBranch(S + 10, boundary, clv, S + 12);
+            if (boundary) {
+                // Bump the token counter: a committed RMW at word
+                // distance (tokens are several characters long).
+                Val sc = ctx.load(S + 12, st->symCount, av);
+                Val sc1 = ctx.alu(S + 13, sc.v + 1, sc);
+                ctx.store(S + 14, st->symCount, sc.v + 1, av, sc1);
+            }
+            Val nxt = ctx.alu(S + 16, av.v, av, cv);
+            ctx.condBranch(S + 17, true, nxt, S + 0);
+            st->state =
+                static_cast<unsigned>(av.v) % st->p.numStates;
+            st->pos = (st->pos + 1) % st->p.inputLen;
+        }
+    };
+}
+
+} // namespace dlvp::trace::kernels

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Garbage-collector mark-phase kernel (see kernels.hh). The traversal
+ * repeats the same depth-first object order every collection (the heap
+ * shape is stable), so the load-path history identifies positions; the
+ * mark words are cleared at the start of each collection and set
+ * during it, giving the canonical committed Load -> Store -> Load
+ * pattern at collection distance.
+ */
+
+#include "kernels.hh"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dlvp::trace::kernels
+{
+
+KernelRun
+prepareGcMark(KernelCtx &ctx, const GcMarkParams &p, int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        GcMarkParams p;
+        int S;
+        Addr heap;
+        std::vector<Addr> objects;          ///< object base addresses
+        std::vector<std::vector<unsigned>> edges;
+        Rng rng;
+
+        State(KernelCtx &c, const GcMarkParams &pp, int sb)
+            : ctx(c), p(pp), S(sb),
+              heap(0x60000000ULL +
+                   static_cast<Addr>(sb + 1) * 0x2000000),
+              rng(pp.seed ^ 0x6c)
+        {
+        }
+
+        /** Object layout: header(0), mark(8), edge0(16), edge1(24). */
+        Addr obj(unsigned i) const { return heap + i * 64; }
+
+        /** Depth-first mark from the root set (object 0). */
+        void
+        collect()
+        {
+            KernelCtx &ctx = this->ctx;
+            const int S = this->S;
+            // Clear the mark words (the conflicting stores for the
+            // *next* collection's mark loads).
+            Val zero = ctx.imm(S + 0, 0);
+            for (unsigned i = 0; i < p.numObjects; ++i) {
+                Val oa = ctx.alu(S + 1, obj(i) + 8, zero);
+                ctx.store(S + 2, obj(i) + 8, 0, oa, zero);
+            }
+            // Root scan: real collectors walk stacks and globals
+            // between clearing and marking. The root table is a block
+            // of stable addresses (easy predictor food), and the scan
+            // also pushes the clearing stores out of the instruction
+            // window before the first mark loads probe.
+            Val racc = ctx.imm(S + 70, 0);
+            for (unsigned r = 0; r < 128; ++r) {
+                const Addr ra = heap + 0x100000 + (r % 64) * 8;
+                Val rav = ctx.imm(S + 71 + (r & 1) * 2, ra);
+                Val rv = ctx.load(S + 74 + (r & 1) * 3, ra, rav);
+                racc = ctx.alu(S + 78 + (r & 3), racc.v + rv.v, racc,
+                               rv);
+            }
+            // DFS with an explicit generator-side stack; the emitted
+            // stream is the marking work.
+            std::vector<unsigned> stack = {0};
+            std::vector<bool> marked(p.numObjects, false);
+            while (!stack.empty()) {
+                if (ctx.emitted() > stopAt)
+                    return;
+                const unsigned i = stack.back();
+                stack.pop_back();
+                if (marked[i])
+                    continue;
+                marked[i] = true;
+                const Addr oa = obj(i);
+                Val oav = ctx.imm(S + 4, oa);
+                // Header load: type/class word, stable value & addr.
+                Val hdr = ctx.load(S + 5, oa, oav);
+                // Mark read-modify-write: conflicts with the clearing
+                // store a full collection ago (committed) and with
+                // sibling marks (in-flight).
+                Val mk = ctx.load(S + 6, oa + 8, oav);
+                Val mk1 = ctx.alu(S + 7, mk.v | 1, mk);
+                ctx.store(S + 8, oa + 8, mk.v | 1, oav, mk1);
+                // Per-object type branch: writes the object identity
+                // into the load path (2 bits via two levels).
+                const unsigned ty =
+                    static_cast<unsigned>(hdr.v & 3);
+                ctx.condBranch(S + 10, (ty >> 1) != 0, hdr, S + 30);
+                ctx.condBranch(S + 11, (ty & 1) != 0, hdr, S + 20);
+                // Edge loads at type-dependent sites (parities spell
+                // the type, exactly like pointerChase).
+                const int e0 =
+                    S + 14 + static_cast<int>(ty) * 8 +
+                    static_cast<int>(ty >> 1);
+                const int e1 =
+                    S + 18 + static_cast<int>(ty) * 8 +
+                    static_cast<int>(ty & 1);
+                Val c0 = ctx.load(e0, oa + 16, oav);
+                Val c1 = ctx.load(e1, oa + 24, oav);
+                ctx.alu(S + 52 + static_cast<int>(ty),
+                        c0.v + c1.v, c0, c1);
+                // Push children (generator side; the worklist ring
+                // traffic is modeled by the loads/stores above).
+                for (unsigned e = 0; e < p.edgesPerObject; ++e) {
+                    const unsigned child = edges[i][e];
+                    Val cb = ctx.alu(S + 58, obj(child), c0);
+                    ctx.condBranch(S + 59, !marked[child], cb, S + 4);
+                    if (!marked[child])
+                        stack.push_back(child);
+                }
+            }
+        }
+
+        std::size_t stopAt = 0;
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    st->objects.resize(p.numObjects);
+    st->edges.assign(p.numObjects,
+                     std::vector<unsigned>(p.edgesPerObject, 0));
+    for (unsigned r = 0; r < 64; ++r)
+        mem.write(st->heap + 0x100000 + r * 8, init.next64(), 8);
+    for (unsigned i = 0; i < p.numObjects; ++i) {
+        const Addr oa = st->obj(i);
+        mem.write(oa + 0, init.next64(), 8); // header (stable)
+        mem.write(oa + 8, 0, 8);             // mark word
+        for (unsigned e = 0; e < p.edgesPerObject; ++e) {
+            const unsigned child =
+                static_cast<unsigned>(init.below(p.numObjects));
+            st->edges[i][e] = child;
+            mem.write(oa + 16 + e * 8, st->obj(child), 8);
+        }
+    }
+
+    return [st](std::size_t stop_at) {
+        st->stopAt = stop_at;
+        while (st->ctx.emitted() < stop_at) {
+            st->collect();
+            if (st->rng.chance(st->p.promoteRate * 10) &&
+                st->ctx.emitted() < stop_at) {
+                // Mutator phase: rewire one edge (the heap slowly
+                // evolves between collections, retraining both
+                // predictor families).
+                const unsigned i = static_cast<unsigned>(
+                    st->rng.below(st->p.numObjects));
+                const unsigned e = static_cast<unsigned>(
+                    st->rng.below(st->p.edgesPerObject));
+                const unsigned child = static_cast<unsigned>(
+                    st->rng.below(st->p.numObjects));
+                st->edges[i][e] = child;
+                Val oa = st->ctx.imm(st->S + 60, st->obj(i));
+                Val cv = st->ctx.imm(st->S + 61, st->obj(child));
+                st->ctx.store(st->S + 62, st->obj(i) + 16 + e * 8,
+                              st->obj(child), oa, cv);
+            }
+        }
+    };
+}
+
+} // namespace dlvp::trace::kernels

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Kernels built around linked/recursive data structures: pointerChase,
+ * callSites, recursion. These are the PAP showcases: load addresses
+ * repeat per *path position*, and data-dependent (but run-to-run
+ * stable) branch structure makes the load-path history identify that
+ * position.
+ */
+
+#include "kernels.hh"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dlvp::trace::kernels
+{
+
+namespace
+{
+
+/** Non-overlapping heap region per kernel instance. */
+Addr
+heapBase(int site_base)
+{
+    return 0x10000000 + static_cast<Addr>(site_base + 1) * 0x2000000;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// pointerChase
+// ---------------------------------------------------------------------
+
+KernelRun
+preparePointerChase(KernelCtx &ctx, const PointerChaseParams &p,
+                    int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        PointerChaseParams p;
+        int S;
+        Addr heap;
+        Addr headSlot;
+        std::vector<Addr> order; ///< traversal order of node addresses
+        Rng rng;
+
+        State(KernelCtx &c, const PointerChaseParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase(sb)), rng(pp.seed ^ 0xa5)
+        {
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    // Layout: nodes at heap + perm[i]*stride; fields next(0), data(8),
+    // type(16). The head pointer lives in its own slot.
+    Rng init(p.seed);
+    std::vector<unsigned> perm(p.numNodes);
+    for (unsigned i = 0; i < p.numNodes; ++i)
+        perm[i] = i;
+    for (unsigned i = p.numNodes; i > 1; --i) {
+        const unsigned j = static_cast<unsigned>(init.below(i));
+        std::swap(perm[i - 1], perm[j]);
+    }
+    st->headSlot = st->heap;
+    const Addr nodes = st->heap + 64;
+    st->order.resize(p.numNodes);
+    for (unsigned i = 0; i < p.numNodes; ++i)
+        st->order[i] = nodes + static_cast<Addr>(perm[i]) * p.nodeStride;
+    MemoryImage &mem = ctx.mem();
+    for (unsigned i = 0; i < p.numNodes; ++i) {
+        const Addr a = st->order[i];
+        const Addr next = (i + 1 < p.numNodes) ? st->order[i + 1] : 0;
+        mem.write(a + 0, next, 8);
+        mem.write(a + 8, init.next64(), 8);
+        // 2-bit type: selects one of four traversal code paths whose
+        // load-site parities spell the type into the load-path history
+        // — two context bits per node.
+        mem.write(a + 16, init.below(4), 8);
+    }
+    mem.write(st->headSlot, st->order[0], 8);
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        while (ctx.emitted() < stop_at) {
+            // One full traversal.
+            Val headp = ctx.imm(S + 0, st->headSlot);
+            Val cur = ctx.load(S + 1, st->headSlot, headp);
+            Val acc = ctx.imm(S + 2, 0);
+            Addr cur_addr = cur.v;
+            while (cur_addr != 0) {
+                Val ty = ctx.load(S + 4, cur_addr + 16, cur);
+                const unsigned v = static_cast<unsigned>(ty.v & 3);
+                // Two-level type dispatch (a 4-way switch): variant v
+                // executes next/data loads at sites whose parities are
+                // (v>>1, v&1).
+                ctx.condBranch(S + 5, (v >> 1) != 0, ty, S + 26);
+                ctx.condBranch(S + 6 + (v >> 1) * 20, (v & 1) != 0,
+                               ty, S + 18 + (v >> 1) * 20);
+                const int next_site =
+                    S + 10 + static_cast<int>(v) * 8 +
+                    static_cast<int>(v >> 1);
+                const int data_site =
+                    S + 14 + static_cast<int>(v) * 8 +
+                    static_cast<int>(v & 1);
+                Val nxt = ctx.load(next_site, cur_addr + 0, cur);
+                Val data = ctx.load(data_site, cur_addr + 8, cur);
+                acc = ctx.alu(S + 48 + static_cast<int>(v),
+                              acc.v + data.v * (v + 1), acc, data);
+                // S+60: common latch.
+                if (st->rng.chance(st->p.mutateRate)) {
+                    // Mutate the node's data: a committed-store
+                    // conflict for the *next* traversal's data load.
+                    const std::uint64_t nd = st->rng.next64();
+                    Val ndv = ctx.alu(S + 61, nd, acc);
+                    ctx.store(S + 62, cur_addr + 8, nd, cur, ndv);
+                }
+                Val cmp = ctx.alu(S + 63,
+                                  nxt.v != 0 ? 1 : 0, nxt);
+                ctx.condBranch(S + 64, nxt.v != 0, cmp, S + 4);
+                cur = nxt;
+                cur_addr = nxt.v;
+            }
+            if (st->rng.chance(st->p.relinkRate) && st->order.size() > 3) {
+                // Swap two adjacent nodes in traversal order: three
+                // next-pointer stores; PAP must retrain those entries.
+                const unsigned i = 1 +
+                    static_cast<unsigned>(st->rng.below(
+                        st->order.size() - 3));
+                const Addr a = st->order[i - 1];
+                const Addr b = st->order[i];
+                const Addr c = st->order[i + 1];
+                const Addr d = (i + 2 < st->order.size())
+                                   ? st->order[i + 2] : 0;
+                Val pa = ctx.imm(S + 70, a);
+                Val vc = ctx.imm(S + 71, c);
+                ctx.store(S + 72, a + 0, c, pa, vc);
+                Val pc2 = ctx.imm(S + 73, c);
+                Val vb = ctx.imm(S + 74, b);
+                ctx.store(S + 75, c + 0, b, pc2, vb);
+                Val pb = ctx.imm(S + 76, b);
+                Val vd = ctx.imm(S + 77, d);
+                ctx.store(S + 78, b + 0, d, pb, vd);
+                std::swap(st->order[i], st->order[i + 1]);
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// callSites
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareCallSites(KernelCtx &ctx, const CallSitesParams &p, int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        CallSitesParams p;
+        int S;
+        Addr heap;
+        std::vector<unsigned> sched;
+        std::size_t pos = 0;
+        Rng rng;
+
+        State(KernelCtx &c, const CallSitesParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase(sb)), rng(pp.seed ^ 0x5a)
+        {
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    // Objects at heap + s*64 with fieldsPerObject 8-byte fields;
+    // per-site globals at heap + 0x10000 + s*16.
+    MemoryImage &mem = ctx.mem();
+    for (unsigned s = 0; s < p.numSites; ++s) {
+        for (unsigned f = 0; f < 4; ++f)
+            mem.write(st->heap + s * 64 + f * 8, init.next64(), 8);
+        mem.write(st->heap + 0x10000 + s * 16, init.next64(), 8);
+        mem.write(st->heap + 0x10000 + s * 16 + 8, init.next64(), 8);
+    }
+    st->sched.resize(p.scheduleLen);
+    for (auto &s : st->sched)
+        s = static_cast<unsigned>(init.below(p.numSites));
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        const int HELPER = S + 8;
+        while (ctx.emitted() < stop_at) {
+            const unsigned s = st->sched[st->pos];
+            st->pos = (st->pos + 1) % st->sched.size();
+            const Addr obj = st->heap + s * 64;
+            const Addr glob = st->heap + 0x10000 + s * 16;
+            // Call-site prologue: two loads whose site parities encode
+            // the low two bits of the site id — this is what writes the
+            // site identity into the load-path history.
+            const int ps0 = S + 100 + static_cast<int>(s) * 8 +
+                            static_cast<int>(s & 1);
+            const int ps1 = S + 100 + static_cast<int>(s) * 8 + 2 +
+                            static_cast<int>((s >> 1) & 1);
+            Val g0p = ctx.imm(S + 98, glob);
+            Val g0 = ctx.load(ps0, glob, g0p);
+            Val g1 = ctx.load(ps1, glob + 8, g0p);
+            Val mix = ctx.alu(S + 99, g0.v + g1.v, g0, g1);
+            ctx.call(S + 100 + static_cast<int>(s) * 8 + 6, HELPER);
+            // ---- helper body (shared static code) ----
+            Val ob = ctx.imm(HELPER + 0, obj);
+            Val f0, f1;
+            if (st->p.useLdp) {
+                auto pr = ctx.loadPair(HELPER + 1, obj, ob);
+                f0 = pr.first;
+                f1 = pr.second;
+            } else {
+                f0 = ctx.load(HELPER + 1, obj, ob);
+                f1 = ctx.load(HELPER + 2, obj + 8, ob);
+            }
+            Val w = ctx.alu(HELPER + 3, f0.v ^ f1.v ^ mix.v, f0, f1);
+            Val f2 = ctx.load(HELPER + 4, obj + 16, ob);
+            ctx.alu(HELPER + 5, f2.v + w.v, f2, w);
+            if (st->rng.chance(st->p.mutateRate)) {
+                // Update field 2 *after* this visit's reload: the next
+                // visit of this site (a full schedule round away, long
+                // committed) reloads a changed value at an unchanged
+                // address — DLVP stays correct, last-value predictors
+                // go stale.
+                ctx.store(HELPER + 6, obj + 16, w.v, ob, w);
+            }
+            ctx.ret(HELPER + 7);
+            // ---- call-site epilogue ----
+            ctx.alu(S + 100 + static_cast<int>(s) * 8 + 7,
+                    w.v + 1, w);
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// recursion
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareRecursion(KernelCtx &ctx, const RecursionParams &p, int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        RecursionParams p;
+        int S;
+        Addr heap;
+        Addr stackBase;
+        unsigned maxDepth;
+        Rng rng;
+
+        State(KernelCtx &c, const RecursionParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase(sb)),
+              maxDepth(pp.depth), rng(pp.seed ^ 0x3c)
+        {
+            stackBase = heap + 0x100000;
+        }
+
+        Addr nodeAddr(unsigned idx) const { return heap + idx * 32; }
+
+        Addr
+        frameAddr(unsigned depth) const
+        {
+            return stackBase + static_cast<Addr>(depth) *
+                   (p.ldmRegs * 8 + 16);
+        }
+
+        /** Recursive visit; returns the subtree's aggregate value. */
+        std::uint64_t
+        visit(unsigned idx, unsigned depth)
+        {
+            const int S = this->S;
+            const Addr na = nodeAddr(idx);
+            Val nap = ctx.imm(S + 0, na);
+            Val key = ctx.load(S + 1, na, nap);
+            // Two-level key dispatch: the payload/aux load sites spell
+            // the low two key bits into the load-path history, letting
+            // it identify the walk position (and hence the frame
+            // depth) for the restore LDM's address prediction.
+            const unsigned v = static_cast<unsigned>(key.v & 3);
+            ctx.condBranch(S + 2, (v >> 1) != 0, key, S + 55);
+            ctx.condBranch(S + 55 + static_cast<int>(v >> 1),
+                           (v & 1) != 0, key,
+                           S + 57 + static_cast<int>(v >> 1));
+            const int pay_site = S + 60 + static_cast<int>(v) * 8 +
+                                 static_cast<int>(v >> 1);
+            const int aux_site = S + 64 + static_cast<int>(v) * 8 +
+                                 static_cast<int>(v & 1);
+            Val pay = ctx.load(pay_site, na + 8, nap);
+            Val aux = ctx.load(aux_site, na + 16, nap);
+            Val acc = ctx.alu(S + 7, pay.v + aux.v, pay, aux);
+            for (unsigned w = 0; w < p.workPerNode; ++w)
+                acc = ctx.alu(S + 8 + static_cast<int>(w),
+                              acc.v * 33 + w, acc, key);
+            // (work sites S+8..S+15; workPerNode <= 8)
+            if (depth >= maxDepth) {
+                // Leaf: update the payload (a committed-store conflict
+                // for the next walk's payload load) and return.
+                ctx.store(S + 16, na + 8, acc.v, nap, acc);
+                ctx.ret(S + 17);
+                return acc.v;
+            }
+            // Save a frame: ldmRegs stores of changing temporaries.
+            Val fp = ctx.imm(S + 29, frameAddr(depth));
+            for (unsigned r = 0; r < p.ldmRegs; ++r) {
+                Val t = ctx.alu(S + 18 + static_cast<int>(r),
+                                acc.v + r * 7, acc);
+                ctx.store(S + 30 + static_cast<int>(r),
+                          frameAddr(depth) + r * 8, t.v, fp, t);
+            }
+            ctx.call(S + 38, S + 0);
+            const std::uint64_t lv = visit(idx * 2, depth + 1);
+            ctx.call(S + 39, S + 0);
+            const std::uint64_t rv = visit(idx * 2 + 1, depth + 1);
+            // Restore the frame with a single LDM: the values were
+            // written by this frame's own stores — long since committed
+            // for shallow depths, possibly still in flight near the
+            // leaves (LSCD territory). Site S+40 keeps returns landing
+            // at call-site + 4 so the RAS stays accurate.
+            Val fp2 = ctx.imm(S + 40, frameAddr(depth));
+            auto regs = ctx.loadMulti(S + 41, frameAddr(depth), fp2,
+                                      p.ldmRegs);
+            Val sum = ctx.alu(S + 42, lv + rv, regs[0],
+                              regs[p.ldmRegs - 1]);
+            // Post-order payload update: next walk reloads a changed
+            // value at an unchanged address — VTAGE goes stale, a DLVP
+            // probe reads the committed cache and stays correct.
+            ctx.store(S + 43, na + 8, sum.v + acc.v, nap, sum);
+            ctx.ret(S + 44);
+            return sum.v + acc.v;
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    const unsigned num_nodes = 1u << (p.depth + 1);
+    for (unsigned idx = 1; idx < num_nodes; ++idx) {
+        mem.write(st->nodeAddr(idx) + 0, init.next64(), 8);  // key
+        mem.write(st->nodeAddr(idx) + 8, init.next64(), 8);  // payload
+        mem.write(st->nodeAddr(idx) + 16, init.next64(), 8); // aux
+    }
+
+    return [st](std::size_t stop_at) {
+        while (st->ctx.emitted() < stop_at) {
+            st->ctx.call(st->S + 50, st->S + 0);
+            st->visit(1, 0);
+        }
+    };
+}
+
+} // namespace dlvp::trace::kernels

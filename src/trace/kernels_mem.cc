@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Memory-mutation-heavy kernels: hashTable, compressor, sparseSolver.
+ * These supply the Figure 1 conflict content (Load -> Store -> Load),
+ * the TLB/cache second-order effects of Figure 9, and the prefetch
+ * opportunities of Figure 5.
+ */
+
+#include "kernels.hh"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dlvp::trace::kernels
+{
+
+namespace
+{
+
+Addr
+heapBase3(int site_base)
+{
+    return 0x80000000ULL + static_cast<Addr>(site_base + 1) * 0x4000000;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// hashTable
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareHashTable(KernelCtx &ctx, const HashTableParams &p, int site_base)
+{
+    struct Node
+    {
+        Addr addr;
+        std::uint64_t key;
+    };
+
+    struct State
+    {
+        KernelCtx &ctx;
+        HashTableParams p;
+        int S;
+        Addr heap;
+        Addr buckets;
+        Addr nodeArena;
+        unsigned nodesUsed = 0;
+        std::vector<std::uint64_t> hotKeys;
+        std::size_t queryPos = 0;
+        std::vector<unsigned> querySched;
+        Rng rng;
+
+        State(KernelCtx &c, const HashTableParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase3(sb)), rng(pp.seed ^ 0x11)
+        {
+            buckets = heap;
+            nodeArena = heap + 0x10000;
+        }
+
+        unsigned
+        bucketOf(std::uint64_t key) const
+        {
+            return static_cast<unsigned>((key * 0x9e3779b9u) >> 16) %
+                   p.numBuckets;
+        }
+
+        Addr newNode() { return nodeArena + 48 * nodesUsed++; }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    st->hotKeys.resize(p.hotKeys);
+    for (auto &k : st->hotKeys)
+        k = init.next64() | 1;
+    // Pre-populate: each hot key inserted; node {key, val, next}.
+    std::vector<Addr> heads(p.numBuckets, 0);
+    for (const auto k : st->hotKeys) {
+        const unsigned b = st->bucketOf(k);
+        const Addr n = st->newNode();
+        mem.write(n + 0, k, 8);
+        mem.write(n + 8, init.next64(), 8);
+        mem.write(n + 16, heads[b], 8);
+        heads[b] = n;
+    }
+    for (unsigned b = 0; b < p.numBuckets; ++b)
+        mem.write(st->buckets + b * 8, heads[b], 8);
+    // A repeating, skewed query schedule (front keys queried more).
+    st->querySched.resize(96);
+    for (auto &q : st->querySched) {
+        const auto r = init.below(100);
+        q = static_cast<unsigned>(
+            r < 60 ? init.below(p.hotKeys / 4)
+                   : init.below(p.hotKeys));
+    }
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        while (ctx.emitted() < stop_at) {
+            const std::uint64_t key =
+                st->hotKeys[st->querySched[st->queryPos]];
+            st->queryPos = (st->queryPos + 1) % st->querySched.size();
+            const unsigned b = st->bucketOf(key);
+            Val kv = ctx.imm(S + 0, key);
+            Val hv = ctx.alu(S + 1, b, kv);
+            // Load the bucket head.
+            Val head = ctx.load(S + 2, st->buckets + b * 8, hv);
+            // Walk the chain; hop count varies per key, writing chain
+            // position into the branch/load path.
+            Addr cur = head.v;
+            Val curv = head;
+            unsigned hops = 0;
+            while (cur != 0 && hops < 8) {
+                Val nk = ctx.load(S + 4 + (hops & 1), cur, curv);
+                const bool match = nk.v == key;
+                Val c = ctx.alu(S + 6, match ? 1 : 0, nk, kv);
+                ctx.condBranch(S + 7, match, c, S + 12);
+                if (match) {
+                    Val val = ctx.load(S + 12, cur + 8, curv);
+                    ctx.alu(S + 13, val.v + 1, val);
+                    break;
+                }
+                curv = ctx.load(S + 9, cur + 16, curv);
+                cur = curv.v;
+                ++hops;
+            }
+            if (st->rng.chance(st->p.insertRate)) {
+                // Insert a fresh node at the head of a hot bucket: the
+                // next lookup of that bucket reloads a changed head
+                // pointer — a committed-store conflict.
+                const std::uint64_t nkey = st->rng.next64() | 1;
+                const unsigned nb = st->bucketOf(nkey);
+                const Addr n = st->newNode();
+                Val na = ctx.imm(S + 16, n);
+                Val nkv = ctx.imm(S + 17, nkey);
+                ctx.store(S + 18, n + 0, nkey, na, nkv);
+                Val nval = ctx.alu(S + 19, st->rng.next64(), nkv);
+                ctx.store(S + 20, n + 8, nval.v, na, nval);
+                Val oldh = ctx.load(S + 21,
+                                    st->buckets + nb * 8, na);
+                ctx.store(S + 22, n + 16, oldh.v, na, oldh);
+                ctx.store(S + 23, st->buckets + nb * 8, n, na, na);
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// compressor
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareCompressor(KernelCtx &ctx, const CompressorParams &p, int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        CompressorParams p;
+        int S;
+        Addr heap;
+        Addr freqTable; ///< spread over tableBytes for TLB pressure
+        Addr block;
+        std::vector<std::uint8_t> symbols; ///< the block's symbol runs
+        std::size_t pos = 0;
+        Rng rng;
+
+        State(KernelCtx &c, const CompressorParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase3(sb) + 0x1000000),
+              rng(pp.seed ^ 0x22)
+        {
+            freqTable = heap;
+            block = heap + p.tableBytes + 0x1000;
+        }
+
+        Addr
+        freqAddr(unsigned sym) const
+        {
+            // Spread counters across the table footprint so hot
+            // counters land on distinct pages (TLB pressure).
+            const Addr span = p.tableBytes / p.alphabet;
+            return freqTable + static_cast<Addr>(sym) * span;
+        }
+
+        /** Read-mostly probability-model entry for a symbol. */
+        Addr
+        modelAddr(unsigned sym) const
+        {
+            const Addr span = p.tableBytes / p.alphabet;
+            return freqTable + static_cast<Addr>(sym) * span + 16;
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    // Run-structured symbol data: bzip2-ish RLE-compressible input.
+    st->symbols.reserve(p.blockLen);
+    while (st->symbols.size() < p.blockLen) {
+        const unsigned sym =
+            static_cast<unsigned>(init.below(p.alphabet));
+        const unsigned run = 1 + static_cast<unsigned>(
+            init.below(2 * p.avgRunLen));
+        for (unsigned r = 0; r < run &&
+                 st->symbols.size() < p.blockLen; ++r)
+            st->symbols.push_back(static_cast<std::uint8_t>(sym));
+    }
+    for (unsigned i = 0; i < p.blockLen; ++i)
+        mem.write(st->block + i, st->symbols[i], 1);
+    mem.write(st->block - 16, 0xb10cULL, 8); // block header
+    for (unsigned s = 0; s < p.alphabet; ++s) {
+        mem.write(st->freqAddr(s), 0, 8);
+        mem.write(st->modelAddr(s), init.next64() & 0xffff, 8);
+    }
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        while (ctx.emitted() < stop_at) {
+            const unsigned sym = st->symbols[st->pos];
+            const Addr fa = st->freqAddr(sym);
+            Val pv = ctx.imm(S + 0, st->pos);
+            // Block header: a fixed-address bookkeeping load of the
+            // kind real codecs reload constantly (never conflicts).
+            Val hv = ctx.load(S + 11, st->block - 16, pv);
+            Val sv = ctx.load(S + 1, st->block + st->pos, pv, 1);
+            (void)hv;
+            Val av = ctx.alu(S + 2, fa, sv);
+            // The canonical pattern: load freq, bump, store freq. The
+            // very next occurrence of the same symbol (usually within
+            // the same run) reloads while this store is still in
+            // flight; occurrences in later runs see it committed.
+            Val f = ctx.load(S + 3, fa, av);
+            Val f1 = ctx.alu(S + 4, f.v + 1, f);
+            ctx.store(S + 5, fa, f1.v, av, f1);
+            // Probability-model lookup: same address for the whole
+            // run, written only at block rotation — the PAP-coverable
+            // (and TLB-stressing) load in this kernel.
+            Val m = ctx.load(S + 13, st->modelAddr(sym), av);
+            Val acc = ctx.alu(S + 14, m.v + f1.v, m, f1);
+            // Entropy-coding arithmetic: the CRC/bit-packing ALU work
+            // real compressors do between memory accesses (also keeps
+            // the load-store lanes from saturating).
+            for (int w = 0; w < 6; ++w)
+                acc = ctx.alu(S + 16 + w, (acc.v << 1) ^ sym, acc);
+            // Run-boundary branch: highly biased within runs.
+            const bool boundary =
+                st->pos + 1 >= st->symbols.size() ||
+                st->symbols[st->pos + 1] != sym;
+            Val c = ctx.alu(S + 6, boundary ? 1 : 0, sv);
+            ctx.condBranch(S + 7, boundary, c, S + 9);
+            if (boundary) {
+                // Emit an output token for the finished run.
+                Val ov = ctx.alu(S + 9, (sym << 8) | 1, c);
+                ctx.store(S + 10,
+                          st->block + st->p.blockLen + 8 * (sym & 63),
+                          ov.v, av, ov);
+            }
+            st->pos = (st->pos + 1) % st->symbols.size();
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// sparseSolver
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareSparseSolver(KernelCtx &ctx, const SparseSolverParams &p,
+                    int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        SparseSolverParams p;
+        int S;
+        Addr heap;
+        Addr colIdx, values, xVec, yVec;
+        unsigned row = 0;
+        std::vector<std::uint32_t> cols;
+        std::vector<std::uint32_t> hotIdx; ///< per-row hot x entry
+
+        State(KernelCtx &c, const SparseSolverParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase3(sb) + 0x2000000)
+        {
+            colIdx = heap;
+            const std::size_t nnz =
+                static_cast<std::size_t>(pp.rows) * pp.nnzPerRow;
+            values = colIdx + nnz * 4 + 0x1000;
+            xVec = values + nnz * 8 + 0x1000;
+            yVec = xVec + pp.vectorBytes + 0x1000;
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    const std::size_t nnz =
+        static_cast<std::size_t>(p.rows) * p.nnzPerRow;
+    const std::size_t x_elems = p.vectorBytes / 8;
+    st->cols.resize(nnz);
+    for (std::size_t j = 0; j < nnz; ++j) {
+        st->cols[j] = static_cast<std::uint32_t>(init.below(x_elems));
+        mem.write(st->colIdx + j * 4, st->cols[j], 4);
+        mem.write(st->values + j * 8, init.next64() & 0xffffff, 8);
+    }
+    for (std::size_t i = 0; i < x_elems; ++i)
+        mem.write(st->xVec + i * 8, init.next64() & 0xffff, 8);
+    for (unsigned r = 0; r < p.rows; ++r)
+        mem.write(st->yVec + r * 8, 0, 8);
+    st->hotIdx.resize(p.rows);
+    for (auto &h : st->hotIdx)
+        h = static_cast<std::uint32_t>(init.below(x_elems));
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        while (ctx.emitted() < stop_at) {
+            const unsigned r = st->row;
+            st->row = (st->row + 1) % st->p.rows;
+            Val rv = ctx.imm(S + 0, r);
+            Val acc = ctx.imm(S + 1, 0);
+            for (unsigned j = 0; j < st->p.nnzPerRow; ++j) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(r) * st->p.nnzPerRow + j;
+                // Column index: sequential (prefetcher-friendly).
+                Val cj = ctx.load(S + 4 + (j & 1),
+                                  st->colIdx + idx * 4, rv, 4);
+                // The gather: large-footprint indirect load; usually a
+                // probe miss in L1 — prefetch-on-miss territory.
+                const Addr xa = st->xVec +
+                    static_cast<Addr>(st->cols[idx]) * 8;
+                Val xv = ctx.load(S + 6, xa, cj);
+                Val aj = ctx.load(S + 7, st->values + idx * 8, rv);
+                Val prod = ctx.fp(S + 8, xv.v * aj.v, xv, aj);
+                acc = ctx.fp(S + 9, acc.v + prod.v, acc, prod);
+            }
+            // Per-row pivot load: a fixed hot x entry per row whose
+            // line is regularly evicted by the streaming gathers —
+            // the confidently-predicted-but-L1-missing case behind
+            // DLVP's prefetch-on-probe-miss (Figure 5). The row-parity
+            // branch writes the row identity into the load path.
+            ctx.condBranch(S + 14, (r & 1) != 0, rv, S + 17);
+            const Addr ha =
+                st->xVec + static_cast<Addr>(st->hotIdx[r]) * 8;
+            Val hv = (r & 1) ? ctx.load(S + 17, ha, rv)
+                             : ctx.load(S + 16, ha, rv);
+            acc = ctx.fp(S + 18, acc.v + hv.v, acc, hv);
+            Val cmp = ctx.alu(S + 10, r + 1, rv);
+            ctx.store(S + 11, st->yVec + r * 8, acc.v, rv, acc);
+            ctx.condBranch(S + 12, st->row != 0, cmp, S + 0);
+        }
+    };
+}
+
+} // namespace dlvp::trace::kernels

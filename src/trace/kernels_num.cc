@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Streaming / numeric kernels: strideSweep (VTAGE's home turf),
+ * packetRouter (values repeat more than addresses), dspFilter (DLVP's
+ * home turf: fixed coefficient addresses with occasional adaptive
+ * updates), matrix (covered by nobody — keeps the average honest).
+ */
+
+#include "kernels.hh"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dlvp::trace::kernels
+{
+
+namespace
+{
+
+Addr
+heapBase4(int site_base)
+{
+    return 0xc0000000ULL + static_cast<Addr>(site_base + 1) * 0x4000000;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// strideSweep
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareStrideSweep(KernelCtx &ctx, const StrideSweepParams &p,
+                   int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        StrideSweepParams p;
+        int S;
+        Addr heap;
+        Addr xArr, table, outArr;
+        unsigned i = 0;
+        Val posVal{}; ///< register carrying the walk position
+
+        State(KernelCtx &c, const StrideSweepParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase4(sb))
+        {
+            xArr = heap;
+            table = heap + static_cast<Addr>(pp.arrayElems) * 8 +
+                    0x1000;
+            outArr = table + 8 * 8 + 0x1000;
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    // Values arranged in long single-value runs: a value predictor
+    // with slow-training confidence (VTAGE) covers the run interiors;
+    // an address predictor covers almost nothing (every x address is
+    // new). The loaded value feeds a translate-table lookup, so
+    // covering x collapses the critical path — this is the workload
+    // family where VTAGE beats DLVP (nat, hmmer, libquantum).
+    std::size_t i = 0;
+    while (i < p.arrayElems) {
+        const std::uint64_t v = init.below(8);
+        const std::size_t run = p.runLen / 2 + init.below(p.runLen);
+        for (std::size_t r = 0; r < run && i < p.arrayElems; ++r, ++i)
+            mem.write(st->xArr + i * 8, v, 8);
+    }
+    for (unsigned k = 0; k < 8; ++k)
+        mem.write(st->table + k * 8, 0x1000 + k * 0x77, 8);
+    for (std::size_t k = 0; k < p.arrayElems; ++k)
+        mem.write(st->outArr + k * 8, 0, 8);
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        // The walk is serially dependent: each element's *value* is
+        // the step to the next element's *address*. Covering the load
+        // value (VTAGE can: values sit in long runs) collapses the
+        // chain; covering the address (PAP cannot: each address is
+        // fresh within a pass) is impossible.
+        while (ctx.emitted() < stop_at) {
+            const unsigned i = st->i;
+            const std::uint64_t xv =
+                ctx.mem().read(st->xArr + i * 8, 8);
+            const unsigned step = 1 + static_cast<unsigned>(xv & 7);
+            st->i = (st->i + step) % st->p.arrayElems;
+            Val pv = ctx.alu(S + 0, st->xArr + i * 8, st->posVal);
+            Val x = ctx.load(S + 1, st->xArr + i * 8, pv);
+            Val sv = ctx.alu(S + 2, step, x);
+            st->posVal = ctx.alu(S + 3, st->i, st->posVal, sv);
+            // The translate index mixes the position: the table
+            // address changes per step (no address predictor covers
+            // it), keeping this squarely value-predictor territory.
+            const unsigned tidx =
+                static_cast<unsigned>((xv ^ i) & 7);
+            Val y = ctx.load(S + 5, st->table + tidx * 8, sv);
+            Val s2 = ctx.alu(S + 6, (xv + y.v) >> 1, x, y);
+            ctx.store(S + 7, st->outArr + i * 8, s2.v, pv, s2);
+            // Independent per-element work: widens the non-chain part
+            // of the loop so the walker chain doesn't dominate
+            // everything (tunes the attainable speedup).
+            for (unsigned w = 0; w < st->p.workPerElem; ++w)
+                ctx.fp(S + 10 + static_cast<int>(w),
+                       xv * (w + 3), x, y);
+            ctx.condBranch(S + 8, true, s2, S + 0);
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// packetRouter
+// ---------------------------------------------------------------------
+
+KernelRun
+preparePacketRouter(KernelCtx &ctx, const PacketRouterParams &p,
+                    int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        PacketRouterParams p;
+        int S;
+        Addr heap;
+        Addr ring, trie, nextHops;
+        std::vector<std::uint32_t> flows;
+        std::vector<unsigned> sched;
+        std::size_t pos = 0;
+        Rng rng;
+
+        State(KernelCtx &c, const PacketRouterParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase4(sb) + 0x1000000),
+              rng(pp.seed ^ 0x44)
+        {
+            ring = heap;
+            trie = heap + 0x1000;
+            nextHops = heap + 0x200000;
+        }
+
+        /** Trie node address for a flow at a level. */
+        Addr
+        nodeAddr(std::uint32_t flow, unsigned level) const
+        {
+            const std::uint32_t nib = (flow >> (level * 8)) & 0xff;
+            return trie + (static_cast<Addr>(level) << 13) + nib * 16;
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    st->flows.resize(p.numFlows);
+    for (auto &f : st->flows)
+        f = static_cast<std::uint32_t>(init.next64());
+    // Many flows share few next hops: values repeat more than
+    // addresses (the Figure 2 gap).
+    for (unsigned h = 0; h < p.numNextHops; ++h)
+        mem.write(st->nextHops + h * 8, 0xbeef0000u + h * 0x101, 8);
+    for (const auto f : st->flows) {
+        for (unsigned l = 0; l < p.trieLevels; ++l)
+            mem.write(st->nodeAddr(f, l) + 0,
+                      l + 1 < p.trieLevels
+                          ? st->nodeAddr(f, l + 1)
+                          : st->nextHops +
+                                (f % p.numNextHops) * 8,
+                      8);
+    }
+    // Repeating skewed packet schedule.
+    st->sched.resize(128);
+    for (auto &s : st->sched) {
+        const auto r = init.below(100);
+        s = static_cast<unsigned>(
+            r < 70 ? init.below(p.numFlows / 4)
+                   : init.below(p.numFlows));
+    }
+    for (std::size_t i = 0; i < st->sched.size(); ++i)
+        mem.write(st->ring + i * 4, st->flows[st->sched[i]], 4);
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        while (ctx.emitted() < stop_at) {
+            const std::uint32_t flow =
+                st->flows[st->sched[st->pos]];
+            const Addr ra = st->ring + st->pos * 4;
+            st->pos = (st->pos + 1) % st->sched.size();
+            Val pa = ctx.imm(S + 0, ra);
+            Val fv = ctx.load(S + 1, ra, pa, 4);
+            Val cur = fv;
+            for (unsigned l = 0; l < st->p.trieLevels; ++l) {
+                // Flow-bit branch writes flow identity into the path.
+                const bool odd = ((flow >> l) & 1) != 0;
+                ctx.condBranch(S + 4 + static_cast<int>(l) * 8, odd,
+                               cur, S + 8 + static_cast<int>(l) * 8);
+                const Addr na = st->nodeAddr(flow, l);
+                if (odd)
+                    cur = ctx.load(S + 9 + static_cast<int>(l) * 8,
+                                   na, cur);
+                else
+                    cur = ctx.load(S + 6 + static_cast<int>(l) * 8,
+                                   na, cur);
+            }
+            // cur now points at the next-hop entry; load it.
+            Val hop = ctx.load(S + 40, cur.v, cur);
+            ctx.alu(S + 41, hop.v + 1, hop);
+            Val c = ctx.alu(S + 42, st->pos, pa);
+            ctx.condBranch(S + 43, true, c, S + 0);
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// dspFilter
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareDspFilter(KernelCtx &ctx, const DspFilterParams &p, int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        DspFilterParams p;
+        int S;
+        Addr heap;
+        Addr coeffs, buf, out;
+        unsigned i = 0;
+        unsigned samplesSinceAdapt = 0;
+        Rng rng;
+
+        State(KernelCtx &c, const DspFilterParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase4(sb) + 0x2000000),
+              rng(pp.seed ^ 0x55)
+        {
+            coeffs = heap;
+            buf = heap + 0x1000;
+            out = heap + 0x2000;
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    for (unsigned t = 0; t < p.taps; ++t)
+        mem.write(st->coeffs + t * 8, 1 + init.below(100), 8);
+    for (unsigned i = 0; i < p.bufferLen; ++i)
+        mem.write(st->buf + i * 8, init.below(4096), 8);
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        const unsigned taps = st->p.taps;
+        while (ctx.emitted() < stop_at) {
+            const unsigned i = st->i;
+            st->i = (st->i + 1) % st->p.bufferLen;
+            Val iv = ctx.imm(S + 0, i);
+            Val acc = ctx.imm(S + 1, 0);
+            // Fully unrolled taps: each coefficient load is a distinct
+            // static load with a *fixed* address — the easiest possible
+            // PAP targets (confident after 8 samples).
+            for (unsigned t = 0; t < taps; t += 2) {
+                Val c0, c1;
+                if (st->p.useVld) {
+                    auto pr = ctx.loadVector(
+                        S + 8 + static_cast<int>(t) * 4, // VLD pair
+                        st->coeffs + t * 8, iv);
+                    c0 = pr.first;
+                    c1 = pr.second;
+                } else {
+                    c0 = ctx.load(S + 8 + static_cast<int>(t) * 4,
+                                  st->coeffs + t * 8, iv);
+                    c1 = ctx.load(S + 9 + static_cast<int>(t) * 4,
+                                  st->coeffs + (t + 1) * 8, iv);
+                }
+                const unsigned s0 = (i + st->p.bufferLen - t) %
+                                    st->p.bufferLen;
+                const unsigned s1 = (i + st->p.bufferLen - t - 1) %
+                                    st->p.bufferLen;
+                Val x0 = ctx.load(S + 10 + static_cast<int>(t) * 4,
+                                  st->buf + s0 * 8, iv);
+                Val x1 = ctx.load(S + 11 + static_cast<int>(t) * 4,
+                                  st->buf + s1 * 8, iv);
+                // FP sites live above every load site so deep-tap
+                // configurations (taps up to 16) cannot collide.
+                Val m0 = ctx.fp(S + 96 + static_cast<int>(t),
+                                c0.v * x0.v, c0, x0);
+                Val m1 = ctx.fp(S + 97 + static_cast<int>(t),
+                                c1.v * x1.v, c1, x1);
+                Val s = ctx.fp(S + 112 + static_cast<int>(t) / 2,
+                               m0.v + m1.v, m0, m1);
+                acc = ctx.fp(S + 120 + static_cast<int>(t) / 2,
+                             acc.v + s.v, acc, s);
+            }
+            ctx.store(S + 72, st->out + (i % st->p.bufferLen) * 8,
+                      acc.v, iv, acc);
+            // Write the new input sample into the circular buffer.
+            const std::uint64_t nin = st->rng.below(4096);
+            Val niv = ctx.alu(S + 73, nin, iv);
+            ctx.store(S + 74, st->buf + i * 8, nin, iv, niv);
+            ++st->samplesSinceAdapt;
+            if (st->p.adaptRate > 0.0 &&
+                st->samplesSinceAdapt >=
+                    static_cast<unsigned>(1.0 / st->p.adaptRate)) {
+                // Block-style LMS retrain burst: update every
+                // coefficient, then spin a settling loop long enough
+                // that the stores commit before the next sample's
+                // coefficient loads probe the cache. VTAGE still goes
+                // stale (one flush per confident coefficient per
+                // burst); DLVP reads the committed cache and stays
+                // correct.
+                st->samplesSinceAdapt = 0;
+                for (unsigned t = 0; t < taps; ++t) {
+                    const Addr ca = st->coeffs + t * 8;
+                    const std::uint64_t nv =
+                        ctx.mem().read(ca, 8) + 1 +
+                        st->rng.below(3);
+                    Val cav = ctx.imm(S + 75, ca);
+                    Val nvv = ctx.alu(S + 76, nv, cav);
+                    ctx.store(S + 77, ca, nv, cav, nvv);
+                }
+                // Settle for ~300 micro-ops so the burst's stores
+                // leave the (224-entry) window before the next
+                // sample's coefficient loads are fetched and probed:
+                // four interleaved accumulator chains keep it cheap.
+                Val spin[4] = {ctx.imm(S + 81, 0), ctx.imm(S + 81, 1),
+                               ctx.imm(S + 81, 2), ctx.imm(S + 81, 3)};
+                for (unsigned k = 0; k < 300; ++k) {
+                    spin[k & 3] = ctx.alu(S + 82 + (k & 7),
+                                          spin[k & 3].v + k,
+                                          spin[k & 3]);
+                }
+            }
+            Val c = ctx.alu(S + 79, st->i, iv);
+            ctx.condBranch(S + 80, true, c, S + 0);
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// matrix
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareMatrix(KernelCtx &ctx, const MatrixParams &p, int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        MatrixParams p;
+        int S;
+        Addr heap;
+        Addr a, b, c;
+        unsigned i = 0, j = 0;
+
+        State(KernelCtx &cx, const MatrixParams &pp, int sb)
+            : ctx(cx), p(pp), S(sb), heap(heapBase4(sb) + 0x3000000)
+        {
+            const Addr msize = static_cast<Addr>(pp.n) * pp.n * 8;
+            a = heap;
+            b = a + msize + 0x100;
+            c = b + msize + 0x100;
+        }
+
+        Addr at(Addr m, unsigned r, unsigned col) const
+        {
+            return m + (static_cast<Addr>(r) * p.n + col) * 8;
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    for (unsigned r = 0; r < p.n; ++r) {
+        for (unsigned col = 0; col < p.n; ++col) {
+            mem.write(st->at(st->a, r, col), init.below(100), 8);
+            mem.write(st->at(st->b, r, col), init.below(100), 8);
+            mem.write(st->at(st->c, r, col), 0, 8);
+        }
+    }
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        const unsigned n = st->p.n;
+        while (ctx.emitted() < stop_at) {
+            const unsigned i = st->i, j = st->j;
+            st->j = (st->j + 1) % n;
+            if (st->j == 0)
+                st->i = (st->i + 1) % n;
+            Val iv = ctx.imm(S + 0, i * n + j);
+            Val acc = ctx.imm(S + 1, 0);
+            for (unsigned k = 0; k < n; k += 2) {
+                Val a0 = ctx.load(S + 4, st->at(st->a, i, k), iv);
+                Val b0 = ctx.load(S + 5, st->at(st->b, k, j), iv);
+                Val m0 = ctx.fp(S + 6, a0.v * b0.v, a0, b0);
+                Val a1 = ctx.load(S + 8, st->at(st->a, i, k + 1), iv);
+                Val b1 = ctx.load(S + 9, st->at(st->b, k + 1, j), iv);
+                Val m1 = ctx.fp(S + 10, a1.v * b1.v, a1, b1);
+                Val s = ctx.fp(S + 11, m0.v + m1.v, m0, m1);
+                acc = ctx.fp(S + 12, acc.v + s.v, acc, s);
+                Val ck = ctx.alu(S + 13, k, iv);
+                ctx.condBranch(S + 14, k + 2 < n, ck, S + 4);
+            }
+            ctx.store(S + 16, st->at(st->c, i, j), acc.v, iv, acc);
+        }
+    };
+}
+
+} // namespace dlvp::trace::kernels

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Interpreter-flavored kernels: interpreter, stateMachine, stringOps.
+ *
+ * The interpreter is the perlbmk/JS analogue: indirect dispatch whose
+ * target sequence repeats (ITTAGE-friendly with history), VM stack
+ * traffic whose pops conflict with in-flight pushes (LSCD territory),
+ * globals that are read often but written rarely (committed conflicts
+ * DLVP survives and VTAGE does not), and a hard data-dependent branch
+ * whose operand load DLVP resolves early (the 71% mechanism).
+ */
+
+#include "kernels.hh"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dlvp::trace::kernels
+{
+
+namespace
+{
+
+Addr
+heapBase2(int site_base)
+{
+    return 0x40000000 + static_cast<Addr>(site_base + 1) * 0x2000000;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// interpreter
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+enum VmOp : unsigned
+{
+    kPushC = 0,
+    kPushG,
+    kPopG,
+    kAdd,
+    kXor,
+    kJlt,
+    kCallH,
+    kHard,
+    kUpd,
+    kNumVmOps,
+};
+
+} // namespace
+
+KernelRun
+prepareInterpreter(KernelCtx &ctx, const InterpreterParams &p,
+                   int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        InterpreterParams p;
+        int S;
+        Addr heap;
+        Addr bc, globals, pool, stack, frames;
+        std::vector<unsigned> program;   ///< opcode per position
+        std::vector<unsigned> operand;   ///< operand per position
+        std::vector<unsigned> jumpTo;    ///< JLT taken target position
+        unsigned vmPc = 0;
+        unsigned sp = 0;                 ///< VM stack pointer (slots)
+        unsigned callDepth = 0;
+        Rng rng;
+
+        State(KernelCtx &c, const InterpreterParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase2(sb)), rng(pp.seed ^ 0x77)
+        {
+            bc = heap;
+            globals = heap + 0x1000;
+            pool = heap + 0x2000;
+            stack = heap + 0x3000;
+            frames = heap + 0x4000;
+        }
+
+        /**
+         * Handler-load site for opcode @p h, slot @p j: the site parity
+         * equals bit j of the opcode, so the two or three loads in a
+         * handler write the opcode identity into the load-path history.
+         */
+        int
+        hsite(unsigned h, unsigned j) const
+        {
+            return S + 64 + static_cast<int>(h) * 32 +
+                   static_cast<int>(2 * j) +
+                   static_cast<int>((h >> j) & 1);
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    for (unsigned g = 0; g < 16; ++g)
+        mem.write(st->globals + g * 8, init.below(1000), 8);
+    for (unsigned k = 0; k < 16; ++k)
+        mem.write(st->pool + k * 8, init.next64() & 0xffff, 8);
+
+    st->program.resize(p.programLen);
+    st->operand.resize(p.programLen);
+    st->jumpTo.resize(p.programLen);
+    // Weighted opcode mix: stack ops dominate; HARD appears with
+    // probability hardBranchRate; UPD (noisy-global writer) is rare.
+    for (unsigned i = 0; i < p.programLen; ++i) {
+        unsigned op;
+        const double r = init.uniform();
+        if (r < 0.22)
+            op = kPushC;
+        else if (r < 0.38)
+            op = kPushG;
+        else if (r < 0.46)
+            op = kPopG;
+        else if (r < 0.60)
+            op = kAdd;
+        else if (r < 0.70)
+            op = kXor;
+        else if (r < 0.78)
+            op = kJlt;
+        else if (r < 0.78 + 0.04)
+            op = p.useLdm ? kCallH : kAdd;
+        else if (r < 0.78 + 0.04 + p.hardBranchRate * 0.15)
+            op = kHard;
+        else
+            op = kPushC;
+        st->program[i] = op;
+        st->operand[i] = static_cast<unsigned>(init.below(16));
+        st->jumpTo[i] = static_cast<unsigned>(init.below(p.programLen));
+    }
+    // Exactly one UPD site per pass keeps noisy-global rewrites
+    // committed (not in flight) by the time readers reload them.
+    st->program[p.programLen / 2] = kUpd;
+    for (unsigned i = 0; i < p.programLen; ++i)
+        mem.write(st->bc + i, st->program[i], 1);
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        auto stackAddr = [st](unsigned slot) {
+            return st->stack + (slot % 64) * 8;
+        };
+        while (ctx.emitted() < stop_at) {
+            const unsigned pos = st->vmPc;
+            const unsigned op = st->program[pos];
+            const unsigned arg = st->operand[pos];
+            // ---- dispatch ----
+            Val vpc = ctx.imm(S + 0, pos);
+            Val opv = ctx.load(S + 1, st->bc + pos, vpc, 1);
+            Val tgt = ctx.alu(S + 2, op * 32, opv);
+            ctx.indirectJump(S + 3, st->hsite(op, 0), tgt);
+            unsigned next = (pos + 1) % st->program.size();
+            // ---- handlers ----
+            switch (op) {
+              case kPushC: {
+                Val c = ctx.load(st->hsite(op, 0), st->pool + arg * 8,
+                                 tgt);
+                Val sa = ctx.imm(st->hsite(op, 3) + 1, stackAddr(st->sp));
+                ctx.store(st->hsite(op, 3) + 2, stackAddr(st->sp), c.v,
+                          sa, c);
+                st->sp++;
+                break;
+              }
+              case kPushG: {
+                Val g = ctx.load(st->hsite(op, 0),
+                                 st->globals + arg * 8, tgt);
+                Val sa = ctx.imm(st->hsite(op, 3) + 1, stackAddr(st->sp));
+                ctx.store(st->hsite(op, 3) + 2, stackAddr(st->sp), g.v,
+                          sa, g);
+                st->sp++;
+                break;
+              }
+              case kPopG: {
+                if (st->sp == 0)
+                    break;
+                st->sp--;
+                Val sa = ctx.imm(st->hsite(op, 3) + 1, stackAddr(st->sp));
+                // Pop: usually conflicts with an in-flight push.
+                Val v = ctx.load(st->hsite(op, 0), stackAddr(st->sp), sa);
+                ctx.store(st->hsite(op, 3) + 2, st->globals + arg * 8,
+                          v.v, sa, v);
+                break;
+              }
+              case kAdd:
+              case kXor: {
+                if (st->sp < 2)
+                    break;
+                Val sa = ctx.imm(st->hsite(op, 3) + 1,
+                                 stackAddr(st->sp - 1));
+                Val a = ctx.load(st->hsite(op, 0),
+                                 stackAddr(st->sp - 1), sa);
+                Val b = ctx.load(st->hsite(op, 1),
+                                 stackAddr(st->sp - 2), sa);
+                const std::uint64_t r =
+                    op == kAdd ? a.v + b.v : a.v ^ b.v;
+                Val res = ctx.alu(st->hsite(op, 3) + 2, r, a, b);
+                ctx.store(st->hsite(op, 3) + 3, stackAddr(st->sp - 2), r,
+                          sa, res);
+                st->sp--;
+                break;
+              }
+              case kJlt: {
+                if (st->sp == 0)
+                    break;
+                st->sp--;
+                Val sa = ctx.imm(st->hsite(op, 3) + 1,
+                                 stackAddr(st->sp));
+                Val v = ctx.load(st->hsite(op, 0), stackAddr(st->sp), sa);
+                Val thr = ctx.load(st->hsite(op, 1),
+                                   st->globals + 0, sa);
+                const bool taken = (v.v & 0xffff) < (thr.v & 0xffff);
+                Val cmp = ctx.alu(st->hsite(op, 3) + 2,
+                                  taken ? 1 : 0, v, thr);
+                ctx.condBranch(st->hsite(op, 3) + 3, taken, cmp, S + 0);
+                if (taken)
+                    next = st->jumpTo[pos];
+                break;
+              }
+              case kCallH: {
+                // Frame save/restore: LDM reload of freshly stored,
+                // changing values — the §5.2.2 VTAGE pain point.
+                const Addr fr = st->frames + (st->callDepth & 1) * 64;
+                Val fp = ctx.imm(st->hsite(op, 3) + 1, fr);
+                Val t = tgt;
+                for (unsigned r = 0; r < 4; ++r) {
+                    t = ctx.alu(st->hsite(op, 3) + 2 +
+                                static_cast<int>(r),
+                                t.v * 7 + r, t);
+                    ctx.store(st->hsite(op, 3) + 6 +
+                              static_cast<int>(r),
+                              fr + r * 8, t.v, fp, t);
+                }
+                Val w = ctx.alu(st->hsite(op, 3) + 10, t.v + 3, t);
+                auto regs = ctx.loadMulti(st->hsite(op, 0), fr, fp, 4);
+                ctx.alu(st->hsite(op, 3) + 11, regs[0].v + w.v,
+                        regs[0], w);
+                st->callDepth++;
+                break;
+              }
+              case kHard: {
+                // Load the noisy global and branch on it: TAGE sees a
+                // coin flip. The address register comes off a short
+                // dependence chain, so without value prediction the
+                // load issues late and the branch resolves later
+                // still; DLVP delivers the value at rename and the
+                // branch resolves immediately — the perlbmk effect.
+                Val ga = ctx.alu(st->hsite(op, 3) + 1,
+                                 st->globals + 15 * 8, tgt);
+                for (unsigned k = 0; k < 10; ++k)
+                    ga = ctx.alu(st->hsite(op, 3) + 4 +
+                                 static_cast<int>(k & 7),
+                                 st->globals + 15 * 8, ga);
+                Val v = ctx.load(st->hsite(op, 0),
+                                 st->globals + 15 * 8, ga);
+                const bool taken = (v.v & 1) != 0;
+                Val c = ctx.alu(st->hsite(op, 3) + 2, taken ? 1 : 0, v);
+                ctx.condBranch(st->hsite(op, 3) + 3, taken, c, S + 0);
+                break;
+              }
+              case kUpd: {
+                // Rewrite the noisy global once per pass: by the time
+                // any HARD handler reloads it, the store has committed.
+                const std::uint64_t nv = st->rng.next64();
+                Val ga = ctx.imm(st->hsite(op, 3) + 1,
+                                 st->globals + 15 * 8);
+                Val nvv = ctx.alu(st->hsite(op, 3) + 2, nv, ga);
+                ctx.store(st->hsite(op, 0), st->globals + 15 * 8, nv,
+                          ga, nvv);
+                break;
+              }
+              default:
+                break;
+            }
+            // ---- back edge ----
+            ctx.directJump(st->hsite(op, 3) + 15, S + 0);
+            st->vmPc = next;
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// stateMachine
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareStateMachine(KernelCtx &ctx, const StateMachineParams &p,
+                    int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        StateMachineParams p;
+        int S;
+        Addr heap;
+        Addr trans, tape, weights;
+        unsigned cur = 0;
+        unsigned pos = 0;
+
+        State(KernelCtx &c, const StateMachineParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase2(sb) + 0x1000000)
+        {
+            trans = heap;
+            tape = heap + 0x10000;
+            weights = heap + 0x20000;
+        }
+
+        /** Per-state handler site with state-identity parity bits. */
+        int
+        hsite(unsigned state, unsigned j) const
+        {
+            return S + 32 + static_cast<int>(state) * 16 +
+                   static_cast<int>(2 * j) +
+                   static_cast<int>((state >> j) & 1);
+        }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    for (unsigned s = 0; s < p.numStates; ++s)
+        for (unsigned y = 0; y < p.numSymbols; ++y)
+            mem.write(st->trans + (s * p.numSymbols + y) * 8,
+                      init.below(p.numStates), 8);
+    for (unsigned i = 0; i < p.tapeLen; ++i)
+        mem.write(st->tape + i, init.below(p.numSymbols), 1);
+    for (unsigned s = 0; s < p.numStates; ++s)
+        mem.write(st->weights + s * 8, init.next64() & 0xff, 8);
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        while (ctx.emitted() < stop_at) {
+            const unsigned sym = static_cast<unsigned>(
+                ctx.mem().read(st->tape + st->pos, 1));
+            Val pp = ctx.imm(S + 0, st->pos);
+            Val sv = ctx.load(S + 1, st->tape + st->pos, pp, 1);
+            Val tv = ctx.alu(S + 2, st->cur * 16, sv);
+            ctx.indirectJump(S + 3, st->hsite(st->cur, 0), tv);
+            // Per-state handler: transition load + weight load.
+            const Addr taddr =
+                st->trans + (st->cur * st->p.numSymbols + sym) * 8;
+            Val nsv = ctx.load(st->hsite(st->cur, 0), taddr, sv);
+            Val wv = ctx.load(st->hsite(st->cur, 1),
+                              st->weights + st->cur * 8, tv);
+            Val acc = ctx.alu(st->hsite(st->cur, 3) + 1,
+                              nsv.v + wv.v, nsv, wv);
+            ctx.condBranch(st->hsite(st->cur, 3) + 2,
+                           (sym & 1) != 0, sv, S + 0);
+            ctx.directJump(st->hsite(st->cur, 3) + 3, S + 0);
+            (void)acc;
+            st->cur = static_cast<unsigned>(nsv.v) % st->p.numStates;
+            st->pos = (st->pos + 1) % st->p.tapeLen;
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// stringOps
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareStringOps(KernelCtx &ctx, const StringOpsParams &p, int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        StringOpsParams p;
+        int S;
+        Addr heap;
+        Addr table; ///< string pointer table
+        std::vector<unsigned> lens;
+        std::vector<std::pair<unsigned, unsigned>> sched;
+        std::size_t pos = 0;
+        Rng rng;
+
+        State(KernelCtx &c, const StringOpsParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), heap(heapBase2(sb) + 0x2000000),
+              rng(pp.seed ^ 0x99)
+        {
+            table = heap;
+        }
+
+        Addr strAddr(unsigned i) const { return heap + 0x1000 + i * 64; }
+    };
+
+    auto st = std::make_shared<State>(ctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = ctx.mem();
+    st->lens.resize(p.numStrings);
+    for (unsigned i = 0; i < p.numStrings; ++i) {
+        const unsigned len = p.avgLen / 2 +
+            static_cast<unsigned>(init.below(p.avgLen));
+        st->lens[i] = len;
+        mem.write(st->table + i * 8, st->strAddr(i), 8);
+        for (unsigned b = 0; b < len; ++b)
+            mem.write(st->strAddr(i) + b,
+                      'a' + init.below(6), 1);
+    }
+    // A repeating schedule of compare pairs; adjacent strings share
+    // prefixes often thanks to the tiny alphabet.
+    for (unsigned k = 0; k < 32; ++k)
+        st->sched.emplace_back(
+            static_cast<unsigned>(init.below(p.numStrings)),
+            static_cast<unsigned>(init.below(p.numStrings)));
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const int S = st->S;
+        while (ctx.emitted() < stop_at) {
+            auto [ia, ib] = st->sched[st->pos];
+            st->pos = (st->pos + 1) % st->sched.size();
+            // Load the two string pointers from the table: stable
+            // addresses, path-predictable per schedule position.
+            Val ta = ctx.imm(S + 0, st->table + ia * 8);
+            Val pa = ctx.load(S + 1, st->table + ia * 8, ta);
+            Val tb = ctx.imm(S + 2, st->table + ib * 8);
+            Val pb = ctx.load(S + 3, st->table + ib * 8, tb);
+            const unsigned len = std::min(st->lens[ia], st->lens[ib]);
+            // Byte-compare loop, unrolled by two.
+            unsigned i = 0;
+            for (; i < len; i += 2) {
+                Val a0 = ctx.load(S + 8, pa.v + i, pa, 1);
+                Val b0 = ctx.load(S + 9, pb.v + i, pb, 1);
+                const bool diff0 = a0.v != b0.v;
+                Val c0 = ctx.alu(S + 10, diff0 ? 1 : 0, a0, b0);
+                ctx.condBranch(S + 11, diff0, c0, S + 20);
+                if (diff0)
+                    break;
+                if (i + 1 >= len)
+                    break;
+                Val a1 = ctx.load(S + 12, pa.v + i + 1, pa, 1);
+                Val b1 = ctx.load(S + 13, pb.v + i + 1, pb, 1);
+                const bool diff1 = a1.v != b1.v;
+                Val c1 = ctx.alu(S + 14, diff1 ? 1 : 0, a1, b1);
+                ctx.condBranch(S + 15, diff1, c1, S + 20);
+                if (diff1)
+                    break;
+                Val cont = ctx.alu(S + 16, i + 2, c1);
+                ctx.condBranch(S + 17, i + 2 < len, cont, S + 8);
+            }
+            // S+20: epilogue; occasionally copy a over b (mutation:
+            // later compares of b reload changed bytes).
+            if (st->rng.chance(st->p.copyRate)) {
+                const unsigned n = std::min(st->lens[ia], st->lens[ib]);
+                for (unsigned b = 0; b < n; b += 2) {
+                    Val v = ctx.load(S + 21, pa.v + b, pa, 2);
+                    ctx.store(S + 22, pb.v + b, v.v, pb, v, 2);
+                }
+            }
+            ctx.alu(S + 24, i, pa);
+        }
+    };
+}
+
+} // namespace dlvp::trace::kernels

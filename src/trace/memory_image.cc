@@ -1,0 +1,119 @@
+#include "memory_image.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dlvp::trace
+{
+
+MemoryImage::MemoryImage(const MemoryImage &other)
+{
+    *this = other;
+}
+
+MemoryImage &
+MemoryImage::operator=(const MemoryImage &other)
+{
+    if (this == &other)
+        return *this;
+    pages_.clear();
+    pages_.reserve(other.pages_.size());
+    for (const auto &kv : other.pages_)
+        pages_.emplace(kv.first, std::make_unique<Page>(*kv.second));
+    return *this;
+}
+
+MemoryImage::Page *
+MemoryImage::getPage(Addr page_addr, bool allocate)
+{
+    auto it = pages_.find(page_addr);
+    if (it != pages_.end())
+        return it->second.get();
+    if (!allocate)
+        return nullptr;
+    auto page = std::make_unique<Page>();
+    page->fill(0);
+    Page *raw = page.get();
+    pages_.emplace(page_addr, std::move(page));
+    return raw;
+}
+
+const MemoryImage::Page *
+MemoryImage::findPage(Addr page_addr) const
+{
+    auto it = pages_.find(page_addr);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t
+MemoryImage::readByte(Addr addr) const
+{
+    const Page *p = findPage(addr & ~(kPageSize - 1));
+    if (p == nullptr)
+        return 0;
+    return (*p)[addr & (kPageSize - 1)];
+}
+
+void
+MemoryImage::writeByte(Addr addr, std::uint8_t b)
+{
+    Page *p = getPage(addr & ~(kPageSize - 1), true);
+    (*p)[addr & (kPageSize - 1)] = b;
+}
+
+std::uint64_t
+MemoryImage::read(Addr addr, unsigned size) const
+{
+    dlvp_assert(size >= 1 && size <= 8);
+    // Fast path: within one page.
+    const Addr page_addr = addr & ~(kPageSize - 1);
+    if (((addr + size - 1) & ~(kPageSize - 1)) == page_addr) {
+        const Page *p = findPage(page_addr);
+        if (p == nullptr)
+            return 0;
+        std::uint64_t v = 0;
+        const unsigned off = addr & (kPageSize - 1);
+        for (unsigned i = 0; i < size; ++i)
+            v |= static_cast<std::uint64_t>((*p)[off + i]) << (8 * i);
+        return v;
+    }
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+MemoryImage::write(Addr addr, std::uint64_t value, unsigned size)
+{
+    dlvp_assert(size >= 1 && size <= 8);
+    const Addr page_addr = addr & ~(kPageSize - 1);
+    if (((addr + size - 1) & ~(kPageSize - 1)) == page_addr) {
+        Page *p = getPage(page_addr, true);
+        const unsigned off = addr & (kPageSize - 1);
+        for (unsigned i = 0; i < size; ++i)
+            (*p)[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        return;
+    }
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+MemoryImage::forEachPage(
+    const std::function<void(Addr, const std::uint8_t *)> &fn) const
+{
+    for (const auto &kv : pages_)
+        fn(kv.first, kv.second->data());
+}
+
+void
+MemoryImage::installPage(Addr page_addr, const std::uint8_t *bytes)
+{
+    dlvp_assert((page_addr & (kPageSize - 1)) == 0);
+    Page *p = getPage(page_addr, true);
+    std::copy(bytes, bytes + kPageSize, p->begin());
+}
+
+} // namespace dlvp::trace

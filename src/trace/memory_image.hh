@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sparse byte-addressable memory image.
+ *
+ * The simulator keeps two of these: one updated in program order (the
+ * architectural image defining load values) and one updated at store
+ * commit time (the image a DLVP cache probe observes). The difference
+ * between the two *is* the in-flight-store staleness the paper's LSCD
+ * suppresses.
+ */
+
+#ifndef DLVP_TRACE_MEMORY_IMAGE_HH
+#define DLVP_TRACE_MEMORY_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace dlvp::trace
+{
+
+/**
+ * Page-granular sparse memory. Unwritten bytes read as zero.
+ * Copyable (pages are deep-copied) so a trace can snapshot its initial
+ * image.
+ */
+class MemoryImage
+{
+  public:
+    static constexpr unsigned kPageBits = 12;
+    static constexpr Addr kPageSize = Addr{1} << kPageBits;
+
+    MemoryImage() = default;
+    MemoryImage(const MemoryImage &other);
+    MemoryImage &operator=(const MemoryImage &other);
+    MemoryImage(MemoryImage &&) = default;
+    MemoryImage &operator=(MemoryImage &&) = default;
+
+    /** Read @p size bytes (1..8) little-endian; may cross pages. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes (1..8) of @p value; may cross pages. */
+    void write(Addr addr, std::uint64_t value, unsigned size);
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t b);
+
+    /** Number of populated pages (for footprint reporting). */
+    std::size_t numPages() const { return pages_.size(); }
+
+    /** Total populated bytes. */
+    std::size_t footprintBytes() const { return pages_.size() * kPageSize; }
+
+    /** Visit every populated page (order unspecified). */
+    void forEachPage(
+        const std::function<void(Addr, const std::uint8_t *)> &fn) const;
+
+    /** Install a whole page of raw bytes at @p page_addr (aligned). */
+    void installPage(Addr page_addr, const std::uint8_t *bytes);
+
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageSize>;
+
+    /** unique_ptr keeps the map nodes small and makes moves cheap. */
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    Page *getPage(Addr page_addr, bool allocate);
+    const Page *findPage(Addr page_addr) const;
+};
+
+} // namespace dlvp::trace
+
+#endif // DLVP_TRACE_MEMORY_IMAGE_HH

@@ -1,0 +1,118 @@
+#include "profilers.hh"
+
+#include <unordered_map>
+
+#include "common/bits.hh"
+#include "common/stats.hh"
+
+namespace dlvp::trace
+{
+
+namespace
+{
+
+/** Key for per-(PC, value) and per-(PC, addr) occurrence counting. */
+std::uint64_t
+pairKey(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a) ^ (b * 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace
+
+ConflictProfile
+profileConflicts(const Trace &trace, unsigned window)
+{
+    ConflictProfile prof;
+
+    // Last read index per (static load, location) pair — the paper's
+    // definition is per memory location ("two dynamic instances of the
+    // same static load read the same memory location"), not per
+    // consecutive instance — and last store index per 8-byte-aligned
+    // chunk of memory.
+    std::unordered_map<std::uint64_t, std::uint64_t> last_read;
+    std::unordered_map<Addr, std::uint64_t> last_store;
+    last_read.reserve(1 << 16);
+    last_store.reserve(1 << 16);
+
+    for (std::size_t i = 0; i < trace.insts.size(); ++i) {
+        const TraceInst &inst = trace.insts[i];
+        if (inst.isStore() || inst.cls == OpClass::Atomic) {
+            const Addr lo = inst.memAddr & ~Addr{7};
+            const Addr hi = (inst.memAddr + inst.memSize - 1) & ~Addr{7};
+            for (Addr c = lo; c <= hi; c += 8)
+                last_store[c] = i;
+        }
+        if (!inst.isLoad())
+            continue;
+        ++prof.dynamicLoads;
+        const std::uint64_t key = pairKey(inst.pc, inst.memAddr);
+        auto it_prev = last_read.find(key);
+        if (it_prev != last_read.end()) {
+            // This static load read this location before: did any
+            // store touch it in between?
+            const std::uint64_t prev = it_prev->second;
+            const Addr lo = inst.memAddr & ~Addr{7};
+            const Addr hi = (inst.memAddr + inst.loadBytes() - 1) &
+                            ~Addr{7};
+            std::uint64_t newest = 0;
+            bool hit = false;
+            for (Addr c = lo; c <= hi; c += 8) {
+                auto it = last_store.find(c);
+                if (it != last_store.end() && it->second > prev) {
+                    hit = true;
+                    newest = std::max(newest, it->second);
+                }
+            }
+            if (hit) {
+                if (i - newest <= window)
+                    ++prof.inflightConflicts;
+                else
+                    ++prof.committedConflicts;
+            }
+        }
+        last_read[key] = i;
+    }
+    return prof;
+}
+
+RepeatabilityProfile
+profileRepeatability(const Trace &trace)
+{
+    RepeatabilityProfile prof;
+    constexpr unsigned kBuckets = 11; // thresholds 2^0 .. 2^10
+
+    Histogram addr_hist(kBuckets + 1);
+    Histogram val_hist(kBuckets + 1);
+
+    std::unordered_map<std::uint64_t, std::uint32_t> addr_count;
+    std::unordered_map<std::uint64_t, std::uint32_t> val_count;
+    addr_count.reserve(1 << 16);
+    val_count.reserve(1 << 16);
+
+    MemoryImage mem = trace.initialImage;
+    for (const TraceInst &inst : trace.insts) {
+        if (inst.isStore() || inst.cls == OpClass::Atomic)
+            mem.write(inst.memAddr, inst.storeValue, inst.memSize);
+        if (!inst.isLoad())
+            continue;
+        ++prof.dynamicLoads;
+        const std::uint64_t value = mem.read(inst.memAddr, inst.memSize);
+        const auto ka = ++addr_count[pairKey(inst.pc, inst.memAddr)];
+        const auto kv = ++val_count[pairKey(inst.pc, value)];
+        addr_hist.sample(ka);
+        val_hist.sample(kv);
+    }
+
+    prof.fractionAddrAtLeast.resize(kBuckets);
+    prof.fractionValueAtLeast.resize(kBuckets);
+    for (unsigned k = 0; k < kBuckets; ++k) {
+        prof.fractionAddrAtLeast[k] =
+            addr_hist.fractionAtLeast(std::uint64_t{1} << k);
+        prof.fractionValueAtLeast[k] =
+            val_hist.fractionAtLeast(std::uint64_t{1} << k);
+    }
+    return prof;
+}
+
+} // namespace dlvp::trace

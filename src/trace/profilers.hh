@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Trace analysis passes behind Figures 1 and 2 of the paper.
+ */
+
+#ifndef DLVP_TRACE_PROFILERS_HH
+#define DLVP_TRACE_PROFILERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace dlvp::trace
+{
+
+/**
+ * Figure 1: fraction of dynamic loads that consume a value produced by
+ * a store executed since the prior dynamic instance of that load
+ * (same static load, same address), split by whether the conflicting
+ * store would still be in flight when the load is fetched.
+ */
+struct ConflictProfile
+{
+    std::uint64_t dynamicLoads = 0;
+    std::uint64_t committedConflicts = 0; ///< Load -> Store -> Load
+    std::uint64_t inflightConflicts = 0;  ///< store still in the window
+
+    double
+    committedFraction() const
+    {
+        return dynamicLoads == 0 ? 0.0 :
+            static_cast<double>(committedConflicts) / dynamicLoads;
+    }
+
+    double
+    inflightFraction() const
+    {
+        return dynamicLoads == 0 ? 0.0 :
+            static_cast<double>(inflightConflicts) / dynamicLoads;
+    }
+
+    double
+    totalFraction() const
+    {
+        return committedFraction() + inflightFraction();
+    }
+};
+
+/**
+ * @param window Instructions a store stays "in flight" after issue;
+ *               the paper's ROB size (224) is the natural choice.
+ */
+ConflictProfile profileConflicts(const Trace &trace,
+                                 unsigned window = 224);
+
+/**
+ * Figure 2: breakdown of dynamic loads according to how often the
+ * observed address (or value) has repeated for that static load.
+ * fractionAddrAtLeast[k] is the fraction of dynamic loads whose
+ * current address had been observed >= 2^k times (including this
+ * occurrence); same for values.
+ */
+struct RepeatabilityProfile
+{
+    std::uint64_t dynamicLoads = 0;
+    /** Index k corresponds to the threshold 2^k, k = 0..10. */
+    std::vector<double> fractionAddrAtLeast;
+    std::vector<double> fractionValueAtLeast;
+};
+
+RepeatabilityProfile profileRepeatability(const Trace &trace);
+
+} // namespace dlvp::trace
+
+#endif // DLVP_TRACE_PROFILERS_HH

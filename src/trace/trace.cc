@@ -1,0 +1,50 @@
+#include "trace.hh"
+
+namespace dlvp::trace
+{
+
+TraceMix
+Trace::mix() const
+{
+    TraceMix m;
+    m.total = insts.size();
+    for (const auto &inst : insts) {
+        if (inst.isLoad()) {
+            ++m.loads;
+            m.loadDestRegs += inst.numDests;
+            if (inst.loadKind != LoadKind::Simple)
+                ++m.multiDestLoads;
+        } else if (inst.isStore()) {
+            ++m.stores;
+        } else if (inst.isControl()) {
+            ++m.branches;
+            if (inst.cls == OpClass::CondBranch) {
+                ++m.condBranches;
+                if (inst.taken)
+                    ++m.takenBranches;
+            } else {
+                ++m.takenBranches;
+            }
+        }
+    }
+    return m;
+}
+
+std::size_t
+Trace::verifyReplay() const
+{
+    MemoryImage mem = initialImage;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const TraceInst &inst = insts[i];
+        if (inst.isLoad()) {
+            const std::uint64_t v = mem.read(inst.memAddr, inst.memSize);
+            if (v != inst.destValue)
+                return i;
+        } else if (inst.isStore() || inst.cls == OpClass::Atomic) {
+            mem.write(inst.memAddr, inst.storeValue, inst.memSize);
+        }
+    }
+    return insts.size();
+}
+
+} // namespace dlvp::trace

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A complete committed-path trace: the dynamic micro-op stream plus the
+ * initial memory image it executes against.
+ */
+
+#ifndef DLVP_TRACE_TRACE_HH
+#define DLVP_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hh"
+#include "trace/memory_image.hh"
+
+namespace dlvp::trace
+{
+
+/** Aggregate mix statistics over a trace. */
+struct TraceMix
+{
+    std::uint64_t total = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t takenBranches = 0;
+    std::uint64_t multiDestLoads = 0; ///< LDP + LDM + VLD
+    std::uint64_t loadDestRegs = 0;   ///< total destination regs on loads
+};
+
+class Trace
+{
+  public:
+    Trace() = default;
+
+    std::string name;
+    std::string suite;
+
+    /** Memory contents before the first instruction executes. */
+    MemoryImage initialImage;
+
+    std::vector<TraceInst> insts;
+
+    std::size_t size() const { return insts.size(); }
+    bool empty() const { return insts.empty(); }
+    const TraceInst &operator[](std::size_t i) const { return insts[i]; }
+
+    TraceMix mix() const;
+
+    /**
+     * Functional self-check: replay the trace against the initial
+     * image and verify every load's recorded expected value matches
+     * what program-order store replay produces.
+     *
+     * @return index of first mismatching instruction, or size() if OK.
+     */
+    std::size_t verifyReplay() const;
+};
+
+} // namespace dlvp::trace
+
+#endif // DLVP_TRACE_TRACE_HH

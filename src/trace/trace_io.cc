@@ -1,0 +1,175 @@
+#include "trace_io.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace dlvp::trace
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'D', 'L', 'V', 'P', 'T', 'R', 'C', '1'};
+
+template <typename T>
+void
+put(std::ostream &os, T v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+bool
+get(std::istream &is, T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(is);
+}
+
+void
+putString(std::ostream &os, const std::string &s)
+{
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool
+getString(std::istream &is, std::string &s)
+{
+    std::uint32_t n = 0;
+    if (!get(is, n) || n > (1u << 20))
+        return false;
+    s.resize(n);
+    is.read(s.data(), n);
+    return static_cast<bool>(is);
+}
+
+void
+putInst(std::ostream &os, const TraceInst &i)
+{
+    put<std::uint64_t>(os, i.pc);
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(i.cls));
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(i.loadKind));
+    put<std::uint8_t>(os, i.numSrcs);
+    for (unsigned k = 0; k < kMaxSrcs; ++k)
+        put<std::uint8_t>(os, i.srcs[k]);
+    put<std::uint8_t>(os, i.numDests);
+    put<std::uint8_t>(os, i.destBase);
+    put<std::uint8_t>(os, i.memSize);
+    put<std::uint64_t>(os, i.memAddr);
+    put<std::uint64_t>(os, i.storeValue);
+    put<std::uint64_t>(os, i.destValue);
+    put<std::uint64_t>(os, i.branchTarget);
+    put<std::uint8_t>(os, i.taken ? 1 : 0);
+}
+
+bool
+getInst(std::istream &is, TraceInst &i)
+{
+    std::uint8_t cls = 0, kind = 0, taken = 0;
+    bool ok = get(is, i.pc) && get(is, cls) && get(is, kind) &&
+              get(is, i.numSrcs);
+    for (unsigned k = 0; ok && k < kMaxSrcs; ++k)
+        ok = get(is, i.srcs[k]);
+    ok = ok && get(is, i.numDests) && get(is, i.destBase) &&
+         get(is, i.memSize) && get(is, i.memAddr) &&
+         get(is, i.storeValue) && get(is, i.destValue) &&
+         get(is, i.branchTarget) && get(is, taken);
+    if (!ok)
+        return false;
+    i.cls = static_cast<OpClass>(cls);
+    i.loadKind = static_cast<LoadKind>(kind);
+    i.taken = taken != 0;
+    return true;
+}
+
+} // namespace
+
+bool
+saveTrace(const Trace &trace, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    putString(os, trace.name);
+    putString(os, trace.suite);
+
+    // Pages, sorted by address so the file is deterministic.
+    std::vector<std::pair<Addr, const std::uint8_t *>> pages;
+    trace.initialImage.forEachPage(
+        [&pages](Addr a, const std::uint8_t *p) {
+            pages.emplace_back(a, p);
+        });
+    std::sort(pages.begin(), pages.end());
+    put<std::uint64_t>(os, pages.size());
+    for (const auto &[addr, bytes] : pages) {
+        put<std::uint64_t>(os, addr);
+        os.write(reinterpret_cast<const char *>(bytes),
+                 MemoryImage::kPageSize);
+    }
+
+    put<std::uint64_t>(os, trace.insts.size());
+    for (const auto &inst : trace.insts)
+        putInst(os, inst);
+    return static_cast<bool>(os);
+}
+
+bool
+loadTrace(Trace &trace, std::istream &is)
+{
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return false;
+    if (!getString(is, trace.name) || !getString(is, trace.suite))
+        return false;
+
+    trace.initialImage.clear();
+    std::uint64_t num_pages = 0;
+    if (!get(is, num_pages))
+        return false;
+    std::vector<std::uint8_t> page(MemoryImage::kPageSize);
+    for (std::uint64_t p = 0; p < num_pages; ++p) {
+        Addr addr = 0;
+        if (!get(is, addr))
+            return false;
+        is.read(reinterpret_cast<char *>(page.data()),
+                MemoryImage::kPageSize);
+        if (!is)
+            return false;
+        trace.initialImage.installPage(addr, page.data());
+    }
+
+    std::uint64_t count = 0;
+    if (!get(is, count))
+        return false;
+    trace.insts.clear();
+    trace.insts.reserve(count);
+    for (std::uint64_t k = 0; k < count; ++k) {
+        TraceInst inst;
+        if (!getInst(is, inst))
+            return false;
+        trace.insts.push_back(inst);
+    }
+    return true;
+}
+
+bool
+saveTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    return os && saveTrace(trace, os);
+}
+
+bool
+loadTraceFile(Trace &trace, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is && loadTrace(trace, is);
+}
+
+} // namespace dlvp::trace

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Trace serialization: save a generated trace (including its initial
+ * memory image) to a compact binary file and load it back. Lets
+ * expensive workloads be generated once and replayed across tools,
+ * the way ChampSim-style trace files work.
+ *
+ * Format (little-endian, versioned):
+ *   magic "DLVPTRC1" | name | suite |
+ *   page count | { page address | 4096 raw bytes } * |
+ *   instruction count | TraceRecord *
+ */
+
+#ifndef DLVP_TRACE_TRACE_IO_HH
+#define DLVP_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace dlvp::trace
+{
+
+/** Serialize @p trace to @p os. Returns false on I/O failure. */
+bool saveTrace(const Trace &trace, std::ostream &os);
+
+/** Save to a file path. */
+bool saveTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Deserialize a trace from @p is. Returns false on I/O failure or a
+ * malformed/mismatched header; @p trace is unspecified on failure.
+ */
+bool loadTrace(Trace &trace, std::istream &is);
+
+/** Load from a file path. */
+bool loadTraceFile(Trace &trace, const std::string &path);
+
+} // namespace dlvp::trace
+
+#endif // DLVP_TRACE_TRACE_IO_HH

@@ -1,0 +1,292 @@
+#include "workloads.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace dlvp::trace
+{
+
+using namespace kernels;
+
+namespace
+{
+
+/** Single-kernel recipe helper. */
+template <typename Params, typename PrepareFn>
+WorkloadSpec
+single(std::string name, std::string suite, std::string desc,
+       PrepareFn prepare_fn, Params params)
+{
+    WorkloadSpec spec;
+    spec.name = std::move(name);
+    spec.suite = std::move(suite);
+    spec.description = std::move(desc);
+    spec.prepare = [prepare_fn, params](KernelCtx &ctx,
+                                        std::vector<KernelRun> &runs) {
+        runs.push_back(prepare_fn(ctx, params, 0));
+    };
+    return spec;
+}
+
+/** Two-kernel recipe helper (phased interleave). */
+template <typename P1, typename F1, typename P2, typename F2>
+WorkloadSpec
+mixed(std::string name, std::string suite, std::string desc,
+      F1 f1, P1 p1, F2 f2, P2 p2)
+{
+    WorkloadSpec spec;
+    spec.name = std::move(name);
+    spec.suite = std::move(suite);
+    spec.description = std::move(desc);
+    spec.prepare = [f1, p1, f2, p2](KernelCtx &ctx,
+                                    std::vector<KernelRun> &runs) {
+        runs.push_back(f1(ctx, p1, 0));
+        runs.push_back(f2(ctx, p2, 20000));
+    };
+    return spec;
+}
+
+std::vector<WorkloadSpec>
+makeRegistry()
+{
+    std::vector<WorkloadSpec> ws;
+
+    // ---- SPEC2K analogues ----
+    ws.push_back(single("gzip", "SPEC2K",
+        "LZ-style frequency counting over runs of symbols",
+        prepareCompressor,
+        CompressorParams{64, 4096, 400, std::size_t{1} << 18, 101}));
+    ws.push_back(single("vpr", "SPEC2K",
+        "netlist graph traversal with placement mutations",
+        preparePointerChase, PointerChaseParams{64, 64, 0.08, 0.6, 102}));
+    ws.push_back(mixed("gcc", "SPEC2K",
+        "table-driven parsing plus symbol-table lookups",
+        prepareStateMachine, StateMachineParams{16, 8, 256, 103},
+        prepareHashTable, HashTableParams{64, 48, 0.04, 1103}));
+    ws.push_back(single("mcf", "SPEC2K",
+        "network-simplex arc-list chase with a large footprint",
+        preparePointerChase,
+        PointerChaseParams{160, 192, 0.06, 0.8, 104}));
+    ws.push_back(single("crafty", "SPEC2K",
+        "move generator helpers called from many sites",
+        prepareCallSites, CallSitesParams{16, 32, 0.002, true, 105}));
+    ws.push_back(mixed("parser", "SPEC2K",
+        "dictionary lookups with string comparisons",
+        prepareHashTable, HashTableParams{64, 40, 0.05, 106},
+        prepareStringOps, StringOpsParams{24, 20, 0.15, 1106}));
+    ws.push_back(single("perlbmk", "SPEC2K",
+        "opcode-dispatched interpreter with value-dependent branches",
+        prepareInterpreter, InterpreterParams{96, true, 0.5, 107}));
+    ws.push_back(single("vortex", "SPEC2K",
+        "object database with frequent insertions",
+        prepareHashTable, HashTableParams{96, 64, 0.08, 108}));
+    ws.push_back(single("bzip2", "SPEC2K",
+        "block-sort frequency tables over a large footprint",
+        prepareCompressor,
+        CompressorParams{256, 4096, 300, std::size_t{1} << 20, 109}));
+    ws.push_back(mixed("twolf", "SPEC2K",
+        "placement helpers plus small numeric blocks",
+        prepareCallSites, CallSitesParams{12, 24, 0.002, true, 110},
+        prepareMatrix, MatrixParams{16, 8, 1110}));
+
+    // ---- SPEC2K6 analogues ----
+    ws.push_back(single("soplex", "SPEC2K6",
+        "sparse LP solver gathers over a 2MB vector",
+        prepareSparseSolver,
+        SparseSolverParams{128, 12, std::size_t{1} << 21, 201}));
+    ws.push_back(mixed("h264ref", "SPEC2K6",
+        "motion-estimation gathers plus filtering",
+        prepareSparseSolver,
+        SparseSolverParams{96, 8, std::size_t{1} << 19, 202},
+        prepareDspFilter, DspFilterParams{8, 64, false, 0.02, 1202}));
+    ws.push_back(single("hmmer", "SPEC2K6",
+        "profile-HMM striped sweeps with long value runs",
+        prepareStrideSweep, StrideSweepParams{6144, 768, 22, 203}));
+    ws.push_back(single("libquantum", "SPEC2K6",
+        "gate sweeps over a quantum register with huge value runs",
+        prepareStrideSweep, StrideSweepParams{8192, 2048, 18, 204}));
+    ws.push_back(single("omnetpp", "SPEC2K6",
+        "event-list traversal with frequent mutation",
+        preparePointerChase,
+        PointerChaseParams{96, 96, 0.08, 1.0, 205}));
+    ws.push_back(single("astar", "SPEC2K6",
+        "open-list walk with relinks",
+        preparePointerChase,
+        PointerChaseParams{128, 64, 0.05, 1.0, 206}));
+    ws.push_back(mixed("sjeng", "SPEC2K6",
+        "game-tree recursion over a transposition FSM",
+        prepareRecursion, RecursionParams{6, 6, 4, 207},
+        prepareStateMachine, StateMachineParams{16, 8, 192, 1207}));
+    ws.push_back(single("gobmk", "SPEC2K6",
+        "deep board-evaluation recursion with LDM frames",
+        prepareRecursion, RecursionParams{7, 8, 3, 208}));
+    ws.push_back(mixed("xalancbmk", "SPEC2K6",
+        "DOM tree walks plus rule-table lookups",
+        preparePointerChase,
+        PointerChaseParams{80, 64, 0.06, 0.3, 209},
+        prepareHashTable, HashTableParams{64, 56, 0.03, 1209}));
+
+    ws.push_back(mixed("povray", "SPEC2K6",
+        "scene-graph index lookups plus shading arithmetic",
+        prepareBtree, BtreeParams{8, 96, 64, 0.02, 210},
+        prepareMatrix, MatrixParams{16, 8, 1210}));
+
+    // ---- EEMBC analogues ----
+    ws.push_back(single("aifirf", "EEMBC",
+        "adaptive FIR filter with fixed coefficient addresses",
+        prepareDspFilter, DspFilterParams{8, 64, true, 0.02, 301}));
+    ws.push_back(single("autcor", "EEMBC",
+        "autocorrelation over a circular buffer",
+        prepareDspFilter, DspFilterParams{16, 96, false, 0.0, 302}));
+    ws.push_back(single("nat", "EEMBC",
+        "address-translation sweeps with highly repetitive values",
+        prepareStrideSweep, StrideSweepParams{6144, 1024, 14, 303}));
+    ws.push_back(single("routelookup", "EEMBC",
+        "trie-based route lookups for a recurring flow set",
+        preparePacketRouter, PacketRouterParams{32, 3, 4, 304}));
+    ws.push_back(single("ospf", "EEMBC",
+        "shortest-path table walks over a larger flow set",
+        preparePacketRouter, PacketRouterParams{64, 3, 8, 305}));
+    ws.push_back(single("idctrn", "EEMBC",
+        "small fixed-size inverse DCT blocks",
+        prepareMatrix, MatrixParams{12, 4, 306}));
+    ws.push_back(single("viterb", "EEMBC",
+        "viterbi decoder trellis as a compact FSM",
+        prepareStateMachine, StateMachineParams{8, 4, 128, 307}));
+
+    ws.push_back(single("text01", "EEMBC",
+        "table-driven text parsing",
+        prepareScanner, ScannerParams{8, 256, 5, 308}));
+
+    // ---- other applications ----
+    ws.push_back(single("linpack", "Other",
+        "dense blocked linear algebra",
+        prepareMatrix, MatrixParams{32, 8, 401}));
+    ws.push_back(mixed("mplayer", "Other",
+        "codec filters plus bitstream sweeps",
+        prepareDspFilter, DspFilterParams{12, 64, true, 0.02, 402},
+        prepareStrideSweep, StrideSweepParams{2048, 96, 3, 1402}));
+    ws.push_back(mixed("browsermark", "Other",
+        "script interpretation plus DOM-ish tables",
+        prepareInterpreter, InterpreterParams{112, true, 0.25, 403},
+        prepareHashTable, HashTableParams{64, 48, 0.05, 1403}));
+
+    ws.push_back(single("vortex2", "SPEC2K",
+        "ordered object index with updates (B-tree descent)",
+        prepareBtree, BtreeParams{8, 64, 48, 0.05, 113}));
+    ws.push_back(mixed("eqntott", "SPEC2K",
+        "expression scanning over truth tables",
+        prepareScanner, ScannerParams{12, 384, 6, 114},
+        prepareStateMachine, StateMachineParams{16, 8, 192, 1114}));
+    ws.push_back(single("eon", "SPEC2K",
+        "object-graph tracing with a slowly mutating heap",
+        prepareGcMark, GcMarkParams{96, 2, 0.01, 111}));
+    ws.push_back(mixed("gap", "SPEC2K",
+        "workspace GC plus interpreter dispatch",
+        prepareGcMark, GcMarkParams{64, 2, 0.02, 112},
+        prepareInterpreter, InterpreterParams{80, true, 0.2, 1112}));
+
+    // ---- Javascript analogues ----
+    ws.push_back(mixed("pdfjs", "JS",
+        "PDF object-graph walks driven by an interpreter",
+        prepareInterpreter, InterpreterParams{128, true, 0.2, 501},
+        preparePointerChase,
+        PointerChaseParams{64, 64, 0.06, 0.3, 1501}));
+    ws.push_back(single("avmshell", "JS",
+        "ActionScript-style VM with moderate branch noise",
+        prepareInterpreter, InterpreterParams{96, true, 0.15, 502}));
+    ws.push_back(mixed("sunspider", "JS",
+        "short scripted kernels with recursion",
+        prepareInterpreter, InterpreterParams{64, true, 0.3, 503},
+        prepareRecursion, RecursionParams{6, 4, 3, 1503}));
+    ws.push_back(mixed("dromaeo", "JS",
+        "DOM/string-heavy scripted benchmark",
+        prepareInterpreter, InterpreterParams{96, false, 0.25, 504},
+        prepareStringOps, StringOpsParams{32, 24, 0.2, 1504}));
+    ws.push_back(mixed("jsonparse", "JS",
+        "tokenizing plus object-index construction",
+        prepareScanner, ScannerParams{12, 320, 6, 507},
+        prepareBtree, BtreeParams{8, 64, 40, 0.08, 1507}));
+    ws.push_back(mixed("v8heap", "JS",
+        "generational-GC marking behind a script engine",
+        prepareGcMark, GcMarkParams{128, 2, 0.01, 506},
+        prepareInterpreter, InterpreterParams{96, true, 0.2, 1506}));
+    ws.push_back(mixed("scimark", "JS",
+        "numeric JS kernels: FFT-ish sweeps and dense blocks",
+        prepareMatrix, MatrixParams{24, 8, 505},
+        prepareStrideSweep, StrideSweepParams{3072, 128, 3, 1505}));
+
+    return ws;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+WorkloadRegistry::all()
+{
+    static const std::vector<WorkloadSpec> registry = makeRegistry();
+    return registry;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names()
+{
+    std::vector<std::string> ns;
+    for (const auto &w : all())
+        ns.push_back(w.name);
+    return ns;
+}
+
+const WorkloadSpec &
+WorkloadRegistry::find(const std::string &name)
+{
+    for (const auto &w : all())
+        if (w.name == name)
+            return w;
+    dlvp_fatal("unknown workload '%s'", name.c_str());
+}
+
+Trace
+WorkloadRegistry::build(const std::string &name, std::size_t num_insts)
+{
+    const WorkloadSpec &spec = find(name);
+    Trace t;
+    t.name = spec.name;
+    t.suite = spec.suite;
+
+    // Deterministic per-workload seed derived from the name.
+    std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+    for (const char c : spec.name)
+        seed = mix64(seed ^ static_cast<std::uint64_t>(c));
+
+    KernelCtx ctx(t, seed);
+    std::vector<KernelRun> runs;
+    spec.prepare(ctx, runs);
+    dlvp_assert(!runs.empty());
+    ctx.sealInitialImage();
+
+    if (runs.size() == 1) {
+        runs[0](num_insts);
+    } else {
+        // Interleave phases so mixed workloads alternate behaviours
+        // the way real applications interleave subsystems.
+        const std::size_t phase = std::max<std::size_t>(
+            20000, num_insts / (runs.size() * 8));
+        std::size_t next = 0;
+        while (ctx.emitted() < num_insts) {
+            for (auto &run : runs) {
+                next = std::min(num_insts, ctx.emitted() + phase);
+                run(next);
+                if (ctx.emitted() >= num_insts)
+                    break;
+            }
+        }
+    }
+    if (t.insts.size() > num_insts)
+        t.insts.resize(num_insts);
+    return t;
+}
+
+} // namespace dlvp::trace

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Workload registry: the Table 3 analogue.
+ *
+ * Each entry carries the paper benchmark's name, its suite, and a
+ * recipe mapping it onto one or two kernels with specific parameters.
+ * The workloads are synthetic analogues (see DESIGN.md §2): the names
+ * indicate which paper benchmark's characteristic behaviour each
+ * recipe imitates, not that the original binary is executed.
+ */
+
+#ifndef DLVP_TRACE_WORKLOADS_HH
+#define DLVP_TRACE_WORKLOADS_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/kernels.hh"
+#include "trace/trace.hh"
+
+namespace dlvp::trace
+{
+
+/** A named benchmark recipe. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::string suite;
+    std::string description;
+
+    /**
+     * Prepare all kernels of the workload on @p ctx and append their
+     * run closures to @p runs. The builder seals the image and then
+     * interleaves the closures.
+     */
+    std::function<void(KernelCtx &ctx,
+                       std::vector<kernels::KernelRun> &runs)> prepare;
+};
+
+class WorkloadRegistry
+{
+  public:
+    /** All registered workloads, in suite order (Table 3). */
+    static const std::vector<WorkloadSpec> &all();
+
+    /** Names only, in registry order. */
+    static std::vector<std::string> names();
+
+    /** Look a workload up by name; fatal if unknown. */
+    static const WorkloadSpec &find(const std::string &name);
+
+    /**
+     * Build a trace of exactly @p num_insts micro-ops for the named
+     * workload. Multiple kernels are interleaved in phases.
+     */
+    static Trace build(const std::string &name, std::size_t num_insts);
+};
+
+} // namespace dlvp::trace
+
+#endif // DLVP_TRACE_WORKLOADS_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for TAGE, ITTAGE, RAS, and the MDP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pred/btb.hh"
+#include "pred/ittage.hh"
+#include "pred/mdp.hh"
+#include "pred/ras.hh"
+#include "pred/tage.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::pred;
+
+TEST(Tage, LearnsBias)
+{
+    Tage t({});
+    const Addr pc = 0x400100;
+    std::uint64_t ghr = 0;
+    for (int i = 0; i < 64; ++i) {
+        t.update(pc, ghr, true);
+        ghr = (ghr << 1) | 1;
+    }
+    EXPECT_TRUE(t.predict(pc, ghr));
+}
+
+TEST(Tage, LearnsAlternating)
+{
+    // T/N/T/N requires one bit of history — beyond a bimodal table.
+    Tage t({});
+    const Addr pc = 0x400200;
+    std::uint64_t ghr = 0;
+    bool taken = false;
+    for (int i = 0; i < 400; ++i) {
+        taken = !taken;
+        t.update(pc, ghr, taken);
+        ghr = (ghr << 1) | (taken ? 1 : 0);
+    }
+    int correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        taken = !taken;
+        if (t.predict(pc, ghr) == taken)
+            ++correct;
+        t.update(pc, ghr, taken);
+        ghr = (ghr << 1) | (taken ? 1 : 0);
+    }
+    EXPECT_GT(correct, 95);
+}
+
+TEST(Tage, LearnsLongPattern)
+{
+    // Period-12 pattern: needs several history bits.
+    Tage t({});
+    const Addr pc = 0x400300;
+    const bool pattern[12] = {1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0};
+    std::uint64_t ghr = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const bool taken = pattern[i % 12];
+        t.update(pc, ghr, taken);
+        ghr = (ghr << 1) | (taken ? 1 : 0);
+    }
+    int correct = 0;
+    for (int i = 0; i < 240; ++i) {
+        const bool taken = pattern[i % 12];
+        if (t.predict(pc, ghr) == taken)
+            ++correct;
+        t.update(pc, ghr, taken);
+        ghr = (ghr << 1) | (taken ? 1 : 0);
+    }
+    EXPECT_GT(correct, 228) << "period-12 pattern should be learnable";
+}
+
+TEST(Tage, StorageBudget)
+{
+    Tage t({});
+    // Default config: bimodal 8k x 2b + 6 x 1024 x 16b = ~16KB+.
+    EXPECT_GT(t.storageBits(), 100000u);
+    EXPECT_LT(t.storageBits(), 400000u);
+}
+
+TEST(Ittage, LearnsMonomorphicTarget)
+{
+    Ittage it({});
+    const Addr pc = 0x400400;
+    for (int i = 0; i < 10; ++i)
+        it.update(pc, 0, 0x500000);
+    EXPECT_EQ(it.predict(pc, 0), 0x500000u);
+}
+
+TEST(Ittage, LearnsHistoryCorrelatedTargets)
+{
+    // Target alternates with the history: base table alone fails,
+    // tagged tables disambiguate.
+    Ittage it({});
+    const Addr pc = 0x400500;
+    std::uint64_t hist = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr tgt = (i % 2) ? 0x500000 : 0x600000;
+        it.update(pc, hist, tgt);
+        hist = Ittage::advanceHistory(hist, tgt);
+    }
+    int correct = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Addr tgt = (i % 2) ? 0x500000 : 0x600000;
+        if (it.predict(pc, hist) == tgt)
+            ++correct;
+        it.update(pc, hist, tgt);
+        hist = Ittage::advanceHistory(hist, tgt);
+    }
+    EXPECT_GT(correct, 190);
+}
+
+TEST(Ittage, ColdPredictsZero)
+{
+    Ittage it({});
+    EXPECT_EQ(it.predict(0x400600, 0), 0u);
+}
+
+TEST(Ras, PushPopLifo)
+{
+    Ras r;
+    r.push(0x100);
+    r.push(0x200);
+    EXPECT_EQ(r.pop(), 0x200u);
+    EXPECT_EQ(r.pop(), 0x100u);
+}
+
+TEST(Ras, PeekDoesNotPop)
+{
+    Ras r;
+    r.push(0x100);
+    EXPECT_EQ(r.peek(), 0x100u);
+    EXPECT_EQ(r.pop(), 0x100u);
+}
+
+TEST(Ras, WrapsAtCapacity)
+{
+    Ras r;
+    for (unsigned i = 0; i <= Ras::kEntries; ++i)
+        r.push(0x1000 + i * 4);
+    // The oldest entry was overwritten; the newest pops fine.
+    EXPECT_EQ(r.pop(), 0x1000u + Ras::kEntries * 4);
+}
+
+TEST(Ras, SnapshotRestoresPush)
+{
+    Ras r;
+    r.push(0x100);
+    const auto snap = r.snapshot();
+    r.push(0x200);
+    r.restore(snap);
+    EXPECT_EQ(r.pop(), 0x100u);
+}
+
+TEST(Ras, SnapshotRestoresPop)
+{
+    Ras r;
+    r.push(0x100);
+    r.push(0x200);
+    const auto snap = r.snapshot();
+    r.pop();
+    r.restore(snap);
+    EXPECT_EQ(r.pop(), 0x200u);
+    EXPECT_EQ(r.pop(), 0x100u);
+}
+
+TEST(Btb, MissThenHit)
+{
+    Btb b;
+    EXPECT_FALSE(b.lookup(0x400100).hit);
+    b.update(0x400100, 0x500000);
+    const auto r = b.lookup(0x400100);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(r.target, 0x500000u);
+}
+
+TEST(Btb, TagRejectsAliases)
+{
+    Btb b;
+    b.update(0x400100, 0x500000);
+    // Same index (4k entries), different tag.
+    const Addr alias = 0x400100 + (1ull << 14) * 4;
+    const auto r = b.lookup(alias);
+    EXPECT_FALSE(r.hit && r.target == 0x500000);
+}
+
+TEST(Btb, Retargets)
+{
+    Btb b;
+    b.update(0x400100, 0x500000);
+    b.update(0x400100, 0x600000);
+    EXPECT_EQ(b.lookup(0x400100).target, 0x600000u);
+}
+
+TEST(Mdp, DefaultNoWait)
+{
+    Mdp m;
+    EXPECT_FALSE(m.shouldWait(0x400100));
+}
+
+TEST(Mdp, ViolationSetsWaitBit)
+{
+    Mdp m;
+    m.recordViolation(0x400100);
+    EXPECT_TRUE(m.shouldWait(0x400100));
+    EXPECT_FALSE(m.shouldWait(0x400104)) << "different PC";
+    EXPECT_EQ(m.violations(), 1u);
+}
+
+TEST(Mdp, PeriodicClear)
+{
+    Mdp m(11, 100); // clear every 100 accesses
+    m.recordViolation(0x400100);
+    for (int i = 0; i < 99; ++i)
+        m.shouldWait(0x400200);
+    // The 100th access triggers the clear.
+    EXPECT_FALSE(m.shouldWait(0x400100));
+}
+
+} // namespace

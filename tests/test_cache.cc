@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using mem::Cache;
+using mem::CacheParams;
+
+CacheParams
+smallCache()
+{
+    return {"test", 1024, 2, 64, 2}; // 8 sets x 2 ways x 64B
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x103f)); // same block
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SetIndexing)
+{
+    Cache c(smallCache());
+    // 8 sets, 64B blocks: addresses 0x0 and 0x200 map to the same set
+    // (0x200 = 8 * 64), different tags.
+    c.access(0x0);
+    c.access(0x200);
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_TRUE(c.contains(0x200));
+    // Third distinct tag in the same 2-way set evicts the LRU (0x0).
+    c.access(0x400);
+    EXPECT_FALSE(c.contains(0x0));
+    EXPECT_TRUE(c.contains(0x200));
+    EXPECT_TRUE(c.contains(0x400));
+}
+
+TEST(Cache, LruPreservesRecentlyUsed)
+{
+    Cache c(smallCache());
+    c.access(0x0);
+    c.access(0x200);
+    c.access(0x0); // touch: 0x200 becomes LRU
+    c.access(0x400);
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_FALSE(c.contains(0x200));
+}
+
+TEST(Cache, WayOfTracksPlacement)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.wayOf(0x0), -1);
+    c.access(0x0);
+    const int w = c.wayOf(0x0);
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 2);
+    // Re-access must not move the block.
+    c.access(0x0);
+    EXPECT_EQ(c.wayOf(0x0), w);
+}
+
+TEST(Cache, ProbeDoesNotFill)
+{
+    Cache c(smallCache());
+    const auto r = c.probe(0x1000, -1);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(c.contains(0x1000));
+}
+
+TEST(Cache, ProbeHitsAndReportsWay)
+{
+    Cache c(smallCache());
+    c.access(0x1000);
+    const auto r = c.probe(0x1000, -1);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.way, c.wayOf(0x1000));
+}
+
+TEST(Cache, WayMispredictionDetected)
+{
+    Cache c(smallCache());
+    c.access(0x1000);
+    const int w = c.wayOf(0x1000);
+    const auto wrong = c.probe(0x1000, w ^ 1);
+    EXPECT_FALSE(wrong.hit);
+    EXPECT_TRUE(wrong.wayMispredict);
+    const auto right = c.probe(0x1000, w);
+    EXPECT_TRUE(right.hit);
+    EXPECT_FALSE(right.wayMispredict);
+}
+
+TEST(Cache, ProbeUpdatesLru)
+{
+    Cache c(smallCache());
+    c.access(0x0);
+    c.access(0x200);
+    c.probe(0x0, -1); // touch via probe
+    c.access(0x400);  // evicts 0x200, not 0x0
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_FALSE(c.contains(0x200));
+}
+
+TEST(Cache, FillInstalls)
+{
+    Cache c(smallCache());
+    const int w = c.fill(0x3000);
+    EXPECT_GE(w, 0);
+    EXPECT_TRUE(c.contains(0x3000));
+    EXPECT_EQ(c.hits(), 0u) << "fill is not a demand access";
+}
+
+TEST(Cache, Invalidate)
+{
+    Cache c(smallCache());
+    c.access(0x1000);
+    c.invalidate(0x1000);
+    EXPECT_FALSE(c.contains(0x1000));
+    c.invalidate(0x9999); // no-op on absent blocks
+}
+
+TEST(Cache, BlockAddrMasks)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.blockAddr(0x1234), 0x1200u);
+    EXPECT_EQ(c.blockAddr(0x1200), 0x1200u);
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    Cache c(smallCache());
+    c.access(0x1000);
+    c.resetStats();
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_TRUE(c.contains(0x1000));
+}
+
+/** Property: a direct-mapped cache holds exactly one tag per set. */
+TEST(Cache, DirectMappedConflicts)
+{
+    Cache c({"dm", 512, 1, 64, 1}); // 8 sets x 1 way
+    c.access(0x0);
+    c.access(0x200); // same set
+    EXPECT_FALSE(c.contains(0x0));
+    EXPECT_TRUE(c.contains(0x200));
+}
+
+/** Property: capacity is respected under random access streams. */
+class CacheCapacity : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheCapacity, NeverExceedsCapacity)
+{
+    const unsigned assoc = GetParam();
+    Cache c({"cap", 64 * 16 * assoc, assoc, 64, 1});
+    Rng rng(assoc);
+    // Access far more blocks than fit, then count residents.
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 500; ++i) {
+        const Addr a = rng.below(1 << 20) << 6;
+        c.access(a);
+        blocks.push_back(a);
+    }
+    unsigned resident = 0;
+    std::set<Addr> uniq(blocks.begin(), blocks.end());
+    for (const Addr a : uniq)
+        if (c.contains(a))
+            ++resident;
+    EXPECT_LE(resident, 16u * assoc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheCapacity,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+/**
+ * Property: an LRU cache of N blocks always hits on a cyclic working
+ * set of <= N blocks mapping to the same set, and always misses when
+ * the set is one larger than the associativity.
+ */
+TEST(Cache, LruCyclicSweep)
+{
+    Cache c({"lru", 4 * 64, 4, 64, 1}); // 1 set x 4 ways
+    for (int round = 0; round < 3; ++round)
+        for (Addr b = 0; b < 4; ++b)
+            c.access(b * 64);
+    EXPECT_EQ(c.misses(), 4u) << "only cold misses for a fitting set";
+
+    Cache c2({"lru2", 4 * 64, 4, 64, 1});
+    std::uint64_t misses_before = 0;
+    for (int round = 0; round < 3; ++round)
+        for (Addr b = 0; b < 5; ++b)
+            c2.access(b * 64);
+    misses_before = c2.misses();
+    EXPECT_EQ(misses_before, 15u)
+        << "LRU thrash: a 5-block cyclic sweep misses every time";
+}
+
+} // namespace

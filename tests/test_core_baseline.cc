@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Directed tests of the baseline out-of-order core: dependency
+ * timing, structural limits, branch recovery, memory ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "sim/configs.hh"
+#include "trace/kernel_ctx.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::trace;
+using core::CoreParams;
+using core::CoreStats;
+using core::OoOCore;
+
+CoreStats
+runBaseline(const Trace &t, CoreParams params = {})
+{
+    OoOCore c(params, sim::baselineVp(), t);
+    return c.run();
+}
+
+/** Emit n independent single-cycle ALU ops. */
+Trace
+independentAlus(int n)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    for (int i = 0; i < n; ++i)
+        ctx.imm(i % 64, i);
+    return t;
+}
+
+/** Emit a serial ALU dependency chain. */
+Trace
+serialAlus(int n)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    Val v = ctx.imm(0, 0);
+    for (int i = 1; i < n; ++i)
+        v = ctx.alu(i % 64, i, v);
+    return t;
+}
+
+TEST(CoreBaseline, CommitsEverything)
+{
+    const auto t = independentAlus(1000);
+    const auto s = runBaseline(t);
+    EXPECT_EQ(s.committedInsts, 1000u);
+    EXPECT_EQ(s.committedLoads, 0u);
+}
+
+TEST(CoreBaseline, IndependentAlusReachFetchWidth)
+{
+    const auto s = runBaseline(independentAlus(20000));
+    // 4-wide front-end; sites cycle through 64 PCs with no branches.
+    EXPECT_GT(s.ipc(), 3.4);
+    EXPECT_LE(s.ipc(), 4.01);
+}
+
+TEST(CoreBaseline, SerialChainIpcNearOne)
+{
+    const auto s = runBaseline(serialAlus(20000));
+    EXPECT_GT(s.ipc(), 0.9);
+    EXPECT_LT(s.ipc(), 1.15) << "a serial 1-cycle chain caps at 1 IPC";
+}
+
+TEST(CoreBaseline, DivLatencySlowsChain)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    Val v = ctx.imm(0, 1);
+    for (int i = 1; i < 4000; ++i)
+        v = ctx.div(i % 64, 1, v, v);
+    const auto s = runBaseline(t);
+    EXPECT_LT(s.ipc(), 0.12) << "12-cycle divides chained serially";
+}
+
+TEST(CoreBaseline, LoadToUseLatency)
+{
+    // load -> dependent alu chain: each link costs the full
+    // load-to-use latency (L1 2 + extra 2 = 4 cycles).
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x1000, 0x1000, 8); // self-pointer
+    ctx.sealInitialImage();
+    Val v = ctx.imm(0, 0x1000);
+    for (int i = 0; i < 4000; ++i)
+        v = ctx.load(4 + (i % 4) * 4, 0x1000, v);
+    const auto s = runBaseline(t);
+    const double cpl = static_cast<double>(s.cycles) / 4000;
+    EXPECT_GT(cpl, 3.5);
+    EXPECT_LT(cpl, 5.0);
+}
+
+TEST(CoreBaseline, PredictableBranchesAreCheap)
+{
+    // An always-taken loop branch: TAGE nails it; cost is only the
+    // taken-branch fetch break.
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 5000; ++i) {
+        Val a = ctx.imm(0, i);
+        Val b = ctx.alu(1, i + 1, a);
+        ctx.alu(2, i + 2, b);
+        ctx.condBranch(3, true, b, 0);
+    }
+    const auto s = runBaseline(t);
+    EXPECT_LT(s.branchMpki(), 3.0);
+    EXPECT_GT(s.ipc(), 2.5);
+}
+
+TEST(CoreBaseline, RandomBranchesCostFlushes)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    Rng rng(7);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 5000; ++i) {
+        Val a = ctx.imm(0, i);
+        ctx.condBranch(1, rng.chance(0.5), a, 0);
+        ctx.alu(2, i, a);
+        ctx.alu(3, i, a);
+    }
+    const auto s = runBaseline(t);
+    EXPECT_GT(s.branchMpki(), 80.0) << "coin flips defeat TAGE";
+    EXPECT_GT(s.branchFlushes, 1000u);
+    EXPECT_LT(s.ipc(), 1.0) << "mispredict penalty dominates";
+}
+
+TEST(CoreBaseline, RasMakesReturnsCheap)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 3000; ++i) {
+        ctx.call(0, 10);
+        ctx.alu(10, 1, Val{});
+        ctx.ret(11);
+        ctx.alu(1, 2, Val{}); // return lands here (site 0 + 1)
+    }
+    const auto s = runBaseline(t);
+    EXPECT_EQ(s.returnMispredicts, 0u);
+}
+
+TEST(CoreBaseline, StoreLoadForwarding)
+{
+    // store A; load A immediately: the load forwards from the store
+    // queue rather than waiting for commit.
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 2000; ++i) {
+        Val d = ctx.imm(0, i);
+        ctx.store(1, 0x2000, i, Val{}, d);
+        Val v = ctx.load(2, 0x2000, Val{});
+        ctx.alu(3, v.v, v);
+    }
+    const auto s = runBaseline(t);
+    EXPECT_EQ(s.committedInsts, 8000u);
+    // Forwarding keeps this reasonably fast despite the dependence.
+    EXPECT_GT(s.ipc(), 1.2);
+}
+
+TEST(CoreBaseline, MemoryOrderViolationTrainsMdp)
+{
+    // The store's data comes off a slow chain, so the dependent load
+    // races ahead on first encounters -> violation -> MDP learns.
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 3000; ++i) {
+        Val a = ctx.imm(0, i);
+        Val b = ctx.div(1, i, a, a); // slow data
+        ctx.store(2, 0x3000, i, Val{}, b);
+        Val v = ctx.load(3, 0x3000, Val{});
+        ctx.alu(4, v.v, v);
+    }
+    const auto s = runBaseline(t);
+    EXPECT_GT(s.memOrderFlushes, 0u);
+    // MDP converges: violations are a tiny fraction of iterations.
+    EXPECT_LT(s.memOrderFlushes, 300u);
+}
+
+TEST(CoreBaseline, BarrierOrdersMemoryOps)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 500; ++i) {
+        Val d = ctx.imm(0, i);
+        ctx.store(1, 0x4000, i, Val{}, d);
+        ctx.barrier(2);
+        Val v = ctx.load(3, 0x4000, Val{});
+        ctx.alu(4, v.v, v);
+    }
+    const auto s = runBaseline(t);
+    EXPECT_EQ(s.committedInsts, 2500u);
+    EXPECT_EQ(s.memOrderFlushes, 0u)
+        << "barrier-separated accesses cannot violate";
+}
+
+TEST(CoreBaseline, AtomicsExecute)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x5000, 0, 8);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 500; ++i) {
+        Val v = ctx.atomic(0, 0x5000, i + 1, Val{});
+        ctx.alu(1, v.v, v);
+    }
+    const auto s = runBaseline(t);
+    EXPECT_EQ(s.committedInsts, 1000u);
+}
+
+TEST(CoreBaseline, ColdMissesCostMemoryLatency)
+{
+    // Pointer chase over a large fresh region: every load is a cold
+    // miss feeding the next address.
+    Trace t;
+    KernelCtx ctx(t, 1);
+    const int n = 300;
+    for (int i = 0; i < n; ++i)
+        ctx.mem().write(0x100000 + i * 4096,
+                        0x100000 + (i + 1) * 4096, 8);
+    ctx.sealInitialImage();
+    Val v = ctx.imm(0, 0x100000);
+    Addr a = 0x100000;
+    for (int i = 0; i < n - 1; ++i) {
+        v = ctx.load(1, a, v);
+        a = v.v;
+    }
+    CoreParams params;
+    params.memory.enablePrefetcher = false; // isolate cold misses
+    const auto s = runBaseline(t, params);
+    const double cpl = static_cast<double>(s.cycles) / n;
+    EXPECT_GT(cpl, 200.0) << "serial cold misses pay DRAM latency";
+}
+
+TEST(CoreBaseline, WarmupRegionExcluded)
+{
+    const auto t = independentAlus(20000);
+    OoOCore c({}, sim::baselineVp(), t);
+    const auto s = c.run(10000);
+    EXPECT_EQ(s.committedInsts, 10000u)
+        << "stats cover only the measurement region";
+    EXPECT_GT(s.ipc(), 3.0);
+}
+
+TEST(CoreBaseline, DeterministicRuns)
+{
+    const auto t = serialAlus(5000);
+    const auto a = runBaseline(t);
+    const auto b = runBaseline(t);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(CoreBaseline, PrfReadsWritesCounted)
+{
+    const auto t = serialAlus(1000);
+    const auto s = runBaseline(t);
+    EXPECT_EQ(s.prfWrites, 1000u);
+    EXPECT_EQ(s.prfReads, 999u); // imm has no sources
+}
+
+} // namespace

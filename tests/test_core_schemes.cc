@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Directed tests of VTAGE-in-core, the CAP-based DLVP variant, and
+ * the tournament combination (Figure 8 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "sim/configs.hh"
+#include "trace/kernel_ctx.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::trace;
+using core::CoreParams;
+using core::CoreStats;
+using core::OoOCore;
+using core::VpConfig;
+using core::VpScheme;
+
+CoreStats
+runWith(const Trace &t, const VpConfig &vp)
+{
+    OoOCore c(CoreParams{}, vp, t);
+    return c.run();
+}
+
+/** Loads with stable values feeding a serial chain. */
+Trace
+stableValueChain(int steps)
+{
+    Trace t;
+    KernelCtx ctx(t, 21);
+    ctx.mem().write(0x1000, 64, 8); // the "step" is constant
+    ctx.sealInitialImage();
+    Val pos = ctx.imm(0, 0);
+    for (int i = 0; i < steps; ++i) {
+        // Address depends on the chain; the value is constant, so a
+        // value predictor (not an address predictor) can break it.
+        Val step = ctx.load(2, 0x1000 + (pos.v & 0), pos);
+        pos = ctx.alu(3, pos.v + step.v, pos, step);
+    }
+    return t;
+}
+
+TEST(CoreVtage, CoversStableLoads)
+{
+    const auto t = stableValueChain(20000);
+    const auto base = runWith(t, sim::baselineVp());
+    const auto vtage = runWith(t, sim::vtageConfig());
+    EXPECT_GT(vtage.coverage(), 0.5);
+    EXPECT_GT(vtage.accuracy(), 0.99);
+    EXPECT_LT(vtage.cycles, base.cycles)
+        << "covering the step load must break the position chain";
+}
+
+TEST(CoreVtage, StaleValueFlushes)
+{
+    // A committed-store conflict: VTAGE trains to confidence, the
+    // value changes, the next prediction flushes — Challenge #1.
+    Trace t;
+    KernelCtx ctx(t, 23);
+    ctx.mem().write(0x2000, 7, 8);
+    ctx.sealInitialImage();
+    for (int phase = 0; phase < 12; ++phase) {
+        // Read the value many times (builds VTAGE confidence).
+        for (int i = 0; i < 200; ++i) {
+            Val v = ctx.load(0, 0x2000, Val{});
+            ctx.alu(1, v.v, v);
+        }
+        // Change it (committed well before the next phase's reads).
+        Val d = ctx.imm(2, phase);
+        ctx.store(3, 0x2000, 1000 + phase, Val{}, d);
+        Val spin[4] = {ctx.imm(4, 0), ctx.imm(4, 1), ctx.imm(4, 2),
+                       ctx.imm(4, 3)};
+        for (int k = 0; k < 400; ++k)
+            spin[k & 3] = ctx.alu(5 + (k & 7), k, spin[k & 3]);
+    }
+    const auto vtage = runWith(t, sim::vtageConfig());
+    EXPECT_GT(vtage.vpFlushes, 3u)
+        << "stale last-values must trigger flushes";
+    // DLVP on the same trace reads the committed cache: no flushes.
+    const auto dlvp = runWith(t, sim::dlvpConfig());
+    EXPECT_EQ(dlvp.vpFlushes, 0u);
+    EXPECT_GT(dlvp.coverage(), 0.25);
+}
+
+TEST(CoreVtage, AllInstructionsModePredictsAlus)
+{
+    Trace t;
+    KernelCtx ctx(t, 25);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 20000; ++i)
+        ctx.imm(i % 8, 42); // constant-result ALUs
+    auto vp = sim::vtageConfigWith(pred::VtageFilter::Static, false);
+    const auto s = runWith(t, vp);
+    EXPECT_GT(s.vpPredictedInsts, 1000u);
+    EXPECT_GT(s.vpCorrectInsts, s.vpPredictedInsts * 95 / 100);
+}
+
+TEST(CoreVtage, LoadsOnlyModeIgnoresAlus)
+{
+    Trace t;
+    KernelCtx ctx(t, 25);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 5000; ++i)
+        ctx.imm(i % 8, 42);
+    const auto s = runWith(t, sim::vtageConfig());
+    EXPECT_EQ(s.vpPredictedInsts, 0u);
+}
+
+TEST(CoreCap, PredictsRepeatingAddresses)
+{
+    Trace t;
+    KernelCtx ctx(t, 27);
+    ctx.mem().write(0x3000, 123, 8);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 20000; ++i) {
+        Val p = ctx.imm(0, 0x3000);
+        Val v = ctx.load(2, 0x3000, p);
+        ctx.alu(3, v.v, v);
+    }
+    const auto s = runWith(t, sim::capConfig());
+    EXPECT_GT(s.coverage(), 0.45);
+    EXPECT_GT(s.accuracy(), 0.999);
+}
+
+TEST(CoreTournament, UsesBothPredictors)
+{
+    // Mix a PAP-friendly ring with VTAGE-friendly stable-value loads.
+    Trace t;
+    KernelCtx ctx(t, 29);
+    const Addr base = 0x1000000;
+    for (int i = 0; i < 4; ++i)
+        ctx.mem().write(base + i * 64, base + ((i + 1) % 4) * 64, 8);
+    ctx.mem().write(0x2000, 7, 8);
+    ctx.sealInitialImage();
+    Val cur = ctx.imm(0, base);
+    Addr a = base;
+    for (int i = 0; i < 8000; ++i) {
+        cur = ctx.load(4 + (i % 4) * 4, a, cur);
+        a = cur.v;
+        Val w = ctx.load(20, 0x2000, Val{});
+        ctx.alu(21, w.v, w);
+    }
+    const auto s = runWith(t, sim::tournamentConfig());
+    EXPECT_GT(s.tournamentDlvpFinal, 0u);
+    EXPECT_GT(s.coverage(), 0.4);
+    EXPECT_EQ(s.tournamentDlvpFinal + s.tournamentVtageFinal,
+              s.vpPredictedLoads);
+}
+
+TEST(CoreTournament, AtLeastAsGoodAsComponentsOnMix)
+{
+    Trace t;
+    KernelCtx ctx(t, 31);
+    const Addr base = 0x1000000;
+    for (int i = 0; i < 4; ++i)
+        ctx.mem().write(base + i * 64, base + ((i + 1) % 4) * 64, 8);
+    ctx.sealInitialImage();
+    Val cur = ctx.imm(0, base);
+    Addr a = base;
+    for (int i = 0; i < 12000; ++i) {
+        cur = ctx.load(4 + (i % 4) * 4, a, cur);
+        a = cur.v;
+    }
+    const auto d = runWith(t, sim::dlvpConfig());
+    const auto v = runWith(t, sim::vtageConfig());
+    const auto both = runWith(t, sim::tournamentConfig());
+    EXPECT_LE(both.cycles,
+              std::max(d.cycles, v.cycles))
+        << "the tournament should not lose to its worse component";
+}
+
+TEST(CoreSchemes, BaselineHasNoVpActivity)
+{
+    Trace t;
+    KernelCtx ctx(t, 33);
+    ctx.mem().write(0x1000, 1, 8);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 2000; ++i) {
+        Val v = ctx.load(0, 0x1000, Val{});
+        ctx.alu(1, v.v, v);
+    }
+    const auto s = runWith(t, sim::baselineVp());
+    EXPECT_EQ(s.vpPredictedLoads, 0u);
+    EXPECT_EQ(s.probes, 0u);
+    EXPECT_EQ(s.vpFlushes, 0u);
+}
+
+TEST(CoreSchemes, AllSchemesCommitIdenticalInstCounts)
+{
+    Trace t;
+    KernelCtx ctx(t, 35);
+    ctx.mem().write(0x1000, 5, 8);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 5000; ++i) {
+        Val v = ctx.load(0 + (i % 2) * 4, 0x1000, Val{});
+        Val w = ctx.alu(1, v.v + i, v);
+        ctx.store(2, 0x1800 + (i % 8) * 8, w.v, Val{}, w);
+        ctx.condBranch(3, i % 3 == 0, w, 0);
+    }
+    const VpConfig configs[] = {
+        sim::baselineVp(), sim::dlvpConfig(), sim::capConfig(),
+        sim::vtageConfig(), sim::tournamentConfig()};
+    for (const auto &vp : configs) {
+        const auto s = runWith(t, vp);
+        EXPECT_EQ(s.committedInsts, t.size())
+            << "scheme " << static_cast<int>(vp.scheme);
+    }
+}
+
+} // namespace

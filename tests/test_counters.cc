@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for SatCounter and the forward probabilistic counter,
+ * including a statistical check of the paper's headline training
+ * requirements: ~8 observations for PAP's {1, 1/2, 1/4} vector and
+ * ~64 for VTAGE's 3-bit vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fpc.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+
+namespace
+{
+
+using namespace dlvp;
+
+TEST(SatCounter, Saturates)
+{
+    SatCounter c(3);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, FloorsAtZero)
+{
+    SatCounter c(3);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.decrement();
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter c(7);
+    c.set(100);
+    EXPECT_EQ(c.value(), 7u);
+    c.set(3);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounter, HighHalf)
+{
+    SatCounter c(3);
+    EXPECT_FALSE(c.high());
+    c.increment();
+    c.increment();
+    EXPECT_TRUE(c.high());
+}
+
+TEST(SatCounter, LargeCeiling)
+{
+    SatCounter c(64);
+    for (int i = 0; i < 63; ++i)
+        c.increment();
+    EXPECT_FALSE(c.saturated());
+    c.increment();
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(Fpc, DeterministicFirstStep)
+{
+    // The first transition of the PAP vector has probability 1.
+    FpcVector vec({1.0, 0.5, 0.25});
+    Rng rng(1);
+    Fpc c;
+    EXPECT_TRUE(c.increment(vec, rng));
+    EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Fpc, SaturationStops)
+{
+    FpcVector vec({1.0, 1.0});
+    Rng rng(1);
+    Fpc c;
+    EXPECT_TRUE(c.increment(vec, rng));
+    EXPECT_TRUE(c.increment(vec, rng));
+    EXPECT_TRUE(c.saturated(vec));
+    EXPECT_FALSE(c.increment(vec, rng));
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Fpc, DecrementAndReset)
+{
+    FpcVector vec({1.0, 1.0, 1.0});
+    Rng rng(1);
+    Fpc c;
+    c.increment(vec, rng);
+    c.increment(vec, rng);
+    c.decrement();
+    EXPECT_EQ(c.value(), 1u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Fpc, ExpectedObservationsPap)
+{
+    // {1, 1/2, 1/4}: 1 + 2 + 4 = 7 expected increments to saturate —
+    // the paper's "address needs to be observed only 8 times".
+    FpcVector vec({1.0, 0.5, 0.25});
+    EXPECT_DOUBLE_EQ(vec.expectedObservationsToSaturate(), 7.0);
+}
+
+TEST(Fpc, ExpectedObservationsVtage)
+{
+    // The 3-bit VTAGE vector emulates a 64-observation requirement.
+    FpcVector vec({1.0, 1.0 / 8, 1.0 / 8, 1.0 / 8, 1.0 / 8, 1.0 / 16,
+                   1.0 / 16});
+    EXPECT_NEAR(vec.expectedObservationsToSaturate(), 65.0, 0.01);
+}
+
+TEST(Fpc, StatisticalSaturationPap)
+{
+    // Average increments-to-saturation should be near the expectation.
+    FpcVector vec({1.0, 0.5, 0.25});
+    Rng rng(42);
+    double total = 0.0;
+    const int trials = 3000;
+    for (int t = 0; t < trials; ++t) {
+        Fpc c;
+        int steps = 0;
+        while (!c.saturated(vec)) {
+            ++steps;
+            c.increment(vec, rng);
+        }
+        total += steps;
+    }
+    EXPECT_NEAR(total / trials, 7.0, 0.5);
+}
+
+TEST(Fpc, ValueFitsOneByte)
+{
+    EXPECT_EQ(sizeof(Fpc), 1u);
+}
+
+class FpcVectorSizes : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FpcVectorSizes, MaxMatchesSize)
+{
+    std::vector<double> probs(GetParam(), 1.0);
+    FpcVector vec(probs);
+    EXPECT_EQ(vec.maxValue(), GetParam());
+    Rng rng(1);
+    Fpc c;
+    for (unsigned i = 0; i < GetParam(); ++i)
+        c.increment(vec, rng);
+    EXPECT_TRUE(c.saturated(vec));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FpcVectorSizes,
+                         ::testing::Values(1u, 2u, 3u, 7u, 15u));
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the SRAM area/energy model (Table 2 calibration) and the
+ * core energy model (Figure 6c/6d inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/core_energy.hh"
+#include "energy/sram_model.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::energy;
+
+TEST(SramModel, MonotonicInBits)
+{
+    SramConfig small{1024, 2, 2};
+    SramConfig big{4096, 2, 2};
+    EXPECT_LT(SramModel::area(small), SramModel::area(big));
+    EXPECT_LT(SramModel::readEnergy(small), SramModel::readEnergy(big));
+    EXPECT_LT(SramModel::writeEnergy(small),
+              SramModel::writeEnergy(big));
+}
+
+TEST(SramModel, MonotonicInPorts)
+{
+    SramConfig few{4096, 2, 2};
+    SramConfig many{4096, 8, 8};
+    EXPECT_LT(SramModel::area(few), SramModel::area(many));
+    EXPECT_LT(SramModel::readEnergy(few), SramModel::readEnergy(many));
+}
+
+TEST(SramModel, WritePortsDominateWriteEnergy)
+{
+    SramConfig base{4096, 8, 8};
+    SramConfig more_w{4096, 8, 10};
+    const double ratio = SramModel::writeEnergy(more_w) /
+                         SramModel::writeEnergy(base);
+    EXPECT_GT(ratio, 1.2) << "write energy is strongly port-sensitive";
+}
+
+/**
+ * Table 2 reproduction: the analytic model must land near the
+ * paper's normalized numbers and preserve every ordering.
+ */
+TEST(SramModel, Table2Ratios)
+{
+    const auto r = compareVpeDesigns();
+
+    // Paper values: PVT {0.06, 0.10, 0.07}, D2 {1.16, 1.10, 1.51},
+    // D3 {1.06, 0.80, 1.07}.
+    EXPECT_NEAR(r.pvtArea, 0.06, 0.04);
+    EXPECT_NEAR(r.pvtRead, 0.10, 0.06);
+    EXPECT_NEAR(r.pvtWrite, 0.07, 0.05);
+
+    EXPECT_NEAR(r.d2Area, 1.16, 0.05);
+    EXPECT_NEAR(r.d2Read, 1.10, 0.06);
+    EXPECT_NEAR(r.d2Write, 1.51, 0.15);
+
+    EXPECT_NEAR(r.d3Area, 1.06, 0.05);
+    EXPECT_NEAR(r.d3Read, 0.80, 0.10);
+    EXPECT_NEAR(r.d3Write, 1.07, 0.08);
+}
+
+TEST(SramModel, Table2Orderings)
+{
+    const auto r = compareVpeDesigns();
+    // The qualitative claims of §3.2.1.
+    EXPECT_LT(r.pvtArea, 0.2) << "PVT is small";
+    EXPECT_LT(r.d3Area, r.d2Area) << "design #3 is cheaper than #2";
+    EXPECT_LT(r.d3Read, 1.0)
+        << "design #3 has lower read energy than #1";
+    EXPECT_GT(r.d3Write, 1.0)
+        << "design #3 has higher write energy than #1";
+}
+
+TEST(CoreEnergy, ZeroStatsZeroEnergy)
+{
+    core::CoreStats s;
+    EXPECT_EQ(coreEnergy(s), 0.0);
+}
+
+TEST(CoreEnergy, MonotonicInEvents)
+{
+    core::CoreStats s;
+    s.committedInsts = 1000;
+    s.cycles = 500;
+    const double base = coreEnergy(s);
+    s.l1dAccesses = 300;
+    const double with_l1 = coreEnergy(s);
+    EXPECT_GT(with_l1, base);
+    s.memAccesses = 10;
+    EXPECT_GT(coreEnergy(s), with_l1);
+}
+
+TEST(CoreEnergy, StaticTermScalesWithCycles)
+{
+    core::CoreStats a, b;
+    a.cycles = 1000;
+    b.cycles = 2000;
+    EXPECT_LT(coreEnergy(a), coreEnergy(b));
+}
+
+TEST(CoreEnergy, SpeedupCanOffsetActivity)
+{
+    // The Figure 6c effect: extra probe activity is offset by fewer
+    // cycles of static power.
+    CoreEnergyParams p;
+    core::CoreStats base;
+    base.committedInsts = 100000;
+    base.fetchedInsts = 110000;
+    base.cycles = 50000;
+    base.l1dAccesses = 30000;
+    core::CoreStats dlvp = base;
+    dlvp.cycles = 45000;          // 10% faster
+    dlvp.l1dAccesses = 42000;     // extra probes
+    dlvp.predictorLookups = 20000;
+    dlvp.predictorWrites = 25000;
+    EXPECT_LT(coreEnergy(dlvp, p), coreEnergy(base, p) * 1.05)
+        << "DLVP energy stays near the baseline";
+}
+
+TEST(PredictorArrays, Figure6dOrdering)
+{
+    const auto pap = papArrayCosts();
+    const auto cap = capArrayCosts();
+    const auto vtage = vtageArrayCosts();
+    // CAP holds more bits than PAP (95k vs 67k): bigger and costlier.
+    EXPECT_GT(cap.area, pap.area);
+    EXPECT_GT(cap.readEnergy, pap.readEnergy);
+    // VTAGE (62.3k bits) is slightly smaller than PAP's 67k.
+    EXPECT_LT(vtage.area, pap.area * 1.05);
+}
+
+} // namespace

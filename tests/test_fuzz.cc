@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Randomized consistency tests: generate random (but well-formed)
+ * micro-op programs and check that every scheme runs them to
+ * completion with consistent statistics and that functional replay
+ * holds. Seeds are fixed, so failures reproduce.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "sim/configs.hh"
+#include "trace/kernel_ctx.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::trace;
+
+/** Generate a random structured program: loops over random ops. */
+Trace
+randomProgram(std::uint64_t seed, int length)
+{
+    Trace t;
+    t.name = "fuzz-" + std::to_string(seed);
+    KernelCtx ctx(t, seed);
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+
+    // A small data arena.
+    const Addr arena = 0x1000000;
+    const unsigned slots = 64;
+    for (unsigned i = 0; i < slots; ++i)
+        ctx.mem().write(arena + i * 8, rng.next64(), 8);
+    ctx.sealInitialImage();
+
+    std::vector<Val> live = {ctx.imm(0, 1)};
+    auto pick = [&]() -> Val {
+        return live[rng.below(live.size())];
+    };
+    while (ctx.emitted() < static_cast<std::size_t>(length)) {
+        const int site = 1 + static_cast<int>(rng.below(200));
+        const Addr addr = arena + rng.below(slots) * 8;
+        switch (rng.below(10)) {
+          case 0:
+          case 1:
+          case 2: {
+            live.push_back(
+                ctx.alu(site, rng.next64() & 0xffff, pick(), pick()));
+            break;
+          }
+          case 3: {
+            live.push_back(ctx.load(site, addr, pick()));
+            break;
+          }
+          case 4: {
+            const std::uint64_t v = rng.next64() & 0xffff;
+            Val d = pick();
+            ctx.store(site, addr, v, pick(), d);
+            break;
+          }
+          case 5: {
+            ctx.condBranch(site, rng.chance(0.5), pick(),
+                           1 + static_cast<int>(rng.below(200)));
+            break;
+          }
+          case 6: {
+            auto pr = ctx.loadPair(site, addr & ~Addr{15}, pick());
+            live.push_back(pr.first);
+            live.push_back(pr.second);
+            break;
+          }
+          case 7: {
+            live.push_back(
+                ctx.mul(site, rng.next64() & 0xff, pick(), pick()));
+            break;
+          }
+          case 8: {
+            live.push_back(ctx.atomic(site, addr,
+                                      rng.next64() & 0xff, pick()));
+            break;
+          }
+          default: {
+            live.push_back(ctx.imm(site, rng.below(1000)));
+            break;
+          }
+        }
+        if (live.size() > 12)
+            live.erase(live.begin(),
+                       live.begin() +
+                           static_cast<long>(live.size() - 12));
+    }
+    t.insts.resize(length);
+    return t;
+}
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Fuzz, ReplayHolds)
+{
+    const auto t = randomProgram(GetParam(), 6000);
+    EXPECT_EQ(t.verifyReplay(), t.size());
+}
+
+TEST_P(Fuzz, AllSchemesComplete)
+{
+    const auto t = randomProgram(GetParam(), 6000);
+    const core::VpConfig configs[] = {
+        sim::baselineVp(),   sim::dlvpConfig(),
+        sim::capConfig(),    sim::strideDlvpConfig(),
+        sim::vtageConfig(),  sim::dvtageConfig(),
+        sim::tournamentConfig()};
+    for (const auto &vp : configs) {
+        core::OoOCore c({}, vp, t);
+        const auto s = c.run();
+        EXPECT_EQ(s.committedInsts, t.size());
+        EXPECT_LE(s.vpCorrectLoads, s.vpPredictedLoads);
+        EXPECT_LE(s.vpPredictedLoads, s.committedLoads);
+        EXPECT_GT(s.cycles, 0u);
+    }
+}
+
+TEST_P(Fuzz, ReplayRecoveryCompletes)
+{
+    const auto t = randomProgram(GetParam() ^ 0xabcd, 6000);
+    auto vp = sim::dlvpConfig();
+    vp.recovery = core::RecoveryMode::OracleReplay;
+    vp.useLscd = false;
+    core::OoOCore c({}, vp, t);
+    const auto s = c.run();
+    EXPECT_EQ(s.committedInsts, t.size());
+    EXPECT_EQ(s.vpFlushes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u, 55u, 89u));
+
+} // namespace

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the kernel emission context: PC assignment, register
+ * dependencies, memory semantics, multi-destination loads, and trace
+ * replay consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/kernel_ctx.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::trace;
+
+TEST(KernelCtx, SitePcMapping)
+{
+    Trace t;
+    KernelCtx ctx(t, 1, 0x500000);
+    EXPECT_EQ(ctx.sitePc(0), 0x500000u);
+    EXPECT_EQ(ctx.sitePc(7), 0x500000u + 28);
+}
+
+TEST(KernelCtx, ImmAndAlu)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    Val a = ctx.imm(0, 5);
+    Val b = ctx.imm(1, 7);
+    Val c = ctx.alu(2, 12, a, b);
+    EXPECT_EQ(c.v, 12u);
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[2].cls, OpClass::IntAlu);
+    EXPECT_EQ(t[2].numSrcs, 2u);
+    EXPECT_EQ(t[2].srcs[0], a.reg);
+    EXPECT_EQ(t[2].srcs[1], b.reg);
+    EXPECT_EQ(t[2].destValue, 12u);
+}
+
+TEST(KernelCtx, RegistersRotate)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    Val prev = ctx.imm(0, 0);
+    for (int i = 1; i < 40; ++i) {
+        Val cur = ctx.imm(i, i);
+        EXPECT_NE(cur.reg, 0) << "r0 is reserved";
+        prev = cur;
+    }
+}
+
+TEST(KernelCtx, LoadReadsImage)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x1000, 0xbeef, 8);
+    ctx.sealInitialImage();
+    Val v = ctx.load(0, 0x1000, Val{});
+    EXPECT_EQ(v.v, 0xbeefu);
+    EXPECT_EQ(t[0].destValue, 0xbeefu);
+    EXPECT_EQ(t[0].loadKind, LoadKind::Simple);
+}
+
+TEST(KernelCtx, StoreUpdatesImage)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    Val d = ctx.imm(0, 77);
+    ctx.store(1, 0x2000, 77, Val{}, d);
+    Val v = ctx.load(2, 0x2000, Val{});
+    EXPECT_EQ(v.v, 77u);
+}
+
+TEST(KernelCtx, LoadPair)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x3000, 1, 8);
+    ctx.mem().write(0x3008, 2, 8);
+    ctx.sealInitialImage();
+    auto [a, b] = ctx.loadPair(0, 0x3000, Val{});
+    EXPECT_EQ(a.v, 1u);
+    EXPECT_EQ(b.v, 2u);
+    EXPECT_EQ(t[0].numDests, 2u);
+    EXPECT_EQ(t[0].loadKind, LoadKind::Pair);
+    EXPECT_EQ(b.reg, a.reg + 1) << "LDP writes consecutive registers";
+}
+
+TEST(KernelCtx, LoadMulti)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    for (unsigned i = 0; i < 6; ++i)
+        ctx.mem().write(0x4000 + i * 8, 10 + i, 8);
+    ctx.sealInitialImage();
+    auto regs = ctx.loadMulti(0, 0x4000, Val{}, 6);
+    ASSERT_EQ(regs.size(), 6u);
+    for (unsigned i = 0; i < 6; ++i)
+        EXPECT_EQ(regs[i].v, 10 + i);
+    EXPECT_EQ(t[0].loadKind, LoadKind::Multi);
+    EXPECT_EQ(t[0].numDests, 6u);
+    EXPECT_EQ(t[0].loadBytes(), 48u);
+}
+
+TEST(KernelCtx, LoadVector)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x5000, 0xaaaa, 8);
+    ctx.mem().write(0x5008, 0xbbbb, 8);
+    ctx.sealInitialImage();
+    auto [lo, hi] = ctx.loadVector(0, 0x5000, Val{});
+    EXPECT_EQ(lo.v, 0xaaaau);
+    EXPECT_EQ(hi.v, 0xbbbbu);
+    EXPECT_EQ(t[0].loadKind, LoadKind::Vector);
+}
+
+TEST(KernelCtx, AtomicReadsOldWritesNew)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x6000, 10, 8);
+    ctx.sealInitialImage();
+    Val old = ctx.atomic(0, 0x6000, 20, Val{});
+    EXPECT_EQ(old.v, 10u);
+    EXPECT_EQ(ctx.mem().read(0x6000, 8), 20u);
+    EXPECT_EQ(t[0].cls, OpClass::Atomic);
+}
+
+TEST(KernelCtx, BranchRecordsTargetAndTaken)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    Val c = ctx.imm(0, 1);
+    ctx.condBranch(1, true, c, 10);
+    ctx.condBranch(2, false, c, 10);
+    EXPECT_TRUE(t[1].taken);
+    EXPECT_FALSE(t[2].taken);
+    EXPECT_EQ(t[1].branchTarget, ctx.sitePc(10));
+}
+
+TEST(KernelCtx, ControlFlavors)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    ctx.call(0, 5);
+    ctx.ret(5);
+    ctx.directJump(6, 0);
+    ctx.indirectJump(7, 3, Val{});
+    ctx.barrier(8);
+    ctx.nop(9);
+    EXPECT_EQ(t[0].cls, OpClass::Call);
+    EXPECT_EQ(t[1].cls, OpClass::Ret);
+    EXPECT_EQ(t[2].cls, OpClass::DirectJump);
+    EXPECT_EQ(t[3].cls, OpClass::IndirectJump);
+    EXPECT_EQ(t[4].cls, OpClass::Barrier);
+    EXPECT_EQ(t[5].cls, OpClass::Nop);
+    EXPECT_TRUE(t[0].isControl());
+    EXPECT_FALSE(t[4].isControl());
+}
+
+TEST(KernelCtx, ReplayVerifies)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x7000, 5, 8);
+    ctx.sealInitialImage();
+    Val v = ctx.load(0, 0x7000, Val{});
+    Val w = ctx.alu(1, v.v + 1, v);
+    ctx.store(2, 0x7000, w.v, Val{}, w);
+    Val v2 = ctx.load(3, 0x7000, Val{});
+    EXPECT_EQ(v2.v, 6u);
+    EXPECT_EQ(t.verifyReplay(), t.size());
+}
+
+TEST(KernelCtx, ReplayCatchesCorruption)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x7000, 5, 8);
+    ctx.sealInitialImage();
+    ctx.load(0, 0x7000, Val{});
+    t.insts[0].destValue = 999; // corrupt
+    EXPECT_EQ(t.verifyReplay(), 0u);
+}
+
+TEST(TraceMix, CountsClasses)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    Val a = ctx.imm(0, 1);
+    ctx.load(1, 0x100, a);
+    ctx.loadPair(2, 0x100, a);
+    ctx.store(3, 0x100, 1, a, a);
+    ctx.condBranch(4, true, a, 0);
+    ctx.directJump(5, 0);
+    const auto mix = t.mix();
+    EXPECT_EQ(mix.total, 6u);
+    EXPECT_EQ(mix.loads, 2u);
+    EXPECT_EQ(mix.stores, 1u);
+    EXPECT_EQ(mix.branches, 2u);
+    EXPECT_EQ(mix.condBranches, 1u);
+    EXPECT_EQ(mix.multiDestLoads, 1u);
+    EXPECT_EQ(mix.loadDestRegs, 3u);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the TLB, stride prefetcher, and memory hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+#include "mem/prefetcher.hh"
+#include "mem/tlb.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::mem;
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb t(TlbParams{16, 4, 4096, 24});
+    EXPECT_EQ(t.access(0x1000), 24u);
+    EXPECT_EQ(t.access(0x1000), 0u);
+    EXPECT_EQ(t.access(0x1fff), 0u) << "same page";
+    EXPECT_EQ(t.access(0x2000), 24u) << "next page";
+    EXPECT_EQ(t.misses(), 2u);
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    Tlb t(TlbParams{4, 4, 4096, 10}); // 4 entries, fully assoc
+    for (Addr p = 0; p < 5; ++p)
+        t.access(p * 4096);
+    // Page 0 was LRU and got evicted by page 4.
+    EXPECT_EQ(t.access(0), 10u);
+}
+
+TEST(StridePrefetcher, DetectsStride)
+{
+    StridePrefetcher pf({256, 2, 2});
+    std::vector<Addr> out;
+    for (int i = 0; i < 4; ++i) {
+        out.clear();
+        pf.observe(0x400000, 0x1000 + i * 64, out);
+    }
+    // Fourth access: the stride has repeated twice -> confident.
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0x1000u + 4 * 64);
+    EXPECT_EQ(out[1], 0x1000u + 5 * 64);
+}
+
+TEST(StridePrefetcher, NoPrefetchWithoutPattern)
+{
+    StridePrefetcher pf({256, 2, 2});
+    std::vector<Addr> out;
+    Addr addrs[] = {0x1000, 0x5000, 0x2000, 0x9000, 0x1100};
+    for (const Addr a : addrs)
+        pf.observe(0x400000, a, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(StridePrefetcher, NegativeStride)
+{
+    StridePrefetcher pf({256, 2, 1});
+    std::vector<Addr> out;
+    for (int i = 0; i < 4; ++i) {
+        out.clear();
+        pf.observe(0x400000, 0x10000 - i * 128, out);
+    }
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], 0x10000u - 4 * 128);
+}
+
+TEST(StridePrefetcher, PerPcTracking)
+{
+    StridePrefetcher pf({256, 2, 1});
+    std::vector<Addr> out;
+    // Interleave two PCs with different strides: both must train.
+    for (int i = 0; i < 4; ++i) {
+        pf.observe(0x400000, 0x1000 + i * 64, out);
+        pf.observe(0x400100, 0x8000 + i * 256, out);
+    }
+    EXPECT_GE(out.size(), 2u);
+}
+
+TEST(Hierarchy, L1HitLatency)
+{
+    MemoryHierarchy m(HierarchyParams{});
+    m.loadAccess(0x400000, 0x1000, 0); // cold
+    const auto r = m.loadAccess(0x400000, 0x1000, 10);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.latency, 2u);
+}
+
+TEST(Hierarchy, ColdMissGoesToMemory)
+{
+    HierarchyParams p;
+    p.enablePrefetcher = false;
+    MemoryHierarchy m(p);
+    const auto r = m.loadAccess(0x400000, 0x12345000, 0);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.tlbMiss);
+    // TLB walk + L1 + L2 + L3 + memory.
+    EXPECT_EQ(r.latency, 24u + 2 + 16 + 32 + 200);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    HierarchyParams p;
+    p.l1d = {"l1d", 128, 1, 64, 2}; // tiny: 2 sets x 1 way
+    p.enablePrefetcher = false;
+    MemoryHierarchy m(p);
+    m.loadAccess(0x400000, 0x1000, 0);
+    m.loadAccess(0x400000, 0x1080, 1); // same set, evicts 0x1000
+    const auto r = m.loadAccess(0x400000, 0x1000, 2);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_EQ(r.latency, 2u + 16) << "L2 hit";
+}
+
+TEST(Hierarchy, ProbeNeverFills)
+{
+    HierarchyParams p;
+    p.enablePrefetcher = false;
+    MemoryHierarchy m(p);
+    const auto r = m.probe(0x2000, -1);
+    EXPECT_FALSE(r.hit);
+    const auto r2 = m.loadAccess(0x400000, 0x2000, 0);
+    EXPECT_FALSE(r2.l1Hit) << "probe must not have installed the line";
+}
+
+TEST(Hierarchy, PrefetchFillsAfterLatency)
+{
+    HierarchyParams p;
+    p.enablePrefetcher = false;
+    MemoryHierarchy m(p);
+    m.prefetchIntoL1D(0x3000, 100);
+    // Immediately after issue the line is still inbound.
+    EXPECT_FALSE(m.probe(0x3000, -1).hit);
+    // A demand access long after the fill latency hits.
+    const auto r =
+        m.loadAccess(0x400000, 0x3000, 100 + 300);
+    EXPECT_EQ(r.latency, 2u + m.tlb().params().missPenalty)
+        << "only the TLB walk and L1 array remain";
+}
+
+TEST(Hierarchy, InflightPrefetchPartialCredit)
+{
+    HierarchyParams p;
+    p.enablePrefetcher = false;
+    MemoryHierarchy m(p);
+    m.tlb().access(0x3000); // pre-warm translation
+    m.prefetchIntoL1D(0x3000, 100);
+    // Demand access halfway through the fill waits the remainder.
+    const auto full = 16u + 32 + 200;
+    const auto r = m.loadAccess(0x400000, 0x3000, 100 + full / 2);
+    EXPECT_LT(r.latency, 2u + full);
+    EXPECT_GT(r.latency, 2u);
+}
+
+TEST(Hierarchy, StoreCommitInstallsLine)
+{
+    HierarchyParams p;
+    p.enablePrefetcher = false;
+    MemoryHierarchy m(p);
+    m.storeCommit(0x4000, 0);
+    const auto r = m.loadAccess(0x400000, 0x4000, 1);
+    EXPECT_TRUE(r.l1Hit) << "write-allocate";
+}
+
+TEST(Hierarchy, FetchPathUsesICache)
+{
+    MemoryHierarchy m(HierarchyParams{});
+    EXPECT_GT(m.fetchAccess(0x400000, 0), 0u) << "cold I-miss";
+    EXPECT_EQ(m.fetchAccess(0x400000, 1), 0u);
+    EXPECT_EQ(m.fetchAccess(0x400010, 2), 0u) << "same 64B line";
+}
+
+TEST(Hierarchy, StridePrefetcherHidesStream)
+{
+    MemoryHierarchy with(HierarchyParams{});
+    HierarchyParams off;
+    off.enablePrefetcher = false;
+    MemoryHierarchy without(off);
+
+    std::uint64_t lat_with = 0, lat_without = 0;
+    for (int i = 0; i < 64; ++i) {
+        const Addr a = 0x100000 + static_cast<Addr>(i) * 64;
+        const Cycle now = static_cast<Cycle>(i) * 400;
+        lat_with += with.loadAccess(0x400000, a, now).latency;
+        lat_without += without.loadAccess(0x400000, a, now).latency;
+    }
+    EXPECT_LT(lat_with, lat_without)
+        << "the stride prefetcher must hide part of the stream";
+}
+
+TEST(Hierarchy, ResetStatsClearsCounters)
+{
+    MemoryHierarchy m(HierarchyParams{});
+    m.loadAccess(0x400000, 0x5000, 0);
+    m.resetStats();
+    EXPECT_EQ(m.l1d().misses(), 0u);
+    EXPECT_EQ(m.tlb().misses(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the sparse memory image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/memory_image.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using trace::MemoryImage;
+
+TEST(MemoryImage, ZeroFillDefault)
+{
+    MemoryImage m;
+    EXPECT_EQ(m.read(0x1234, 8), 0u);
+    EXPECT_EQ(m.readByte(0xdeadbeef), 0u);
+    EXPECT_EQ(m.numPages(), 0u);
+}
+
+TEST(MemoryImage, ReadWriteRoundTrip)
+{
+    MemoryImage m;
+    m.write(0x1000, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(m.read(0x1000, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(m.read(0x1000, 4), 0x55667788u);
+    EXPECT_EQ(m.read(0x1004, 4), 0x11223344u);
+    EXPECT_EQ(m.readByte(0x1000), 0x88u);
+    EXPECT_EQ(m.readByte(0x1007), 0x11u);
+}
+
+TEST(MemoryImage, PartialWidths)
+{
+    MemoryImage m;
+    m.write(0x2000, 0xabcd, 2);
+    EXPECT_EQ(m.read(0x2000, 2), 0xabcdu);
+    EXPECT_EQ(m.read(0x2000, 1), 0xcdu);
+    m.write(0x2001, 0xff, 1);
+    EXPECT_EQ(m.read(0x2000, 2), 0xffcdu);
+}
+
+TEST(MemoryImage, PageCrossing)
+{
+    MemoryImage m;
+    const Addr edge = MemoryImage::kPageSize - 4;
+    m.write(edge, 0x0102030405060708ULL, 8);
+    EXPECT_EQ(m.read(edge, 8), 0x0102030405060708ULL);
+    EXPECT_EQ(m.numPages(), 2u);
+}
+
+TEST(MemoryImage, DistinctPages)
+{
+    MemoryImage m;
+    m.write(0x0, 1, 8);
+    m.write(0x100000, 2, 8);
+    m.write(0x100000000ULL, 3, 8);
+    EXPECT_EQ(m.numPages(), 3u);
+    EXPECT_EQ(m.read(0x0, 8), 1u);
+    EXPECT_EQ(m.read(0x100000, 8), 2u);
+    EXPECT_EQ(m.read(0x100000000ULL, 8), 3u);
+}
+
+TEST(MemoryImage, CopyIsDeep)
+{
+    MemoryImage a;
+    a.write(0x1000, 42, 8);
+    MemoryImage b = a;
+    b.write(0x1000, 99, 8);
+    EXPECT_EQ(a.read(0x1000, 8), 42u);
+    EXPECT_EQ(b.read(0x1000, 8), 99u);
+}
+
+TEST(MemoryImage, CopyAssignSelf)
+{
+    MemoryImage a;
+    a.write(0x3000, 7, 8);
+    a = *&a;
+    EXPECT_EQ(a.read(0x3000, 8), 7u);
+}
+
+TEST(MemoryImage, MoveTransfersPages)
+{
+    MemoryImage a;
+    a.write(0x1000, 5, 8);
+    MemoryImage b = std::move(a);
+    EXPECT_EQ(b.read(0x1000, 8), 5u);
+}
+
+TEST(MemoryImage, OverlappingWrites)
+{
+    MemoryImage m;
+    m.write(0x100, 0xffffffffffffffffULL, 8);
+    m.write(0x104, 0, 4);
+    EXPECT_EQ(m.read(0x100, 8), 0x00000000ffffffffULL);
+}
+
+TEST(MemoryImage, Clear)
+{
+    MemoryImage m;
+    m.write(0x100, 1, 8);
+    m.clear();
+    EXPECT_EQ(m.numPages(), 0u);
+    EXPECT_EQ(m.read(0x100, 8), 0u);
+}
+
+} // namespace

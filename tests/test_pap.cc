@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for PAP (the paper's predictor): confidence-of-8 training,
+ * Policy-2 allocation, path-history disambiguation, way prediction,
+ * invalidation, and the Table 1 storage budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pred/lscd.hh"
+#include "pred/pap.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::pred;
+
+constexpr Addr kGroup = 0x400000; // 16-byte aligned
+
+/** Train one (group, slot, hist) mapping n times. */
+void
+trainN(Pap &pap, Addr group, unsigned slot, std::uint64_t hist,
+       Addr addr, int n)
+{
+    for (int i = 0; i < n; ++i)
+        pap.train(group, slot, hist, addr, 8, 0);
+}
+
+TEST(Pap, NoPredictionWhenCold)
+{
+    Pap pap({});
+    EXPECT_FALSE(pap.predict(kGroup, 0, 0).valid);
+}
+
+TEST(Pap, ConfidentAfterAboutEight)
+{
+    Pap pap({});
+    trainN(pap, kGroup, 0, 0x1234, 0xdead00, 16);
+    const auto p = pap.predict(kGroup, 0, 0x1234);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.addr, 0xdead00u);
+    EXPECT_EQ(p.size, 8u);
+}
+
+TEST(Pap, NotConfidentAfterTwo)
+{
+    // {1, 1/2, 1/4} can never saturate in two observations
+    // (allocation + one increment reaches at most state 1 of 3).
+    Pap pap({});
+    trainN(pap, kGroup, 0, 0x1234, 0xdead00, 2);
+    EXPECT_FALSE(pap.predict(kGroup, 0, 0x1234).valid);
+}
+
+TEST(Pap, PathHistoryDisambiguates)
+{
+    // Same PC, two different load-path histories, two addresses: both
+    // become confidently predictable — the core PAP property a
+    // last-address predictor lacks.
+    Pap pap({});
+    trainN(pap, kGroup, 0, 0xaaaa, 0x111100, 20);
+    trainN(pap, kGroup, 0, 0x5555, 0x222200, 20);
+    const auto a = pap.predict(kGroup, 0, 0xaaaa);
+    const auto b = pap.predict(kGroup, 0, 0x5555);
+    ASSERT_TRUE(a.valid);
+    ASSERT_TRUE(b.valid);
+    EXPECT_EQ(a.addr, 0x111100u);
+    EXPECT_EQ(b.addr, 0x222200u);
+}
+
+TEST(Pap, SlotsAreIndependent)
+{
+    Pap pap({});
+    trainN(pap, kGroup, 0, 0x1, 0xaaa000, 20);
+    trainN(pap, kGroup, 1, 0x1, 0xbbb000, 20);
+    EXPECT_EQ(pap.predict(kGroup, 0, 0x1).addr, 0xaaa000u);
+    EXPECT_EQ(pap.predict(kGroup, 1, 0x1).addr, 0xbbb000u);
+}
+
+TEST(Pap, AddressChangeResetsConfidence)
+{
+    Pap pap({});
+    trainN(pap, kGroup, 0, 0x1, 0xaaa000, 20);
+    ASSERT_TRUE(pap.predict(kGroup, 0, 0x1).valid);
+    // One training with a different address: confidence resets and
+    // the entry is reallocated in place (§3.1.2).
+    pap.train(kGroup, 0, 0x1, 0xccc000, 8, 0);
+    EXPECT_FALSE(pap.predict(kGroup, 0, 0x1).valid);
+    // Retraining the new address restores confidence.
+    trainN(pap, kGroup, 0, 0x1, 0xccc000, 16);
+    EXPECT_EQ(pap.predict(kGroup, 0, 0x1).addr, 0xccc000u);
+}
+
+TEST(Pap, Policy2ProtectsConfidentEntries)
+{
+    // Two contexts aliasing to the same APT entry: the confident
+    // incumbent survives occasional allocation attempts (Policy-2
+    // decrements instead of replacing).
+    PapParams params;
+    params.tableBits = 1; // 2-entry APT: guaranteed aliasing
+    Pap pap(params);
+    trainN(pap, kGroup, 0, 0x0, 0xaaa000, 20);
+    // Find a context mapping to the same entry: with 2 entries, at
+    // least one of a few histories collides; train each only once so
+    // a confident incumbent should survive every single attempt.
+    for (std::uint64_t h = 1; h < 6; ++h)
+        pap.train(kGroup, 0, h, 0xbbb000 + h * 0x100, 8, 0);
+    // Unless an aliased context decremented it three times, the
+    // incumbent is still predictable; train once more to recover any
+    // partial decay and check the address was never replaced.
+    trainN(pap, kGroup, 0, 0x0, 0xaaa000, 8);
+    const auto p = pap.predict(kGroup, 0, 0x0);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.addr, 0xaaa000u);
+}
+
+TEST(Pap, WayPrediction)
+{
+    Pap pap({});
+    for (int i = 0; i < 20; ++i)
+        pap.train(kGroup, 0, 0x1, 0xaaa000, 8, 3);
+    EXPECT_EQ(pap.predict(kGroup, 0, 0x1).way, 3);
+}
+
+TEST(Pap, WayPredictionDisabled)
+{
+    PapParams params;
+    params.wayPrediction = false;
+    Pap pap(params);
+    for (int i = 0; i < 20; ++i)
+        pap.train(kGroup, 0, 0x1, 0xaaa000, 8, 3);
+    EXPECT_EQ(pap.predict(kGroup, 0, 0x1).way, -1);
+}
+
+TEST(Pap, SizeField)
+{
+    Pap pap({});
+    for (int i = 0; i < 20; ++i)
+        pap.train(kGroup, 0, 0x1, 0xaaa000, 4, 0);
+    EXPECT_EQ(pap.predict(kGroup, 0, 0x1).size, 4u);
+}
+
+TEST(Pap, InvalidateClearsEntry)
+{
+    Pap pap({});
+    trainN(pap, kGroup, 0, 0x1, 0xaaa000, 20);
+    ASSERT_TRUE(pap.predict(kGroup, 0, 0x1).valid);
+    pap.invalidate(kGroup, 0, 0x1);
+    EXPECT_FALSE(pap.predict(kGroup, 0, 0x1).valid);
+}
+
+TEST(Pap, AssociativityHoldsAliasingContexts)
+{
+    // Two contexts forced into one set: a 2-way APT keeps both
+    // confident where a single direct-mapped entry could hold only
+    // one (the conflict loss measured on context-rich workloads).
+    PapParams sa;
+    sa.tableBits = 1;
+    sa.assoc = 2; // one set, two ways
+    Pap pap_sa(sa);
+    for (int i = 0; i < 40; ++i)
+        for (std::uint64_t h = 0; h < 2; ++h)
+            pap_sa.train(kGroup, 0, h, 0x1000 + h * 0x100, 8, 0);
+    int covered = 0;
+    for (std::uint64_t h = 0; h < 2; ++h)
+        if (pap_sa.predict(kGroup, 0, h).valid)
+            ++covered;
+    EXPECT_EQ(covered, 2)
+        << "a 2-way set holds both aliasing contexts";
+}
+
+TEST(Pap, AssociativeTableStillAccurate)
+{
+    PapParams pp;
+    pp.assoc = 4;
+    Pap pap(pp);
+    for (int i = 0; i < 20; ++i)
+        pap.train(kGroup, 0, 0x1234, 0xdead00, 8, 2);
+    const auto p = pap.predict(kGroup, 0, 0x1234);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.addr, 0xdead00u);
+    EXPECT_EQ(p.way, 2);
+}
+
+TEST(Pap, StorageBudgetTable4)
+{
+    // Table 4: 1k x 67 bits = 67k bits (ARMv8) plus the 2-bit way.
+    Pap pap({});
+    EXPECT_NEAR(static_cast<double>(pap.storageBits()), 67.0 * 1024,
+                3.0 * 1024);
+    // "With a modest 8KB prediction table" (abstract).
+    EXPECT_LT(pap.storageBits(), 9ULL * 1024 * 8);
+}
+
+TEST(Pap, PathBitIsBitTwo)
+{
+    EXPECT_FALSE(Pap::pathBit(0x400000));
+    EXPECT_TRUE(Pap::pathBit(0x400004));
+    EXPECT_FALSE(Pap::pathBit(0x400008));
+}
+
+TEST(LoadPathHistory, ShiftsAndRestores)
+{
+    LoadPathHistory lph(16);
+    lph.shiftLoad(0x400004); // bit 1
+    lph.shiftLoad(0x400000); // bit 0
+    EXPECT_EQ(lph.value(), 0b10u);
+    const auto snap = lph.snapshot();
+    lph.shiftLoad(0x400004);
+    lph.restore(snap);
+    EXPECT_EQ(lph.value(), 0b10u);
+}
+
+TEST(Lscd, InsertContains)
+{
+    Lscd l;
+    EXPECT_FALSE(l.contains(0x400100));
+    l.insert(0x400100);
+    EXPECT_TRUE(l.contains(0x400100));
+    EXPECT_EQ(l.inserts(), 1u);
+}
+
+TEST(Lscd, DuplicateInsertIgnored)
+{
+    Lscd l;
+    l.insert(0x400100);
+    l.insert(0x400100);
+    EXPECT_EQ(l.inserts(), 1u);
+}
+
+TEST(Lscd, FifoEvictionAtCapacity)
+{
+    Lscd l;
+    for (unsigned i = 0; i < Lscd::kEntries; ++i)
+        l.insert(0x400000 + i * 4);
+    EXPECT_TRUE(l.contains(0x400000));
+    l.insert(0x400100); // evicts the oldest
+    EXPECT_FALSE(l.contains(0x400000));
+    EXPECT_TRUE(l.contains(0x400100));
+    EXPECT_TRUE(l.contains(0x400004));
+}
+
+TEST(Lscd, Clear)
+{
+    Lscd l;
+    l.insert(0x400100);
+    l.clear();
+    EXPECT_FALSE(l.contains(0x400100));
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the report/table renderer edge cases and CoreStats
+ * derived metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/core_stats.hh"
+#include "sim/report.hh"
+
+namespace
+{
+
+using namespace dlvp;
+
+TEST(Table, EmptyTableStillPrints)
+{
+    sim::Table t("empty");
+    t.columns({"a", "b"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("empty"), std::string::npos);
+    EXPECT_NE(os.str().find("a"), std::string::npos);
+}
+
+TEST(Table, ColumnWidthsAdapt)
+{
+    sim::Table t("w");
+    t.columns({"x"});
+    t.row({std::string("a_very_long_cell_value_here")});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("a_very_long_cell_value_here"),
+              std::string::npos);
+}
+
+TEST(Table, PrecisionControlsDoubles)
+{
+    sim::Table t("p");
+    t.columns({"v"});
+    t.precision(1);
+    t.row({1.25});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("1.2"), std::string::npos);
+    EXPECT_EQ(os.str().find("1.25"), std::string::npos);
+}
+
+TEST(Table, RaggedRowsTolerated)
+{
+    sim::Table t("r");
+    t.columns({"a", "b", "c"});
+    t.row({std::string("only_one")});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only_one"), std::string::npos);
+}
+
+TEST(Pct, Rounding)
+{
+    EXPECT_EQ(sim::pct(1.0), "+0.0%");
+    EXPECT_EQ(sim::pct(2.0), "+100.0%");
+    // Rounded at one decimal: 0.05% displays as +0.0% or +0.1%
+    // depending on the floating representation; just check the sign.
+    EXPECT_EQ(sim::pct(1.001), "+0.1%");
+}
+
+TEST(CoreStatsMetrics, IpcZeroCycles)
+{
+    core::CoreStats s;
+    EXPECT_DOUBLE_EQ(s.ipc(), 0.0);
+}
+
+TEST(CoreStatsMetrics, CoverageAccuracyZeroDenominators)
+{
+    core::CoreStats s;
+    EXPECT_DOUBLE_EQ(s.coverage(), 0.0);
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.0);
+}
+
+TEST(CoreStatsMetrics, BranchMpki)
+{
+    core::CoreStats s;
+    s.committedInsts = 1000;
+    s.condMispredicts = 5;
+    s.indirectMispredicts = 3;
+    s.returnMispredicts = 2;
+    EXPECT_DOUBLE_EQ(s.branchMpki(), 10.0);
+}
+
+TEST(CoreStatsMetrics, DumpMentionsKeyCounters)
+{
+    core::CoreStats s;
+    s.cycles = 100;
+    s.committedInsts = 250;
+    s.vpFlushes = 7;
+    std::ostringstream os;
+    s.dump(os);
+    const auto str = os.str();
+    EXPECT_NE(str.find("cycles"), std::string::npos);
+    EXPECT_NE(str.find("ipc"), std::string::npos);
+    EXPECT_NE(str.find("vp_flushes"), std::string::npos);
+    EXPECT_NE(str.find("2.5"), std::string::npos);
+}
+
+} // namespace

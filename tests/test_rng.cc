@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace dlvp;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next64() == b.next64())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResets)
+{
+    Rng a(7);
+    const auto first = a.next64();
+    a.next64();
+    a.reseed(7);
+    EXPECT_EQ(a.next64(), first);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = r.range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        saw_lo |= v == 10;
+        saw_hi |= v == 13;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng r(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (r.chance(0.25))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(0.0));
+    }
+}
+
+} // namespace

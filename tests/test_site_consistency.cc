@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Static-site consistency: within a workload trace, one PC is one
+ * static instruction — its class, destination count, and load kind
+ * must never vary between dynamic instances. Site-id collisions in
+ * kernel code (two different emissions sharing a site) violate this
+ * and silently poison every predictor's training, so this guard runs
+ * over the whole registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::trace;
+
+struct SiteInfo
+{
+    OpClass cls;
+    std::uint8_t numDests;
+    LoadKind kind;
+    std::uint8_t memSize;
+};
+
+class SiteConsistency : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SiteConsistency, PcMeansOneStaticInstruction)
+{
+    const auto t = WorkloadRegistry::build(GetParam(), 30000);
+    std::unordered_map<Addr, SiteInfo> sites;
+    sites.reserve(4096);
+    for (const auto &inst : t.insts) {
+        auto [it, fresh] = sites.emplace(
+            inst.pc, SiteInfo{inst.cls, inst.numDests, inst.loadKind,
+                              inst.memSize});
+        if (fresh)
+            continue;
+        const SiteInfo &s = it->second;
+        ASSERT_EQ(s.cls, inst.cls)
+            << "site collision at pc " << std::hex << inst.pc;
+        ASSERT_EQ(s.numDests, inst.numDests)
+            << "dest-count collision at pc " << std::hex << inst.pc;
+        ASSERT_EQ(s.kind, inst.loadKind)
+            << "load-kind collision at pc " << std::hex << inst.pc;
+        if (inst.isLoad() || inst.isStore()) {
+            ASSERT_EQ(s.memSize, inst.memSize)
+                << "access-size collision at pc " << std::hex
+                << inst.pc;
+        }
+    }
+}
+
+TEST_P(SiteConsistency, BranchesRecordPlausibleTargets)
+{
+    // Taken direct control flow must land where the trace goes —
+    // except at kernel phase switches in mixed workloads, where the
+    // interleaver jumps between programs (a handful per trace).
+    const auto t = WorkloadRegistry::build(GetParam(), 30000);
+    std::uint64_t direct = 0, mismatched = 0;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        const auto &inst = t[i];
+        if (inst.cls != OpClass::DirectJump &&
+            inst.cls != OpClass::Call)
+            continue;
+        ++direct;
+        if (inst.branchTarget != t[i + 1].pc)
+            ++mismatched;
+    }
+    if (direct > 0)
+        EXPECT_LE(mismatched, direct / 100 + 16)
+            << "more target mismatches than phase switches explain";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SiteConsistency,
+    ::testing::ValuesIn(trace::WorkloadRegistry::names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace

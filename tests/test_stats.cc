@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace dlvp;
+
+TEST(StatCounter, Basics)
+{
+    StatCounter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketPlacement)
+{
+    Histogram h(8);
+    h.sample(0);
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    h.sample(4);
+    EXPECT_EQ(h.bucket(0), 2u); // 0 and 1
+    EXPECT_EQ(h.bucket(1), 2u); // 2 and 3
+    EXPECT_EQ(h.bucket(2), 1u); // 4
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, OverflowClamps)
+{
+    Histogram h(4);
+    h.sample(1ULL << 40);
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Histogram, FractionAtLeast)
+{
+    Histogram h(12);
+    for (int i = 0; i < 90; ++i)
+        h.sample(10); // >= 8
+    for (int i = 0; i < 10; ++i)
+        h.sample(2);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(1), 1.0);
+    EXPECT_NEAR(h.fractionAtLeast(8), 0.9, 1e-12);
+    EXPECT_NEAR(h.fractionAtLeast(2), 1.0, 1e-12);
+    EXPECT_NEAR(h.fractionAtLeast(16), 0.0, 1e-12);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(8);
+    h.sample(8, 5);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(8), 1.0);
+}
+
+TEST(Histogram, EmptyFraction)
+{
+    Histogram h(8);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(4), 0.0);
+}
+
+TEST(StatSet, CountersByName)
+{
+    StatSet s;
+    s.counter("a").inc(3);
+    s.counter("a").inc();
+    s.counter("b").inc();
+    EXPECT_EQ(s.counterValue("a"), 4u);
+    EXPECT_EQ(s.counterValue("b"), 1u);
+    EXPECT_EQ(s.counterValue("missing"), 0u);
+    EXPECT_TRUE(s.hasCounter("a"));
+    EXPECT_FALSE(s.hasCounter("missing"));
+}
+
+TEST(StatSet, Ratio)
+{
+    StatSet s;
+    s.counter("hits").inc(30);
+    s.counter("total").inc(40);
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "total"), 0.75);
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "missing"), 0.0);
+}
+
+TEST(StatSet, DumpContainsNames)
+{
+    StatSet s;
+    s.counter("my_counter").inc(7);
+    s.setScalar("my_scalar", 1.5);
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_NE(os.str().find("my_counter"), std::string::npos);
+    EXPECT_NE(os.str().find("my_scalar"), std::string::npos);
+    EXPECT_NE(os.str().find("7"), std::string::npos);
+}
+
+TEST(StatSet, Reset)
+{
+    StatSet s;
+    s.counter("x").inc(9);
+    s.histogram("h").sample(4);
+    s.reset();
+    EXPECT_EQ(s.counterValue("x"), 0u);
+    EXPECT_EQ(s.histogram("h").total(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for trace serialization and the partitioned tournament
+ * extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/configs.hh"
+#include "sim/simulator.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::trace;
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const auto orig = WorkloadRegistry::build("viterb", 8000);
+    std::stringstream buf;
+    ASSERT_TRUE(saveTrace(orig, buf));
+
+    Trace loaded;
+    ASSERT_TRUE(loadTrace(loaded, buf));
+    EXPECT_EQ(loaded.name, orig.name);
+    EXPECT_EQ(loaded.suite, orig.suite);
+    ASSERT_EQ(loaded.size(), orig.size());
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+        EXPECT_EQ(loaded[i].pc, orig[i].pc) << i;
+        EXPECT_EQ(loaded[i].cls, orig[i].cls) << i;
+        EXPECT_EQ(loaded[i].memAddr, orig[i].memAddr) << i;
+        EXPECT_EQ(loaded[i].destValue, orig[i].destValue) << i;
+        EXPECT_EQ(loaded[i].numDests, orig[i].numDests) << i;
+        EXPECT_EQ(loaded[i].taken, orig[i].taken) << i;
+    }
+    EXPECT_EQ(loaded.initialImage.numPages(),
+              orig.initialImage.numPages());
+    EXPECT_EQ(loaded.verifyReplay(), loaded.size())
+        << "functional replay must survive the round trip";
+}
+
+TEST(TraceIo, LoadedTraceSimulatesIdentically)
+{
+    const auto orig = WorkloadRegistry::build("crafty", 10000);
+    std::stringstream buf;
+    ASSERT_TRUE(saveTrace(orig, buf));
+    Trace loaded;
+    ASSERT_TRUE(loadTrace(loaded, buf));
+
+    sim::Simulator s(sim::baselineCore(), 10000);
+    const auto a = s.run(orig, sim::dlvpConfig());
+    const auto b = s.run(loaded, sim::dlvpConfig());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.vpPredictedLoads, b.vpPredictedLoads);
+}
+
+TEST(TraceIo, RejectsGarbage)
+{
+    std::stringstream buf;
+    buf << "this is not a trace file";
+    Trace t;
+    EXPECT_FALSE(loadTrace(t, buf));
+}
+
+TEST(TraceIo, RejectsTruncation)
+{
+    const auto orig = WorkloadRegistry::build("viterb", 2000);
+    std::stringstream buf;
+    ASSERT_TRUE(saveTrace(orig, buf));
+    const std::string full = buf.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    Trace t;
+    EXPECT_FALSE(loadTrace(t, cut));
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const auto orig = WorkloadRegistry::build("idctrn", 3000);
+    const std::string path = "/tmp/dlvp_test_trace.trc";
+    ASSERT_TRUE(saveTraceFile(orig, path));
+    Trace loaded;
+    ASSERT_TRUE(loadTraceFile(loaded, path));
+    EXPECT_EQ(loaded.size(), orig.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFails)
+{
+    Trace t;
+    EXPECT_FALSE(loadTraceFile(t, "/nonexistent/path/x.trc"));
+}
+
+TEST(PartitionedTournament, RunsAndCoversAtLeastAsMuch)
+{
+    sim::Simulator s(sim::baselineCore(), 80000);
+    const auto naive = s.run("pdfjs", sim::tournamentConfig());
+    const auto part =
+        s.run("pdfjs", sim::partitionedTournamentConfig());
+    EXPECT_EQ(naive.committedInsts, part.committedInsts);
+    // Partitioning frees VTAGE capacity; combined coverage must not
+    // collapse (it usually grows on overlap-heavy workloads).
+    EXPECT_GT(part.coverage(), naive.coverage() * 0.9);
+    EXPECT_GT(part.accuracy(), 0.95);
+}
+
+} // namespace

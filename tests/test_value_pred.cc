@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for VTAGE (including the §5.2.2 opcode filters), CAP, and the
+ * tournament chooser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pred/cap.hh"
+#include "pred/chooser.hh"
+#include "pred/vtage.hh"
+#include "trace/instruction.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::pred;
+using trace::LoadKind;
+using trace::OpClass;
+using trace::TraceInst;
+
+TraceInst
+makeLoad(Addr pc, LoadKind kind = LoadKind::Simple,
+         unsigned dests = 1)
+{
+    TraceInst i;
+    i.pc = pc;
+    i.cls = OpClass::Load;
+    i.loadKind = kind;
+    i.numDests = static_cast<std::uint8_t>(dests);
+    i.memSize = 8;
+    return i;
+}
+
+TraceInst
+makeAlu(Addr pc)
+{
+    TraceInst i;
+    i.pc = pc;
+    i.cls = OpClass::IntAlu;
+    i.numDests = 1;
+    return i;
+}
+
+TEST(Vtage, ColdNoPrediction)
+{
+    Vtage v({});
+    const auto inst = makeLoad(0x400100);
+    EXPECT_FALSE(v.predict(inst, 0, 0).valid);
+}
+
+TEST(Vtage, ConfidenceNeedsManyObservations)
+{
+    Vtage v({});
+    const auto inst = makeLoad(0x400100);
+    // Ten observations are nowhere near the ~64 requirement.
+    for (int i = 0; i < 10; ++i)
+        v.train(inst, 0, 0, 42, false, false);
+    EXPECT_FALSE(v.predict(inst, 0, 0).valid);
+    // A few hundred stable observations saturate the FPC w.h.p.
+    for (int i = 0; i < 400; ++i)
+        v.train(inst, 0, 0, 42, false, false);
+    const auto p = v.predict(inst, 0, 0);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.value, 42u);
+}
+
+TEST(Vtage, ValueChangeStopsPrediction)
+{
+    Vtage v({});
+    const auto inst = makeLoad(0x400100);
+    for (int i = 0; i < 400; ++i)
+        v.train(inst, 0, 0, 42, false, false);
+    ASSERT_TRUE(v.predict(inst, 0, 0).valid);
+    v.train(inst, 0, 0, 43, false, false);
+    EXPECT_FALSE(v.predict(inst, 0, 0).valid)
+        << "a conflicting store's new value resets confidence";
+}
+
+TEST(Vtage, HistoryDisambiguates)
+{
+    Vtage v({});
+    const auto inst = makeLoad(0x400100);
+    for (int i = 0; i < 500; ++i) {
+        v.train(inst, 0, 0b00000, 111, false, false);
+        v.train(inst, 0, 0b10101, 222, false, false);
+    }
+    const auto a = v.predict(inst, 0, 0b00000);
+    const auto b = v.predict(inst, 0, 0b10101);
+    ASSERT_TRUE(a.valid && b.valid);
+    EXPECT_EQ(a.value, 111u);
+    EXPECT_EQ(b.value, 222u);
+}
+
+TEST(Vtage, DestIndexesIndependent)
+{
+    Vtage v({});
+    const auto inst = makeLoad(0x400100, LoadKind::Pair, 2);
+    VtageParams p;
+    p.filter = VtageFilter::None;
+    Vtage vv(p);
+    for (int i = 0; i < 500; ++i) {
+        vv.train(inst, 0, 0, 5, false, false);
+        vv.train(inst, 1, 0, 6, false, false);
+    }
+    EXPECT_EQ(vv.predict(inst, 0, 0).value, 5u);
+    EXPECT_EQ(vv.predict(inst, 1, 0).value, 6u);
+}
+
+TEST(Vtage, StaticFilterBlocksMultiDest)
+{
+    Vtage v({}); // default: static filter, loads only
+    EXPECT_TRUE(v.eligible(makeLoad(0x1000)));
+    EXPECT_FALSE(v.eligible(makeLoad(0x1000, LoadKind::Pair, 2)));
+    EXPECT_FALSE(v.eligible(makeLoad(0x1000, LoadKind::Multi, 8)));
+    EXPECT_FALSE(v.eligible(makeLoad(0x1000, LoadKind::Vector, 2)));
+}
+
+TEST(Vtage, VanillaAllowsMultiDest)
+{
+    VtageParams p;
+    p.filter = VtageFilter::None;
+    Vtage v(p);
+    EXPECT_TRUE(v.eligible(makeLoad(0x1000, LoadKind::Pair, 2)));
+    EXPECT_TRUE(v.eligible(makeLoad(0x1000, LoadKind::Multi, 8)));
+}
+
+TEST(Vtage, LoadsOnlyExcludesAlu)
+{
+    Vtage v({});
+    EXPECT_FALSE(v.eligible(makeAlu(0x1000)));
+}
+
+TEST(Vtage, AllInstructionsIncludesAlu)
+{
+    VtageParams p;
+    p.loadsOnly = false;
+    Vtage v(p);
+    EXPECT_TRUE(v.eligible(makeAlu(0x1000)));
+    EXPECT_TRUE(v.eligible(makeLoad(0x1000)));
+}
+
+TEST(Vtage, DynamicFilterLearnsToBlock)
+{
+    VtageParams p;
+    p.filter = VtageFilter::Dynamic;
+    p.dynFilterMinSamples = 64;
+    Vtage v(p);
+    const auto ldm = makeLoad(0x400100, LoadKind::Multi, 8);
+    ASSERT_TRUE(v.eligible(ldm)) << "starts unblocked";
+    // Feed it a stream of predicted-but-wrong outcomes.
+    for (int i = 0; i < 100; ++i)
+        v.train(ldm, 0, 0, static_cast<std::uint64_t>(i), true, false);
+    EXPECT_FALSE(v.eligible(ldm))
+        << "below-95%-accuracy types get blocked";
+}
+
+TEST(Vtage, DynamicFilterKeepsAccurateTypes)
+{
+    VtageParams p;
+    p.filter = VtageFilter::Dynamic;
+    p.dynFilterMinSamples = 64;
+    Vtage v(p);
+    const auto ld = makeLoad(0x400100);
+    for (int i = 0; i < 100; ++i)
+        v.train(ld, 0, 0, 42, true, true);
+    EXPECT_TRUE(v.eligible(ld));
+}
+
+TEST(Vtage, StorageBudgetTable4)
+{
+    Vtage v({});
+    // 3 x 256 x 83 = 63744 bits = 62.3k bits.
+    EXPECT_EQ(v.storageBits(), 3ULL * 256 * 83);
+}
+
+TEST(OpType, Classification)
+{
+    EXPECT_EQ(classifyOpType(makeLoad(0, LoadKind::Simple)),
+              OpType::SimpleLoad);
+    EXPECT_EQ(classifyOpType(makeLoad(0, LoadKind::Pair, 2)),
+              OpType::PairLoad);
+    EXPECT_EQ(classifyOpType(makeLoad(0, LoadKind::Multi, 4)),
+              OpType::MultiLoad);
+    EXPECT_EQ(classifyOpType(makeLoad(0, LoadKind::Vector, 2)),
+              OpType::VectorLoad);
+    EXPECT_EQ(classifyOpType(makeAlu(0)), OpType::IntAlu);
+}
+
+// ---- CAP ----
+
+TEST(Cap, ColdNoPrediction)
+{
+    Cap c(CapParams{});
+    EXPECT_FALSE(c.predict(0x400100).valid);
+}
+
+TEST(Cap, LearnsRepeatingAddress)
+{
+    CapParams p;
+    p.confThreshold = 3;
+    Cap c(p);
+    for (int i = 0; i < 20; ++i)
+        c.train(0x400100, 0xaaa000);
+    const auto pr = c.predict(0x400100);
+    ASSERT_TRUE(pr.valid);
+    EXPECT_EQ(pr.addr, 0xaaa000u);
+}
+
+TEST(Cap, LearnsAlternatingAddresses)
+{
+    // A last-address predictor fails on A/B/A/B; CAP's per-load
+    // history context captures it.
+    CapParams p;
+    p.confThreshold = 3;
+    Cap c(p);
+    for (int i = 0; i < 200; ++i)
+        c.train(0x400100, (i % 2) ? 0xaaa000 : 0xbbb000);
+    int correct = 0;
+    for (int i = 0; i < 40; ++i) {
+        const Addr expect = (i % 2) ? 0xaaa000 : 0xbbb000;
+        const auto pr = c.predict(0x400100);
+        if (pr.valid && pr.addr == expect)
+            ++correct;
+        c.train(0x400100, expect);
+    }
+    EXPECT_GT(correct, 36);
+}
+
+TEST(Cap, ConfidenceThresholdDelaysPrediction)
+{
+    CapParams hi;
+    hi.confThreshold = 64;
+    Cap c(hi);
+    for (int i = 0; i < 30; ++i)
+        c.train(0x400100, 0xaaa000);
+    EXPECT_FALSE(c.predict(0x400100).valid)
+        << "30 observations cannot satisfy a confidence of 64";
+    for (int i = 0; i < 64; ++i)
+        c.train(0x400100, 0xaaa000);
+    EXPECT_TRUE(c.predict(0x400100).valid);
+}
+
+TEST(Cap, MispredictResetsConfidence)
+{
+    CapParams p;
+    p.confThreshold = 3;
+    Cap c(p);
+    for (int i = 0; i < 20; ++i)
+        c.train(0x400100, 0xaaa000);
+    ASSERT_TRUE(c.predict(0x400100).valid);
+    c.train(0x400100, 0xccc000);
+    EXPECT_FALSE(c.predict(0x400100).valid);
+}
+
+TEST(Cap, StorageBudgetTable4)
+{
+    // Table 4 (ARMv8): 95k bits total.
+    Cap c(CapParams{});
+    EXPECT_NEAR(static_cast<double>(c.storageBits()), 95.0 * 1024,
+                8.0 * 1024);
+}
+
+// ---- Tournament chooser ----
+
+TEST(Chooser, DefaultPrefersDlvp)
+{
+    TournamentChooser ch;
+    EXPECT_TRUE(ch.preferDlvp(0x400100));
+}
+
+TEST(Chooser, LearnsVtagePreference)
+{
+    TournamentChooser ch;
+    for (int i = 0; i < 4; ++i)
+        ch.update(0x400100, false, true);
+    EXPECT_FALSE(ch.preferDlvp(0x400100));
+    EXPECT_TRUE(ch.preferDlvp(0x400200)) << "other PCs unaffected";
+}
+
+TEST(Chooser, AgreementIsUninformative)
+{
+    TournamentChooser ch;
+    for (int i = 0; i < 10; ++i) {
+        ch.update(0x400100, true, true);
+        ch.update(0x400100, false, false);
+    }
+    EXPECT_TRUE(ch.preferDlvp(0x400100)) << "counter unchanged";
+}
+
+TEST(Chooser, RecoversPreference)
+{
+    TournamentChooser ch;
+    for (int i = 0; i < 4; ++i)
+        ch.update(0x400100, false, true);
+    for (int i = 0; i < 4; ++i)
+        ch.update(0x400100, true, false);
+    EXPECT_TRUE(ch.preferDlvp(0x400100));
+}
+
+} // namespace

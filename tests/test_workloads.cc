@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the workload registry (Table 3 analogue) and the kernel
+ * library: every workload must build, replay-verify, terminate at the
+ * requested length, and be deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/profilers.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::trace;
+
+TEST(WorkloadRegistry, HasAllSuites)
+{
+    std::set<std::string> suites;
+    for (const auto &w : WorkloadRegistry::all())
+        suites.insert(w.suite);
+    EXPECT_TRUE(suites.count("SPEC2K"));
+    EXPECT_TRUE(suites.count("SPEC2K6"));
+    EXPECT_TRUE(suites.count("EEMBC"));
+    EXPECT_TRUE(suites.count("Other"));
+    EXPECT_TRUE(suites.count("JS"));
+}
+
+TEST(WorkloadRegistry, AtLeastTwentyEightWorkloads)
+{
+    EXPECT_GE(WorkloadRegistry::all().size(), 28u);
+}
+
+TEST(WorkloadRegistry, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &n : WorkloadRegistry::names())
+        EXPECT_TRUE(names.insert(n).second) << "duplicate " << n;
+}
+
+TEST(WorkloadRegistry, FindKnown)
+{
+    const auto &w = WorkloadRegistry::find("perlbmk");
+    EXPECT_EQ(w.name, "perlbmk");
+    EXPECT_EQ(w.suite, "SPEC2K");
+    EXPECT_FALSE(w.description.empty());
+}
+
+TEST(WorkloadRegistry, BuildExactLength)
+{
+    const auto t = WorkloadRegistry::build("perlbmk", 5000);
+    EXPECT_EQ(t.size(), 5000u);
+    EXPECT_EQ(t.name, "perlbmk");
+}
+
+TEST(WorkloadRegistry, BuildDeterministic)
+{
+    const auto a = WorkloadRegistry::build("mcf", 8000);
+    const auto b = WorkloadRegistry::build("mcf", 8000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc) << "at " << i;
+        EXPECT_EQ(a[i].memAddr, b[i].memAddr) << "at " << i;
+        EXPECT_EQ(a[i].destValue, b[i].destValue) << "at " << i;
+    }
+}
+
+/** Every workload: build + functional replay check + mix sanity. */
+class WorkloadBuild : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadBuild, BuildsAndReplays)
+{
+    const auto t = WorkloadRegistry::build(GetParam(), 20000);
+    EXPECT_EQ(t.size(), 20000u);
+    EXPECT_EQ(t.verifyReplay(), t.size())
+        << "functional replay diverged";
+    const auto mix = t.mix();
+    EXPECT_GT(mix.loads, t.size() / 50)
+        << "unreasonably few loads";
+    EXPECT_GT(mix.branches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadBuild,
+    ::testing::ValuesIn(trace::WorkloadRegistry::names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Profilers, ConflictDetectsCommittedStore)
+{
+    // load A; ...spacer...; store A; ...spacer...; load A  (same PC,
+    // conflict distance beyond the window -> committed class).
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x1000, 5, 8);
+    ctx.sealInitialImage();
+    ctx.load(0, 0x1000, Val{});
+    for (int i = 0; i < 300; ++i)
+        ctx.nop(100 + (i % 8));
+    Val d = ctx.imm(1, 9);
+    ctx.store(2, 0x1000, 9, Val{}, d);
+    for (int i = 0; i < 300; ++i)
+        ctx.nop(100 + (i % 8));
+    ctx.load(0, 0x1000, Val{});
+    const auto prof = profileConflicts(t, 224);
+    EXPECT_EQ(prof.committedConflicts, 1u);
+    EXPECT_EQ(prof.inflightConflicts, 0u);
+    EXPECT_EQ(prof.dynamicLoads, 2u);
+}
+
+TEST(Profilers, ConflictDetectsInflightStore)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x1000, 5, 8);
+    ctx.sealInitialImage();
+    ctx.load(0, 0x1000, Val{});
+    Val d = ctx.imm(1, 9);
+    ctx.store(2, 0x1000, 9, Val{}, d);
+    ctx.load(0, 0x1000, Val{}); // 2 insts after the store: in flight
+    const auto prof = profileConflicts(t, 224);
+    EXPECT_EQ(prof.committedConflicts, 0u);
+    EXPECT_EQ(prof.inflightConflicts, 1u);
+}
+
+TEST(Profilers, NoConflictOnDifferentAddress)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    ctx.load(0, 0x1000, Val{});
+    Val d = ctx.imm(1, 9);
+    ctx.store(2, 0x2000, 9, Val{}, d);
+    ctx.load(0, 0x1000, Val{});
+    const auto prof = profileConflicts(t, 224);
+    EXPECT_EQ(prof.totalFraction(), 0.0);
+}
+
+TEST(Profilers, NoConflictWhenAddressChanges)
+{
+    // Same static load, different address: not the Figure 1 pattern.
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.sealInitialImage();
+    ctx.load(0, 0x1000, Val{});
+    Val d = ctx.imm(1, 9);
+    ctx.store(2, 0x3000, 9, Val{}, d);
+    ctx.load(0, 0x3000, Val{});
+    const auto prof = profileConflicts(t, 224);
+    EXPECT_EQ(prof.committedConflicts + prof.inflightConflicts, 0u);
+}
+
+TEST(Profilers, RepeatabilityCountsRepeats)
+{
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x1000, 7, 8);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 16; ++i)
+        ctx.load(0, 0x1000, Val{}); // same PC, addr, value x16
+    const auto prof = profileRepeatability(t);
+    EXPECT_EQ(prof.dynamicLoads, 16u);
+    // Half the dynamic loads saw their address at least 8 times.
+    EXPECT_NEAR(prof.fractionAddrAtLeast[3], 9.0 / 16, 1e-9);
+    EXPECT_NEAR(prof.fractionValueAtLeast[3], 9.0 / 16, 1e-9);
+    // All saw it at least once.
+    EXPECT_DOUBLE_EQ(prof.fractionAddrAtLeast[0], 1.0);
+}
+
+TEST(Profilers, ValuesRepeatMoreThanAddresses)
+{
+    // Two addresses holding the same value: value repeat counts run
+    // ahead of address repeat counts — the Figure 2 gap.
+    Trace t;
+    KernelCtx ctx(t, 1);
+    ctx.mem().write(0x1000, 7, 8);
+    ctx.mem().write(0x2000, 7, 8);
+    ctx.sealInitialImage();
+    for (int i = 0; i < 32; ++i)
+        ctx.load(0, (i % 2) ? 0x1000 : 0x2000, Val{});
+    const auto prof = profileRepeatability(t);
+    EXPECT_GT(prof.fractionValueAtLeast[4], prof.fractionAddrAtLeast[4]);
+}
+
+TEST(Profilers, SuiteShowsFig1AndFig2Shape)
+{
+    // On a conflict-heavy workload the committed fraction dominates
+    // (Figure 1's shaded region); addresses repeat nearly as often as
+    // values (Figure 2).
+    const auto t = WorkloadRegistry::build("bzip2", 30000);
+    const auto conf = profileConflicts(t);
+    EXPECT_GT(conf.totalFraction(), 0.01);
+    const auto rep = profileRepeatability(t);
+    EXPECT_GT(rep.fractionAddrAtLeast[3], 0.3);
+    EXPECT_GE(rep.fractionValueAtLeast[3], rep.fractionAddrAtLeast[3] - 0.25);
+}
+
+} // namespace

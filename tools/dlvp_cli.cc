@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Command-line driver for the library: generate, inspect, profile,
+ * save/load, and simulate workloads without writing C++.
+ *
+ *   dlvp_cli list
+ *   dlvp_cli run <workload> [--scheme S] [--insts N] [--dump]
+ *   dlvp_cli sweep <workload> [--insts N]
+ *   dlvp_cli profile <workload> [--insts N]
+ *   dlvp_cli gen <workload> <file> [--insts N]
+ *   dlvp_cli runfile <file> [--scheme S]
+ *
+ * Schemes: baseline dlvp cap stride-dlvp vtage vtage-vanilla
+ *          vtage-dynamic vtage-all dvtage tournament
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/configs.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "trace/profilers.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace dlvp;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dlvp_cli <command> [args]\n"
+        "  list                              list the workload suite\n"
+        "  run <workload> [opts]             run one configuration\n"
+        "  sweep <workload> [opts]           all schemes side by side\n"
+        "  profile <workload> [opts]         Figure 1/2 trace profiles\n"
+        "  gen <workload> <file> [opts]      generate and save a trace\n"
+        "  runfile <file> [opts]             run a saved trace\n"
+        "options: --scheme <name> --insts <n> --warmup <n> --dump\n"
+        "schemes: baseline dlvp cap stride-dlvp vtage vtage-vanilla\n"
+        "         vtage-dynamic vtage-all dvtage tournament\n");
+    return 2;
+}
+
+bool
+schemeByName(const std::string &name, core::VpConfig &vp)
+{
+    if (name == "baseline")
+        vp = sim::baselineVp();
+    else if (name == "dlvp")
+        vp = sim::dlvpConfig();
+    else if (name == "cap")
+        vp = sim::capConfig();
+    else if (name == "stride-dlvp")
+        vp = sim::strideDlvpConfig();
+    else if (name == "vtage")
+        vp = sim::vtageConfig();
+    else if (name == "vtage-vanilla")
+        vp = sim::vtageConfigWith(pred::VtageFilter::None, true);
+    else if (name == "vtage-dynamic")
+        vp = sim::vtageConfigWith(pred::VtageFilter::Dynamic, true);
+    else if (name == "vtage-all")
+        vp = sim::vtageConfigWith(pred::VtageFilter::Static, false);
+    else if (name == "dvtage")
+        vp = sim::dvtageConfig();
+    else if (name == "tournament")
+        vp = sim::tournamentConfig();
+    else
+        return false;
+    return true;
+}
+
+struct Options
+{
+    std::string scheme = "dlvp";
+    std::size_t insts = sim::kDefaultInsts;
+    std::size_t warmup = 0; ///< 0: default fraction
+    bool dump = false;
+};
+
+bool
+parseOptions(int argc, char **argv, int start, Options &opt)
+{
+    for (int i = start; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--scheme" && i + 1 < argc) {
+            opt.scheme = argv[++i];
+        } else if (a == "--insts" && i + 1 < argc) {
+            opt.insts = static_cast<std::size_t>(atoll(argv[++i]));
+        } else if (a == "--warmup" && i + 1 < argc) {
+            opt.warmup = static_cast<std::size_t>(atoll(argv[++i]));
+        } else if (a == "--dump") {
+            opt.dump = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+printRun(const std::string &label, const core::CoreStats &base,
+         const core::CoreStats &s, bool dump)
+{
+    std::printf("%-14s cycles %-10llu ipc %-7.3f speedup %+6.2f%%  "
+                "cov %5.1f%%  acc %6.2f%%\n",
+                label.c_str(),
+                static_cast<unsigned long long>(s.cycles), s.ipc(),
+                100.0 * (sim::speedup(base, s) - 1.0),
+                100.0 * s.coverage(), 100.0 * s.accuracy());
+    if (dump)
+        s.dump(std::cout);
+}
+
+int
+cmdList()
+{
+    sim::Table t("workloads");
+    t.columns({"name", "suite", "description"});
+    for (const auto &w : trace::WorkloadRegistry::all())
+        t.row({w.name, w.suite, w.description});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdRun(const std::string &workload, const Options &opt)
+{
+    core::VpConfig vp;
+    if (!schemeByName(opt.scheme, vp)) {
+        std::fprintf(stderr, "unknown scheme '%s'\n",
+                     opt.scheme.c_str());
+        return 2;
+    }
+    sim::Simulator simulator(sim::baselineCore(), opt.insts);
+    const auto base = simulator.run(workload, sim::baselineVp());
+    const auto s = simulator.run(workload, vp);
+    printRun(opt.scheme, base, s, opt.dump);
+    return 0;
+}
+
+int
+cmdSweep(const std::string &workload, const Options &opt)
+{
+    sim::Simulator simulator(sim::baselineCore(), opt.insts);
+    const auto base = simulator.run(workload, sim::baselineVp());
+    std::printf("%s (%zu insts): baseline ipc %.3f\n",
+                workload.c_str(), opt.insts, base.ipc());
+    const char *names[] = {"dlvp",   "cap",    "stride-dlvp",
+                           "vtage",  "dvtage", "tournament"};
+    for (const auto *n : names) {
+        core::VpConfig vp;
+        schemeByName(n, vp);
+        printRun(n, base, simulator.run(workload, vp), false);
+    }
+    return 0;
+}
+
+int
+cmdProfile(const std::string &workload, const Options &opt)
+{
+    const auto t = trace::WorkloadRegistry::build(workload, opt.insts);
+    const auto mix = t.mix();
+    std::printf("%s: %llu uops, %.1f%% loads, %.1f%% stores, %.1f%% "
+                "branches, %.1f%% of loads multi-dest\n",
+                workload.c_str(),
+                static_cast<unsigned long long>(mix.total),
+                100.0 * mix.loads / mix.total,
+                100.0 * mix.stores / mix.total,
+                100.0 * mix.branches / mix.total,
+                mix.loads ? 100.0 * mix.multiDestLoads / mix.loads
+                          : 0.0);
+    const auto conf = trace::profileConflicts(t);
+    std::printf("Figure 1: %.2f%% committed conflicts, %.2f%% "
+                "in-flight conflicts\n",
+                100.0 * conf.committedFraction(),
+                100.0 * conf.inflightFraction());
+    const auto rep = trace::profileRepeatability(t);
+    std::printf("Figure 2: addr>=8 %.1f%%  value>=64 %.1f%%\n",
+                100.0 * rep.fractionAddrAtLeast[3],
+                100.0 * rep.fractionValueAtLeast[6]);
+    return 0;
+}
+
+int
+cmdGen(const std::string &workload, const std::string &path,
+       const Options &opt)
+{
+    const auto t = trace::WorkloadRegistry::build(workload, opt.insts);
+    if (!trace::saveTraceFile(t, path)) {
+        std::fprintf(stderr, "failed to write '%s'\n", path.c_str());
+        return 1;
+    }
+    std::printf("wrote %zu uops (%zu pages of memory image) to %s\n",
+                t.size(), t.initialImage.numPages(), path.c_str());
+    return 0;
+}
+
+int
+cmdRunFile(const std::string &path, const Options &opt)
+{
+    trace::Trace t;
+    if (!trace::loadTraceFile(t, path)) {
+        std::fprintf(stderr, "failed to read '%s'\n", path.c_str());
+        return 1;
+    }
+    if (t.verifyReplay() != t.size()) {
+        std::fprintf(stderr, "trace failed functional replay\n");
+        return 1;
+    }
+    core::VpConfig vp;
+    if (!schemeByName(opt.scheme, vp)) {
+        std::fprintf(stderr, "unknown scheme '%s'\n",
+                     opt.scheme.c_str());
+        return 2;
+    }
+    sim::Simulator simulator(sim::baselineCore(), t.size());
+    const auto base = simulator.run(t, sim::baselineVp());
+    const auto s = simulator.run(t, vp);
+    std::printf("%s (%zu uops from %s)\n", t.name.c_str(), t.size(),
+                path.c_str());
+    printRun(opt.scheme, base, s, opt.dump);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    Options opt;
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run" && argc >= 3 && parseOptions(argc, argv, 3, opt))
+        return cmdRun(argv[2], opt);
+    if (cmd == "sweep" && argc >= 3 &&
+        parseOptions(argc, argv, 3, opt))
+        return cmdSweep(argv[2], opt);
+    if (cmd == "profile" && argc >= 3 &&
+        parseOptions(argc, argv, 3, opt))
+        return cmdProfile(argv[2], opt);
+    if (cmd == "gen" && argc >= 4 && parseOptions(argc, argv, 4, opt))
+        return cmdGen(argv[2], argv[3], opt);
+    if (cmd == "runfile" && argc >= 3 &&
+        parseOptions(argc, argv, 3, opt))
+        return cmdRunFile(argv[2], opt);
+    return usage();
+}
