@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pap_design.dir/abl_pap_design.cc.o"
+  "CMakeFiles/abl_pap_design.dir/abl_pap_design.cc.o.d"
+  "abl_pap_design"
+  "abl_pap_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pap_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_replay_tradeoff.dir/abl_replay_tradeoff.cc.o"
+  "CMakeFiles/abl_replay_tradeoff.dir/abl_replay_tradeoff.cc.o.d"
+  "abl_replay_tradeoff"
+  "abl_replay_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_replay_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

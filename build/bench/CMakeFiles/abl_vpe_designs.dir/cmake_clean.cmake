@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vpe_designs.dir/abl_vpe_designs.cc.o"
+  "CMakeFiles/abl_vpe_designs.dir/abl_vpe_designs.cc.o.d"
+  "abl_vpe_designs"
+  "abl_vpe_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vpe_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

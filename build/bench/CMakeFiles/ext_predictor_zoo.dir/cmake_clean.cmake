@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_predictor_zoo.dir/ext_predictor_zoo.cc.o"
+  "CMakeFiles/ext_predictor_zoo.dir/ext_predictor_zoo.cc.o.d"
+  "ext_predictor_zoo"
+  "ext_predictor_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_predictor_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

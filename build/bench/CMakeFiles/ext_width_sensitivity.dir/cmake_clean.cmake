@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_width_sensitivity.dir/ext_width_sensitivity.cc.o"
+  "CMakeFiles/ext_width_sensitivity.dir/ext_width_sensitivity.cc.o.d"
+  "ext_width_sensitivity"
+  "ext_width_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_width_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_load_store_conflicts.dir/fig01_load_store_conflicts.cc.o"
+  "CMakeFiles/fig01_load_store_conflicts.dir/fig01_load_store_conflicts.cc.o.d"
+  "fig01_load_store_conflicts"
+  "fig01_load_store_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_load_store_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

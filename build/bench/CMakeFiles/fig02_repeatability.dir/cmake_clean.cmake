@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_repeatability.dir/fig02_repeatability.cc.o"
+  "CMakeFiles/fig02_repeatability.dir/fig02_repeatability.cc.o.d"
+  "fig02_repeatability"
+  "fig02_repeatability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_repeatability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

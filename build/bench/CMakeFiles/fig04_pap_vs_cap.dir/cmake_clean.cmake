@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_pap_vs_cap.dir/fig04_pap_vs_cap.cc.o"
+  "CMakeFiles/fig04_pap_vs_cap.dir/fig04_pap_vs_cap.cc.o.d"
+  "fig04_pap_vs_cap"
+  "fig04_pap_vs_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_pap_vs_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_pap_vs_cap.
+# This may be replaced when dependencies are built.

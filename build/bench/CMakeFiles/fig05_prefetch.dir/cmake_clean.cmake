@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_prefetch.dir/fig05_prefetch.cc.o"
+  "CMakeFiles/fig05_prefetch.dir/fig05_prefetch.cc.o.d"
+  "fig05_prefetch"
+  "fig05_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_comparison.dir/fig06_comparison.cc.o"
+  "CMakeFiles/fig06_comparison.dir/fig06_comparison.cc.o.d"
+  "fig06_comparison"
+  "fig06_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_vtage_flavors.dir/fig07_vtage_flavors.cc.o"
+  "CMakeFiles/fig07_vtage_flavors.dir/fig07_vtage_flavors.cc.o.d"
+  "fig07_vtage_flavors"
+  "fig07_vtage_flavors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_vtage_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_tournament.dir/fig08_tournament.cc.o"
+  "CMakeFiles/fig08_tournament.dir/fig08_tournament.cc.o.d"
+  "fig08_tournament"
+  "fig08_tournament.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_tournament.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

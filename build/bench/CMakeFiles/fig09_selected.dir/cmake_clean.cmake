@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_selected.dir/fig09_selected.cc.o"
+  "CMakeFiles/fig09_selected.dir/fig09_selected.cc.o.d"
+  "fig09_selected"
+  "fig09_selected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_selected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

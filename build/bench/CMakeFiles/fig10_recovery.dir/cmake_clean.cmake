@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_recovery.dir/fig10_recovery.cc.o"
+  "CMakeFiles/fig10_recovery.dir/fig10_recovery.cc.o.d"
+  "fig10_recovery"
+  "fig10_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

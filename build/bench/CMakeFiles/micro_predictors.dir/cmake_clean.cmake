@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_predictors.dir/micro_predictors.cc.o"
+  "CMakeFiles/micro_predictors.dir/micro_predictors.cc.o.d"
+  "micro_predictors"
+  "micro_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_apt_fields.dir/tab01_apt_fields.cc.o"
+  "CMakeFiles/tab01_apt_fields.dir/tab01_apt_fields.cc.o.d"
+  "tab01_apt_fields"
+  "tab01_apt_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_apt_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

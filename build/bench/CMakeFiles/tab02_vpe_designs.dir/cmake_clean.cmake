@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_vpe_designs.dir/tab02_vpe_designs.cc.o"
+  "CMakeFiles/tab02_vpe_designs.dir/tab02_vpe_designs.cc.o.d"
+  "tab02_vpe_designs"
+  "tab02_vpe_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_vpe_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_workloads.dir/tab03_workloads.cc.o"
+  "CMakeFiles/tab03_workloads.dir/tab03_workloads.cc.o.d"
+  "tab03_workloads"
+  "tab03_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

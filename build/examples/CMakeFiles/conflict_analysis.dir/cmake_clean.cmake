@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_analysis.dir/conflict_analysis.cpp.o"
+  "CMakeFiles/conflict_analysis.dir/conflict_analysis.cpp.o.d"
+  "conflict_analysis"
+  "conflict_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_compare.dir/scheme_compare.cpp.o"
+  "CMakeFiles/scheme_compare.dir/scheme_compare.cpp.o.d"
+  "scheme_compare"
+  "scheme_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlvp_common.dir/folded_history.cc.o"
+  "CMakeFiles/dlvp_common.dir/folded_history.cc.o.d"
+  "CMakeFiles/dlvp_common.dir/fpc.cc.o"
+  "CMakeFiles/dlvp_common.dir/fpc.cc.o.d"
+  "CMakeFiles/dlvp_common.dir/logging.cc.o"
+  "CMakeFiles/dlvp_common.dir/logging.cc.o.d"
+  "CMakeFiles/dlvp_common.dir/rng.cc.o"
+  "CMakeFiles/dlvp_common.dir/rng.cc.o.d"
+  "CMakeFiles/dlvp_common.dir/stats.cc.o"
+  "CMakeFiles/dlvp_common.dir/stats.cc.o.d"
+  "libdlvp_common.a"
+  "libdlvp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlvp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

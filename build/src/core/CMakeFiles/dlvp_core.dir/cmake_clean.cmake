@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlvp_core.dir/core.cc.o"
+  "CMakeFiles/dlvp_core.dir/core.cc.o.d"
+  "CMakeFiles/dlvp_core.dir/core_stats.cc.o"
+  "CMakeFiles/dlvp_core.dir/core_stats.cc.o.d"
+  "libdlvp_core.a"
+  "libdlvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlvp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/core_energy.cc" "src/energy/CMakeFiles/dlvp_energy.dir/core_energy.cc.o" "gcc" "src/energy/CMakeFiles/dlvp_energy.dir/core_energy.cc.o.d"
+  "/root/repo/src/energy/sram_model.cc" "src/energy/CMakeFiles/dlvp_energy.dir/sram_model.cc.o" "gcc" "src/energy/CMakeFiles/dlvp_energy.dir/sram_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlvp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlvp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dlvp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pred/CMakeFiles/dlvp_pred.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlvp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

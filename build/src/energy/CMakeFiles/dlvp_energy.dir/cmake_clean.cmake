@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlvp_energy.dir/core_energy.cc.o"
+  "CMakeFiles/dlvp_energy.dir/core_energy.cc.o.d"
+  "CMakeFiles/dlvp_energy.dir/sram_model.cc.o"
+  "CMakeFiles/dlvp_energy.dir/sram_model.cc.o.d"
+  "libdlvp_energy.a"
+  "libdlvp_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlvp_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

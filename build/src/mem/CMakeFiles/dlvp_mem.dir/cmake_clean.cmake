@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlvp_mem.dir/cache.cc.o"
+  "CMakeFiles/dlvp_mem.dir/cache.cc.o.d"
+  "CMakeFiles/dlvp_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/dlvp_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/dlvp_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/dlvp_mem.dir/prefetcher.cc.o.d"
+  "libdlvp_mem.a"
+  "libdlvp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlvp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlvp_mem.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for dlvp_mem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pred/cap.cc" "src/pred/CMakeFiles/dlvp_pred.dir/cap.cc.o" "gcc" "src/pred/CMakeFiles/dlvp_pred.dir/cap.cc.o.d"
+  "/root/repo/src/pred/dvtage.cc" "src/pred/CMakeFiles/dlvp_pred.dir/dvtage.cc.o" "gcc" "src/pred/CMakeFiles/dlvp_pred.dir/dvtage.cc.o.d"
+  "/root/repo/src/pred/ittage.cc" "src/pred/CMakeFiles/dlvp_pred.dir/ittage.cc.o" "gcc" "src/pred/CMakeFiles/dlvp_pred.dir/ittage.cc.o.d"
+  "/root/repo/src/pred/pap.cc" "src/pred/CMakeFiles/dlvp_pred.dir/pap.cc.o" "gcc" "src/pred/CMakeFiles/dlvp_pred.dir/pap.cc.o.d"
+  "/root/repo/src/pred/tage.cc" "src/pred/CMakeFiles/dlvp_pred.dir/tage.cc.o" "gcc" "src/pred/CMakeFiles/dlvp_pred.dir/tage.cc.o.d"
+  "/root/repo/src/pred/vtage.cc" "src/pred/CMakeFiles/dlvp_pred.dir/vtage.cc.o" "gcc" "src/pred/CMakeFiles/dlvp_pred.dir/vtage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlvp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlvp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlvp_pred.dir/cap.cc.o"
+  "CMakeFiles/dlvp_pred.dir/cap.cc.o.d"
+  "CMakeFiles/dlvp_pred.dir/dvtage.cc.o"
+  "CMakeFiles/dlvp_pred.dir/dvtage.cc.o.d"
+  "CMakeFiles/dlvp_pred.dir/ittage.cc.o"
+  "CMakeFiles/dlvp_pred.dir/ittage.cc.o.d"
+  "CMakeFiles/dlvp_pred.dir/pap.cc.o"
+  "CMakeFiles/dlvp_pred.dir/pap.cc.o.d"
+  "CMakeFiles/dlvp_pred.dir/tage.cc.o"
+  "CMakeFiles/dlvp_pred.dir/tage.cc.o.d"
+  "CMakeFiles/dlvp_pred.dir/vtage.cc.o"
+  "CMakeFiles/dlvp_pred.dir/vtage.cc.o.d"
+  "libdlvp_pred.a"
+  "libdlvp_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlvp_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dlvp_pred.
+# This may be replaced when dependencies are built.

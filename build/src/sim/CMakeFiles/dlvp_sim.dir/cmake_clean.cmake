@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlvp_sim.dir/addr_pred_driver.cc.o"
+  "CMakeFiles/dlvp_sim.dir/addr_pred_driver.cc.o.d"
+  "CMakeFiles/dlvp_sim.dir/configs.cc.o"
+  "CMakeFiles/dlvp_sim.dir/configs.cc.o.d"
+  "CMakeFiles/dlvp_sim.dir/report.cc.o"
+  "CMakeFiles/dlvp_sim.dir/report.cc.o.d"
+  "CMakeFiles/dlvp_sim.dir/simulator.cc.o"
+  "CMakeFiles/dlvp_sim.dir/simulator.cc.o.d"
+  "libdlvp_sim.a"
+  "libdlvp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlvp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/kernel_ctx.cc" "src/trace/CMakeFiles/dlvp_trace.dir/kernel_ctx.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/kernel_ctx.cc.o.d"
+  "/root/repo/src/trace/kernels_db.cc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_db.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_db.cc.o.d"
+  "/root/repo/src/trace/kernels_gc.cc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_gc.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_gc.cc.o.d"
+  "/root/repo/src/trace/kernels_list.cc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_list.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_list.cc.o.d"
+  "/root/repo/src/trace/kernels_mem.cc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_mem.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_mem.cc.o.d"
+  "/root/repo/src/trace/kernels_num.cc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_num.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_num.cc.o.d"
+  "/root/repo/src/trace/kernels_vm.cc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_vm.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/kernels_vm.cc.o.d"
+  "/root/repo/src/trace/memory_image.cc" "src/trace/CMakeFiles/dlvp_trace.dir/memory_image.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/memory_image.cc.o.d"
+  "/root/repo/src/trace/profilers.cc" "src/trace/CMakeFiles/dlvp_trace.dir/profilers.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/profilers.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/dlvp_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/dlvp_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/trace/CMakeFiles/dlvp_trace.dir/workloads.cc.o" "gcc" "src/trace/CMakeFiles/dlvp_trace.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlvp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlvp_trace.dir/kernel_ctx.cc.o"
+  "CMakeFiles/dlvp_trace.dir/kernel_ctx.cc.o.d"
+  "CMakeFiles/dlvp_trace.dir/kernels_db.cc.o"
+  "CMakeFiles/dlvp_trace.dir/kernels_db.cc.o.d"
+  "CMakeFiles/dlvp_trace.dir/kernels_gc.cc.o"
+  "CMakeFiles/dlvp_trace.dir/kernels_gc.cc.o.d"
+  "CMakeFiles/dlvp_trace.dir/kernels_list.cc.o"
+  "CMakeFiles/dlvp_trace.dir/kernels_list.cc.o.d"
+  "CMakeFiles/dlvp_trace.dir/kernels_mem.cc.o"
+  "CMakeFiles/dlvp_trace.dir/kernels_mem.cc.o.d"
+  "CMakeFiles/dlvp_trace.dir/kernels_num.cc.o"
+  "CMakeFiles/dlvp_trace.dir/kernels_num.cc.o.d"
+  "CMakeFiles/dlvp_trace.dir/kernels_vm.cc.o"
+  "CMakeFiles/dlvp_trace.dir/kernels_vm.cc.o.d"
+  "CMakeFiles/dlvp_trace.dir/memory_image.cc.o"
+  "CMakeFiles/dlvp_trace.dir/memory_image.cc.o.d"
+  "CMakeFiles/dlvp_trace.dir/profilers.cc.o"
+  "CMakeFiles/dlvp_trace.dir/profilers.cc.o.d"
+  "CMakeFiles/dlvp_trace.dir/trace.cc.o"
+  "CMakeFiles/dlvp_trace.dir/trace.cc.o.d"
+  "CMakeFiles/dlvp_trace.dir/trace_io.cc.o"
+  "CMakeFiles/dlvp_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/dlvp_trace.dir/workloads.cc.o"
+  "CMakeFiles/dlvp_trace.dir/workloads.cc.o.d"
+  "libdlvp_trace.a"
+  "libdlvp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlvp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_baseline.cc" "tests/CMakeFiles/test_core.dir/test_core_baseline.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_baseline.cc.o.d"
+  "/root/repo/tests/test_core_dlvp.cc" "tests/CMakeFiles/test_core.dir/test_core_dlvp.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_dlvp.cc.o.d"
+  "/root/repo/tests/test_core_edge.cc" "tests/CMakeFiles/test_core.dir/test_core_edge.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_edge.cc.o.d"
+  "/root/repo/tests/test_core_schemes.cc" "tests/CMakeFiles/test_core.dir/test_core_schemes.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_schemes.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/test_core.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_fuzz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dlvp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/dlvp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlvp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dlvp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pred/CMakeFiles/dlvp_pred.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlvp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlvp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_core_baseline.cc.o"
+  "CMakeFiles/test_core.dir/test_core_baseline.cc.o.d"
+  "CMakeFiles/test_core.dir/test_core_dlvp.cc.o"
+  "CMakeFiles/test_core.dir/test_core_dlvp.cc.o.d"
+  "CMakeFiles/test_core.dir/test_core_edge.cc.o"
+  "CMakeFiles/test_core.dir/test_core_edge.cc.o.d"
+  "CMakeFiles/test_core.dir/test_core_schemes.cc.o"
+  "CMakeFiles/test_core.dir/test_core_schemes.cc.o.d"
+  "CMakeFiles/test_core.dir/test_fuzz.cc.o"
+  "CMakeFiles/test_core.dir/test_fuzz.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

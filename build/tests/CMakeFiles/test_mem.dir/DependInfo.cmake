@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/test_mem.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_mem_system.cc" "tests/CMakeFiles/test_mem.dir/test_mem_system.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_mem_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dlvp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/dlvp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlvp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dlvp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pred/CMakeFiles/dlvp_pred.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlvp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlvp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

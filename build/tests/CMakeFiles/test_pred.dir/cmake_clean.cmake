@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pred.dir/test_branch_pred.cc.o"
+  "CMakeFiles/test_pred.dir/test_branch_pred.cc.o.d"
+  "CMakeFiles/test_pred.dir/test_pap.cc.o"
+  "CMakeFiles/test_pred.dir/test_pap.cc.o.d"
+  "CMakeFiles/test_pred.dir/test_pred_ext.cc.o"
+  "CMakeFiles/test_pred.dir/test_pred_ext.cc.o.d"
+  "CMakeFiles/test_pred.dir/test_value_pred.cc.o"
+  "CMakeFiles/test_pred.dir/test_value_pred.cc.o.d"
+  "test_pred"
+  "test_pred.pdb"
+  "test_pred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

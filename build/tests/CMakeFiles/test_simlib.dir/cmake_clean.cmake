@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simlib.dir/test_energy.cc.o"
+  "CMakeFiles/test_simlib.dir/test_energy.cc.o.d"
+  "CMakeFiles/test_simlib.dir/test_properties.cc.o"
+  "CMakeFiles/test_simlib.dir/test_properties.cc.o.d"
+  "CMakeFiles/test_simlib.dir/test_report_cli.cc.o"
+  "CMakeFiles/test_simlib.dir/test_report_cli.cc.o.d"
+  "CMakeFiles/test_simlib.dir/test_sim.cc.o"
+  "CMakeFiles/test_simlib.dir/test_sim.cc.o.d"
+  "test_simlib"
+  "test_simlib.pdb"
+  "test_simlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

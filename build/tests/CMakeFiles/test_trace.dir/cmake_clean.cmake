@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/test_kernel_ctx.cc.o"
+  "CMakeFiles/test_trace.dir/test_kernel_ctx.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_memory_image.cc.o"
+  "CMakeFiles/test_trace.dir/test_memory_image.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_site_consistency.cc.o"
+  "CMakeFiles/test_trace.dir/test_site_consistency.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_trace_io.cc.o"
+  "CMakeFiles/test_trace.dir/test_trace_io.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_workloads.cc.o"
+  "CMakeFiles/test_trace.dir/test_workloads.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlvp_cli.dir/dlvp_cli.cc.o"
+  "CMakeFiles/dlvp_cli.dir/dlvp_cli.cc.o.d"
+  "dlvp_cli"
+  "dlvp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlvp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
