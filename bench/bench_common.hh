@@ -1,14 +1,22 @@
 /**
  * @file
- * Shared plumbing for the per-figure/table bench harnesses: run a set
- * of configurations over the workload suite (building each trace once
- * and evicting it afterwards to bound memory), and collect speedups.
+ * Shared plumbing for the per-figure/table bench harnesses, built on
+ * the parallel sweep engine (sim/sweep.hh): baseline + N configs × M
+ * workloads become jobs on a thread pool (DLVP_JOBS env var, default
+ * all hardware threads), with per-row output bit-identical to a
+ * serial run. Traces are built once in the shared store and evicted
+ * as soon as a workload's last job finishes to bound memory.
+ *
+ * Set DLVP_BENCH_JSON=<path> to also write the machine-readable
+ * sweep report (schema dlvp-sweep-v1) for trajectory tracking.
  */
 
 #ifndef DLVP_BENCH_BENCH_COMMON_HH
 #define DLVP_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -17,6 +25,7 @@
 #include "sim/configs.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "trace/workloads.hh"
 
 namespace dlvp::bench
@@ -26,46 +35,50 @@ namespace dlvp::bench
 inline constexpr std::size_t kBenchInsts = 300000;
 
 /** Named configuration to evaluate. */
-struct Config
-{
-    std::string name;
-    core::VpConfig vp;
-};
+using Config = sim::SweepConfig;
 
 /** One workload's results across all configurations. */
-struct WorkloadRow
-{
-    std::string workload;
-    core::CoreStats baseline;
-    std::vector<core::CoreStats> results; ///< one per config
-};
+using WorkloadRow = sim::SweepRow;
 
 /**
  * Run baseline + configs over @p workloads (all registered workloads
- * if empty). Prints a progress dot per workload on stderr.
+ * if empty) in parallel. Progress is reported as "k/N" lines on
+ * stderr from an atomic completed-job counter — safe under
+ * concurrency, unlike the old per-workload dot.
  */
 inline std::vector<WorkloadRow>
 runSuite(const std::vector<Config> &configs,
          std::vector<std::string> workloads = {},
          std::size_t insts = kBenchInsts)
 {
-    if (workloads.empty())
-        workloads = trace::WorkloadRegistry::names();
-    sim::Simulator simulator(sim::baselineCore(), insts);
-    std::vector<WorkloadRow> rows;
-    for (const auto &w : workloads) {
-        WorkloadRow row;
-        row.workload = w;
-        row.baseline = simulator.run(w, sim::baselineVp());
-        for (const auto &c : configs)
-            row.results.push_back(simulator.run(w, c.vp));
-        simulator.evict(w);
-        rows.push_back(std::move(row));
-        std::fputc('.', stderr);
+    sim::SweepSpec spec;
+    spec.configs = configs;
+    spec.workloads = std::move(workloads);
+    spec.insts = insts;
+    spec.core = sim::baselineCore();
+    spec.baseline = sim::baselineVp();
+    spec.progress = [](std::size_t done, std::size_t total) {
+        // One fputs per event: atomic at the stdio level, and the
+        // count comes from the engine's shared counter, so lines are
+        // monotonic per worker and max out at total/total.
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "\r%zu/%zu jobs", done, total);
+        std::fputs(buf, stderr);
+        if (done == total)
+            std::fputc('\n', stderr);
         std::fflush(stderr);
+    };
+    auto result = sim::runSweep(spec);
+    if (const char *path = std::getenv("DLVP_BENCH_JSON")) {
+        std::ofstream os(path);
+        if (os)
+            sim::writeSweepJson(os, result);
+        else
+            std::fprintf(stderr,
+                         "warn: cannot write DLVP_BENCH_JSON=%s\n",
+                         path);
     }
-    std::fputc('\n', stderr);
-    return rows;
+    return std::move(result.rows);
 }
 
 /** Arithmetic-mean speedup of config @p idx across rows. */

@@ -67,4 +67,19 @@ Rng::uniform()
     return static_cast<double>(next64() >> 11) * 0x1.0p-53;
 }
 
+std::uint64_t
+deriveSeed(std::string_view a, std::string_view b, std::uint64_t salt)
+{
+    std::uint64_t x = 0x6a09e667f3bcc909ULL ^ salt;
+    for (const char c : a)
+        x = splitmix64(x) ^ static_cast<std::uint64_t>(
+                                static_cast<unsigned char>(c));
+    x = splitmix64(x) ^ 0xff; // separator: ("ab","c") != ("a","bc")
+    for (const char c : b)
+        x = splitmix64(x) ^ static_cast<std::uint64_t>(
+                                static_cast<unsigned char>(c));
+    std::uint64_t s = splitmix64(x);
+    return s ? s : 1;
+}
+
 } // namespace dlvp

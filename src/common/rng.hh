@@ -11,6 +11,7 @@
 #define DLVP_COMMON_RNG_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace dlvp
 {
@@ -48,6 +49,15 @@ class Rng
   private:
     std::uint64_t s_[4];
 };
+
+/**
+ * Derive a 64-bit seed from string material (splitmix64 over the
+ * bytes). Used for per-job seeding in sweeps: the seed depends only
+ * on the strings (e.g. workload and config names), never on thread
+ * identity or schedule, so parallel runs reproduce serial ones.
+ */
+std::uint64_t deriveSeed(std::string_view a, std::string_view b = {},
+                         std::uint64_t salt = 0);
 
 } // namespace dlvp
 

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fixed-size thread pool for the sweep engine.
+ *
+ * Deliberately simple: one FIFO queue, no work stealing, futures for
+ * results, exceptions propagated through the future. Determinism of
+ * simulation output must never depend on which worker runs a job —
+ * the pool gives no ordering guarantees beyond FIFO dequeue, so jobs
+ * must be self-contained and write only to their own result slots.
+ */
+
+#ifndef DLVP_COMMON_THREAD_POOL_HH
+#define DLVP_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dlvp
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_threads workers (clamped to at least 1). */
+    explicit ThreadPool(unsigned num_threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a callable; the returned future yields its result or
+     * rethrows whatever it threw.
+     */
+    template <typename F>
+    auto
+    submit(F &&f) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(f));
+        auto fut = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Worker count to use when the caller does not specify one: the
+     * DLVP_JOBS environment variable if set and positive, otherwise
+     * std::thread::hardware_concurrency() (at least 1).
+     */
+    static unsigned defaultJobs();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace dlvp
+
+#endif // DLVP_COMMON_THREAD_POOL_HH

@@ -1,6 +1,7 @@
 #include "core.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 
 #include "common/logging.hh"
@@ -41,6 +42,15 @@ OoOCore::OoOCore(const CoreParams &params, const VpConfig &vp,
         break;
       case VpScheme::None:
         break;
+    }
+    if (vp_.rngSeed != 0) {
+        tage_.reseedRng(vp_.rngSeed ^ 0x7461676500000000ULL);
+        if (pap_)
+            pap_->reseedRng(vp_.rngSeed ^ 0x7061700000000000ULL);
+        if (vtage_)
+            vtage_->reseedRng(vp_.rngSeed ^ 0x7674616765000000ULL);
+        if (dvtage_)
+            dvtage_->reseedRng(vp_.rngSeed ^ 0x6476746167650000ULL);
     }
     dlvp_assert(params_.numPhysRegs > kNumArchRegs);
     freePhys_ = params_.numPhysRegs - kNumArchRegs;
@@ -633,22 +643,25 @@ OoOCore::issueStage()
         s.issueCycle = now_;
         stats_.issueWaitCycles += now_ - s.dispatchCycle;
         if (getenv("DLVP_DEBUG_WAIT")) {
-            static std::uint64_t wait_sum[16], wait_cnt[16];
-            static bool registered = false;
+            // Atomics: cores may run concurrently in sweep jobs.
+            static std::atomic<std::uint64_t> wait_sum[16],
+                wait_cnt[16];
+            static std::atomic<bool> registered{false};
             const unsigned c =
                 static_cast<unsigned>(inst.cls) & 15;
             wait_sum[c] += now_ - s.dispatchCycle;
             ++wait_cnt[c];
-            if (!registered) {
-                registered = true;
+            if (!registered.exchange(true)) {
                 atexit(+[] {
-                    for (unsigned k = 0; k < 16; ++k)
-                        if (wait_cnt[k])
+                    for (unsigned k = 0; k < 16; ++k) {
+                        const std::uint64_t n = wait_cnt[k];
+                        if (n)
                             fprintf(stderr, "wait cls=%u avg=%.2f "
                                             "n=%llu\n",
                                     k,
-                                    double(wait_sum[k]) / wait_cnt[k],
-                                    (unsigned long long)wait_cnt[k]);
+                                    double(wait_sum[k].load()) / n,
+                                    (unsigned long long)n);
+                    }
                 });
             }
         }

@@ -88,6 +88,9 @@ struct CoreStats
     std::uint64_t predictorLookups = 0;
     std::uint64_t predictorWrites = 0;
 
+    /** Field-wise equality (sweep determinism checks). */
+    bool operator==(const CoreStats &) const = default;
+
     double
     ipc() const
     {

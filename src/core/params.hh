@@ -122,6 +122,15 @@ struct VpConfig
     unsigned valueCheckPenalty = 1;
 
     /**
+     * Per-job RNG seed for the predictors' stochastic confidence
+     * updates. 0 keeps each predictor's fixed built-in seed (the seed
+     * repository's historical behaviour). Sweep jobs derive a nonzero
+     * value from (workload, config) — never from thread identity — so
+     * parallel and serial sweeps are bit-identical (see sim/sweep.hh).
+     */
+    std::uint64_t rngSeed = 0;
+
+    /**
      * Tournament-only: implement the "more intelligent chooser"
      * future work of SS5.2.3 — partition the loads by suppressing
      * VTAGE training for loads DLVP already covers correctly, freeing

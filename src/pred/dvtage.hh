@@ -51,6 +51,9 @@ class Dvtage
   public:
     explicit Dvtage(const DvtageParams &params);
 
+    /** Per-job reseed of the stochastic confidence Rng (sweeps). */
+    void reseedRng(std::uint64_t seed) { rng_.reseed(seed); }
+
     bool eligible(const trace::TraceInst &inst) const;
 
     struct Prediction

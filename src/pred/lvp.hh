@@ -43,6 +43,9 @@ class Lvp
     {
     }
 
+    /** Per-job reseed of the stochastic confidence Rng (sweeps). */
+    void reseedRng(std::uint64_t seed) { rng_.reseed(seed); }
+
     struct Prediction
     {
         bool valid = false;

@@ -65,6 +65,9 @@ class Pap
   public:
     explicit Pap(const PapParams &params);
 
+    /** Per-job reseed of the stochastic confidence Rng (sweeps). */
+    void reseedRng(std::uint64_t seed) { rng_.reseed(seed); }
+
     /** Bit shifted into the load-path history for a load at @p pc. */
     static bool
     pathBit(Addr pc)

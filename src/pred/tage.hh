@@ -34,6 +34,9 @@ class Tage
   public:
     explicit Tage(const TageParams &params);
 
+    /** Per-job reseed of the allocation-victim Rng (sweeps). */
+    void reseedRng(std::uint64_t seed) { rng_.reseed(seed); }
+
     /** Direction prediction using the fetch-time history @p ghr. */
     bool predict(Addr pc, std::uint64_t ghr) const;
 

@@ -71,6 +71,9 @@ class Vtage
   public:
     explicit Vtage(const VtageParams &params);
 
+    /** Per-job reseed of the stochastic confidence Rng (sweeps). */
+    void reseedRng(std::uint64_t seed) { rng_.reseed(seed); }
+
     /** Is this instruction in scope (class + filter)? */
     bool eligible(const trace::TraceInst &inst) const;
 

@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "sim/sweep.hh"
+
 namespace dlvp::sim
 {
 
@@ -68,6 +70,76 @@ Table::print(std::ostream &os) const
         }
         os << "\n";
     }
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            out += ' ';
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+jsonStats(std::ostream &os, const core::CoreStats &s)
+{
+    os << "{\"cycles\": " << s.cycles
+       << ", \"committed_insts\": " << s.committedInsts
+       << ", \"ipc\": " << s.ipc()
+       << ", \"coverage\": " << s.coverage()
+       << ", \"accuracy\": " << s.accuracy()
+       << ", \"vp_flushes\": " << s.vpFlushes << "}";
+}
+
+} // namespace
+
+void
+writeSweepJson(std::ostream &os, const SweepResult &r)
+{
+    std::ostringstream body;
+    body << std::setprecision(12);
+    body << "{\n  \"schema\": \"dlvp-sweep-v1\",\n";
+    body << "  \"insts\": " << r.insts << ",\n";
+    body << "  \"configs\": [";
+    for (std::size_t i = 0; i < r.configNames.size(); ++i)
+        body << (i ? ", " : "") << '"'
+             << jsonEscape(r.configNames[i]) << '"';
+    body << "],\n  \"rows\": [\n";
+    for (std::size_t wi = 0; wi < r.rows.size(); ++wi) {
+        const auto &row = r.rows[wi];
+        body << "    {\"workload\": \"" << jsonEscape(row.workload)
+             << "\", \"baseline\": ";
+        jsonStats(body, row.baseline);
+        body << ", \"results\": [";
+        for (std::size_t ci = 0; ci < row.results.size(); ++ci) {
+            body << (ci ? ", " : "") << "{\"config\": \""
+                 << jsonEscape(r.configNames[ci]) << "\", \"speedup\": "
+                 << speedup(row.baseline, row.results[ci])
+                 << ", \"stats\": ";
+            jsonStats(body, row.results[ci]);
+            body << "}";
+        }
+        body << "]}" << (wi + 1 < r.rows.size() ? "," : "") << "\n";
+    }
+    body << "  ],\n  \"summary\": {\"amean_speedup\": [";
+    for (std::size_t ci = 0; ci < r.configNames.size(); ++ci)
+        body << (ci ? ", " : "") << r.meanSpeedup(ci);
+    body << "], \"geomean_speedup\": [";
+    for (std::size_t ci = 0; ci < r.configNames.size(); ++ci)
+        body << (ci ? ", " : "") << r.geomeanSpeedup(ci);
+    body << "]}\n}\n";
+    os << body.str();
 }
 
 std::string

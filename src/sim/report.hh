@@ -44,6 +44,16 @@ class Table
 /** Print "pct" as e.g. "+4.8%" (for speedups given as ratios). */
 std::string pct(double ratio);
 
+struct SweepResult;
+
+/**
+ * Machine-readable sweep report (schema "dlvp-sweep-v1", documented
+ * in DESIGN.md §"Parallel sweeps"): per-row cycles/ipc/coverage/
+ * accuracy/speedup plus amean/geomean summaries, for tracking
+ * BENCH_*.json trajectories across PRs.
+ */
+void writeSweepJson(std::ostream &os, const SweepResult &r);
+
 } // namespace dlvp::sim
 
 #endif // DLVP_SIM_REPORT_HH

@@ -3,28 +3,27 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "sim/sweep.hh"
 #include "trace/workloads.hh"
 
 namespace dlvp::sim
 {
 
 Simulator::Simulator(core::CoreParams params,
-                     std::size_t insts_per_workload)
-    : params_(params), insts_(insts_per_workload)
+                     std::size_t insts_per_workload, TraceStore *store)
+    : params_(params), insts_(insts_per_workload),
+      store_(store ? store : &TraceStore::global())
 {
 }
 
 const trace::Trace &
 Simulator::workload(const std::string &name)
 {
-    auto it = cache_.find(name);
-    if (it == cache_.end()) {
-        it = cache_
-                 .emplace(name,
-                          trace::WorkloadRegistry::build(name, insts_))
+    auto it = pinned_.find(name);
+    if (it == pinned_.end())
+        it = pinned_.emplace(name, store_->acquire(name, insts_))
                  .first;
-    }
-    return it->second;
+    return *it->second;
 }
 
 core::CoreStats
@@ -47,7 +46,8 @@ Simulator::run(const trace::Trace &trace,
 void
 Simulator::evict(const std::string &name)
 {
-    cache_.erase(name);
+    pinned_.erase(name);
+    store_->evict(name, insts_);
 }
 
 double

@@ -1,7 +1,12 @@
 /**
  * @file
- * Simulation façade: builds workload traces (cached) and runs core
- * configurations over them.
+ * Simulation façade: fetches workload traces from the shared
+ * thread-safe TraceStore and runs core configurations over them.
+ *
+ * run(trace, vp) is const and touches no Simulator state, so one
+ * Simulator may be used from many sweep jobs concurrently; only
+ * workload()/evict() (which pin traces into this instance) are
+ * single-threaded operations.
  */
 
 #ifndef DLVP_SIM_SIMULATOR_HH
@@ -9,6 +14,7 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +26,8 @@
 namespace dlvp::sim
 {
 
+class TraceStore;
+
 /** Default per-workload instruction count for experiments. */
 inline constexpr std::size_t kDefaultInsts = 400000;
 
@@ -29,21 +37,33 @@ inline constexpr double kWarmupFraction = 0.25;
 class Simulator
 {
   public:
+    /**
+     * @p store is the trace cache to delegate to; nullptr selects the
+     * process-wide TraceStore::global().
+     */
     explicit Simulator(core::CoreParams params = {},
-                       std::size_t insts_per_workload = kDefaultInsts);
+                       std::size_t insts_per_workload = kDefaultInsts,
+                       TraceStore *store = nullptr);
 
-    /** Build (or fetch from cache) a workload trace. */
+    /**
+     * Build (or fetch from the shared store) a workload trace. The
+     * reference stays valid until evict(name) on this Simulator.
+     */
     const trace::Trace &workload(const std::string &name);
 
     /** Run one configuration on one workload. */
     core::CoreStats run(const std::string &workload_name,
                         const core::VpConfig &vp);
 
-    /** Run one configuration on an explicit trace. */
+    /** Run one configuration on an explicit trace (thread-safe). */
     core::CoreStats run(const trace::Trace &trace,
                         const core::VpConfig &vp) const;
 
-    /** Release a cached trace (they are tens of MB each). */
+    /**
+     * Release a cached trace (they are tens of MB each). Safe to call
+     * for names never built; concurrent users of the trace elsewhere
+     * keep their (refcounted) reference.
+     */
     void evict(const std::string &name);
 
     const core::CoreParams &params() const { return params_; }
@@ -52,7 +72,9 @@ class Simulator
   private:
     core::CoreParams params_;
     std::size_t insts_;
-    std::map<std::string, trace::Trace> cache_;
+    TraceStore *store_;
+    /** Pins keeping workload() references valid across store evicts. */
+    std::map<std::string, std::shared_ptr<const trace::Trace>> pinned_;
 };
 
 /** speedup = baseline_cycles / config_cycles. */

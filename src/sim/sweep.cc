@@ -1,0 +1,208 @@
+#include "sweep.hh"
+
+#include <future>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "trace/workloads.hh"
+
+namespace dlvp::sim
+{
+
+// ---------------------------------------------------------------------
+// TraceStore
+// ---------------------------------------------------------------------
+
+/**
+ * Build-once latch per key. The slot is created under the unique lock
+ * but the (expensive) build runs outside any store lock; concurrent
+ * acquirers of the same key wait on the slot's shared_future instead
+ * of re-building.
+ */
+struct TraceStore::Slot
+{
+    std::promise<std::shared_ptr<const trace::Trace>> promise;
+    std::shared_future<std::shared_ptr<const trace::Trace>> ready{
+        promise.get_future().share()};
+    bool builder_claimed = false; ///< guarded by the store lock
+};
+
+std::shared_ptr<const trace::Trace>
+TraceStore::acquire(const std::string &name, std::size_t insts)
+{
+    const auto key = std::make_pair(name, insts);
+    std::shared_ptr<Slot> slot;
+    bool build_here = false;
+    {
+        // Fast path: someone already created (or is creating) it.
+        std::shared_lock<std::shared_mutex> lock(m_);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            slot = it->second;
+    }
+    if (!slot) {
+        std::unique_lock<std::shared_mutex> lock(m_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            slot = std::make_shared<Slot>();
+            slot->builder_claimed = true;
+            build_here = true;
+            cache_.emplace(key, slot);
+        } else {
+            slot = it->second;
+        }
+    }
+    if (build_here) {
+        builds_.fetch_add(1, std::memory_order_relaxed);
+        try {
+            slot->promise.set_value(
+                std::make_shared<const trace::Trace>(
+                    trace::WorkloadRegistry::build(name, insts)));
+        } catch (...) {
+            slot->promise.set_exception(std::current_exception());
+            // Let later acquirers retry instead of caching the error.
+            std::unique_lock<std::shared_mutex> lock(m_);
+            auto it = cache_.find(key);
+            if (it != cache_.end() && it->second == slot)
+                cache_.erase(it);
+        }
+    }
+    return slot->ready.get(); // rethrows a failed build
+}
+
+bool
+TraceStore::evict(const std::string &name, std::size_t insts)
+{
+    std::unique_lock<std::shared_mutex> lock(m_);
+    return cache_.erase(std::make_pair(name, insts)) > 0;
+}
+
+void
+TraceStore::clear()
+{
+    std::unique_lock<std::shared_mutex> lock(m_);
+    cache_.clear();
+}
+
+std::size_t
+TraceStore::cachedCount() const
+{
+    std::shared_lock<std::shared_mutex> lock(m_);
+    return cache_.size();
+}
+
+TraceStore &
+TraceStore::global()
+{
+    static TraceStore store;
+    return store;
+}
+
+// ---------------------------------------------------------------------
+// Sweep execution
+// ---------------------------------------------------------------------
+
+std::uint64_t
+jobSeed(const std::string &workload, const std::string &config)
+{
+    return deriveSeed(workload, config, /*salt=*/0x5357454550ULL);
+}
+
+double
+SweepResult::meanSpeedup(std::size_t idx) const
+{
+    std::vector<double> v;
+    v.reserve(rows.size());
+    for (const auto &r : rows)
+        v.push_back(speedup(r.baseline, r.results[idx]));
+    return amean(v);
+}
+
+double
+SweepResult::geomeanSpeedup(std::size_t idx) const
+{
+    std::vector<double> v;
+    v.reserve(rows.size());
+    for (const auto &r : rows)
+        v.push_back(speedup(r.baseline, r.results[idx]));
+    return geomean(v);
+}
+
+SweepResult
+runSweep(const SweepSpec &spec)
+{
+    SweepResult result;
+    result.insts = spec.insts;
+    for (const auto &c : spec.configs)
+        result.configNames.push_back(c.name);
+
+    const std::vector<std::string> workloads =
+        spec.workloads.empty() ? trace::WorkloadRegistry::names()
+                               : spec.workloads;
+    // Column 0 is the baseline; columns 1.. are the spec configs.
+    const std::size_t ncols = spec.configs.size() + 1;
+    const std::size_t total = workloads.size() * ncols;
+
+    result.rows.resize(workloads.size());
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        result.rows[wi].workload = workloads[wi];
+        result.rows[wi].results.resize(spec.configs.size());
+    }
+    if (total == 0)
+        return result;
+
+    TraceStore &store =
+        spec.store ? *spec.store : TraceStore::global();
+    const Simulator sim(spec.core, spec.insts);
+
+    // Evict a workload's trace as soon as its last job finishes so a
+    // wide sweep holds at most ~jobs traces, not the whole suite.
+    std::vector<std::atomic<std::size_t>> remaining(workloads.size());
+    for (auto &r : remaining)
+        r.store(ncols, std::memory_order_relaxed);
+    std::atomic<std::size_t> done{0};
+
+    ThreadPool pool(spec.jobs ? spec.jobs
+                              : ThreadPool::defaultJobs());
+    std::vector<std::future<void>> futures;
+    futures.reserve(total);
+
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        for (std::size_t ci = 0; ci < ncols; ++ci) {
+            futures.push_back(pool.submit([&, wi, ci] {
+                const std::string &w = workloads[wi];
+                auto tr = store.acquire(w, spec.insts);
+                core::VpConfig vp = ci == 0
+                                        ? spec.baseline
+                                        : spec.configs[ci - 1].vp;
+                if (spec.perJobSeed)
+                    vp.rngSeed = jobSeed(
+                        w, ci == 0 ? "baseline"
+                                   : spec.configs[ci - 1].name);
+                core::CoreStats stats = sim.run(*tr, vp);
+                if (ci == 0)
+                    result.rows[wi].baseline = stats;
+                else
+                    result.rows[wi].results[ci - 1] = stats;
+                tr.reset();
+                if (remaining[wi].fetch_sub(
+                        1, std::memory_order_acq_rel) == 1)
+                    store.evict(w, spec.insts);
+                const std::size_t k =
+                    done.fetch_add(1, std::memory_order_acq_rel) + 1;
+                if (spec.progress)
+                    spec.progress(k, total);
+            }));
+        }
+    }
+    // get() (not just wait()) so a job's exception propagates to the
+    // caller instead of being swallowed.
+    for (auto &f : futures)
+        f.get();
+    return result;
+}
+
+} // namespace dlvp::sim

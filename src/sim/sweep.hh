@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Parallel sweep engine: turns a (workload × config) grid into jobs
+ * on a fixed-size thread pool, with results keyed deterministically so
+ * parallel output is bit-identical to serial.
+ *
+ * Determinism contract:
+ *  - every job is self-contained: a fresh OoOCore over an immutable
+ *    shared trace, writing only to its own pre-allocated result slot;
+ *  - any per-job randomness is seeded from (workload, config) via
+ *    deriveSeed() — never from thread identity or completion order;
+ *  - the trace store builds each trace exactly once, and a trace's
+ *    contents depend only on (workload name, instruction count).
+ * Under this contract `runSweep(spec)` returns the same SweepResult
+ * for any job count, which tests/test_sweep.cc asserts.
+ */
+
+#ifndef DLVP_SIM_SWEEP_HH
+#define DLVP_SIM_SWEEP_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/core_stats.hh"
+#include "core/params.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+
+namespace dlvp::sim
+{
+
+/**
+ * Thread-safe, build-once trace cache shared by concurrent sweep jobs.
+ *
+ * Traces are tens of MB, so jobs share one immutable copy per
+ * (workload, insts) key. The first acquirer builds; concurrent
+ * acquirers of the same key block on the build rather than duplicating
+ * it. Lifetime is refcounted through shared_ptr: evict() only drops
+ * the cache's reference, so in-flight jobs keep their trace valid.
+ */
+class TraceStore
+{
+  public:
+    TraceStore() = default;
+    TraceStore(const TraceStore &) = delete;
+    TraceStore &operator=(const TraceStore &) = delete;
+
+    /**
+     * Fetch the trace for @p name at @p insts micro-ops, building it
+     * (exactly once across threads) on first use.
+     */
+    std::shared_ptr<const trace::Trace>
+    acquire(const std::string &name, std::size_t insts);
+
+    /**
+     * Drop the cached reference for @p name / @p insts. Safe for
+     * unknown keys (returns false); in-flight users are unaffected.
+     */
+    bool evict(const std::string &name, std::size_t insts);
+
+    /** Drop every cached reference. */
+    void clear();
+
+    /** Number of trace builds performed (build-once test hook). */
+    std::size_t buildCount() const { return builds_.load(); }
+
+    /** Number of currently cached traces. */
+    std::size_t cachedCount() const;
+
+    /** Process-wide store used by Simulator by default. */
+    static TraceStore &global();
+
+  private:
+    struct Slot; // holds the build-once latch and the trace
+
+    mutable std::shared_mutex m_;
+    std::map<std::pair<std::string, std::size_t>,
+             std::shared_ptr<Slot>>
+        cache_;
+    std::atomic<std::size_t> builds_{0};
+};
+
+/** Named configuration evaluated by a sweep. */
+struct SweepConfig
+{
+    std::string name;
+    core::VpConfig vp;
+};
+
+/** The full grid one sweep evaluates. */
+struct SweepSpec
+{
+    /** Configurations; each runs on every workload. */
+    std::vector<SweepConfig> configs;
+    /** Workload names; empty means the whole registered suite. */
+    std::vector<std::string> workloads;
+    /** Micro-ops per workload trace. */
+    std::size_t insts = kDefaultInsts;
+    /** Core parameters shared by all jobs. */
+    core::CoreParams core{};
+    /** Baseline (denominator of every speedup). */
+    core::VpConfig baseline{};
+    /** Worker threads; 0 = DLVP_JOBS env var or hardware threads. */
+    unsigned jobs = 0;
+    /**
+     * Derive VpConfig::rngSeed from (workload, config name) per job.
+     * Off by default to keep results bit-identical with the seed
+     * repository's fixed predictor seeds.
+     */
+    bool perJobSeed = false;
+    /**
+     * Optional progress hook, called once per finished job with the
+     * completed count (monotonic per call site, concurrent across
+     * workers) and the job total.
+     */
+    std::function<void(std::size_t done, std::size_t total)> progress;
+    /** Trace store to use; nullptr = TraceStore::global(). */
+    TraceStore *store = nullptr;
+};
+
+/** One workload's results across all configs, in spec config order. */
+struct SweepRow
+{
+    std::string workload;
+    core::CoreStats baseline;
+    std::vector<core::CoreStats> results; ///< one per spec config
+};
+
+/** Deterministically keyed sweep output: rows in spec workload order. */
+struct SweepResult
+{
+    std::vector<std::string> configNames; ///< without the baseline
+    std::vector<SweepRow> rows;
+    std::size_t insts = 0;
+
+    /** Arithmetic-mean speedup of config @p idx across rows. */
+    double meanSpeedup(std::size_t idx) const;
+
+    /** Geometric-mean speedup of config @p idx across rows. */
+    double geomeanSpeedup(std::size_t idx) const;
+};
+
+/**
+ * Run the grid. Jobs are enqueued in deterministic (workload-major)
+ * order and each writes only its own slot, so the result is identical
+ * for any spec.jobs value, including 1 (serial).
+ */
+SweepResult runSweep(const SweepSpec &spec);
+
+/** Seed for one (workload, config) job; schedule-independent. */
+std::uint64_t jobSeed(const std::string &workload,
+                      const std::string &config);
+
+} // namespace dlvp::sim
+
+#endif // DLVP_SIM_SWEEP_HH

@@ -5,10 +5,14 @@
  *
  *   dlvp_cli list
  *   dlvp_cli run <workload> [--scheme S] [--insts N] [--dump]
- *   dlvp_cli sweep <workload> [--insts N]
+ *   dlvp_cli sweep <workload> [--insts N] [--jobs J]
+ *   dlvp_cli suite [--insts N] [--jobs J] [--json FILE]
  *   dlvp_cli profile <workload> [--insts N]
  *   dlvp_cli gen <workload> <file> [--insts N]
  *   dlvp_cli runfile <file> [--scheme S]
+ *
+ * Parallelism: --jobs (or the DLVP_JOBS env var) sets the worker
+ * count; output is bit-identical for any value (see sim/sweep.hh).
  *
  * Schemes: baseline dlvp cap stride-dlvp vtage vtage-vanilla
  *          vtage-dynamic vtage-all dvtage tournament
@@ -17,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +29,7 @@
 #include "sim/configs.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "trace/profilers.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
@@ -42,10 +48,12 @@ usage()
         "  list                              list the workload suite\n"
         "  run <workload> [opts]             run one configuration\n"
         "  sweep <workload> [opts]           all schemes side by side\n"
+        "  suite [opts]                      all schemes x all workloads\n"
         "  profile <workload> [opts]         Figure 1/2 trace profiles\n"
         "  gen <workload> <file> [opts]      generate and save a trace\n"
         "  runfile <file> [opts]             run a saved trace\n"
         "options: --scheme <name> --insts <n> --warmup <n> --dump\n"
+        "         --jobs <n> (or DLVP_JOBS) --json <file>\n"
         "schemes: baseline dlvp cap stride-dlvp vtage vtage-vanilla\n"
         "         vtage-dynamic vtage-all dvtage tournament\n");
     return 2;
@@ -83,7 +91,9 @@ struct Options
 {
     std::string scheme = "dlvp";
     std::size_t insts = sim::kDefaultInsts;
-    std::size_t warmup = 0; ///< 0: default fraction
+    std::size_t warmup = 0;  ///< 0: default fraction
+    unsigned jobs = 0;       ///< 0: DLVP_JOBS env / hardware threads
+    std::string jsonPath;    ///< write dlvp-sweep-v1 report here
     bool dump = false;
 };
 
@@ -98,6 +108,16 @@ parseOptions(int argc, char **argv, int start, Options &opt)
             opt.insts = static_cast<std::size_t>(atoll(argv[++i]));
         } else if (a == "--warmup" && i + 1 < argc) {
             opt.warmup = static_cast<std::size_t>(atoll(argv[++i]));
+        } else if (a == "--jobs" && i + 1 < argc) {
+            const long v = atol(argv[++i]);
+            if (v < 0 || v > 4096) {
+                std::fprintf(stderr, "bad --jobs value '%s'\n",
+                             argv[i]);
+                return false;
+            }
+            opt.jobs = static_cast<unsigned>(v); // 0: default
+        } else if (a == "--json" && i + 1 < argc) {
+            opt.jsonPath = argv[++i];
         } else if (a == "--dump") {
             opt.dump = true;
         } else {
@@ -149,21 +169,89 @@ cmdRun(const std::string &workload, const Options &opt)
     return 0;
 }
 
+std::vector<sim::SweepConfig>
+defaultSchemes()
+{
+    std::vector<sim::SweepConfig> configs;
+    for (const char *n : {"dlvp", "cap", "stride-dlvp", "vtage",
+                          "dvtage", "tournament"}) {
+        core::VpConfig vp;
+        schemeByName(n, vp);
+        configs.push_back({n, vp});
+    }
+    return configs;
+}
+
+sim::SweepSpec
+sweepSpec(const Options &opt)
+{
+    sim::SweepSpec spec;
+    spec.configs = defaultSchemes();
+    spec.insts = opt.insts;
+    spec.core = sim::baselineCore();
+    spec.baseline = sim::baselineVp();
+    spec.jobs = opt.jobs;
+    return spec;
+}
+
+int
+maybeWriteJson(const sim::SweepResult &result, const Options &opt)
+{
+    if (opt.jsonPath.empty())
+        return 0;
+    std::ofstream os(opt.jsonPath);
+    if (!os) {
+        std::fprintf(stderr, "failed to write '%s'\n",
+                     opt.jsonPath.c_str());
+        return 1;
+    }
+    sim::writeSweepJson(os, result);
+    std::fprintf(stderr, "wrote %s\n", opt.jsonPath.c_str());
+    return 0;
+}
+
 int
 cmdSweep(const std::string &workload, const Options &opt)
 {
-    sim::Simulator simulator(sim::baselineCore(), opt.insts);
-    const auto base = simulator.run(workload, sim::baselineVp());
+    auto spec = sweepSpec(opt);
+    spec.workloads = {workload};
+    const auto result = sim::runSweep(spec);
+    const auto &row = result.rows.front();
     std::printf("%s (%zu insts): baseline ipc %.3f\n",
-                workload.c_str(), opt.insts, base.ipc());
-    const char *names[] = {"dlvp",   "cap",    "stride-dlvp",
-                           "vtage",  "dvtage", "tournament"};
-    for (const auto *n : names) {
-        core::VpConfig vp;
-        schemeByName(n, vp);
-        printRun(n, base, simulator.run(workload, vp), false);
+                workload.c_str(), opt.insts, row.baseline.ipc());
+    for (std::size_t i = 0; i < result.configNames.size(); ++i)
+        printRun(result.configNames[i], row.baseline, row.results[i],
+                 false);
+    return maybeWriteJson(result, opt);
+}
+
+int
+cmdSuite(const Options &opt)
+{
+    auto spec = sweepSpec(opt);
+    spec.progress = [](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "\r%zu/%zu jobs%s", done, total,
+                     done == total ? "\n" : "");
+        std::fflush(stderr);
+    };
+    const auto result = sim::runSweep(spec);
+    sim::Table t("suite sweep: speedup per workload");
+    std::vector<std::string> cols = {"workload"};
+    cols.insert(cols.end(), result.configNames.begin(),
+                result.configNames.end());
+    t.columns(std::move(cols));
+    for (const auto &row : result.rows) {
+        std::vector<sim::Table::Cell> cells = {row.workload};
+        for (const auto &s : row.results)
+            cells.emplace_back(sim::speedup(row.baseline, s));
+        t.row(std::move(cells));
     }
-    return 0;
+    std::vector<sim::Table::Cell> gm = {std::string("GEOMEAN")};
+    for (std::size_t i = 0; i < result.configNames.size(); ++i)
+        gm.emplace_back(result.geomeanSpeedup(i));
+    t.row(std::move(gm));
+    t.print(std::cout);
+    return maybeWriteJson(result, opt);
 }
 
 int
@@ -249,6 +337,8 @@ main(int argc, char **argv)
     if (cmd == "sweep" && argc >= 3 &&
         parseOptions(argc, argv, 3, opt))
         return cmdSweep(argv[2], opt);
+    if (cmd == "suite" && parseOptions(argc, argv, 2, opt))
+        return cmdSuite(opt);
     if (cmd == "profile" && argc >= 3 &&
         parseOptions(argc, argv, 3, opt))
         return cmdProfile(argv[2], opt);
