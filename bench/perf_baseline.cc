@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Simulator wall-clock baseline: how fast does one simulated row run?
+ *
+ * Runs the fig06 workload suite (every registered workload) under
+ * {baseline, DLVP} and reports per-row wall time, simulated MIPS
+ * (micro-ops simulated per wall second, warmup included), and memory-
+ * image footprint, plus aggregate MIPS. Writes the machine-readable
+ * report (schema "dlvp-perf-v1") so the perf trajectory is recorded
+ * across PRs; `tools/perf_check` replays this binary and fails on
+ * >10% aggregate-MIPS regressions against a committed BENCH_perf.json.
+ *
+ * Jobs default to 1 (not all hardware threads) so MIPS numbers are
+ * not distorted by co-scheduled sweep jobs; pass --jobs to override.
+ *
+ *   perf_baseline [--insts N] [--jobs J] [--out FILE] [--ref FILE]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+namespace
+{
+
+using namespace dlvp;
+
+struct PerfRow
+{
+    std::string workload;
+    std::string config;
+    sim::RunPerf perf;
+};
+
+void
+writePerfJson(std::ostream &os, const std::vector<PerfRow> &rows,
+              std::size_t insts, unsigned jobs, double total_wall_ms,
+              double mips_total)
+{
+    os.precision(12);
+    os << "{\n  \"schema\": \"dlvp-perf-v1\",\n"
+       << "  \"insts\": " << insts << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        os << "    {\"workload\": \"" << r.workload
+           << "\", \"config\": \"" << r.config
+           << "\", \"wall_ms\": " << r.perf.wallMs
+           << ", \"mips\": " << r.perf.mips
+           << ", \"pages\": " << r.perf.pagesTouched << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"summary\": {\"total_wall_ms\": " << total_wall_ms
+       << ", \"mips_total\": " << mips_total << "}\n}\n";
+}
+
+/** Pull summary.mips_total out of a dlvp-perf-v1 file (no JSON lib). */
+double
+refMipsTotal(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return 0.0;
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    const auto key = text.find("\"mips_total\":");
+    if (key == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + key + std::strlen("\"mips_total\":"),
+                       nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dlvp::bench;
+
+    std::size_t insts = kBenchInsts;
+    unsigned jobs = 1;
+    std::string out = "BENCH_perf.json";
+    std::string ref;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--insts" && i + 1 < argc)
+            insts = std::strtoull(argv[++i], nullptr, 10);
+        else if (a == "--jobs" && i + 1 < argc)
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (a == "--out" && i + 1 < argc)
+            out = argv[++i];
+        else if (a == "--ref" && i + 1 < argc)
+            ref = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: perf_baseline [--insts N] [--jobs J] "
+                         "[--out FILE] [--ref FILE]\n");
+            return 2;
+        }
+    }
+
+    sim::SweepSpec spec;
+    spec.configs = {{"dlvp", sim::dlvpConfig()}};
+    spec.insts = insts;
+    spec.core = sim::baselineCore();
+    spec.baseline = sim::baselineVp();
+    spec.jobs = jobs;
+    sim::TraceStore store;
+    spec.store = &store;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = sim::runSweep(spec);
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - t0;
+
+    std::vector<PerfRow> rows;
+    double wall_sum = 0.0;
+    for (const auto &r : result.rows) {
+        rows.push_back({r.workload, "baseline", r.baselinePerf});
+        rows.push_back({r.workload, "dlvp", r.perf[0]});
+        wall_sum += r.baselinePerf.wallMs + r.perf[0].wallMs;
+    }
+    const double total_uops =
+        static_cast<double>(insts) * static_cast<double>(rows.size());
+    const double mips_total =
+        wall_sum > 0.0 ? total_uops / (wall_sum * 1e3) : 0.0;
+
+    sim::Table t("Simulation performance baseline (fig06 suite, "
+                 "baseline + DLVP)");
+    t.columns({"workload", "base_ms", "base_mips", "dlvp_ms",
+               "dlvp_mips", "pages"});
+    t.precision(2);
+    for (const auto &r : result.rows)
+        t.row({r.workload, r.baselinePerf.wallMs, r.baselinePerf.mips,
+               r.perf[0].wallMs, r.perf[0].mips,
+               static_cast<long long>(r.perf[0].pagesTouched)});
+    t.print(std::cout);
+    std::printf("\nrows: %zu x %zu uops   row wall sum: %.0f ms   "
+                "elapsed: %.0f ms   aggregate: %.3f MIPS\n",
+                rows.size(), insts, wall_sum, elapsed.count(),
+                mips_total);
+
+    if (!ref.empty()) {
+        const double ref_mips = refMipsTotal(ref);
+        if (ref_mips > 0.0)
+            std::printf("vs %s: %.3f MIPS -> %.2fx\n", ref.c_str(),
+                        ref_mips, mips_total / ref_mips);
+        else
+            std::fprintf(stderr, "warn: no mips_total in %s\n",
+                         ref.c_str());
+    }
+
+    std::ofstream os(out);
+    if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+    }
+    writePerfJson(os, rows, insts, jobs, wall_sum, mips_total);
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+    return 0;
+}

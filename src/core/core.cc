@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
@@ -54,6 +55,22 @@ OoOCore::OoOCore(const CoreParams &params, const VpConfig &vp,
     }
     dlvp_assert(params_.numPhysRegs > kNumArchRegs);
     freePhys_ = params_.numPhysRegs - kNumArchRegs;
+
+    // Size the instruction-window and load-value rings to the maximum
+    // number of in-flight sequence numbers (ROB plus the in-order
+    // front end), rounded up to a power of two for mask indexing.
+    const std::size_t cap = std::bit_ceil<std::size_t>(
+        params_.robSize + frontendCapacity());
+    window_.init(cap);
+    loadValues_.resize(cap);
+    loadValSeq_.assign(cap, kNoSeq);
+    loadValMask_ = cap - 1;
+
+    dbgHalt_ = std::getenv("DLVP_DEBUG_HALT") != nullptr;
+    dbgAct_ = std::getenv("DLVP_DEBUG_ACT") != nullptr;
+    dbgWait_ = std::getenv("DLVP_DEBUG_WAIT") != nullptr;
+    dbgLscd_ = std::getenv("DLVP_DEBUG_LSCD") != nullptr;
+    dbgCov_ = std::getenv("DLVP_DEBUG_COV") != nullptr;
 }
 
 OoOCore::~OoOCore() = default;
@@ -101,7 +118,9 @@ OoOCore::firstFetchFunctional(InstSeqNum seq, const TraceInst &inst)
         return;
     ++archApplied_;
     if (inst.isLoad() || inst.cls == OpClass::Atomic) {
-        auto &vals = loadValues_[seq];
+        const std::size_t slot = seq & loadValMask_;
+        auto &vals = loadValues_[slot];
+        loadValSeq_[slot] = seq;
         const unsigned n = std::max<unsigned>(1, inst.numDests);
         for (unsigned d = 0; d < n; ++d)
             vals[d] = archMem_.read(inst.memAddr + d * inst.memSize,
@@ -156,18 +175,15 @@ OoOCore::fetchStage()
             if (s.branchMispredicted) {
                 curFetchGroup_ = kNoAddr;
                 fetchHaltSeq_ = s.seq;
-                if (getenv("DLVP_DEBUG_HALT"))
+                if (dbgHalt_)
                     fprintf(stderr, "halt at seq=%llu pc=%llx cls=%d cyc=%llu\n",
                         (unsigned long long)s.seq, (unsigned long long)inst.pc,
                         (int)inst.cls, (unsigned long long)now_);
                 break;
             }
-            // Predicted-taken control redirects: end the fetch cycle.
-            bool predicted_taken = inst.taken;
-            if (inst.cls == OpClass::CondBranch)
-                predicted_taken =
-                    tage_.predict(inst.pc, s.ghrSnap); // same as fetch
-            if (predicted_taken) {
+            // Predicted-taken control redirects: end the fetch cycle
+            // (branchPredTaken is the same TAGE lookup fetchOne made).
+            if (s.branchPredTaken) {
                 curFetchGroup_ = kNoAddr;
                 break;
             }
@@ -193,9 +209,9 @@ OoOCore::fetchOne(const TraceInst &inst)
 
     firstFetchFunctional(seq, inst);
     if (inst.isLoad() || inst.cls == OpClass::Atomic) {
-        auto it = loadValues_.find(seq);
-        dlvp_assert(it != loadValues_.end());
-        s.actualValues = it->second;
+        const std::size_t slot = seq & loadValMask_;
+        dlvp_assert(loadValSeq_[slot] == seq);
+        s.actualValues = loadValues_[slot];
     } else if (inst.numDests > 0) {
         s.actualValues[0] = inst.destValue;
     }
@@ -205,9 +221,13 @@ OoOCore::fetchOne(const TraceInst &inst)
         const Addr actual_next =
             seq + 1 < trace_.size() ? trace_.insts[seq + 1].pc : 0;
         s.branchActualTarget = actual_next;
+        // Non-conditional control is predicted taken; fetchStage
+        // reuses this instead of re-querying TAGE.
+        s.branchPredTaken = inst.taken;
         switch (inst.cls) {
           case OpClass::CondBranch: {
             const bool pred = tage_.predict(inst.pc, ghr_);
+            s.branchPredTaken = pred;
             // A taken prediction also needs the BTB to supply the
             // target in time; a miss is a redirect like any other
             // misprediction.
@@ -442,7 +462,7 @@ OoOCore::activatePredictions(InstState &s)
     s.vpActiveMask = mask;
     s.vpSource = source;
     s.vpWrong = would_be_wrong;
-    if (getenv("DLVP_DEBUG_ACT") && s.seq % 1000 < 3)
+    if (dbgAct_ && s.seq % 1000 < 3)
         fprintf(stderr,
                 "act seq=%llu pc=%llx mask=%x src=%u disp=%llu "
                 "probeReady=%llu\n",
@@ -577,7 +597,11 @@ OoOCore::memOrderReady(const InstState &s) const
                 return false;
         }
     }
-    if (inst.isLoad() && s.mdpWait) {
+    // stqCount_ counts dispatched stores/atomics in the window, and
+    // everything older than a dispatched instruction is itself
+    // dispatched (in-order dispatch), so zero means no older store
+    // can exist and the scan below is vacuous.
+    if (inst.isLoad() && s.mdpWait && stqCount_ > 0) {
         // Store-wait: hold until all older stores have issued.
         for (InstSeqNum q = base; q < s.seq; ++q) {
             const InstState &o = window_[q - base];
@@ -595,16 +619,19 @@ OoOCore::issueLoad(InstState &s)
 {
     const TraceInst &inst = *s.inst;
     // Store-to-load forwarding from the youngest older overlapping
-    // store whose address is known.
-    const InstSeqNum base = window_.front().seq;
-    for (InstSeqNum q = s.seq; q-- > base;) {
-        const InstState &o = window_[q - base];
-        if (!o.inst->isStore() && o.inst->cls != OpClass::Atomic)
-            continue;
-        if (!o.issued)
-            continue; // unknown address: speculate no conflict
-        if (overlaps(inst, *o.inst))
-            return params_.forwardLatency;
+    // store whose address is known. Only dispatched stores can have
+    // issued, so an empty STQ makes the scan vacuous.
+    if (stqCount_ > 0) {
+        const InstSeqNum base = window_.front().seq;
+        for (InstSeqNum q = s.seq; q-- > base;) {
+            const InstState &o = window_[q - base];
+            if (!o.inst->isStore() && o.inst->cls != OpClass::Atomic)
+                continue;
+            if (!o.issued)
+                continue; // unknown address: speculate no conflict
+            if (overlaps(inst, *o.inst))
+                return params_.forwardLatency;
+        }
     }
     const auto r = mem_.loadAccess(inst.pc, inst.memAddr, now_);
     ++stats_.l1dAccesses;
@@ -622,11 +649,21 @@ OoOCore::issueStage()
         params_.issueWidth - params_.lsLanes; // 6 generic lanes
     unsigned ls_free = params_.lsLanes;
 
-    for (auto &s : window_) {
+    // Only the in-order-dispatched prefix of the window can issue,
+    // and iqCount_ counts exactly the dispatched-but-unissued
+    // instructions in it: stop as soon as all candidates were seen
+    // instead of scanning the whole window every cycle.
+    const std::size_t ndisp =
+        window_.empty() ? 0 : nextDispatch_ - window_.front().seq;
+    unsigned candidates = iqCount_;
+
+    for (std::size_t i = 0; i < ndisp && candidates > 0; ++i) {
+        InstState &s = window_[i];
         if (generic_free == 0 && ls_free == 0)
             break;
-        if (!s.dispatched || s.issued)
+        if (s.issued)
             continue;
+        --candidates;
         const TraceInst &inst = *s.inst;
         const bool is_mem = inst.isMemRef() ||
                             inst.cls == OpClass::Barrier;
@@ -642,7 +679,7 @@ OoOCore::issueStage()
         s.issued = true;
         s.issueCycle = now_;
         stats_.issueWaitCycles += now_ - s.dispatchCycle;
-        if (getenv("DLVP_DEBUG_WAIT")) {
+        if (dbgWait_) {
             // Atomics: cores may run concurrently in sweep jobs.
             static std::atomic<std::uint64_t> wait_sum[16],
                 wait_cnt[16];
@@ -697,6 +734,7 @@ OoOCore::issueStage()
         }
         s.completeCycle = now_ + std::max(1u, lat);
         s.completed = true; // completion processed when the cycle hits
+        ++inFlight_;
     }
 
     probeStage(ls_free);
@@ -787,7 +825,7 @@ OoOCore::validatePrediction(InstState &s)
         if (pap_)
             pap_->invalidate(inst.pc & ~Addr{15}, s.apSlot, s.lphSnap);
         ++stats_.lscdInserts;
-        if (getenv("DLVP_DEBUG_LSCD"))
+        if (dbgLscd_)
             fprintf(stderr,
                     "lscd insert pc=%llx site=%llu seq=%llu cyc=%llu "
                     "addr=%llx nd=%u sz=%u pred=[%llx %llx] "
@@ -824,7 +862,7 @@ OoOCore::completeInst(InstState &s)
             fetchHaltSeq_ = kNoSeq;
             fetchResumeCycle_ = s.completeCycle + 1;
             curFetchGroup_ = kNoAddr;
-            if (getenv("DLVP_DEBUG_HALT"))
+            if (dbgHalt_)
                 fprintf(stderr, "resume seq=%llu cyc=%llu\n",
                     (unsigned long long)s.seq, (unsigned long long)now_);
         }
@@ -872,11 +910,12 @@ OoOCore::completeInst(InstState &s)
     }
 
     // Memory-order violation detection: a store resolving its address
-    // squashes younger loads that already read around it.
+    // squashes younger loads that already read around it. Only issued
+    // loads can violate, and issue implies dispatch, so the scan ends
+    // at the dispatched prefix rather than the window tail.
     if (inst.isStore() || inst.cls == OpClass::Atomic) {
         const InstSeqNum base = window_.front().seq;
-        for (InstSeqNum q = s.seq + 1;
-             q < base + window_.size(); ++q) {
+        for (InstSeqNum q = s.seq + 1; q < nextDispatch_; ++q) {
             InstState &y = window_[q - base];
             if (!y.inst->isLoad())
                 continue;
@@ -899,11 +938,26 @@ void
 OoOCore::completeStage()
 {
     prfPortsUsed_ = 0;
-    for (auto &s : window_) {
-        if (!s.issued || s.completeCycle != now_)
-            continue;
-        prfPortsUsed_ += s.inst->numDests; // PRF writeback ports
-        completeInst(s);
+    // Every issued-but-unprocessed instruction satisfies
+    // completeCycle >= now_ (completions are processed exactly at
+    // their cycle), so inFlight_ bounds the scan: walk the dispatched
+    // prefix only until every pending completion has been seen, and
+    // skip the walk entirely on idle cycles.
+    if (inFlight_ > 0) {
+        const InstSeqNum base = window_.front().seq;
+        const std::size_t ndisp = nextDispatch_ - base;
+        unsigned pending = inFlight_;
+        for (std::size_t i = 0; i < ndisp && pending > 0; ++i) {
+            InstState &s = window_[i];
+            if (!s.issued || s.completeCycle < now_)
+                continue; // unissued, or already processed
+            --pending;
+            if (s.completeCycle != now_)
+                continue;
+            --inFlight_;
+            prfPortsUsed_ += s.inst->numDests; // PRF writeback ports
+            completeInst(s);
+        }
     }
     if (flushPending_)
         applyFlush();
@@ -918,7 +972,8 @@ OoOCore::rebuildRenameMap()
 {
     for (auto &p : archProducer_)
         p.valid = false;
-    for (auto &s : window_) {
+    for (std::size_t i = 0, n = window_.size(); i < n; ++i) {
+        InstState &s = window_[i];
         if (!s.dispatched)
             break;
         for (unsigned d = 0; d < s.inst->numDests; ++d) {
@@ -958,6 +1013,9 @@ OoOCore::applyFlush()
                 --incompleteBarriers_;
             if (!s.issued)
                 --iqCount_;
+            else if (s.completeCycle > now_)
+                --inFlight_; // == now_ means completeStage already
+                             // processed (and counted down) this inst
             if (inst.isLoad() || inst.cls == OpClass::Atomic)
                 --ldqCount_;
             if (inst.isStore() || inst.cls == OpClass::Atomic)
@@ -1091,7 +1149,7 @@ OoOCore::commitStage()
             ++stats_.committedLoads;
             if (vp_.scheme != VpScheme::None)
                 ++stats_.vpEligibleLoads;
-            if (s.vpActiveMask && getenv("DLVP_DEBUG_COV"))
+            if (s.vpActiveMask && dbgCov_)
                 fprintf(stderr, "cov pc=%llx\n",
                         (unsigned long long)inst.pc);
             if (s.vpActiveMask) {
@@ -1129,7 +1187,8 @@ OoOCore::commitStage()
                 archProducer_[r].valid = false;
         }
 
-        loadValues_.erase(s.seq);
+        // The load-value ring slot is simply overwritten when the seq
+        // range wraps around; nothing to release here.
         ++committed_;
         window_.pop_front();
         ++n;

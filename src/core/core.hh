@@ -25,9 +25,8 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 #include "core/core_stats.hh"
@@ -68,6 +67,14 @@ class OoOCore
 
     const CoreStats &stats() const { return stats_; }
     const mem::MemoryHierarchy &memory() const { return mem_; }
+
+    /** Populated pages across both memory images (perf telemetry). */
+    std::size_t
+    pagesTouched() const
+    {
+        return archMem_.numPages() + committedMem_.numPages();
+    }
+
     const pred::Pap *pap() const { return pap_.get(); }
     const pred::Cap *cap() const { return cap_.get(); }
     const pred::Vtage *vtage() const { return vtage_.get(); }
@@ -97,6 +104,7 @@ class OoOCore
 
         // Branch state resolved at fetch (trace-driven).
         bool branchMispredicted = false;
+        bool branchPredTaken = false; ///< fetch-time direction pred.
         Addr branchActualTarget = 0;
 
         // Renamed sources.
@@ -134,6 +142,71 @@ class OoOCore
         std::array<std::uint64_t, trace::kMaxDests> dlValues{};
     };
 
+    /**
+     * The in-flight window as a fixed-capacity ring of InstState.
+     * In-flight sequence numbers are contiguous and never exceed
+     * ROB + front-end capacity, so a power-of-two ring indexed
+     * front-relative replaces std::deque: InstState is larger than a
+     * deque chunk, which made every push a heap allocation and every
+     * operator[] a segment-map hop — both on the issue/complete scans
+     * that dominate simulation time.
+     */
+    class InstWindow
+    {
+      public:
+        void
+        init(std::size_t capacity_pow2)
+        {
+            buf_.resize(capacity_pow2);
+            mask_ = capacity_pow2 - 1;
+            head_ = 0;
+            size_ = 0;
+        }
+
+        bool empty() const { return size_ == 0; }
+        std::size_t size() const { return size_; }
+
+        InstState &
+        operator[](std::size_t i)
+        {
+            return buf_[(head_ + i) & mask_];
+        }
+        const InstState &
+        operator[](std::size_t i) const
+        {
+            return buf_[(head_ + i) & mask_];
+        }
+
+        InstState &front() { return buf_[head_]; }
+        const InstState &front() const { return buf_[head_]; }
+        InstState &back() { return (*this)[size_ - 1]; }
+        const InstState &back() const { return (*this)[size_ - 1]; }
+
+        /** Append a default-initialised entry (slot is recycled). */
+        InstState &
+        emplace_back()
+        {
+            InstState &s = (*this)[size_++];
+            s = InstState{};
+            return s;
+        }
+
+        void
+        pop_front()
+        {
+            head_ = (head_ + 1) & mask_;
+            --size_;
+        }
+
+        void pop_back() { --size_; }
+
+      private:
+        std::vector<InstState> buf_;
+        std::size_t head_ = 0;
+        std::size_t size_ = 0;
+        std::size_t mask_ = 0;
+    };
+
     // ---- configuration and substrate ----
     CoreParams params_;
     VpConfig vp_;
@@ -168,12 +241,21 @@ class OoOCore
     trace::MemoryImage archMem_;
     trace::MemoryImage committedMem_;
     InstSeqNum archApplied_ = 0;
-    std::unordered_map<InstSeqNum,
-                       std::array<std::uint64_t, trace::kMaxDests>>
+    /**
+     * Load-value capture ring, indexed seq & loadValMask_. The live
+     * seq range [window_.front().seq, nextFetch_) never exceeds
+     * ROB + front-end capacity, so a power-of-two ring of at least
+     * that size cannot alias; the loadValSeq_ tags assert it. This
+     * replaces a per-seq unordered_map (one hash insert per load
+     * first-fetch plus one erase per commit) with plain indexing.
+     */
+    std::vector<std::array<std::uint64_t, trace::kMaxDests>>
         loadValues_;
+    std::vector<InstSeqNum> loadValSeq_;
+    InstSeqNum loadValMask_ = 0;
 
     // ---- pipeline state ----
-    std::deque<InstState> window_; ///< contiguous in-flight seqs
+    InstWindow window_; ///< contiguous in-flight seqs
     InstSeqNum nextFetch_ = 0;
     InstSeqNum nextDispatch_ = 0;
     InstSeqNum committed_ = 0;
@@ -185,6 +267,9 @@ class OoOCore
     unsigned ldqCount_ = 0;
     unsigned stqCount_ = 0;
     unsigned dispatchedCount_ = 0; ///< ROB occupancy
+    /** Issued instructions whose completion is still pending
+     *  (completeCycle >= now_); lets completeStage skip idle scans. */
+    unsigned inFlight_ = 0;
     unsigned freePhys_ = 0;
     std::array<InstState::Src, kNumArchRegs> archProducer_{};
 
@@ -198,6 +283,15 @@ class OoOCore
     Cycle flushRedirect_ = 0;
 
     CoreStats stats_;
+
+    // Debug-env flags, cached once per core: getenv() rescans the
+    // whole environment on every call, which is measurable when
+    // queried per issued/committed instruction.
+    bool dbgHalt_ = false;
+    bool dbgAct_ = false;
+    bool dbgWait_ = false;
+    bool dbgLscd_ = false;
+    bool dbgCov_ = false;
 
     static constexpr InstSeqNum kNoSeq = ~InstSeqNum{0};
 

@@ -15,6 +15,68 @@
 namespace dlvp::core
 {
 
+/**
+ * X-macro over every CoreStats counter field, in declaration order.
+ * Keep in sync with the struct below; the golden-stats test iterates
+ * this list so a new counter is automatically covered (and a stale
+ * list fails to compile against the struct).
+ */
+#define DLVP_CORE_STATS_FIELDS(X) \
+    X(cycles) \
+    X(committedInsts) \
+    X(committedLoads) \
+    X(committedStores) \
+    X(committedBranches) \
+    X(fetchedInsts) \
+    X(condBranches) \
+    X(condMispredicts) \
+    X(indirectBranches) \
+    X(indirectMispredicts) \
+    X(returnMispredicts) \
+    X(vpEligibleLoads) \
+    X(vpPredictedLoads) \
+    X(vpCorrectLoads) \
+    X(vpPredictedInsts) \
+    X(vpCorrectInsts) \
+    X(vpFlushes) \
+    X(vpReplays) \
+    X(pvtFullDrops) \
+    X(prfPortDrops) \
+    X(tournamentDlvpFinal) \
+    X(tournamentVtageFinal) \
+    X(paqAllocs) \
+    X(paqDrops) \
+    X(paqBypass) \
+    X(probes) \
+    X(probeHits) \
+    X(probeMisses) \
+    X(probeLate) \
+    X(wayMispredicts) \
+    X(dlvpPrefetches) \
+    X(lscdBlocked) \
+    X(lscdInserts) \
+    X(addrPredCorrect) \
+    X(addrPredWrong) \
+    X(l1dAccesses) \
+    X(l1dMisses) \
+    X(l2Accesses) \
+    X(l3Accesses) \
+    X(memAccesses) \
+    X(tlbMisses) \
+    X(branchFlushes) \
+    X(memOrderFlushes) \
+    X(issueWaitCycles) \
+    X(dispatchWaitCycles) \
+    X(robFullStalls) \
+    X(iqFullStalls) \
+    X(fetchHaltCycles) \
+    X(prfReads) \
+    X(prfWrites) \
+    X(pvtReads) \
+    X(pvtWrites) \
+    X(predictorLookups) \
+    X(predictorWrites)
+
 struct CoreStats
 {
     Cycle cycles = 0;

@@ -92,14 +92,18 @@ jsonEscape(const std::string &s)
 }
 
 void
-jsonStats(std::ostream &os, const core::CoreStats &s)
+jsonStats(std::ostream &os, const core::CoreStats &s,
+          const RunPerf &perf)
 {
     os << "{\"cycles\": " << s.cycles
        << ", \"committed_insts\": " << s.committedInsts
        << ", \"ipc\": " << s.ipc()
        << ", \"coverage\": " << s.coverage()
        << ", \"accuracy\": " << s.accuracy()
-       << ", \"vp_flushes\": " << s.vpFlushes << "}";
+       << ", \"vp_flushes\": " << s.vpFlushes
+       << ", \"wall_ms\": " << perf.wallMs
+       << ", \"mips\": " << perf.mips
+       << ", \"pages\": " << perf.pagesTouched << "}";
 }
 
 } // namespace
@@ -120,14 +124,14 @@ writeSweepJson(std::ostream &os, const SweepResult &r)
         const auto &row = r.rows[wi];
         body << "    {\"workload\": \"" << jsonEscape(row.workload)
              << "\", \"baseline\": ";
-        jsonStats(body, row.baseline);
+        jsonStats(body, row.baseline, row.baselinePerf);
         body << ", \"results\": [";
         for (std::size_t ci = 0; ci < row.results.size(); ++ci) {
             body << (ci ? ", " : "") << "{\"config\": \""
                  << jsonEscape(r.configNames[ci]) << "\", \"speedup\": "
                  << speedup(row.baseline, row.results[ci])
                  << ", \"stats\": ";
-            jsonStats(body, row.results[ci]);
+            jsonStats(body, row.results[ci], row.perf[ci]);
             body << "}";
         }
         body << "]}" << (wi + 1 < r.rows.size() ? "," : "") << "\n";

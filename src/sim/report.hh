@@ -50,7 +50,9 @@ struct SweepResult;
  * Machine-readable sweep report (schema "dlvp-sweep-v1", documented
  * in DESIGN.md §"Parallel sweeps"): per-row cycles/ipc/coverage/
  * accuracy/speedup plus amean/geomean summaries, for tracking
- * BENCH_*.json trajectories across PRs.
+ * BENCH_*.json trajectories across PRs. Each stats object also
+ * carries host-side perf telemetry (wall_ms, mips, pages) so sweep
+ * reports double as wall-clock trajectories (DESIGN.md §8).
  */
 void writeSweepJson(std::ostream &os, const SweepResult &r);
 

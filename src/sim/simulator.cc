@@ -1,5 +1,6 @@
 #include "simulator.hh"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -37,10 +38,30 @@ core::CoreStats
 Simulator::run(const trace::Trace &trace,
                const core::VpConfig &vp) const
 {
-    core::OoOCore core(params_, vp, trace);
+    return run(trace, vp, nullptr);
+}
+
+core::CoreStats
+Simulator::run(const trace::Trace &trace, const core::VpConfig &vp,
+               RunPerf *perf) const
+{
     const auto warmup = static_cast<std::size_t>(
         static_cast<double>(trace.size()) * kWarmupFraction);
-    return core.run(warmup);
+    const auto t0 = std::chrono::steady_clock::now();
+    core::OoOCore core(params_, vp, trace);
+    core::CoreStats stats = core.run(warmup);
+    if (perf != nullptr) {
+        const std::chrono::duration<double, std::milli> wall =
+            std::chrono::steady_clock::now() - t0;
+        perf->wallMs = wall.count();
+        perf->mips =
+            wall.count() > 0.0
+                ? static_cast<double>(trace.size()) /
+                      (wall.count() * 1e3)
+                : 0.0;
+        perf->pagesTouched = core.pagesTouched();
+    }
+    return stats;
 }
 
 void

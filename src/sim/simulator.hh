@@ -34,6 +34,22 @@ inline constexpr std::size_t kDefaultInsts = 400000;
 /** Fraction of each trace used to warm caches and predictors. */
 inline constexpr double kWarmupFraction = 0.25;
 
+/**
+ * Wall-clock measurement of one core run. Purely host-side telemetry:
+ * none of these values feed back into the simulation, so collecting
+ * them cannot perturb CoreStats (the golden-stats test enforces this).
+ */
+struct RunPerf
+{
+    /** Wall time of OoOCore construction + run, milliseconds. */
+    double wallMs = 0.0;
+    /** Simulated micro-ops (whole trace, incl. warmup) per wall
+     *  second, in millions. */
+    double mips = 0.0;
+    /** Populated pages across the arch + committed memory images. */
+    std::uint64_t pagesTouched = 0;
+};
+
 class Simulator
 {
   public:
@@ -58,6 +74,13 @@ class Simulator
     /** Run one configuration on an explicit trace (thread-safe). */
     core::CoreStats run(const trace::Trace &trace,
                         const core::VpConfig &vp) const;
+
+    /**
+     * As above, additionally filling @p perf (if non-null) with the
+     * run's wall time, simulated MIPS, and memory-image footprint.
+     */
+    core::CoreStats run(const trace::Trace &trace,
+                        const core::VpConfig &vp, RunPerf *perf) const;
 
     /**
      * Release a cached trace (they are tens of MB each). Safe to call

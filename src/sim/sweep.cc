@@ -150,6 +150,7 @@ runSweep(const SweepSpec &spec)
     for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
         result.rows[wi].workload = workloads[wi];
         result.rows[wi].results.resize(spec.configs.size());
+        result.rows[wi].perf.resize(spec.configs.size());
     }
     if (total == 0)
         return result;
@@ -182,11 +183,15 @@ runSweep(const SweepSpec &spec)
                     vp.rngSeed = jobSeed(
                         w, ci == 0 ? "baseline"
                                    : spec.configs[ci - 1].name);
-                core::CoreStats stats = sim.run(*tr, vp);
-                if (ci == 0)
+                RunPerf perf;
+                core::CoreStats stats = sim.run(*tr, vp, &perf);
+                if (ci == 0) {
                     result.rows[wi].baseline = stats;
-                else
+                    result.rows[wi].baselinePerf = perf;
+                } else {
                     result.rows[wi].results[ci - 1] = stats;
+                    result.rows[wi].perf[ci - 1] = perf;
+                }
                 tr.reset();
                 if (remaining[wi].fetch_sub(
                         1, std::memory_order_acq_rel) == 1)

@@ -131,6 +131,8 @@ struct SweepRow
     std::string workload;
     core::CoreStats baseline;
     std::vector<core::CoreStats> results; ///< one per spec config
+    RunPerf baselinePerf;                 ///< wall time / MIPS / pages
+    std::vector<RunPerf> perf;            ///< one per spec config
 };
 
 /** Deterministically keyed sweep output: rows in spec workload order. */

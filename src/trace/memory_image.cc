@@ -1,11 +1,27 @@
 #include "memory_image.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "common/logging.hh"
 
 namespace dlvp::trace
 {
+
+namespace
+{
+
+/**
+ * The word-wise fast paths memcpy raw page bytes into/out of the low
+ * bytes of a uint64_t, which matches the documented little-endian
+ * value layout only on little-endian hosts; big-endian hosts take the
+ * byte-assembly path below.
+ */
+constexpr bool kLittleEndian =
+    std::endian::native == std::endian::little;
+
+} // namespace
 
 MemoryImage::MemoryImage(const MemoryImage &other)
 {
@@ -17,6 +33,7 @@ MemoryImage::operator=(const MemoryImage &other)
 {
     if (this == &other)
         return *this;
+    resetMru();
     pages_.clear();
     pages_.reserve(other.pages_.size());
     for (const auto &kv : other.pages_)
@@ -24,32 +41,61 @@ MemoryImage::operator=(const MemoryImage &other)
     return *this;
 }
 
+MemoryImage::MemoryImage(MemoryImage &&other) noexcept
+    : pages_(std::move(other.pages_)), mruAddr_(other.mruAddr_),
+      mruPage_(other.mruPage_)
+{
+    // The pages (and thus the MRU pointer) now belong to this image;
+    // the moved-from image must not serve stale pages it no longer
+    // owns.
+    other.resetMru();
+}
+
+MemoryImage &
+MemoryImage::operator=(MemoryImage &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    pages_ = std::move(other.pages_);
+    mruAddr_ = other.mruAddr_;
+    mruPage_ = other.mruPage_;
+    other.resetMru();
+    return *this;
+}
+
+MemoryImage::Page *
+MemoryImage::findMru(Addr page_addr) const
+{
+    if (page_addr == mruAddr_)
+        return mruPage_;
+    auto it = pages_.find(page_addr);
+    if (it == pages_.end())
+        return nullptr; // absent pages are not cached: a later write
+                        // to this page must not be shadowed
+    mruAddr_ = page_addr;
+    mruPage_ = it->second.get();
+    return mruPage_;
+}
+
 MemoryImage::Page *
 MemoryImage::getPage(Addr page_addr, bool allocate)
 {
-    auto it = pages_.find(page_addr);
-    if (it != pages_.end())
-        return it->second.get();
-    if (!allocate)
-        return nullptr;
+    Page *p = findMru(page_addr);
+    if (p != nullptr || !allocate)
+        return p;
     auto page = std::make_unique<Page>();
     page->fill(0);
     Page *raw = page.get();
     pages_.emplace(page_addr, std::move(page));
+    mruAddr_ = page_addr;
+    mruPage_ = raw;
     return raw;
-}
-
-const MemoryImage::Page *
-MemoryImage::findPage(Addr page_addr) const
-{
-    auto it = pages_.find(page_addr);
-    return it == pages_.end() ? nullptr : it->second.get();
 }
 
 std::uint8_t
 MemoryImage::readByte(Addr addr) const
 {
-    const Page *p = findPage(addr & ~(kPageSize - 1));
+    const Page *p = findMru(addr & ~(kPageSize - 1));
     if (p == nullptr)
         return 0;
     return (*p)[addr & (kPageSize - 1)];
@@ -66,16 +112,20 @@ std::uint64_t
 MemoryImage::read(Addr addr, unsigned size) const
 {
     dlvp_assert(size >= 1 && size <= 8);
+    const Addr off = addr & (kPageSize - 1);
     // Fast path: within one page.
-    const Addr page_addr = addr & ~(kPageSize - 1);
-    if (((addr + size - 1) & ~(kPageSize - 1)) == page_addr) {
-        const Page *p = findPage(page_addr);
+    if (off + size <= kPageSize) {
+        const Page *p = findMru(addr - off);
         if (p == nullptr)
             return 0;
         std::uint64_t v = 0;
-        const unsigned off = addr & (kPageSize - 1);
-        for (unsigned i = 0; i < size; ++i)
-            v |= static_cast<std::uint64_t>((*p)[off + i]) << (8 * i);
+        if constexpr (kLittleEndian) {
+            std::memcpy(&v, p->data() + off, size);
+        } else {
+            for (unsigned i = 0; i < size; ++i)
+                v |= static_cast<std::uint64_t>((*p)[off + i])
+                     << (8 * i);
+        }
         return v;
     }
     std::uint64_t v = 0;
@@ -88,12 +138,16 @@ void
 MemoryImage::write(Addr addr, std::uint64_t value, unsigned size)
 {
     dlvp_assert(size >= 1 && size <= 8);
-    const Addr page_addr = addr & ~(kPageSize - 1);
-    if (((addr + size - 1) & ~(kPageSize - 1)) == page_addr) {
-        Page *p = getPage(page_addr, true);
-        const unsigned off = addr & (kPageSize - 1);
-        for (unsigned i = 0; i < size; ++i)
-            (*p)[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    const Addr off = addr & (kPageSize - 1);
+    if (off + size <= kPageSize) {
+        Page *p = getPage(addr - off, true);
+        if constexpr (kLittleEndian) {
+            std::memcpy(p->data() + off, &value, size);
+        } else {
+            for (unsigned i = 0; i < size; ++i)
+                (*p)[off + i] =
+                    static_cast<std::uint8_t>(value >> (8 * i));
+        }
         return;
     }
     for (unsigned i = 0; i < size; ++i)

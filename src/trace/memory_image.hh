@@ -7,6 +7,15 @@
  * commit time (the image a DLVP cache probe observes). The difference
  * between the two *is* the in-flight-store staleness the paper's LSCD
  * suppresses.
+ *
+ * Every load and store in the core touches both images, so the
+ * accessors are the hottest code in the simulator. Two fast paths keep
+ * them cheap (DESIGN.md §8):
+ *  - an MRU last-page cache skips the hash-map lookup entirely for
+ *    the (overwhelmingly common) same-page-as-last-access case;
+ *  - accesses that stay within one page move whole words with memcpy
+ *    instead of assembling values a byte at a time. Page-crossing
+ *    accesses fall back to the byte-at-a-time slow path.
  */
 
 #ifndef DLVP_TRACE_MEMORY_IMAGE_HH
@@ -37,8 +46,8 @@ class MemoryImage
     MemoryImage() = default;
     MemoryImage(const MemoryImage &other);
     MemoryImage &operator=(const MemoryImage &other);
-    MemoryImage(MemoryImage &&) = default;
-    MemoryImage &operator=(MemoryImage &&) = default;
+    MemoryImage(MemoryImage &&other) noexcept;
+    MemoryImage &operator=(MemoryImage &&other) noexcept;
 
     /** Read @p size bytes (1..8) little-endian; may cross pages. */
     std::uint64_t read(Addr addr, unsigned size) const;
@@ -52,8 +61,12 @@ class MemoryImage
     /** Number of populated pages (for footprint reporting). */
     std::size_t numPages() const { return pages_.size(); }
 
-    /** Total populated bytes. */
-    std::size_t footprintBytes() const { return pages_.size() * kPageSize; }
+    /**
+     * Bytes of page storage backing this image (pages × page size).
+     * An upper bound on the truly-written footprint: unwritten bytes
+     * inside an allocated page also read as zero.
+     */
+    std::size_t allocatedBytes() const { return pages_.size() * kPageSize; }
 
     /** Visit every populated page (order unspecified). */
     void forEachPage(
@@ -62,7 +75,12 @@ class MemoryImage
     /** Install a whole page of raw bytes at @p page_addr (aligned). */
     void installPage(Addr page_addr, const std::uint8_t *bytes);
 
-    void clear() { pages_.clear(); }
+    void
+    clear()
+    {
+        pages_.clear();
+        resetMru();
+    }
 
   private:
     using Page = std::array<std::uint8_t, kPageSize>;
@@ -70,8 +88,28 @@ class MemoryImage
     /** unique_ptr keeps the map nodes small and makes moves cheap. */
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
 
+    /**
+     * MRU last-page cache. Page storage is heap-allocated behind
+     * unique_ptr, so a cached pointer survives map rehash; it only
+     * dies with the page map itself (clear / assignment), which is
+     * exactly when resetMru() runs. kNoAddr can never match a real
+     * (page-aligned) base, so it doubles as the empty sentinel.
+     * mutable: the read path is const but still updates the cache.
+     */
+    mutable Addr mruAddr_ = kNoAddr;
+    mutable Page *mruPage_ = nullptr;
+
+    void
+    resetMru() const
+    {
+        mruAddr_ = kNoAddr;
+        mruPage_ = nullptr;
+    }
+
+    /** MRU-cached page lookup; nullptr when absent (not cached). */
+    Page *findMru(Addr page_addr) const;
+
     Page *getPage(Addr page_addr, bool allocate);
-    const Page *findPage(Addr page_addr) const;
 };
 
 } // namespace dlvp::trace

@@ -1,7 +1,13 @@
 /**
  * @file
- * Unit tests for the sparse memory image.
+ * Unit tests for the sparse memory image, including a randomized
+ * differential check of the word-wise/MRU fast paths against a naive
+ * byte-map reference model.
  */
+
+#include <cstdint>
+#include <map>
+#include <random>
 
 #include <gtest/gtest.h>
 
@@ -104,6 +110,128 @@ TEST(MemoryImage, Clear)
     m.clear();
     EXPECT_EQ(m.numPages(), 0u);
     EXPECT_EQ(m.read(0x100, 8), 0u);
+}
+
+TEST(MemoryImage, AllocatedBytesIsPageGranular)
+{
+    MemoryImage m;
+    EXPECT_EQ(m.allocatedBytes(), 0u);
+    m.writeByte(0x10, 1); // one byte still allocates a whole page
+    EXPECT_EQ(m.allocatedBytes(), MemoryImage::kPageSize);
+    m.writeByte(0x11, 2); // same page: no growth
+    EXPECT_EQ(m.allocatedBytes(), MemoryImage::kPageSize);
+    const Addr edge = MemoryImage::kPageSize - 1;
+    m.write(edge, 0xbeef, 2); // page-crossing write touches page 2
+    EXPECT_EQ(m.allocatedBytes(), 2 * MemoryImage::kPageSize);
+    m.clear();
+    EXPECT_EQ(m.allocatedBytes(), 0u);
+}
+
+/**
+ * Naive reference model: a byte map with no pages, no MRU cache and
+ * no word-wise access. Any divergence between it and MemoryImage is a
+ * fast-path bug.
+ */
+class ByteMapRef
+{
+  public:
+    std::uint64_t
+    read(Addr addr, unsigned size) const
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i) {
+            const auto it = bytes_.find(addr + i);
+            const std::uint8_t b =
+                it == bytes_.end() ? 0 : it->second;
+            v |= static_cast<std::uint64_t>(b) << (8 * i);
+        }
+        return v;
+    }
+
+    void
+    write(Addr addr, std::uint64_t value, unsigned size)
+    {
+        for (unsigned i = 0; i < size; ++i)
+            bytes_[addr + i] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+    }
+
+  private:
+    std::map<Addr, std::uint8_t> bytes_;
+};
+
+TEST(MemoryImage, RandomizedDifferentialVsByteMap)
+{
+    MemoryImage img;
+    ByteMapRef ref;
+    std::mt19937_64 rng(0x5eedULL); // deterministic
+
+    // A few pages plus a far-away region; offsets biased toward page
+    // edges so page-crossing accesses and unwritten tails are common.
+    const Addr regions[] = {0x0, 0x1000, 0x2000, 0x7000,
+                            0x7fff0000ULL};
+    std::uniform_int_distribution<int> regionDist(0, 4);
+    std::uniform_int_distribution<Addr> offDist(
+        0, MemoryImage::kPageSize - 1);
+    std::uniform_int_distribution<int> sizeDist(1, 8);
+    std::uniform_int_distribution<int> edgeDist(0, 3);
+
+    for (int i = 0; i < 20000; ++i) {
+        Addr off = offDist(rng);
+        if (edgeDist(rng) == 0) // force frequent edge proximity
+            off = MemoryImage::kPageSize - 1 - (off & 7);
+        const Addr addr = regions[regionDist(rng)] + off;
+        const unsigned size = static_cast<unsigned>(sizeDist(rng));
+        if ((rng() & 1) != 0) {
+            const std::uint64_t val = rng();
+            img.write(addr, val, size);
+            ref.write(addr, val, size);
+        } else {
+            ASSERT_EQ(img.read(addr, size), ref.read(addr, size))
+                << "addr=" << std::hex << addr << " size=" << size;
+        }
+        if ((rng() & 0xff) == 0) { // occasional byte accessors
+            ASSERT_EQ(img.readByte(addr), ref.read(addr, 1));
+        }
+    }
+}
+
+TEST(MemoryImage, MruSurvivesCopyAndMove)
+{
+    MemoryImage a;
+    a.write(0x1000, 0x11, 8); // primes a's MRU cache with this page
+    MemoryImage b = a;
+    b.write(0x1000, 0x22, 8); // must not land in a's page
+    EXPECT_EQ(a.read(0x1000, 8), 0x11u);
+    EXPECT_EQ(b.read(0x1000, 8), 0x22u);
+
+    MemoryImage c = std::move(b);
+    EXPECT_EQ(c.read(0x1000, 8), 0x22u);
+    // The moved-from image no longer owns the page; its (reset) MRU
+    // must not serve stale data.
+    b = a;
+    EXPECT_EQ(b.read(0x1000, 8), 0x11u);
+    EXPECT_EQ(c.read(0x1000, 8), 0x22u);
+
+    MemoryImage d;
+    d.write(0x5000, 0x33, 8);
+    d = std::move(c);
+    EXPECT_EQ(d.read(0x1000, 8), 0x22u);
+    EXPECT_EQ(d.read(0x5000, 8), 0u);
+}
+
+TEST(MemoryImage, MruDoesNotCacheAbsentPages)
+{
+    MemoryImage m;
+    // Read of an unallocated page must not poison the cache: the
+    // subsequent write allocates the page and the next read must see
+    // it.
+    EXPECT_EQ(m.read(0x4000, 8), 0u);
+    m.write(0x4000, 0x77, 8);
+    EXPECT_EQ(m.read(0x4000, 8), 0x77u);
+    // Thrash the cache across pages and re-check.
+    EXPECT_EQ(m.read(0x9000, 8), 0u);
+    EXPECT_EQ(m.read(0x4000, 8), 0x77u);
 }
 
 } // namespace

@@ -253,6 +253,30 @@ TEST(Sweep, JsonReportHasSchemaRowsAndSummary)
     EXPECT_NE(s.find("\"amean_speedup\""), std::string::npos);
     EXPECT_NE(s.find("\"geomean_speedup\""), std::string::npos);
     EXPECT_NE(s.find("\"cycles\""), std::string::npos);
+    // Wall-clock telemetry rides along with every stats row.
+    EXPECT_NE(s.find("\"wall_ms\""), std::string::npos);
+    EXPECT_NE(s.find("\"mips\""), std::string::npos);
+    EXPECT_NE(s.find("\"pages\""), std::string::npos);
+}
+
+TEST(Sweep, RowsCarryRunPerfTelemetry)
+{
+    TraceStore store;
+    auto spec = smallSpec(4);
+    spec.workloads = {"perlbmk"};
+    spec.store = &store;
+    const auto result = runSweep(spec);
+    ASSERT_EQ(result.rows.size(), 1u);
+    const auto &row = result.rows[0];
+    ASSERT_EQ(row.perf.size(), spec.configs.size());
+    EXPECT_GT(row.baselinePerf.wallMs, 0.0);
+    EXPECT_GT(row.baselinePerf.mips, 0.0);
+    EXPECT_GT(row.baselinePerf.pagesTouched, 0u);
+    for (const auto &p : row.perf) {
+        EXPECT_GT(p.wallMs, 0.0);
+        EXPECT_GT(p.mips, 0.0);
+        EXPECT_GT(p.pagesTouched, 0u);
+    }
 }
 
 } // namespace
