@@ -38,6 +38,58 @@ struct PerfRow
     sim::RunPerf perf;
 };
 
+/** First "model name" line from /proc/cpuinfo, or "unknown". */
+std::string
+cpuModel()
+{
+    std::ifstream is("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("model name", 0) != 0)
+            continue;
+        const auto colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        auto value = line.substr(colon + 1);
+        value.erase(0, value.find_first_not_of(" \t"));
+        return value;
+    }
+    return "unknown";
+}
+
+std::string
+compilerId()
+{
+#if defined(__clang__)
+    return "clang " + std::string(__clang_version__);
+#elif defined(__GNUC__)
+    return "gcc " + std::string(__VERSION__);
+#else
+    return "unknown";
+#endif
+}
+
+constexpr bool kNativeBuild =
+#if defined(DLVP_NATIVE_BUILD)
+    true;
+#else
+    false;
+#endif
+
+/** Escape backslashes/quotes for embedding in a JSON string. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c >= 0x20 ? c : ' ');
+    }
+    return out;
+}
+
 void
 writePerfJson(std::ostream &os, const std::vector<PerfRow> &rows,
               std::size_t insts, unsigned jobs, double total_wall_ms,
@@ -47,6 +99,13 @@ writePerfJson(std::ostream &os, const std::vector<PerfRow> &rows,
     os << "{\n  \"schema\": \"dlvp-perf-v1\",\n"
        << "  \"insts\": " << insts << ",\n"
        << "  \"jobs\": " << jobs << ",\n"
+       // MIPS only compares within one (machine, compiler, flags)
+       // triple: record where this reference was measured so
+       // perf_check can warn on cross-host comparisons.
+       << "  \"host\": {\"cpu\": \"" << jsonEscape(cpuModel())
+       << "\", \"compiler\": \"" << jsonEscape(compilerId())
+       << "\", \"native\": " << (kNativeBuild ? "true" : "false")
+       << "},\n"
        << "  \"rows\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto &r = rows[i];
@@ -54,7 +113,8 @@ writePerfJson(std::ostream &os, const std::vector<PerfRow> &rows,
            << "\", \"config\": \"" << r.config
            << "\", \"wall_ms\": " << r.perf.wallMs
            << ", \"mips\": " << r.perf.mips
-           << ", \"pages\": " << r.perf.pagesTouched << "}"
+           << ", \"pages\": " << r.perf.pagesTouched
+           << ", \"cycles_skipped\": " << r.perf.cyclesSkipped << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"summary\": {\"total_wall_ms\": " << total_wall_ms

@@ -66,6 +66,9 @@ OoOCore::OoOCore(const CoreParams &params, const VpConfig &vp,
     loadValSeq_.assign(cap, kNoSeq);
     loadValMask_ = cap - 1;
 
+    wheel_.init(wheelHorizon());
+    readyList_.reserve(params_.iqSize);
+
     dbgHalt_ = std::getenv("DLVP_DEBUG_HALT") != nullptr;
     dbgAct_ = std::getenv("DLVP_DEBUG_ACT") != nullptr;
     dbgWait_ = std::getenv("DLVP_DEBUG_WAIT") != nullptr;
@@ -81,6 +84,40 @@ OoOCore::frontendCapacity() const
     // In-order front-end depth times width: instructions that can sit
     // between fetch and dispatch.
     return params_.fetchToDispatch * params_.fetchWidth;
+}
+
+std::size_t
+OoOCore::wheelHorizon() const
+{
+    // Upper bound on any issue-to-complete latency: a TLB walk plus a
+    // full L1→L2→L3→DRAM miss chain on the load path, plus every
+    // fixed execution latency that could be added on top. The wheel
+    // must span strictly more than this so two live completion cycles
+    // can never share a bucket.
+    const auto &m = params_.memory;
+    const std::size_t worst =
+        m.tlb.missPenalty + m.l1d.hitLatency + m.l2.hitLatency +
+        m.l3.hitLatency + m.memLatency + params_.loadExtraLatency +
+        params_.forwardLatency + params_.divLatency +
+        params_.mulLatency + params_.fpLatency + params_.storeLatency +
+        params_.aluLatency + 2 /* atomic + slack */;
+    return std::bit_ceil(worst + 1);
+}
+
+void
+OoOCore::CompletionWheel::remove(Cycle when, InstSeqNum seq)
+{
+    auto &b = buckets_[when & mask_];
+    for (auto it = b.begin(); it != b.end(); ++it) {
+        if (*it == seq) {
+            b.erase(it);
+            --pending_;
+            return;
+        }
+    }
+    dlvp_panic("completion wheel: seq %llu missing from bucket %llu",
+               static_cast<unsigned long long>(seq),
+               static_cast<unsigned long long>(when));
 }
 
 OoOCore::InstState *
@@ -539,6 +576,10 @@ OoOCore::dispatchStage()
             ++incompleteBarriers_;
 
         activatePredictions(*s);
+        // Subscribe to still-pending producers; already-ready
+        // instructions go straight to the issue candidates.
+        if (registerWakeups(*s))
+            markReady(*s);
         ++nextDispatch_;
         ++n;
     }
@@ -614,6 +655,71 @@ OoOCore::memOrderReady(const InstState &s) const
     return true;
 }
 
+void
+OoOCore::markReady(InstState &s)
+{
+    s.dataReady = true;
+    // Dispatch-time insertions arrive in seq order above everything
+    // already listed (dispatch is in-order and flushes prune the
+    // list's tail), so push_back keeps the list sorted; completion
+    // wakeups can land anywhere and take the sorted-insert path.
+    if (readyList_.empty() || readyList_.back() < s.seq) {
+        readyList_.push_back(s.seq);
+        return;
+    }
+    readyList_.insert(std::lower_bound(readyList_.begin(),
+                                       readyList_.end(), s.seq),
+                      s.seq);
+}
+
+void
+OoOCore::wakeDependents(InstState &producer)
+{
+    if (producer.waiters.empty())
+        return;
+    for (const InstSeqNum seq : producer.waiters) {
+        InstState *s = byQSeq(seq);
+        // Lazy validation: a waiter may have been squashed (and its
+        // seq possibly refetched into a new incarnation) since it
+        // registered. Re-evaluating the full readiness predicate
+        // makes a stale wake either correct or a no-op.
+        if (s == nullptr || !s->dispatched || s->issued ||
+            s->dataReady)
+            continue;
+        if (srcsReady(*s))
+            markReady(*s);
+    }
+    producer.waiters.clear();
+}
+
+bool
+OoOCore::registerWakeups(InstState &s)
+{
+    // Mirror of srcsReady(): where that polls, this subscribes. Any
+    // source that is not ready yet adds this instruction to its
+    // producer's wakeup list; the producer's completion event then
+    // re-tests readiness. Registering on *every* blocking producer
+    // (not just the first) makes the wake chain independent of
+    // completion order.
+    bool ready = true;
+    const InstSeqNum base = window_.front().seq;
+    for (unsigned i = 0; i < s.inst->numSrcs; ++i) {
+        const auto &src = s.srcs[i];
+        if (!src.valid)
+            continue;
+        if (src.producer < base)
+            continue; // committed
+        InstState &p = window_[src.producer - base];
+        if (p.vpActiveMask & (1u << src.destIdx))
+            continue; // value-predicted: ready from rename onward
+        if (p.completed && p.completeCycle <= now_)
+            continue;
+        p.waiters.push_back(s.seq);
+        ready = false;
+    }
+    return ready;
+}
+
 unsigned
 OoOCore::issueLoad(InstState &s)
 {
@@ -649,32 +755,30 @@ OoOCore::issueStage()
         params_.issueWidth - params_.lsLanes; // 6 generic lanes
     unsigned ls_free = params_.lsLanes;
 
-    // Only the in-order-dispatched prefix of the window can issue,
-    // and iqCount_ counts exactly the dispatched-but-unissued
-    // instructions in it: stop as soon as all candidates were seen
-    // instead of scanning the whole window every cycle.
-    const std::size_t ndisp =
-        window_.empty() ? 0 : nextDispatch_ - window_.front().seq;
-    unsigned candidates = iqCount_;
-
-    for (std::size_t i = 0; i < ndisp && candidates > 0; ++i) {
-        InstState &s = window_[i];
+    // Issue candidates are exactly the ready list: dispatched
+    // instructions whose sources are all ready (dependency wakeups
+    // keep it current), sorted by seq so priority matches the old
+    // program-order window scan. Structural and memory-order losers
+    // are compacted back in place.
+    const std::size_t n = readyList_.size();
+    std::size_t kept = 0;
+    std::size_t i = 0;
+    for (; i < n; ++i) {
         if (generic_free == 0 && ls_free == 0)
             break;
-        if (s.issued)
-            continue;
-        --candidates;
+        InstState &s = *byQSeq(readyList_[i]);
+        dlvp_assert(s.dispatched && !s.issued && s.dataReady);
         const TraceInst &inst = *s.inst;
         const bool is_mem = inst.isMemRef() ||
                             inst.cls == OpClass::Barrier;
-        if (is_mem && ls_free == 0)
+        if (is_mem ? ls_free == 0 : generic_free == 0) {
+            readyList_[kept++] = s.seq;
             continue;
-        if (!is_mem && generic_free == 0)
+        }
+        if (!memOrderReady(s)) {
+            readyList_[kept++] = s.seq;
             continue;
-        if (!srcsReady(s))
-            continue;
-        if (!memOrderReady(s))
-            continue;
+        }
 
         s.issued = true;
         s.issueCycle = now_;
@@ -734,7 +838,16 @@ OoOCore::issueStage()
         }
         s.completeCycle = now_ + std::max(1u, lat);
         s.completed = true; // completion processed when the cycle hits
-        ++inFlight_;
+        wheel_.push(s.completeCycle, s.seq);
+    }
+
+    // Keep the unvisited tail (loop broke when lanes ran dry) behind
+    // the structural losers; both ranges are seq-sorted and losers are
+    // older, so the list stays sorted.
+    if (kept != i) {
+        std::move(readyList_.begin() + i, readyList_.end(),
+                  readyList_.begin() + kept);
+        readyList_.resize(kept + (n - i));
     }
 
     probeStage(ls_free);
@@ -938,26 +1051,26 @@ void
 OoOCore::completeStage()
 {
     prfPortsUsed_ = 0;
-    // Every issued-but-unprocessed instruction satisfies
-    // completeCycle >= now_ (completions are processed exactly at
-    // their cycle), so inFlight_ bounds the scan: walk the dispatched
-    // prefix only until every pending completion has been seen, and
-    // skip the walk entirely on idle cycles.
-    if (inFlight_ > 0) {
-        const InstSeqNum base = window_.front().seq;
-        const std::size_t ndisp = nextDispatch_ - base;
-        unsigned pending = inFlight_;
-        for (std::size_t i = 0; i < ndisp && pending > 0; ++i) {
-            InstState &s = window_[i];
-            if (!s.issued || s.completeCycle < now_)
-                continue; // unissued, or already processed
-            --pending;
-            if (s.completeCycle != now_)
-                continue;
-            --inFlight_;
-            prfPortsUsed_ += s.inst->numDests; // PRF writeback ports
-            completeInst(s);
+    // The completion wheel holds exactly the issued-but-unprocessed
+    // instructions, bucketed by completion cycle: drain this cycle's
+    // bucket instead of scanning the dispatched prefix. Issue order
+    // within a bucket is not seq order (younger instructions can issue
+    // earlier across cycles), so sort by seq to replicate the old
+    // oldest-first window-scan order — MDP/LSCD/chooser training and
+    // flush arbitration depend on it.
+    auto &bucket = wheel_.bucket(now_);
+    if (!bucket.empty()) {
+        std::sort(bucket.begin(), bucket.end());
+        for (const InstSeqNum seq : bucket) {
+            InstState *s = byQSeq(seq);
+            dlvp_assert(s != nullptr && s->issued &&
+                        s->completeCycle == now_);
+            prfPortsUsed_ += s->inst->numDests; // PRF writeback ports
+            completeInst(*s);
+            wakeDependents(*s);
         }
+        wheel_.drained(bucket.size());
+        bucket.clear();
     }
     if (flushPending_)
         applyFlush();
@@ -1014,8 +1127,10 @@ OoOCore::applyFlush()
             if (!s.issued)
                 --iqCount_;
             else if (s.completeCycle > now_)
-                --inFlight_; // == now_ means completeStage already
-                             // processed (and counted down) this inst
+                // == now_ means completeStage already drained this
+                // instruction's bucket; future entries are removed
+                // eagerly so the wheel never holds squashed seqs.
+                wheel_.remove(s.completeCycle, s.seq);
             if (inst.isLoad() || inst.cls == OpClass::Atomic)
                 --ldqCount_;
             if (inst.isStore() || inst.cls == OpClass::Atomic)
@@ -1029,6 +1144,13 @@ OoOCore::applyFlush()
         window_.pop_back();
     }
     paq_.squashAfter(from == 0 ? 0 : from - 1);
+
+    // Squashed seqs form a suffix of the sorted ready list. Waiter
+    // lists of surviving producers may still name squashed consumers;
+    // wakeDependents() re-validates each seq, so those go stale
+    // harmlessly instead of being hunted down here.
+    while (!readyList_.empty() && readyList_.back() >= from)
+        readyList_.pop_back();
 
     nextFetch_ = from;
     nextDispatch_ = std::min(nextDispatch_, from);
@@ -1199,6 +1321,110 @@ OoOCore::commitStage()
 // Main loop
 // ---------------------------------------------------------------------
 
+void
+OoOCore::fastForward(Cycle deadline)
+{
+    // Skip cycles in which no stage can make progress, jumping now_
+    // straight to the earliest cycle where something happens. Every
+    // condition that could make a stage act before the target must be
+    // either ruled out or folded into the target: this function is
+    // correct only if each skipped cycle would have been a strict
+    // no-op (plus per-cycle stall counters, accounted below) under the
+    // one-cycle-at-a-time loop.
+
+    // Fetch could make progress (or mutate curFetchGroup_ and access
+    // the I-cache): never skip.
+    const bool halted = fetchHaltSeq_ != kNoSeq;
+    const bool fetch_blocked =
+        halted || now_ < fetchResumeCycle_ ||
+        nextFetch_ >= trace_.size() ||
+        window_.size() >= params_.robSize + frontendCapacity();
+    if (!fetch_blocked)
+        return;
+    // Pending probes/expiry have per-cycle effects (probeStage runs
+    // every cycle the PAQ is non-empty).
+    if (!paq_.empty())
+        return;
+    if (flushPending_)
+        return;
+
+    // Earliest completion event.
+    Cycle next = wheel_.nextEventAt(now_);
+    if (next == now_)
+        return;
+
+    // Earliest commit event: the head's first committable cycle. An
+    // unissued head commits only after an issue event, which the
+    // ready-list check below and the completion cap already bound.
+    if (!window_.empty()) {
+        const InstState &head = window_.front();
+        if (head.issued) {
+            const Cycle c = head.vpWrong
+                                ? head.completeCycle + 2 +
+                                      vp_.valueCheckPenalty
+                                : head.completeCycle + 1;
+            if (c <= now_)
+                return;
+            next = std::min(next, c);
+        }
+    }
+
+    // Issue: with every lane free on an idle cycle, any ready-list
+    // entry passing the memory-order check would issue now. Memory
+    // order flips only at completion (bounded by the wheel cap) or
+    // issue events (which this check rules out transitively).
+    for (const InstSeqNum seq : readyList_)
+        if (memOrderReady(*byQSeq(seq)))
+            return;
+
+    // Dispatch: replicate the stall cascade for the next in-order
+    // candidate. Stall counters increment once per blocked cycle.
+    std::uint64_t *stall_counter = nullptr;
+    if (nextDispatch_ < nextFetch_) {
+        const InstState *s = byQSeq(nextDispatch_);
+        dlvp_assert(s != nullptr && !s->dispatched);
+        const Cycle ready_at = s->fetchCycle + params_.fetchToDispatch;
+        if (ready_at > now_) {
+            next = std::min(next, ready_at);
+        } else {
+            const TraceInst &inst = *s->inst;
+            if (dispatchedCount_ >= params_.robSize)
+                stall_counter = &stats_.robFullStalls;
+            else if (iqCount_ >= params_.iqSize)
+                stall_counter = &stats_.iqFullStalls;
+            else if (((inst.isLoad() || inst.cls == OpClass::Atomic) &&
+                      ldqCount_ >= params_.ldqSize) ||
+                     ((inst.isStore() ||
+                       inst.cls == OpClass::Atomic) &&
+                      stqCount_ >= params_.stqSize) ||
+                     inst.numDests > freePhys_)
+                stall_counter = nullptr; // silent stall
+            else
+                return; // dispatch would proceed
+        }
+    }
+
+    // Fetch resumes on its own clock (I-cache fill / flush redirect).
+    if (!halted && now_ < fetchResumeCycle_ &&
+        nextFetch_ < trace_.size() &&
+        window_.size() < params_.robSize + frontendCapacity())
+        next = std::min(next, fetchResumeCycle_);
+
+    // Never jump past the deadlock horizon: the panic in run() must
+    // still fire exactly as it would cycle-by-cycle.
+    const Cycle target = std::min(next, deadline);
+    if (target <= now_ || target == kNoCycle)
+        return;
+
+    const Cycle skipped = target - now_;
+    if (halted)
+        stats_.fetchHaltCycles += skipped;
+    if (stall_counter != nullptr)
+        *stall_counter += skipped;
+    cyclesSkipped_ += skipped;
+    now_ = target;
+}
+
 CoreStats
 OoOCore::run(std::size_t warmup_insts)
 {
@@ -1234,6 +1460,11 @@ OoOCore::run(std::size_t warmup_insts)
                        static_cast<unsigned long long>(committed_),
                        window_.size());
         }
+        // Guard: after the final commit the machine is empty and
+        // event-free; an unconditional call would jump to the
+        // deadlock horizon and inflate stats_.cycles.
+        if (committed_ < trace_.size())
+            fastForward(last_commit_cycle + deadlock_limit);
     }
     stats_.cycles = now_ - warmup_cycles;
     stats_.tlbMisses = mem_.tlb().misses();

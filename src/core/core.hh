@@ -75,6 +75,14 @@ class OoOCore
         return archMem_.numPages() + committedMem_.numPages();
     }
 
+    /**
+     * Cycles the idle fast-forward elided over the whole run (warmup
+     * included). Host-side telemetry like pagesTouched(): skipped
+     * cycles are fully accounted in CoreStats, so this is a measure
+     * of how event-driven the run was, not an architectural counter.
+     */
+    std::uint64_t cyclesSkipped() const { return cyclesSkipped_; }
+
     const pred::Pap *pap() const { return pap_.get(); }
     const pred::Cap *cap() const { return cap_.get(); }
     const pred::Vtage *vtage() const { return vtage_.get(); }
@@ -140,6 +148,18 @@ class OoOCore
         bool probeHit = false;
         Cycle probeReady = kNoCycle;
         std::array<std::uint64_t, trace::kMaxDests> dlValues{};
+
+        // Event-driven scheduling state.
+        /** All sources ready; the instruction is on the ready list. */
+        bool dataReady = false;
+        /**
+         * Dependency wakeup list: seqs of renamed consumers that were
+         * blocked on this producer at their dispatch. Drained when
+         * this instruction's completion event fires; entries are
+         * validated against the live window then, so squashed (or
+         * squashed-and-refetched) consumers are skipped lazily.
+         */
+        std::vector<InstSeqNum> waiters;
     };
 
     /**
@@ -187,7 +207,14 @@ class OoOCore
         emplace_back()
         {
             InstState &s = (*this)[size_++];
+            // Reset field-wise but keep the waiters vector's heap
+            // buffer: slots are recycled constantly and re-allocating
+            // the wakeup list per instruction would put one malloc on
+            // the dispatch path.
+            auto waiters = std::move(s.waiters);
+            waiters.clear();
             s = InstState{};
+            s.waiters = std::move(waiters);
             return s;
         }
 
@@ -205,6 +232,75 @@ class OoOCore
         std::size_t head_ = 0;
         std::size_t size_ = 0;
         std::size_t mask_ = 0;
+    };
+
+    /**
+     * Completion wheel: a bucketed calendar queue keyed by
+     * completeCycle. Every latency in the model is bounded (the worst
+     * chain is a TLB walk plus an L1→L2→L3→DRAM miss), so a
+     * power-of-two ring of buckets larger than that bound can never
+     * alias two live cycles to one bucket: an entry pushed for cycle
+     * C sits alone in bucket C & mask until the core processes cycle
+     * C. completeStage therefore visits exactly the instructions that
+     * complete at now_ instead of re-scanning the dispatched window.
+     *
+     * Flush recovery removes squashed entries eagerly (applyFlush
+     * already walks every squashed instruction, and each issued one
+     * knows its completeCycle, i.e. its bucket), which keeps buckets
+     * clean and makes nextEventAt() exact for idle fast-forwarding.
+     */
+    class CompletionWheel
+    {
+      public:
+        void
+        init(std::size_t horizon_pow2)
+        {
+            buckets_.assign(horizon_pow2, {});
+            mask_ = horizon_pow2 - 1;
+            pending_ = 0;
+        }
+
+        void
+        push(Cycle when, InstSeqNum seq)
+        {
+            buckets_[when & mask_].push_back(seq);
+            ++pending_;
+        }
+
+        /** The bucket holding cycle @p now's completions. */
+        std::vector<InstSeqNum> &
+        bucket(Cycle now)
+        {
+            return buckets_[now & mask_];
+        }
+
+        /** Account a drained bucket's entries. */
+        void drained(std::size_t n) { pending_ -= n; }
+
+        void remove(Cycle when, InstSeqNum seq);
+
+        std::size_t pending() const { return pending_; }
+
+        /**
+         * First cycle >= @p from with a completion event, or kNoCycle
+         * when nothing is pending. All live entries lie within one
+         * horizon of now, so one lap over the ring is exhaustive.
+         */
+        Cycle
+        nextEventAt(Cycle from) const
+        {
+            if (pending_ == 0)
+                return kNoCycle;
+            for (Cycle c = from; c <= from + mask_; ++c)
+                if (!buckets_[c & mask_].empty())
+                    return c;
+            return kNoCycle;
+        }
+
+      private:
+        std::vector<std::vector<InstSeqNum>> buckets_;
+        std::size_t mask_ = 0;
+        std::size_t pending_ = 0;
     };
 
     // ---- configuration and substrate ----
@@ -267,15 +363,25 @@ class OoOCore
     unsigned ldqCount_ = 0;
     unsigned stqCount_ = 0;
     unsigned dispatchedCount_ = 0; ///< ROB occupancy
-    /** Issued instructions whose completion is still pending
-     *  (completeCycle >= now_); lets completeStage skip idle scans. */
-    unsigned inFlight_ = 0;
     unsigned freePhys_ = 0;
     std::array<InstState::Src, kNumArchRegs> archProducer_{};
 
     // Fetch-group tracking for APT slot assignment.
     Addr curFetchGroup_ = kNoAddr;
     unsigned groupLoadCount_ = 0;
+
+    // ---- event-driven scheduling ----
+    /** Calendar queue of pending completion events. */
+    CompletionWheel wheel_;
+    /**
+     * Dispatched instructions whose sources are all ready, sorted by
+     * seq so issue priority is program order — identical to the old
+     * full-window scan. Structural-hazard and memory-order losers
+     * stay on the list; entries leave at issue or flush.
+     */
+    std::vector<InstSeqNum> readyList_;
+    /** Host-side telemetry: cycles elided by idle fast-forward. */
+    std::uint64_t cyclesSkipped_ = 0;
 
     // Pending flush request (oldest wins within a cycle).
     bool flushPending_ = false;
@@ -307,6 +413,11 @@ class OoOCore
     InstState *byQSeq(InstSeqNum seq);
     bool srcsReady(const InstState &s) const;
     bool memOrderReady(const InstState &s) const;
+    void markReady(InstState &s);
+    void wakeDependents(InstState &producer);
+    bool registerWakeups(InstState &s);
+    void fastForward(Cycle deadline);
+    std::size_t wheelHorizon() const;
     unsigned issueLoad(InstState &s);
     void completeInst(InstState &s);
     void validatePrediction(InstState &s);

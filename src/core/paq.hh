@@ -4,13 +4,20 @@
  * engine holding predicted addresses awaiting an opportunistic cache
  * probe on a load-store-lane bubble. Entries expire N cycles after
  * allocation (N = 4 in the paper's pipeline).
+ *
+ * Storage is a fixed power-of-two ring (same lesson as the core's
+ * InstWindow): capacity is a small constant (32 entries in the paper's
+ * configuration), so a std::deque's segment map and per-push heap
+ * traffic were pure overhead on a structure touched every cycle the
+ * DLVP front end runs.
  */
 
 #ifndef DLVP_CORE_PAQ_HH
 #define DLVP_CORE_PAQ_HH
 
+#include <bit>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -30,20 +37,22 @@ class Paq
 {
   public:
     explicit Paq(unsigned capacity, unsigned lifetime)
-        : capacity_(capacity), lifetime_(lifetime)
+        : capacity_(capacity), lifetime_(lifetime),
+          buf_(std::bit_ceil<std::size_t>(capacity ? capacity : 1)),
+          mask_(buf_.size() - 1)
     {
     }
 
-    bool full() const { return q_.size() >= capacity_; }
-    bool empty() const { return q_.empty(); }
-    std::size_t size() const { return q_.size(); }
+    bool full() const { return size_ >= capacity_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
 
     bool
     push(const PaqEntry &e)
     {
         if (full())
             return false;
-        q_.push_back(e);
+        buf_[(head_ + size_++) & mask_] = e;
         return true;
     }
 
@@ -54,15 +63,15 @@ class Paq
     bool
     popLive(Cycle now, PaqEntry &out, std::uint64_t &dropped)
     {
-        while (!q_.empty()) {
-            const PaqEntry &e = q_.front();
+        while (size_ > 0) {
+            const PaqEntry &e = buf_[head_];
+            head_ = (head_ + 1) & mask_;
+            --size_;
             if (now > e.allocCycle + lifetime_) {
                 ++dropped;
-                q_.pop_front();
                 continue;
             }
             out = e;
-            q_.pop_front();
             return true;
         }
         return false;
@@ -76,10 +85,11 @@ class Paq
     void
     expire(Cycle now, std::uint64_t &dropped)
     {
-        while (!q_.empty() &&
-               now > q_.front().allocCycle + lifetime_) {
+        while (size_ > 0 &&
+               now > buf_[head_].allocCycle + lifetime_) {
+            head_ = (head_ + 1) & mask_;
+            --size_;
             ++dropped;
-            q_.pop_front();
         }
     }
 
@@ -87,16 +97,20 @@ class Paq
     void
     squashAfter(InstSeqNum seq)
     {
-        while (!q_.empty() && q_.back().seq > seq)
-            q_.pop_back();
+        while (size_ > 0 &&
+               buf_[(head_ + size_ - 1) & mask_].seq > seq)
+            --size_;
     }
 
-    void clear() { q_.clear(); }
+    void clear() { size_ = 0; }
 
   private:
     unsigned capacity_;
     unsigned lifetime_;
-    std::deque<PaqEntry> q_;
+    std::vector<PaqEntry> buf_;
+    std::size_t mask_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
 };
 
 } // namespace dlvp::core

@@ -103,7 +103,8 @@ jsonStats(std::ostream &os, const core::CoreStats &s,
        << ", \"vp_flushes\": " << s.vpFlushes
        << ", \"wall_ms\": " << perf.wallMs
        << ", \"mips\": " << perf.mips
-       << ", \"pages\": " << perf.pagesTouched << "}";
+       << ", \"pages\": " << perf.pagesTouched
+       << ", \"cycles_skipped\": " << perf.cyclesSkipped << "}";
 }
 
 } // namespace

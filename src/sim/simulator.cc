@@ -60,6 +60,7 @@ Simulator::run(const trace::Trace &trace, const core::VpConfig &vp,
                       (wall.count() * 1e3)
                 : 0.0;
         perf->pagesTouched = core.pagesTouched();
+        perf->cyclesSkipped = core.cyclesSkipped();
     }
     return stats;
 }

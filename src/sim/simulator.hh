@@ -48,6 +48,13 @@ struct RunPerf
     double mips = 0.0;
     /** Populated pages across the arch + committed memory images. */
     std::uint64_t pagesTouched = 0;
+    /**
+     * Simulated cycles elided by the core's idle fast-forward (warmup
+     * included). Architecturally these cycles still happened — every
+     * CoreStats counter accounts for them — so this measures how
+     * event-driven the run was, not a change in simulated time.
+     */
+    std::uint64_t cyclesSkipped = 0;
 };
 
 class Simulator

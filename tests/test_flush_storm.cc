@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Flush-storm stress for the event-driven cycle engine.
+ *
+ * Runs randomized store/load-heavy programs under deliberately
+ * mispredicting configurations (CAP with a confidence threshold of 1
+ * and no LSCD filtering) so value-misprediction and memory-order
+ * flushes fire constantly. Every flush exercises applyFlush()'s event
+ * bookkeeping — completion-wheel removal, ready-list pruning, stale
+ * wakeup entries — and the always-on dlvp_asserts in issueStage /
+ * completeStage / CompletionWheel::remove() panic the process on any
+ * inconsistency, so "the run finishes with every instruction
+ * committed" is itself the consistency check. Determinism is asserted
+ * on top: two runs of the same (trace, config) must produce
+ * bit-identical CoreStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/core.hh"
+#include "sim/configs.hh"
+#include "trace/kernel_ctx.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::trace;
+
+/**
+ * A program built to conflict: a small set of hot addresses shared by
+ * stores and dependent loads, so predicted addresses are frequently
+ * invalidated by in-flight stores, plus branches to keep the front
+ * end churning.
+ */
+Trace
+stormProgram(std::uint64_t seed, int length)
+{
+    Trace t;
+    t.name = "storm-" + std::to_string(seed);
+    KernelCtx ctx(t, seed);
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+
+    const Addr arena = 0x2000000;
+    const unsigned slots = 8; // few slots -> constant conflicts
+    for (unsigned i = 0; i < slots; ++i)
+        ctx.mem().write(arena + i * 8, rng.next64(), 8);
+    ctx.sealInitialImage();
+
+    std::vector<Val> live = {ctx.imm(0, 1)};
+    auto pick = [&]() -> Val {
+        return live[rng.below(live.size())];
+    };
+    while (ctx.emitted() < static_cast<std::size_t>(length)) {
+        const int site = 1 + static_cast<int>(rng.below(40));
+        const Addr addr = arena + rng.below(slots) * 8;
+        switch (rng.below(8)) {
+          case 0:
+          case 1:
+          case 2: {
+            // Load from a hot slot: the usual flush victim.
+            live.push_back(ctx.load(site, addr, pick()));
+            break;
+          }
+          case 3:
+          case 4: {
+            // Store to a hot slot: the usual flush culprit.
+            ctx.store(site, addr, rng.next64() & 0xffff, pick(),
+                      pick());
+            break;
+          }
+          case 5: {
+            ctx.condBranch(site, rng.chance(0.5), pick(),
+                           1 + static_cast<int>(rng.below(40)));
+            break;
+          }
+          case 6: {
+            live.push_back(ctx.atomic(site, addr,
+                                      rng.next64() & 0xff, pick()));
+            break;
+          }
+          default: {
+            live.push_back(
+                ctx.alu(site, rng.next64() & 0xffff, pick(), pick()));
+            break;
+          }
+        }
+        if (live.size() > 8)
+            live.erase(live.begin(),
+                       live.begin() +
+                           static_cast<long>(live.size() - 8));
+    }
+    t.insts.resize(length);
+    return t;
+}
+
+/** Maximally trigger value mispredictions: predict on any history. */
+core::VpConfig
+stormConfig()
+{
+    auto vp = sim::capConfig(1);
+    vp.useLscd = false; // no conflicting-store filter: flush instead
+    return vp;
+}
+
+class FlushStorm : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FlushStorm, SurvivesAndStaysDeterministic)
+{
+    const auto t = stormProgram(GetParam(), 8000);
+    ASSERT_EQ(t.verifyReplay(), t.size());
+
+    const auto vp = stormConfig();
+    core::OoOCore c1({}, vp, t);
+    const auto s1 = c1.run();
+
+    // The whole point: this config must actually storm. Every flush
+    // ran the wheel-removal and ready-list pruning paths.
+    EXPECT_EQ(s1.committedInsts, t.size());
+    EXPECT_GT(s1.vpFlushes + s1.memOrderFlushes, 50u);
+
+    // Event structures are cycle-reproducible: a second run of the
+    // same trace/config is bit-identical in every counter.
+    core::OoOCore c2({}, vp, t);
+    const auto s2 = c2.run();
+#define DLVP_CHECK_FIELD(f) \
+    EXPECT_EQ(s1.f, s2.f) << #f << " diverged between identical runs";
+    DLVP_CORE_STATS_FIELDS(DLVP_CHECK_FIELD)
+#undef DLVP_CHECK_FIELD
+}
+
+TEST_P(FlushStorm, AllRecoveryFlavorsComplete)
+{
+    const auto t = stormProgram(GetParam() ^ 0x5117, 8000);
+    // The LSCD-on flavor flushes less but still storms on branches
+    // and memory order; OracleReplay never value-flushes at all —
+    // both must keep the event structures consistent.
+    auto lscd_on = sim::capConfig(1);
+    auto replay = stormConfig();
+    replay.recovery = core::RecoveryMode::OracleReplay;
+    for (const auto &vp : {lscd_on, replay}) {
+        core::OoOCore c({}, vp, t);
+        const auto s = c.run();
+        EXPECT_EQ(s.committedInsts, t.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlushStorm,
+                         ::testing::Values(3u, 17u, 42u, 99u, 1234u,
+                                           0xdeadbeefu));
+
+} // namespace

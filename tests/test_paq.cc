@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the Paq ring buffer (core/paq.hh): FIFO order,
+ * capacity limits (including non-power-of-two capacities on the
+ * power-of-two ring), expiry accounting in popLive() and expire(),
+ * squashAfter() semantics, and heavy wraparound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/paq.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using core::Paq;
+using core::PaqEntry;
+
+PaqEntry
+entry(InstSeqNum seq, Cycle alloc, Addr addr = 0x1000)
+{
+    PaqEntry e;
+    e.seq = seq;
+    e.addr = addr + seq * 8;
+    e.size = 8;
+    e.way = static_cast<int>(seq % 4);
+    e.allocCycle = alloc;
+    return e;
+}
+
+TEST(Paq, FifoOrderAndCapacity)
+{
+    Paq q(4, 100);
+    EXPECT_TRUE(q.empty());
+    for (InstSeqNum i = 0; i < 4; ++i)
+        EXPECT_TRUE(q.push(entry(i, 0)));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.push(entry(99, 0))); // rejected, no overwrite
+    EXPECT_EQ(q.size(), 4u);
+
+    std::uint64_t dropped = 0;
+    PaqEntry out;
+    for (InstSeqNum i = 0; i < 4; ++i) {
+        ASSERT_TRUE(q.popLive(0, out, dropped));
+        EXPECT_EQ(out.seq, i);
+        EXPECT_EQ(out.addr, 0x1000 + i * 8);
+        EXPECT_EQ(out.way, static_cast<int>(i % 4));
+    }
+    EXPECT_FALSE(q.popLive(0, out, dropped));
+    EXPECT_EQ(dropped, 0u);
+}
+
+TEST(Paq, NonPowerOfTwoCapacity)
+{
+    // Ring storage rounds up to 8 slots but the logical capacity must
+    // stay 5.
+    Paq q(5, 100);
+    for (InstSeqNum i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.push(entry(i, 0)));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.push(entry(5, 0)));
+}
+
+TEST(Paq, PopLiveSkipsAndCountsExpired)
+{
+    Paq q(8, 4); // lifetime 4: dead once now > alloc + 4
+    q.push(entry(0, 0));
+    q.push(entry(1, 0));
+    q.push(entry(2, 10));
+
+    std::uint64_t dropped = 0;
+    PaqEntry out;
+    // At cycle 5 the first two entries (alloc 0) are expired; the
+    // third (alloc 10) is still live.
+    ASSERT_TRUE(q.popLive(5, out, dropped));
+    EXPECT_EQ(out.seq, 2u);
+    EXPECT_EQ(dropped, 2u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Paq, ExpireAgesOutHeadOnly)
+{
+    Paq q(8, 4);
+    q.push(entry(0, 0));
+    q.push(entry(1, 3));
+    q.push(entry(2, 3));
+
+    std::uint64_t dropped = 0;
+    q.expire(4, dropped); // nothing dead yet: 4 <= 0 + 4
+    EXPECT_EQ(dropped, 0u);
+    EXPECT_EQ(q.size(), 3u);
+
+    q.expire(5, dropped); // entry 0 dies, entries at alloc 3 live
+    EXPECT_EQ(dropped, 1u);
+    EXPECT_EQ(q.size(), 2u);
+
+    PaqEntry out;
+    ASSERT_TRUE(q.popLive(5, out, dropped));
+    EXPECT_EQ(out.seq, 1u);
+}
+
+TEST(Paq, SquashAfterDropsYoungerEntries)
+{
+    Paq q(8, 100);
+    for (InstSeqNum i = 10; i < 16; ++i)
+        q.push(entry(i, 0));
+    q.squashAfter(12); // keep seqs <= 12
+    EXPECT_EQ(q.size(), 3u);
+
+    std::uint64_t dropped = 0;
+    PaqEntry out;
+    for (InstSeqNum i = 10; i <= 12; ++i) {
+        ASSERT_TRUE(q.popLive(0, out, dropped));
+        EXPECT_EQ(out.seq, i);
+    }
+    EXPECT_TRUE(q.empty());
+
+    // Squash on an empty queue is a no-op; squash to 0 clears all.
+    q.squashAfter(0);
+    q.push(entry(20, 0));
+    q.push(entry(21, 0));
+    q.squashAfter(0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Paq, WraparoundKeepsFifoSemantics)
+{
+    Paq q(4, 1000);
+    std::uint64_t dropped = 0;
+    PaqEntry out;
+    InstSeqNum next_push = 0, next_pop = 0;
+    // Push/pop mismatched batch sizes for many rounds so head_ sweeps
+    // the ring repeatedly across the capacity boundary.
+    for (int round = 0; round < 100; ++round) {
+        while (!q.full())
+            q.push(entry(next_push++, 0));
+        const std::size_t pops = 1 + (round % 3);
+        for (std::size_t p = 0; p < pops && !q.empty(); ++p) {
+            ASSERT_TRUE(q.popLive(0, out, dropped));
+            EXPECT_EQ(out.seq, next_pop++);
+        }
+    }
+    while (q.popLive(0, out, dropped))
+        EXPECT_EQ(out.seq, next_pop++);
+    EXPECT_EQ(next_pop, next_push);
+    EXPECT_EQ(dropped, 0u);
+}
+
+TEST(Paq, ClearEmptiesWithoutDropAccounting)
+{
+    Paq q(4, 100);
+    q.push(entry(0, 0));
+    q.push(entry(1, 0));
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    std::uint64_t dropped = 0;
+    PaqEntry out;
+    EXPECT_FALSE(q.popLive(0, out, dropped));
+    EXPECT_EQ(dropped, 0u);
+    // Reusable after clear.
+    EXPECT_TRUE(q.push(entry(2, 5)));
+    ASSERT_TRUE(q.popLive(5, out, dropped));
+    EXPECT_EQ(out.seq, 2u);
+}
+
+} // namespace
