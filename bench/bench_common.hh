@@ -69,6 +69,26 @@ runSuite(const std::vector<Config> &configs,
         std::fflush(stderr);
     };
     auto result = sim::runSweep(spec);
+    // Per-job isolation (DESIGN.md §9): a failed cell is reported and
+    // excluded from the means below, not fatal to the whole figure.
+    if (result.failedJobs() != 0) {
+        for (const auto &row : result.rows) {
+            if (!row.baselineOutcome.ok())
+                std::fprintf(stderr, "warn: %s/baseline: %s\n",
+                             row.workload.c_str(),
+                             row.baselineOutcome.error.c_str());
+            for (std::size_t ci = 0; ci < row.outcomes.size(); ++ci)
+                if (!row.outcomes[ci].ok())
+                    std::fprintf(
+                        stderr, "warn: %s/%s: %s\n",
+                        row.workload.c_str(),
+                        result.configNames[ci].c_str(),
+                        row.outcomes[ci].error.c_str());
+        }
+        std::fprintf(stderr, "warn: %zu/%zu jobs failed\n",
+                     result.failedJobs(),
+                     result.rows.size() * (configs.size() + 1));
+    }
     if (const char *path = std::getenv("DLVP_BENCH_JSON")) {
         std::ofstream os(path);
         if (os)
@@ -81,13 +101,14 @@ runSuite(const std::vector<Config> &configs,
     return std::move(result.rows);
 }
 
-/** Arithmetic-mean speedup of config @p idx across rows. */
+/** Arithmetic-mean speedup of config @p idx across completed rows. */
 inline double
 meanSpeedup(const std::vector<WorkloadRow> &rows, std::size_t idx)
 {
     std::vector<double> v;
     for (const auto &r : rows)
-        v.push_back(sim::speedup(r.baseline, r.results[idx]));
+        if (r.cellOk(idx))
+            v.push_back(sim::speedup(r.baseline, r.results[idx]));
     return sim::amean(v);
 }
 

@@ -1,0 +1,75 @@
+#include "run_error.hh"
+
+#include <new>
+
+namespace dlvp::common
+{
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+    case ErrorKind::TraceBuild:
+        return "trace_build";
+    case ErrorKind::SimTimeout:
+        return "sim_timeout";
+    case ErrorKind::SimDeadlock:
+        return "sim_deadlock";
+    case ErrorKind::IoCorrupt:
+        return "io_corrupt";
+    case ErrorKind::Oom:
+        return "oom";
+    case ErrorKind::Internal:
+        return "internal";
+    }
+    return "internal";
+}
+
+std::string
+RunError::describe() const
+{
+    std::string s = errorKindName(kind_);
+    s += ": ";
+    s += what();
+    if (!context_.empty()) {
+        s += " [";
+        s += context_;
+        s += "]";
+    }
+    return s;
+}
+
+RunError
+normalizeCurrentException(const std::string &context)
+{
+    try {
+        throw;
+    } catch (const RunError &e) {
+        // Keep the original kind; merge contexts, skipping
+        // space-separated key=value tokens the inner error already
+        // carries (e.g. workload=... appears at both layers).
+        std::string ctx = e.context();
+        std::size_t start = 0;
+        while (start < context.size()) {
+            std::size_t end = context.find(' ', start);
+            if (end == std::string::npos)
+                end = context.size();
+            const std::string token =
+                context.substr(start, end - start);
+            if (!token.empty() &&
+                ctx.find(token) == std::string::npos)
+                ctx += (ctx.empty() ? "" : " ") + token;
+            start = end + 1;
+        }
+        return RunError(e.kind(), e.what(), std::move(ctx));
+    } catch (const std::bad_alloc &) {
+        return RunError(ErrorKind::Oom, "allocation failed", context);
+    } catch (const std::exception &e) {
+        return RunError(ErrorKind::Internal, e.what(), context);
+    } catch (...) {
+        return RunError(ErrorKind::Internal, "unknown exception",
+                        context);
+    }
+}
+
+} // namespace dlvp::common

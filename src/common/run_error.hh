@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Structured run errors for the fault-tolerant sweep path.
+ *
+ * Everything that can go wrong while producing one (workload, config)
+ * grid cell — trace generation, a wedged or deadlocked simulation, a
+ * corrupt trace file, memory exhaustion — is reported as a RunError
+ * with a machine-readable kind, so the sweep engine can turn failures
+ * into structured per-row statuses instead of process deaths, and so
+ * retry policy can distinguish transient faults (trace_build, oom)
+ * from deterministic ones (sim_deadlock, io_corrupt).
+ */
+
+#ifndef DLVP_COMMON_RUN_ERROR_HH
+#define DLVP_COMMON_RUN_ERROR_HH
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace dlvp::common
+{
+
+/** Failure taxonomy; serialized into dlvp-sweep-v1 as error_kind. */
+enum class ErrorKind
+{
+    TraceBuild,  ///< workload trace generation failed
+    SimTimeout,  ///< wall-clock watchdog expired (core or sweep)
+    SimDeadlock, ///< no-commit horizon exceeded (recoverable form of
+                 ///< the old deadlock panic)
+    IoCorrupt,   ///< malformed / truncated / bit-flipped trace bytes
+    Oom,         ///< allocation failure (std::bad_alloc)
+    Internal,    ///< any other exception on the run path
+};
+
+/** Stable lower-snake name for JSON and log output. */
+const char *errorKindName(ErrorKind kind);
+
+/**
+ * The structured error thrown on the sweep path. what() is the bare
+ * message; describe() prepends the kind and appends the context
+ * (e.g. "workload=mcf config=dlvp attempt=2").
+ */
+class RunError : public std::runtime_error
+{
+  public:
+    RunError(ErrorKind kind, std::string message,
+             std::string context = {})
+        : std::runtime_error(std::move(message)), kind_(kind),
+          context_(std::move(context))
+    {
+    }
+
+    ErrorKind kind() const { return kind_; }
+    const std::string &context() const { return context_; }
+
+    /** "kind: message [context]" for humans. */
+    std::string describe() const;
+
+    /**
+     * Transient faults are worth a bounded retry with the same seed:
+     * a trace-build hiccup (store race, injected fault) or an OOM
+     * under concurrent builds can succeed on a quieter attempt.
+     * Deadlocks, timeouts, and corrupt bytes are deterministic.
+     */
+    bool transient() const
+    {
+        return kind_ == ErrorKind::TraceBuild ||
+               kind_ == ErrorKind::Oom;
+    }
+
+  private:
+    ErrorKind kind_;
+    std::string context_;
+};
+
+/**
+ * Normalize an in-flight exception into a RunError: RunError passes
+ * through, bad_alloc maps to oom, anything else to internal. Call
+ * from a catch block (requires a current exception).
+ */
+RunError normalizeCurrentException(const std::string &context);
+
+} // namespace dlvp::common
+
+#endif // DLVP_COMMON_RUN_ERROR_HH

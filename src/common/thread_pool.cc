@@ -25,6 +25,20 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+std::size_t
+ThreadPool::cancelPending()
+{
+    std::deque<std::function<void()>> dropped;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        dropped.swap(queue_);
+    }
+    // Destroy outside the lock: each dropped closure owns a
+    // packaged_task whose destruction breaks its promise, and that
+    // may run arbitrary captured-state destructors.
+    return dropped.size();
+}
+
 void
 ThreadPool::workerLoop()
 {

@@ -56,6 +56,15 @@ class ThreadPool
         return fut;
     }
 
+    /**
+     * Drop every queued-but-not-started job. Their futures fail with
+     * std::future_error (broken_promise) — the caller-visible form of
+     * "cancelled" — while in-flight jobs run to completion. Used by
+     * the sweep deadline to cancel the tail of an over-budget grid.
+     * Returns the number of jobs dropped.
+     */
+    std::size_t cancelPending();
+
     unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
     /**

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/run_error.hh"
 
 namespace dlvp::core
 {
@@ -1428,11 +1430,28 @@ OoOCore::fastForward(Cycle deadline)
 CoreStats
 OoOCore::run(std::size_t warmup_insts)
 {
-    const Cycle deadlock_limit = 200000;
+    const Cycle deadlock_limit = params_.maxNoCommitCycles
+                                     ? params_.maxNoCommitCycles
+                                     : 200000;
     Cycle last_commit_cycle = 0;
     InstSeqNum last_committed = 0;
     Cycle warmup_cycles = 0;
     bool warm = warmup_insts == 0;
+
+    // Wall-clock watchdog: sampled every 4096 loop iterations so the
+    // fault-free path stays free of clock syscalls. Granularity is
+    // coarse by design — this guards against wedged runs, not for
+    // precise accounting.
+    using WallClock = std::chrono::steady_clock;
+    const bool wall_limited = params_.maxWallMs > 0.0;
+    const WallClock::time_point wall_deadline =
+        wall_limited
+            ? WallClock::now() +
+                  std::chrono::duration_cast<WallClock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          params_.maxWallMs))
+            : WallClock::time_point::max();
+    std::uint64_t wall_check = 0;
 
     while (committed_ < trace_.size()) {
         if (!warm && committed_ >= warmup_insts) {
@@ -1454,12 +1473,24 @@ OoOCore::run(std::size_t warmup_insts)
             last_committed = committed_;
             last_commit_cycle = now_;
         } else if (now_ - last_commit_cycle > deadlock_limit) {
-            dlvp_panic("core deadlock: no commit for %llu cycles "
-                       "(committed=%llu window=%zu)",
-                       static_cast<unsigned long long>(deadlock_limit),
-                       static_cast<unsigned long long>(committed_),
-                       window_.size());
+            // Recoverable form of the old deadlock panic: the sweep
+            // layer records this as a failed row instead of dying.
+            throw common::RunError(
+                common::ErrorKind::SimDeadlock,
+                "no commit for " + std::to_string(deadlock_limit) +
+                    " cycles (committed=" +
+                    std::to_string(committed_) +
+                    " window=" + std::to_string(window_.size()) + ")");
         }
+        if (wall_limited && (++wall_check & 0xFFF) == 0 &&
+            WallClock::now() > wall_deadline)
+            throw common::RunError(
+                common::ErrorKind::SimTimeout,
+                "core wall-clock budget of " +
+                    std::to_string(params_.maxWallMs) +
+                    " ms exceeded (committed=" +
+                    std::to_string(committed_) + "/" +
+                    std::to_string(trace_.size()) + ")");
         // Guard: after the final commit the machine is empty and
         // event-free; an unconditional call would jump to the
         // deadlock horizon and inflate stats_.cycles.

@@ -58,6 +58,24 @@ struct CoreParams
     unsigned storeLatency = 1;
     unsigned forwardLatency = 1; ///< store-to-load forwarding
 
+    // -- progress watchdog budgets (DESIGN.md §9) ---------------
+    /**
+     * Simulated cycles the core may go without committing before the
+     * run is declared deadlocked and aborted with a recoverable
+     * RunError{sim_deadlock} (formerly a panic). Also the idle
+     * fast-forward horizon, so changing it perturbs nothing
+     * architectural — skipped cycles are fully accounted either way.
+     * 0 selects the historical default of 200000.
+     */
+    std::uint64_t maxNoCommitCycles = 200000;
+    /**
+     * Wall-clock budget for one run() in milliseconds; exceeding it
+     * raises RunError{sim_timeout}. Checked every few thousand
+     * simulated cycles, so enforcement granularity is coarse but the
+     * fault-free path stays free of clock syscalls. 0 = unlimited.
+     */
+    double maxWallMs = 0.0;
+
     mem::HierarchyParams memory{};
 };
 

@@ -107,6 +107,29 @@ jsonStats(std::ostream &os, const core::CoreStats &s,
        << ", \"cycles_skipped\": " << perf.cyclesSkipped << "}";
 }
 
+/**
+ * Interior fields of one grid cell: its fault status, then either the
+ * usual stats object (ok/retried) or the structured error (failed/
+ * timeout). Partial grids stay reportable, and consumers can tell
+ * "slow" (low mips) from "dead" (status != ok).
+ */
+void
+jsonCellFields(std::ostream &os, const JobOutcome &outcome,
+               const core::CoreStats &s, const RunPerf &perf)
+{
+    os << "\"status\": \"" << jobStatusName(outcome.status)
+       << "\", \"attempts\": " << outcome.attempts;
+    if (outcome.ok()) {
+        os << ", \"stats\": ";
+        jsonStats(os, s, perf);
+    } else {
+        os << ", \"error_kind\": \""
+           << common::errorKindName(outcome.errorKind)
+           << "\", \"error\": \"" << jsonEscape(outcome.error)
+           << "\"";
+    }
+}
+
 } // namespace
 
 void
@@ -124,20 +147,27 @@ writeSweepJson(std::ostream &os, const SweepResult &r)
     for (std::size_t wi = 0; wi < r.rows.size(); ++wi) {
         const auto &row = r.rows[wi];
         body << "    {\"workload\": \"" << jsonEscape(row.workload)
-             << "\", \"baseline\": ";
-        jsonStats(body, row.baseline, row.baselinePerf);
-        body << ", \"results\": [";
+             << "\", \"status\": \"" << jobStatusName(row.status())
+             << "\", \"baseline\": {";
+        jsonCellFields(body, row.baselineOutcome, row.baseline,
+                       row.baselinePerf);
+        body << "}, \"results\": [";
         for (std::size_t ci = 0; ci < row.results.size(); ++ci) {
             body << (ci ? ", " : "") << "{\"config\": \""
-                 << jsonEscape(r.configNames[ci]) << "\", \"speedup\": "
-                 << speedup(row.baseline, row.results[ci])
-                 << ", \"stats\": ";
-            jsonStats(body, row.results[ci], row.perf[ci]);
+                 << jsonEscape(r.configNames[ci]) << "\", ";
+            // A speedup needs both the baseline and the config cell.
+            if (row.cellOk(ci))
+                body << "\"speedup\": "
+                     << speedup(row.baseline, row.results[ci])
+                     << ", ";
+            jsonCellFields(body, row.outcomes[ci], row.results[ci],
+                           row.perf[ci]);
             body << "}";
         }
         body << "]}" << (wi + 1 < r.rows.size() ? "," : "") << "\n";
     }
-    body << "  ],\n  \"summary\": {\"amean_speedup\": [";
+    body << "  ],\n  \"summary\": {\"failed_jobs\": "
+         << r.failedJobs() << ", \"amean_speedup\": [";
     for (std::size_t ci = 0; ci < r.configNames.size(); ++ci)
         body << (ci ? ", " : "") << r.meanSpeedup(ci);
     body << "], \"geomean_speedup\": [";

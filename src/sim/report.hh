@@ -53,6 +53,12 @@ struct SweepResult;
  * BENCH_*.json trajectories across PRs. Each stats object also
  * carries host-side perf telemetry (wall_ms, mips, pages) so sweep
  * reports double as wall-clock trajectories (DESIGN.md §8).
+ *
+ * Fault tolerance (DESIGN.md §9): every row and cell carries a
+ * "status" (ok / retried / failed / timeout); failed cells carry
+ * "error_kind"/"error" instead of "stats", and the summary counts
+ * "failed_jobs", so a partially failed grid is still a valid,
+ * diffable report.
  */
 void writeSweepJson(std::ostream &os, const SweepResult &r);
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_error.hh"
 #include "core/core_stats.hh"
 #include "core/params.hh"
 #include "sim/simulator.hh"
@@ -53,11 +54,27 @@ class TraceStore
     TraceStore &operator=(const TraceStore &) = delete;
 
     /**
+     * Builds of one key that may fail before the store pins the
+     * failure: up to this many attempts the failed slot is evicted
+     * (under the store lock, before the failure is published) so the
+     * next acquirer rebuilds; at the cap the failed slot stays cached
+     * and every later acquirer rethrows immediately instead of
+     * hammering a deterministic failure.
+     */
+    static constexpr unsigned kMaxBuildAttempts = 3;
+
+    /**
      * Fetch the trace for @p name at @p insts micro-ops, building it
-     * (exactly once across threads) on first use.
+     * (exactly once across threads) on first use. A failed build
+     * rethrows to every waiter of that attempt, but the key itself is
+     * rebuildable on the next acquire (see kMaxBuildAttempts).
      */
     std::shared_ptr<const trace::Trace>
     acquire(const std::string &name, std::size_t insts);
+
+    /** Failed build attempts recorded for @p name / @p insts. */
+    unsigned failedBuildAttempts(const std::string &name,
+                                 std::size_t insts) const;
 
     /**
      * Drop the cached reference for @p name / @p insts. Safe for
@@ -84,7 +101,47 @@ class TraceStore
     std::map<std::pair<std::string, std::size_t>,
              std::shared_ptr<Slot>>
         cache_;
+    /** Failed build attempts per key; bounds rebuild retries. */
+    std::map<std::pair<std::string, std::size_t>, unsigned>
+        failedAttempts_;
     std::atomic<std::size_t> builds_{0};
+};
+
+// ---------------------------------------------------------------------
+// Per-job outcomes
+// ---------------------------------------------------------------------
+
+/** Terminal state of one (workload, config) grid cell. */
+enum class JobStatus : std::uint8_t
+{
+    Ok,      ///< ran clean on the first attempt
+    Retried, ///< ran clean after >= 1 transient failure (stats are
+             ///< bit-identical to a clean run: same per-job seed)
+    Failed,  ///< all attempts failed; see errorKind/error
+    Timeout, ///< core wall watchdog or sweep deadline fired
+};
+
+/** Stable lower-case name for JSON/status columns. */
+const char *jobStatusName(JobStatus s);
+
+/** Status + failure detail for one grid cell. */
+struct JobOutcome
+{
+    JobStatus status = JobStatus::Ok;
+    /** Meaningful only when !ok(). */
+    common::ErrorKind errorKind = common::ErrorKind::Internal;
+    /** Human-readable failure description; empty when ok(). */
+    std::string error;
+    /** Attempts consumed (0 = cancelled before the first attempt). */
+    unsigned attempts = 1;
+
+    /** True when the cell holds valid stats (ok or retried). */
+    bool
+    ok() const
+    {
+        return status == JobStatus::Ok ||
+               status == JobStatus::Retried;
+    }
 };
 
 /** Named configuration evaluated by a sweep. */
@@ -123,6 +180,28 @@ struct SweepSpec
     std::function<void(std::size_t done, std::size_t total)> progress;
     /** Trace store to use; nullptr = TraceStore::global(). */
     TraceStore *store = nullptr;
+
+    // -- fault tolerance (DESIGN.md §9) --------------------------
+    /**
+     * Attempts per job including the first. Only transient failures
+     * (RunError::transient(): trace_build, oom) are retried; the
+     * per-job seed is derived from (workload, config) so a retried
+     * row is bit-identical to a first-try row.
+     */
+    unsigned maxAttempts = 2;
+    /**
+     * Backoff before retry r (1-based) is retryBackoffMs << (r-1)
+     * milliseconds, giving a concurrently failing store or allocator
+     * time to drain.
+     */
+    unsigned retryBackoffMs = 5;
+    /**
+     * Sweep-level wall-clock deadline in milliseconds; 0 = none.
+     * When it expires, queued jobs are cancelled cleanly (status
+     * timeout, no simulation) and in-flight jobs finish; runSweep
+     * still returns a fully-formed result for the rows that made it.
+     */
+    double deadlineMs = 0.0;
 };
 
 /** One workload's results across all configs, in spec config order. */
@@ -133,6 +212,19 @@ struct SweepRow
     std::vector<core::CoreStats> results; ///< one per spec config
     RunPerf baselinePerf;                 ///< wall time / MIPS / pages
     std::vector<RunPerf> perf;            ///< one per spec config
+    JobOutcome baselineOutcome;           ///< baseline cell status
+    std::vector<JobOutcome> outcomes;     ///< one per spec config
+
+    /** stats/perf for config @p idx (and the baseline) are valid. */
+    bool
+    cellOk(std::size_t idx) const
+    {
+        return baselineOutcome.ok() && idx < outcomes.size() &&
+               outcomes[idx].ok();
+    }
+
+    /** Worst cell status: ok < retried < timeout < failed. */
+    JobStatus status() const;
 };
 
 /** Deterministically keyed sweep output: rows in spec workload order. */
@@ -142,17 +234,31 @@ struct SweepResult
     std::vector<SweepRow> rows;
     std::size_t insts = 0;
 
-    /** Arithmetic-mean speedup of config @p idx across rows. */
+    /**
+     * Arithmetic-mean speedup of config @p idx across rows whose
+     * baseline and config cells both completed (failed cells are
+     * excluded, not counted as zero).
+     */
     double meanSpeedup(std::size_t idx) const;
 
-    /** Geometric-mean speedup of config @p idx across rows. */
+    /** Geometric-mean speedup of config @p idx across valid rows. */
     double geomeanSpeedup(std::size_t idx) const;
+
+    /** Grid cells that did not complete (failed or timed out). */
+    std::size_t failedJobs() const;
 };
 
 /**
  * Run the grid. Jobs are enqueued in deterministic (workload-major)
  * order and each writes only its own slot, so the result is identical
  * for any spec.jobs value, including 1 (serial).
+ *
+ * Fault isolation: a job that throws (trace build, deadlock, wall
+ * watchdog, OOM, ...) records a structured JobOutcome in its own
+ * cell instead of propagating — one bad row never aborts the grid,
+ * and fault-free rows are bit-identical to a clean run
+ * (tests/test_fault_injection.cc). runSweep itself only throws for
+ * caller errors (e.g. an unparseable spec), never per-cell faults.
  */
 SweepResult runSweep(const SweepSpec &spec);
 

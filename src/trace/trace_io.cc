@@ -5,7 +5,11 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <vector>
+
+#include "common/fault_inject.hh"
+#include "common/run_error.hh"
 
 namespace dlvp::trace
 {
@@ -13,7 +17,39 @@ namespace dlvp::trace
 namespace
 {
 
+// The trailing byte is the format version; bumping it invalidates old
+// files on purpose.
 constexpr char kMagic[8] = {'D', 'L', 'V', 'P', 'T', 'R', 'C', '1'};
+
+/** Serialized size of one TraceInst (see putInst). */
+constexpr std::uint64_t kInstBytes =
+    8 + 1 + 1 + 1 + 3 /*kMaxSrcs*/ + 1 + 1 + 1 + 8 + 8 + 8 + 8 + 1;
+
+[[noreturn]] void
+corruptErr(const std::string &what)
+{
+    throw common::RunError(common::ErrorKind::IoCorrupt,
+                           "trace file: " + what);
+}
+
+/**
+ * Bytes left in the stream, or -1 when the stream is not seekable.
+ * Used to reject section counts that promise more payload than the
+ * file holds, before any multi-GB reserve() can fire.
+ */
+std::streamoff
+bytesRemaining(std::istream &is)
+{
+    const std::istream::pos_type cur = is.tellg();
+    if (cur == std::istream::pos_type(-1))
+        return -1;
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(cur);
+    if (end == std::istream::pos_type(-1))
+        return -1;
+    return end - cur;
+}
 
 template <typename T>
 void
@@ -83,6 +119,18 @@ getInst(std::istream &is, TraceInst &i)
          get(is, i.branchTarget) && get(is, taken);
     if (!ok)
         return false;
+    // Field ranges: a bit-flipped enum or width would otherwise feed
+    // out-of-range values into core lookup tables.
+    if (cls > static_cast<std::uint8_t>(OpClass::Nop))
+        corruptErr("instruction op class out of range");
+    if (kind > static_cast<std::uint8_t>(LoadKind::Vector))
+        corruptErr("instruction load kind out of range");
+    if (i.numSrcs > kMaxSrcs)
+        corruptErr("instruction source count out of range");
+    if (i.numDests > 16)
+        corruptErr("instruction destination count out of range");
+    if (i.memSize > 64)
+        corruptErr("instruction memory access size out of range");
     i.cls = static_cast<OpClass>(cls);
     i.loadKind = static_cast<LoadKind>(kind);
     i.taken = taken != 0;
@@ -118,44 +166,92 @@ saveTrace(const Trace &trace, std::ostream &os)
     return static_cast<bool>(os);
 }
 
-bool
-loadTrace(Trace &trace, std::istream &is)
+void
+loadTraceOrThrow(Trace &trace, std::istream &is)
 {
     char magic[8];
     is.read(magic, sizeof(magic));
-    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        return false;
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic) - 1) != 0)
+        corruptErr("bad magic (not a dlvp trace file)");
+    if (magic[7] != kMagic[7])
+        corruptErr("unsupported format version");
     if (!getString(is, trace.name) || !getString(is, trace.suite))
-        return false;
+        corruptErr("truncated or oversized name/suite header");
 
     trace.initialImage.clear();
     std::uint64_t num_pages = 0;
     if (!get(is, num_pages))
-        return false;
+        corruptErr("truncated page count");
+    const std::streamoff left_pages = bytesRemaining(is);
+    if (left_pages >= 0 &&
+        num_pages > static_cast<std::uint64_t>(left_pages) /
+                        (8 + MemoryImage::kPageSize))
+        corruptErr("page count exceeds file size");
     std::vector<std::uint8_t> page(MemoryImage::kPageSize);
     for (std::uint64_t p = 0; p < num_pages; ++p) {
         Addr addr = 0;
         if (!get(is, addr))
-            return false;
+            corruptErr("truncated page address");
+        if ((addr & (MemoryImage::kPageSize - 1)) != 0)
+            corruptErr("page address not page-aligned");
         is.read(reinterpret_cast<char *>(page.data()),
                 MemoryImage::kPageSize);
         if (!is)
-            return false;
+            corruptErr("truncated page payload");
         trace.initialImage.installPage(addr, page.data());
     }
 
     std::uint64_t count = 0;
     if (!get(is, count))
-        return false;
+        corruptErr("truncated instruction count");
+    const std::streamoff left_insts = bytesRemaining(is);
+    if (left_insts >= 0 &&
+        count > static_cast<std::uint64_t>(left_insts) / kInstBytes)
+        corruptErr("instruction count exceeds file size");
+    if (count > (std::uint64_t{1} << 33))
+        corruptErr("implausible instruction count");
     trace.insts.clear();
     trace.insts.reserve(count);
     for (std::uint64_t k = 0; k < count; ++k) {
         TraceInst inst;
         if (!getInst(is, inst))
-            return false;
+            corruptErr("truncated instruction record");
         trace.insts.push_back(inst);
     }
-    return true;
+}
+
+bool
+loadTrace(Trace &trace, std::istream &is)
+{
+    try {
+        loadTraceOrThrow(trace, is);
+        return true;
+    } catch (const common::RunError &) {
+        return false;
+    }
+}
+
+void
+loadTraceFileOrThrow(Trace &trace, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw common::RunError(common::ErrorKind::IoCorrupt,
+                               "cannot open trace file '" + path +
+                                   "'");
+    const common::FaultPlan &plan = common::FaultPlan::global();
+    if (plan.empty()) {
+        loadTraceOrThrow(trace, is);
+        return;
+    }
+    // Injection path: pull the raw bytes through the fault plan
+    // (truncation / bit flips) before parsing.
+    std::ostringstream raw;
+    raw << is.rdbuf();
+    std::string bytes = raw.str();
+    plan.corrupt(bytes);
+    std::istringstream mutated(bytes);
+    loadTraceOrThrow(trace, mutated);
 }
 
 bool
@@ -168,8 +264,12 @@ saveTraceFile(const Trace &trace, const std::string &path)
 bool
 loadTraceFile(Trace &trace, const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    return is && loadTrace(trace, is);
+    try {
+        loadTraceFileOrThrow(trace, path);
+        return true;
+    } catch (const common::RunError &) {
+        return false;
+    }
 }
 
 } // namespace dlvp::trace

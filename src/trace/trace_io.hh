@@ -37,6 +37,23 @@ bool loadTrace(Trace &trace, std::istream &is);
 /** Load from a file path. */
 bool loadTraceFile(Trace &trace, const std::string &path);
 
+/**
+ * As loadTrace, but malformed input raises common::RunError with
+ * kind io_corrupt and a description of what failed validation
+ * (magic/version, section lengths vs. the stream size, page
+ * alignment, per-instruction field ranges). No corrupt byte pattern
+ * may abort or invoke UB — tests/test_trace_io.cc fuzzes this under
+ * ASan; @p trace is unspecified on throw.
+ */
+void loadTraceOrThrow(Trace &trace, std::istream &is);
+
+/**
+ * As loadTraceFile but throwing, and the hook point for injected
+ * trace-byte corruption: trunc/flip rules of the global FaultPlan
+ * (common/fault_inject.hh) mutate the raw bytes before parsing.
+ */
+void loadTraceFileOrThrow(Trace &trace, const std::string &path);
+
 } // namespace dlvp::trace
 
 #endif // DLVP_TRACE_TRACE_IO_HH

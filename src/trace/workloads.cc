@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/bits.hh"
+#include "common/fault_inject.hh"
 #include "common/logging.hh"
+#include "common/run_error.hh"
 
 namespace dlvp::trace
 {
@@ -242,16 +244,33 @@ WorkloadRegistry::names()
 const WorkloadSpec &
 WorkloadRegistry::find(const std::string &name)
 {
+    if (const WorkloadSpec *w = tryFind(name))
+        return *w;
+    dlvp_fatal("unknown workload '%s'", name.c_str());
+}
+
+const WorkloadSpec *
+WorkloadRegistry::tryFind(const std::string &name)
+{
     for (const auto &w : all())
         if (w.name == name)
-            return w;
-    dlvp_fatal("unknown workload '%s'", name.c_str());
+            return &w;
+    return nullptr;
 }
 
 Trace
 WorkloadRegistry::build(const std::string &name, std::size_t num_insts)
 {
-    const WorkloadSpec &spec = find(name);
+    const WorkloadSpec *found = tryFind(name);
+    if (found == nullptr)
+        throw common::RunError(common::ErrorKind::TraceBuild,
+                               "unknown workload '" + name + "'",
+                               "workload=" + name);
+    if (common::FaultPlan::global().failBuild(name))
+        throw common::RunError(common::ErrorKind::TraceBuild,
+                               "injected trace-build fault",
+                               "workload=" + name);
+    const WorkloadSpec &spec = *found;
     Trace t;
     t.name = spec.name;
     t.suite = spec.suite;

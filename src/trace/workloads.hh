@@ -51,9 +51,15 @@ class WorkloadRegistry
     /** Look a workload up by name; fatal if unknown. */
     static const WorkloadSpec &find(const std::string &name);
 
+    /** Look a workload up by name; nullptr if unknown. */
+    static const WorkloadSpec *tryFind(const std::string &name);
+
     /**
      * Build a trace of exactly @p num_insts micro-ops for the named
-     * workload. Multiple kernels are interleaved in phases.
+     * workload. Multiple kernels are interleaved in phases. Throws
+     * common::RunError{trace_build} for unknown workloads and for
+     * injected build faults (common/fault_inject.hh), so a bad grid
+     * cell becomes a failed sweep row instead of a process exit.
      */
     static Trace build(const std::string &name, std::size_t num_insts);
 };

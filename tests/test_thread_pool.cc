@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shutdown and cancellation tests for the thread pool: the destructor
+ * must join cleanly with queued-but-cancelled jobs, with jobs that
+ * throw, and cancelPending must break exactly the futures of jobs
+ * that never started.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace
+{
+
+using namespace dlvp;
+
+TEST(ThreadPoolShutdown, DestructorDrainsQueuedJobs)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&ran] { ++ran; });
+        // Destructor runs here with most jobs still queued.
+    }
+    EXPECT_EQ(ran.load(), 64) << "destructor drains the queue";
+}
+
+TEST(ThreadPoolShutdown, DestructorSurvivesThrowingJobs)
+{
+    std::vector<std::future<void>> futs;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 16; ++i)
+            futs.push_back(pool.submit(
+                [] { throw std::runtime_error("job boom"); }));
+        // Exceptions are captured into the futures; the pool itself
+        // must shut down as if the jobs had succeeded.
+    }
+    for (auto &f : futs)
+        EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolShutdown, DestructorWithCancelledQueue)
+{
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futs;
+    {
+        ThreadPool pool(1);
+        // One slow job occupies the single worker...
+        std::atomic<bool> started{false};
+        std::promise<void> gate;
+        std::shared_future<void> open = gate.get_future().share();
+        futs.push_back(pool.submit([open, &started] {
+            started.store(true);
+            open.wait();
+        }));
+        // ...so these stay queued until cancelPending drops them.
+        for (int i = 0; i < 32; ++i)
+            futs.push_back(pool.submit([&ran] { ++ran; }));
+        while (!started.load()) // ensure the blocker was dequeued
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        EXPECT_EQ(pool.cancelPending(), 32u);
+        gate.set_value();
+    }
+    EXPECT_EQ(ran.load(), 0) << "cancelled jobs must not run";
+    // The blocker completed; cancelled jobs' futures are broken.
+    futs[0].get();
+    std::size_t broken = 0;
+    for (std::size_t i = 1; i < futs.size(); ++i) {
+        try {
+            futs[i].get();
+        } catch (const std::future_error &e) {
+            EXPECT_EQ(e.code(),
+                      std::future_errc::broken_promise);
+            ++broken;
+        }
+    }
+    EXPECT_EQ(broken, 32u);
+}
+
+TEST(ThreadPoolCancel, EmptyQueueIsNoop)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.cancelPending(), 0u);
+}
+
+TEST(ThreadPoolCancel, InFlightJobsFinishAfterCancel)
+{
+    ThreadPool pool(2);
+    std::atomic<bool> release{false};
+    auto running = pool.submit([&release] {
+        while (!release.load())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        return 42;
+    });
+    // Give the worker a moment to pick the job up, then cancel: the
+    // running job must be unaffected.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    pool.cancelPending();
+    release.store(true);
+    EXPECT_EQ(running.get(), 42);
+}
+
+TEST(ThreadPoolCancel, PoolUsableAfterCancel)
+{
+    ThreadPool pool(2);
+    pool.cancelPending();
+    auto f = pool.submit([] { return 7; });
+    EXPECT_EQ(f.get(), 7);
+}
+
+} // namespace

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_inject.hh"
+#include "common/run_error.hh"
 #include "sim/configs.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
@@ -54,6 +56,9 @@ usage()
         "  runfile <file> [opts]             run a saved trace\n"
         "options: --scheme <name> --insts <n> --warmup <n> --dump\n"
         "         --jobs <n> (or DLVP_JOBS) --json <file>\n"
+        "         --deadline-ms <n> (sweep/suite wall-clock budget)\n"
+        "         --fault-plan <spec> (or DLVP_FAULT_INJECT; see\n"
+        "           README \"Fault tolerance\" for the grammar)\n"
         "schemes: baseline dlvp cap stride-dlvp vtage vtage-vanilla\n"
         "         vtage-dynamic vtage-all dvtage tournament\n");
     return 2;
@@ -94,6 +99,7 @@ struct Options
     std::size_t warmup = 0;  ///< 0: default fraction
     unsigned jobs = 0;       ///< 0: DLVP_JOBS env / hardware threads
     std::string jsonPath;    ///< write dlvp-sweep-v1 report here
+    double deadlineMs = 0.0; ///< sweep wall-clock budget; 0 = none
     bool dump = false;
 };
 
@@ -118,6 +124,16 @@ parseOptions(int argc, char **argv, int start, Options &opt)
             opt.jobs = static_cast<unsigned>(v); // 0: default
         } else if (a == "--json" && i + 1 < argc) {
             opt.jsonPath = argv[++i];
+        } else if (a == "--deadline-ms" && i + 1 < argc) {
+            opt.deadlineMs = atof(argv[++i]);
+        } else if (a == "--fault-plan" && i + 1 < argc) {
+            // Applied immediately: overrides DLVP_FAULT_INJECT.
+            try {
+                common::FaultPlan::setGlobal(argv[++i]);
+            } catch (const common::RunError &e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                return false;
+            }
         } else if (a == "--dump") {
             opt.dump = true;
         } else {
@@ -210,18 +226,38 @@ maybeWriteJson(const sim::SweepResult &result, const Options &opt)
     return 0;
 }
 
+void
+printFailed(const std::string &label, const sim::JobOutcome &o)
+{
+    std::printf("%-14s %s: %s\n", label.c_str(),
+                sim::jobStatusName(o.status), o.error.c_str());
+}
+
 int
 cmdSweep(const std::string &workload, const Options &opt)
 {
     auto spec = sweepSpec(opt);
     spec.workloads = {workload};
+    spec.deadlineMs = opt.deadlineMs;
     const auto result = sim::runSweep(spec);
     const auto &row = result.rows.front();
-    std::printf("%s (%zu insts): baseline ipc %.3f\n",
-                workload.c_str(), opt.insts, row.baseline.ipc());
-    for (std::size_t i = 0; i < result.configNames.size(); ++i)
-        printRun(result.configNames[i], row.baseline, row.results[i],
-                 false);
+    if (row.baselineOutcome.ok())
+        std::printf("%s (%zu insts): baseline ipc %.3f\n",
+                    workload.c_str(), opt.insts, row.baseline.ipc());
+    else
+        printFailed(workload + "/baseline", row.baselineOutcome);
+    for (std::size_t i = 0; i < result.configNames.size(); ++i) {
+        if (row.cellOk(i))
+            printRun(result.configNames[i], row.baseline,
+                     row.results[i], false);
+        else
+            printFailed(result.configNames[i],
+                        row.baselineOutcome.ok()
+                            ? row.outcomes[i]
+                            : row.baselineOutcome);
+    }
+    // Failed rows are data, not process failure: the JSON report
+    // carries their status, so exit 0 if the report was written.
     return maybeWriteJson(result, opt);
 }
 
@@ -229,6 +265,7 @@ int
 cmdSuite(const Options &opt)
 {
     auto spec = sweepSpec(opt);
+    spec.deadlineMs = opt.deadlineMs;
     spec.progress = [](std::size_t done, std::size_t total) {
         std::fprintf(stderr, "\r%zu/%zu jobs%s", done, total,
                      done == total ? "\n" : "");
@@ -242,10 +279,23 @@ cmdSuite(const Options &opt)
     t.columns(std::move(cols));
     for (const auto &row : result.rows) {
         std::vector<sim::Table::Cell> cells = {row.workload};
-        for (const auto &s : row.results)
-            cells.emplace_back(sim::speedup(row.baseline, s));
+        for (std::size_t ci = 0; ci < row.results.size(); ++ci) {
+            if (row.cellOk(ci))
+                cells.emplace_back(
+                    sim::speedup(row.baseline, row.results[ci]));
+            else
+                cells.emplace_back(std::string(sim::jobStatusName(
+                    row.baselineOutcome.ok()
+                        ? row.outcomes[ci].status
+                        : row.baselineOutcome.status)));
+        }
         t.row(std::move(cells));
     }
+    if (result.failedJobs() != 0)
+        std::fprintf(stderr,
+                     "warn: %zu jobs did not complete (see JSON "
+                     "status fields)\n",
+                     result.failedJobs());
     std::vector<sim::Table::Cell> gm = {std::string("GEOMEAN")};
     for (std::size_t i = 0; i < result.configNames.size(); ++i)
         gm.emplace_back(result.geomeanSpeedup(i));
@@ -298,10 +348,9 @@ int
 cmdRunFile(const std::string &path, const Options &opt)
 {
     trace::Trace t;
-    if (!trace::loadTraceFile(t, path)) {
-        std::fprintf(stderr, "failed to read '%s'\n", path.c_str());
-        return 1;
-    }
+    // Throws RunError{io_corrupt} with the precise validation failure
+    // (caught in main) instead of a generic "failed to read".
+    trace::loadTraceFileOrThrow(t, path);
     if (t.verifyReplay() != t.size()) {
         std::fprintf(stderr, "trace failed functional replay\n");
         return 1;
@@ -330,22 +379,33 @@ main(int argc, char **argv)
         return usage();
     const std::string cmd = argv[1];
     Options opt;
-    if (cmd == "list")
-        return cmdList();
-    if (cmd == "run" && argc >= 3 && parseOptions(argc, argv, 3, opt))
-        return cmdRun(argv[2], opt);
-    if (cmd == "sweep" && argc >= 3 &&
-        parseOptions(argc, argv, 3, opt))
-        return cmdSweep(argv[2], opt);
-    if (cmd == "suite" && parseOptions(argc, argv, 2, opt))
-        return cmdSuite(opt);
-    if (cmd == "profile" && argc >= 3 &&
-        parseOptions(argc, argv, 3, opt))
-        return cmdProfile(argv[2], opt);
-    if (cmd == "gen" && argc >= 4 && parseOptions(argc, argv, 4, opt))
-        return cmdGen(argv[2], argv[3], opt);
-    if (cmd == "runfile" && argc >= 3 &&
-        parseOptions(argc, argv, 3, opt))
-        return cmdRunFile(argv[2], opt);
+    // Single-run commands (run/profile/gen/runfile) surface RunError
+    // as a clean one-line failure with exit 1, the way dlvp_fatal
+    // used to; sweeps never throw per-cell errors (they become row
+    // statuses) so this catch only sees caller mistakes there.
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "run" && argc >= 3 &&
+            parseOptions(argc, argv, 3, opt))
+            return cmdRun(argv[2], opt);
+        if (cmd == "sweep" && argc >= 3 &&
+            parseOptions(argc, argv, 3, opt))
+            return cmdSweep(argv[2], opt);
+        if (cmd == "suite" && parseOptions(argc, argv, 2, opt))
+            return cmdSuite(opt);
+        if (cmd == "profile" && argc >= 3 &&
+            parseOptions(argc, argv, 3, opt))
+            return cmdProfile(argv[2], opt);
+        if (cmd == "gen" && argc >= 4 &&
+            parseOptions(argc, argv, 4, opt))
+            return cmdGen(argv[2], argv[3], opt);
+        if (cmd == "runfile" && argc >= 3 &&
+            parseOptions(argc, argv, 3, opt))
+            return cmdRunFile(argv[2], opt);
+    } catch (const dlvp::common::RunError &e) {
+        std::fprintf(stderr, "dlvp_cli: %s\n", e.describe().c_str());
+        return 1;
+    }
     return usage();
 }
