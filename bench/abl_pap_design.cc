@@ -124,7 +124,8 @@ main()
                    return r.results[i].paqAllocs
                               ? static_cast<double>(
                                     r.results[i].paqDrops) /
-                                    r.results[i].paqAllocs
+                                    static_cast<double>(
+                                        r.results[i].paqAllocs)
                               : 0.0;
                })});
     t.print(std::cout);

@@ -35,8 +35,9 @@ main()
         std::fputc('.', stderr);
     }
     std::fputc('\n', stderr);
-    const double committed = committed_sum / names.size();
-    const double inflight = inflight_sum / names.size();
+    const double n = static_cast<double>(names.size());
+    const double committed = committed_sum / n;
+    const double inflight = inflight_sum / n;
     t.row({std::string("AVERAGE"), committed, inflight,
            committed + inflight});
     t.print(std::cout);

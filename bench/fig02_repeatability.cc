@@ -35,13 +35,15 @@ main()
     sim::Table t("Figure 2: fraction of dynamic loads whose "
                  "address/value repeated >= N times (suite average)");
     t.columns({"repeats>=", "addresses", "values"});
+    const double n = static_cast<double>(names.size());
     for (unsigned k = 0; k < 11; ++k)
         t.row({static_cast<long long>(1u << k),
-               addr_sum[k] / names.size(), val_sum[k] / names.size()});
+               addr_sum[k] / n, val_sum[k] / n});
     t.print(std::cout);
 
     std::printf("\npaper anchors: addr>=8 ~ 0.91, value>=64 ~ 0.80\n");
     std::printf("measured:      addr>=8 = %.2f, value>=64 = %.2f\n",
-                addr_sum[3] / names.size(), val_sum[6] / names.size());
+                addr_sum[3] / static_cast<double>(names.size()),
+                val_sum[6] / static_cast<double>(names.size()));
     return 0;
 }

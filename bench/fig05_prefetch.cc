@@ -40,7 +40,7 @@ main()
         const double frac =
             r.results[1].committedLoads
                 ? static_cast<double>(r.results[1].dlvpPrefetches) /
-                      r.results[1].committedLoads
+                      static_cast<double>(r.results[1].committedLoads)
                 : 0.0;
         gains.push_back(s1 / s0);
         fracs.push_back(frac);

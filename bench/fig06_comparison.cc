@@ -85,8 +85,9 @@ main()
         }
         c.row({r.workload, e[0], e[1], e[2]});
     }
-    c.row({std::string("AVERAGE"), esum[0] / rows.size(),
-           esum[1] / rows.size(), esum[2] / rows.size()});
+    const double nrows = static_cast<double>(rows.size());
+    c.row({std::string("AVERAGE"), esum[0] / nrows,
+           esum[1] / nrows, esum[2] / nrows});
     c.print(std::cout);
 
     const auto pap = energy::papArrayCosts();
@@ -115,10 +116,14 @@ main()
     }
     std::printf("\nDLVP PAQ drop rate: %.3f%% of allocations "
                 "(paper: <0.1%%)\n",
-                paq_allocs ? 100.0 * paq_drops / paq_allocs : 0.0);
+                paq_allocs ? 100.0 * static_cast<double>(paq_drops) /
+                                 static_cast<double>(paq_allocs)
+                           : 0.0);
     std::printf("DLVP way mispredictions: %.4f%% of probes "
                 "(paper: almost never)\n",
-                probes ? 100.0 * way_miss / probes : 0.0);
+                probes ? 100.0 * static_cast<double>(way_miss) /
+                             static_cast<double>(probes)
+                       : 0.0);
     std::printf("\npaper anchors: DLVP +4.8%% avg / VTAGE +2.1%% / "
                 "CAP +2.3%%; coverage DLVP 31.1%% vs VTAGE 29.6%%\n");
     return 0;

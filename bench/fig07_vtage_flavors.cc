@@ -54,7 +54,9 @@ main()
                       [i](const WorkloadRow &r) {
                           return r.results[i].coverage();
                       }),
-               pred ? static_cast<double>(correct) / pred : 0.0});
+               pred ? static_cast<double>(correct) /
+                          static_cast<double>(pred)
+                    : 0.0});
     }
     t.print(std::cout);
 

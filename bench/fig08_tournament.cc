@@ -52,7 +52,8 @@ main()
                                  ? static_cast<double>(
                                        r.results[2]
                                            .tournamentDlvpFinal) /
-                                       r.results[2].committedLoads
+                                       static_cast<double>(
+                                           r.results[2].committedLoads)
                                  : 0.0;
                   })});
     b.row({std::string("VTAGE"),
@@ -60,7 +61,8 @@ main()
                return r.results[2].committedLoads
                           ? static_cast<double>(
                                 r.results[2].tournamentVtageFinal) /
-                                r.results[2].committedLoads
+                                static_cast<double>(
+                                    r.results[2].committedLoads)
                           : 0.0;
            })});
     b.print(std::cout);

@@ -40,10 +40,10 @@ main()
                 1u << armv8.tableBits);
     std::printf("total budget ARMv7: %llu bits (%.1f KB)\n",
                 static_cast<unsigned long long>(pap7.storageBits()),
-                pap7.storageBits() / 8192.0);
+                static_cast<double>(pap7.storageBits()) / 8192.0);
     std::printf("total budget ARMv8: %llu bits (%.1f KB)\n",
                 static_cast<unsigned long long>(pap8.storageBits()),
-                pap8.storageBits() / 8192.0);
+                static_cast<double>(pap8.storageBits()) / 8192.0);
     std::printf("paper (Table 4): 50k bits (ARMv7) / 67k bits "
                 "(ARMv8); abstract: 'a modest 8KB prediction table'\n");
     return 0;

@@ -24,9 +24,13 @@ main()
             trace::WorkloadRegistry::build(spec.name, 60000);
         const auto mix = trace.mix();
         const double n = static_cast<double>(mix.total);
-        t.row({spec.name, spec.suite, 100.0 * mix.loads / n,
-               100.0 * mix.stores / n, 100.0 * mix.branches / n,
-               mix.loads ? 100.0 * mix.multiDestLoads / mix.loads
+        t.row({spec.name, spec.suite,
+               100.0 * static_cast<double>(mix.loads) / n,
+               100.0 * static_cast<double>(mix.stores) / n,
+               100.0 * static_cast<double>(mix.branches) / n,
+               mix.loads ? 100.0 *
+                               static_cast<double>(mix.multiDestLoads) /
+                               static_cast<double>(mix.loads)
                          : 0.0,
                spec.description});
         std::fputc('.', stderr);

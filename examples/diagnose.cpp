@@ -52,10 +52,12 @@ main(int argc, char **argv)
               << "vp_predicted " << stats.vpPredictedLoads << "\n"
               << "committed_loads " << stats.committedLoads << "\n"
               << "issue_wait_avg "
-              << double(stats.issueWaitCycles) / stats.committedInsts
+              << double(stats.issueWaitCycles) /
+                     double(stats.committedInsts)
               << "\n"
               << "dispatch_wait_avg "
-              << double(stats.dispatchWaitCycles) / stats.committedInsts
+              << double(stats.dispatchWaitCycles) /
+                     double(stats.committedInsts)
               << "\n"
               << "rob_full_stalls " << stats.robFullStalls << "\n"
               << "iq_full_stalls " << stats.iqFullStalls << "\n"

@@ -30,9 +30,9 @@ main()
     std::printf("workload %s: %llu uops (%.1f%% loads, %.1f%% stores, "
                 "%.1f%% branches)\n",
                 name, static_cast<unsigned long long>(mix.total),
-                100.0 * mix.loads / mix.total,
-                100.0 * mix.stores / mix.total,
-                100.0 * mix.branches / mix.total);
+                100.0 * double(mix.loads) / double(mix.total),
+                100.0 * double(mix.stores) / double(mix.total),
+                100.0 * double(mix.branches) / double(mix.total));
 
     std::printf("running baseline (no value prediction)...\n");
     const auto base = simulator.run(trace, sim::baselineVp());

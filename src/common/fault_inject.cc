@@ -27,6 +27,13 @@ split(const std::string &s, char sep)
     return out;
 }
 
+/**
+ * Strict unsigned decimal parse: digits only, no sign, no
+ * whitespace, and explicit overflow rejection. strtoull would
+ * silently wrap "-1" to 2^64-1, turning a malformed rule into one
+ * that can never fire — exactly the silent-ignore failure mode this
+ * parser must reject.
+ */
 std::uint64_t
 parseNumber(const std::string &s, const std::string &rule)
 {
@@ -34,12 +41,21 @@ parseNumber(const std::string &s, const std::string &rule)
         throw RunError(ErrorKind::Internal,
                        "fault plan: missing number in rule '" + rule +
                            "'");
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0')
-        throw RunError(ErrorKind::Internal,
-                       "fault plan: bad number '" + s + "' in rule '" +
-                           rule + "'");
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            throw RunError(ErrorKind::Internal,
+                           "fault plan: bad number '" + s +
+                               "' in rule '" + rule +
+                               "' (unsigned decimal digits only)");
+        const std::uint64_t digit =
+            static_cast<std::uint64_t>(c - '0');
+        if (v > (~std::uint64_t{0} - digit) / 10)
+            throw RunError(ErrorKind::Internal,
+                           "fault plan: number '" + s +
+                               "' overflows in rule '" + rule + "'");
+        v = v * 10 + digit;
+    }
     return v;
 }
 
@@ -95,6 +111,12 @@ FaultPlan::parse(const std::string &spec)
                                    "' needs '=<ms>'");
             rule.param =
                 parseNumber(body.substr(ruleEq + 1), entry);
+            // stallMs() hands the value to a 32-bit sleep; anything
+            // wider would truncate into a different (silent) delay.
+            if (rule.param > 0xffffffffULL)
+                throw RunError(ErrorKind::Internal,
+                               "fault plan: stall ms out of range "
+                               "(max 2^32-1) in '" + entry + "'");
             body = body.substr(0, ruleEq);
             const auto slash = body.find('/');
             rule.workload =
@@ -198,7 +220,11 @@ globalSlot()
             try {
                 return FaultPlan::parse(env);
             } catch (const RunError &e) {
-                dlvp_warn("ignoring DLVP_FAULT_INJECT: %s", e.what());
+                // A malformed plan must not degrade to "no faults":
+                // a test run that silently injects nothing reports
+                // green for recovery paths it never exercised.
+                dlvp_fatal("malformed DLVP_FAULT_INJECT: %s",
+                           e.what());
             }
         }
         return FaultPlan{};

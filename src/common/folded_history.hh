@@ -16,6 +16,7 @@
 
 #include "bits.hh"
 #include "logging.hh"
+#include "spec_state.hh"
 
 namespace dlvp
 {
@@ -53,8 +54,9 @@ class HistoryRegister
     std::uint64_t folded(unsigned width) const { return xorFold(value_, width); }
 
   private:
-    unsigned length_;
-    std::uint64_t value_;
+    unsigned length_ = 0;
+    std::uint64_t value_ = 0;
+    DLVP_SPEC_STATE(value_);
 };
 
 /**
@@ -86,7 +88,7 @@ class LongHistory
     {
         std::vector<std::uint64_t> words;
         std::vector<std::uint64_t> folds;
-        unsigned head;
+        unsigned head = 0;
     };
 
     Snapshot snapshot() const;
@@ -95,16 +97,21 @@ class LongHistory
   private:
     struct FoldSpec
     {
-        unsigned length;
-        unsigned width;
-        std::uint64_t value;
-        unsigned outPoint; ///< (length % width), rotation amount on shift
+        unsigned length = 0;
+        unsigned width = 0;
+        std::uint64_t value = 0;
+        ///< (length % width), rotation amount on shift
+        unsigned outPoint = 0;
     };
 
-    unsigned capacity_;
-    unsigned head_; ///< index of the next bit slot to write
+    unsigned capacity_ = 0;
+    ///< index of the next bit slot to write
+    unsigned head_ = 0;
     std::vector<std::uint64_t> bits_;
+    DLVP_SPEC_STATE(head_);
+    DLVP_SPEC_STATE(bits_);
     std::vector<FoldSpec> folds_;
+    DLVP_SPEC_STATE(folds_);
 
     bool bitAbs(unsigned idx) const;
 };

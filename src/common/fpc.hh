@@ -43,7 +43,11 @@ class FpcVector
     }
 
     /** Saturation ceiling (number of states - 1). */
-    std::uint32_t maxValue() const { return probs_.size(); }
+    std::uint32_t
+    maxValue() const
+    {
+        return static_cast<std::uint32_t>(probs_.size());
+    }
 
     /** Roll the dice for the transition out of @p state. */
     bool
@@ -104,7 +108,7 @@ class Fpc
     }
 
   private:
-    std::uint8_t value_;
+    std::uint8_t value_ = 0;
 };
 
 } // namespace dlvp

@@ -31,14 +31,17 @@ void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::abort();
+    // Panic is the one sanctioned process-killer: invariant breakage
+    // where unwinding could mask corrupted state.
+    std::abort(); // dlvp-analyze: allow(error-taxonomy)
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::exit(1);
+    // dlvp_fatal is CLI-entry-only by convention; jobs throw RunError.
+    std::exit(1); // dlvp-analyze: allow(error-taxonomy)
 }
 
 void

@@ -64,8 +64,8 @@ class SatCounter
     bool high() const { return value_ > max_ / 2; }
 
   private:
-    std::uint32_t value_;
-    std::uint32_t max_;
+    std::uint32_t value_ = 0;
+    std::uint32_t max_ = 0;
 };
 
 } // namespace dlvp

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Registration macro for speculative microarchitectural state.
+ *
+ * Predictor/history members that are updated speculatively at fetch
+ * and must be rewound on a pipeline flush are tagged at their
+ * declaration:
+ *
+ *     std::uint64_t ghr_ = 0;
+ *     DLVP_SPEC_STATE(ghr_);
+ *
+ * The macro expands to a no-op at compile time; its purpose is to be
+ * machine-readable. tools/analyze/dlvp-analyze's spec-state rule
+ * collects every tagged member and fails the lint unless the same
+ * component (the header plus its sibling .cc) contains both a
+ * snapshot site and a restore site for it — i.e. the member is saved
+ * into a *Snap field or a snapshot() function and written back from
+ * one on the flush path. A tagged member with no restore site is
+ * exactly the "missing flush-restore" bug class that breaks
+ * bit-identical CoreStats (DESIGN.md §10).
+ *
+ * Suppression, where a tag is intentional but the recovery lives
+ * elsewhere: append `// dlvp-analyze: allow(spec-state)` to the
+ * DLVP_SPEC_STATE line.
+ */
+
+#ifndef DLVP_COMMON_SPEC_STATE_HH
+#define DLVP_COMMON_SPEC_STATE_HH
+
+#define DLVP_SPEC_STATE(member) \
+    static_assert(true, "speculative state: " #member)
+
+#endif // DLVP_COMMON_SPEC_STATE_HH

@@ -20,7 +20,7 @@ Histogram::sample(std::uint64_t v, std::uint64_t weight)
 {
     unsigned b = (v <= 1) ? 0 : floorLog2(v);
     if (b >= buckets_.size())
-        b = buckets_.size() - 1;
+        b = static_cast<unsigned>(buckets_.size()) - 1;
     buckets_[b] += weight;
     total_ += weight;
     // raw_ge_[i] counts samples with value >= 2^i.

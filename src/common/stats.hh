@@ -27,7 +27,7 @@ class StatCounter
     std::uint64_t value() const { return value_; }
 
   private:
-    std::uint64_t value_;
+    std::uint64_t value_ = 0;
 };
 
 /**
@@ -44,7 +44,11 @@ class Histogram
     void reset();
 
     std::uint64_t bucket(unsigned i) const;
-    unsigned numBuckets() const { return buckets_.size(); }
+    unsigned
+    numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
     std::uint64_t total() const { return total_; }
 
     /** Fraction of samples with value >= threshold. */
@@ -53,7 +57,7 @@ class Histogram
   private:
     std::vector<std::uint64_t> buckets_;
     std::vector<std::uint64_t> raw_ge_; ///< exact >= counts per pow2 point
-    std::uint64_t total_;
+    std::uint64_t total_ = 0;
 };
 
 /**

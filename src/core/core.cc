@@ -565,7 +565,7 @@ OoOCore::dispatchStage()
             s->srcs[i] = archProducer_[r];
         }
         for (unsigned d = 0; d < inst.numDests; ++d) {
-            const RegId r = inst.destBase + d;
+            const RegId r = static_cast<RegId>(inst.destBase + d);
             if (r >= kNumArchRegs)
                 continue;
             archProducer_[r] = {s->seq, true,
@@ -797,13 +797,14 @@ OoOCore::issueStage()
             if (!registered.exchange(true)) {
                 atexit(+[] {
                     for (unsigned k = 0; k < 16; ++k) {
-                        const std::uint64_t n = wait_cnt[k];
-                        if (n)
+                        const std::uint64_t cnt = wait_cnt[k];
+                        if (cnt)
                             fprintf(stderr, "wait cls=%u avg=%.2f "
                                             "n=%llu\n",
                                     k,
-                                    double(wait_sum[k].load()) / n,
-                                    (unsigned long long)n);
+                                    double(wait_sum[k].load()) /
+                                        double(cnt),
+                                    (unsigned long long)cnt);
                     }
                 });
             }
@@ -1092,7 +1093,7 @@ OoOCore::rebuildRenameMap()
         if (!s.dispatched)
             break;
         for (unsigned d = 0; d < s.inst->numDests; ++d) {
-            const RegId r = s.inst->destBase + d;
+            const RegId r = static_cast<RegId>(s.inst->destBase + d);
             if (r >= kNumArchRegs)
                 continue;
             archProducer_[r] = {s.seq, true,
@@ -1305,7 +1306,7 @@ OoOCore::commitStage()
 
         // Retire rename-map entries that still point at this inst.
         for (unsigned d = 0; d < inst.numDests; ++d) {
-            const RegId r = inst.destBase + d;
+            const RegId r = static_cast<RegId>(inst.destBase + d);
             if (r < kNumArchRegs && archProducer_[r].valid &&
                 archProducer_[r].producer == s.seq)
                 archProducer_[r].valid = false;

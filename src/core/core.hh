@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/spec_state.hh"
 #include "common/types.hh"
 #include "core/core_stats.hh"
 #include "core/paq.hh"
@@ -325,6 +326,10 @@ class OoOCore
     pred::LoadPathHistory lph_;
     std::uint64_t ghr_ = 0;
     std::uint64_t indHist_ = 0;
+    DLVP_SPEC_STATE(ghr_);
+    DLVP_SPEC_STATE(indHist_);
+    DLVP_SPEC_STATE(lph_);
+    DLVP_SPEC_STATE(ras_);
 
     // ---- DLVP machinery ----
     Paq paq_;

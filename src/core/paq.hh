@@ -105,10 +105,10 @@ class Paq
     void clear() { size_ = 0; }
 
   private:
-    unsigned capacity_;
-    unsigned lifetime_;
+    unsigned capacity_ = 0;
+    unsigned lifetime_ = 0;
     std::vector<PaqEntry> buf_;
-    std::size_t mask_;
+    std::size_t mask_ = 0;
     std::size_t head_ = 0;
     std::size_t size_ = 0;
 };

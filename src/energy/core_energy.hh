@@ -44,9 +44,9 @@ double coreEnergy(const core::CoreStats &s,
 /** Predictor storage comparison for Figure 6d. */
 struct PredictorArrayCosts
 {
-    double area;
-    double readEnergy;
-    double writeEnergy;
+    double area = 0.0;
+    double readEnergy = 0.0;
+    double writeEnergy = 0.0;
 };
 
 /**

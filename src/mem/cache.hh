@@ -89,8 +89,8 @@ class Cache
     };
 
     CacheParams params_;
-    unsigned num_sets_;
-    unsigned set_shift_;
+    unsigned num_sets_ = 0;
+    unsigned set_shift_ = 0;
     std::vector<Line> lines_; ///< sets * assoc, row-major
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;

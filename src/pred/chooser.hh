@@ -54,7 +54,7 @@ class TournamentChooser
 
   private:
     std::vector<std::uint8_t> counters_;
-    unsigned tableBits_;
+    unsigned tableBits_ = 0;
 
     std::size_t
     indexOf(Addr pc) const

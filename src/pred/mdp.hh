@@ -59,8 +59,8 @@ class Mdp
 
   private:
     std::vector<bool> bits_;
-    unsigned tableBits_;
-    std::uint64_t clearInterval_;
+    unsigned tableBits_ = 0;
+    std::uint64_t clearInterval_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t violations_ = 0;
 

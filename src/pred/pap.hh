@@ -28,6 +28,7 @@
 #include "common/fpc.hh"
 #include "common/folded_history.hh"
 #include "common/rng.hh"
+#include "common/spec_state.hh"
 #include "common/types.hh"
 
 namespace dlvp::pred
@@ -161,6 +162,7 @@ class LoadPathHistory
 
   private:
     HistoryRegister reg_;
+    DLVP_SPEC_STATE(reg_);
 };
 
 } // namespace dlvp::pred

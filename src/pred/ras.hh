@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/spec_state.hh"
 #include "common/types.hh"
 
 namespace dlvp::pred
@@ -62,6 +63,8 @@ class Ras
   private:
     std::array<Addr, kEntries> stack_{};
     std::uint8_t top_ = 0;
+    DLVP_SPEC_STATE(stack_);
+    DLVP_SPEC_STATE(top_);
 };
 
 } // namespace dlvp::pred

@@ -29,7 +29,8 @@ struct AddrPredResult
     coverage() const
     {
         return loads == 0 ? 0.0
-                          : static_cast<double>(predicted) / loads;
+                          : static_cast<double>(predicted) /
+                                static_cast<double>(loads);
     }
 
     double
@@ -37,7 +38,8 @@ struct AddrPredResult
     {
         return predicted == 0
                    ? 0.0
-                   : static_cast<double>(correct) / predicted;
+                   : static_cast<double>(correct) /
+                         static_cast<double>(predicted);
     }
 };
 

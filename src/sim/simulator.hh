@@ -101,8 +101,8 @@ class Simulator
 
   private:
     core::CoreParams params_;
-    std::size_t insts_;
-    TraceStore *store_;
+    std::size_t insts_ = 0;
+    TraceStore *store_ = nullptr;
     /** Pins keeping workload() references valid across store evicts. */
     std::map<std::string, std::shared_ptr<const trace::Trace>> pinned_;
 };

@@ -36,7 +36,7 @@ KernelCtx::allocRegs(unsigned n)
     if (nextReg_ + n - 1 > kLastAllocReg)
         nextReg_ = kFirstAllocReg;
     const std::uint8_t base = nextReg_;
-    nextReg_ = base + n;
+    nextReg_ = static_cast<std::uint8_t>(base + n);
     if (nextReg_ > kLastAllocReg)
         nextReg_ = kFirstAllocReg;
     return base;

@@ -114,9 +114,9 @@ class KernelCtx
     Trace &trace_;
     MemoryImage mem_;
     Rng rng_;
-    Addr codeBase_;
-    std::uint8_t nextReg_;
-    bool sealed_;
+    Addr codeBase_ = 0;
+    std::uint8_t nextReg_ = 0;
+    bool sealed_ = false;
 
     static constexpr std::uint8_t kFirstAllocReg = 1;
     static constexpr std::uint8_t kLastAllocReg = 27;

@@ -21,7 +21,7 @@ namespace dlvp::trace::kernels
 // ---------------------------------------------------------------------
 
 KernelRun
-prepareBtree(KernelCtx &ctx, const BtreeParams &p, int site_base)
+prepareBtree(KernelCtx &kctx, const BtreeParams &p, int site_base)
 {
     struct State
     {
@@ -50,10 +50,10 @@ prepareBtree(KernelCtx &ctx, const BtreeParams &p, int site_base)
         Addr innerAddr(unsigned n) const { return inner + n * 64; }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     // Two-level tree: the root holds fanout separators pointing at
     // inner nodes; each inner node holds fanout separators pointing
     // at leaves. Keys are dense so separator math is simple.
@@ -132,7 +132,7 @@ prepareBtree(KernelCtx &ctx, const BtreeParams &p, int site_base)
 // ---------------------------------------------------------------------
 
 KernelRun
-prepareScanner(KernelCtx &ctx, const ScannerParams &p, int site_base)
+prepareScanner(KernelCtx &kctx, const ScannerParams &p, int site_base)
 {
     struct State
     {
@@ -157,10 +157,10 @@ prepareScanner(KernelCtx &ctx, const ScannerParams &p, int site_base)
         }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     // Character classes: letters, digits, space, punct (4 classes).
     for (unsigned c = 0; c < 256; ++c) {
         unsigned cls;

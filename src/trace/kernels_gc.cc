@@ -46,8 +46,6 @@ prepareGcMark(KernelCtx &ctx, const GcMarkParams &p, int site_base)
         void
         collect()
         {
-            KernelCtx &ctx = this->ctx;
-            const int S = this->S;
             // Clear the mark words (the conflicting stores for the
             // *next* collection's mark loads).
             Val zero = ctx.imm(S + 0, 0);

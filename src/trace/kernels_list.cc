@@ -34,7 +34,7 @@ heapBase(int site_base)
 // ---------------------------------------------------------------------
 
 KernelRun
-preparePointerChase(KernelCtx &ctx, const PointerChaseParams &p,
+preparePointerChase(KernelCtx &kctx, const PointerChaseParams &p,
                     int site_base)
 {
     struct State
@@ -53,7 +53,7 @@ preparePointerChase(KernelCtx &ctx, const PointerChaseParams &p,
         }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     // Layout: nodes at heap + perm[i]*stride; fields next(0), data(8),
     // type(16). The head pointer lives in its own slot.
@@ -70,7 +70,7 @@ preparePointerChase(KernelCtx &ctx, const PointerChaseParams &p,
     st->order.resize(p.numNodes);
     for (unsigned i = 0; i < p.numNodes; ++i)
         st->order[i] = nodes + static_cast<Addr>(perm[i]) * p.nodeStride;
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     for (unsigned i = 0; i < p.numNodes; ++i) {
         const Addr a = st->order[i];
         const Addr next = (i + 1 < p.numNodes) ? st->order[i + 1] : 0;
@@ -156,7 +156,7 @@ preparePointerChase(KernelCtx &ctx, const PointerChaseParams &p,
 // ---------------------------------------------------------------------
 
 KernelRun
-prepareCallSites(KernelCtx &ctx, const CallSitesParams &p, int site_base)
+prepareCallSites(KernelCtx &kctx, const CallSitesParams &p, int site_base)
 {
     struct State
     {
@@ -174,12 +174,12 @@ prepareCallSites(KernelCtx &ctx, const CallSitesParams &p, int site_base)
         }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
     // Objects at heap + s*64 with fieldsPerObject 8-byte fields;
     // per-site globals at heap + 0x10000 + s*16.
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     for (unsigned s = 0; s < p.numSites; ++s) {
         for (unsigned f = 0; f < 4; ++f)
             mem.write(st->heap + s * 64 + f * 8, init.next64(), 8);
@@ -278,7 +278,6 @@ prepareRecursion(KernelCtx &ctx, const RecursionParams &p, int site_base)
         std::uint64_t
         visit(unsigned idx, unsigned depth)
         {
-            const int S = this->S;
             const Addr na = nodeAddr(idx);
             Val nap = ctx.imm(S + 0, na);
             Val key = ctx.load(S + 1, na, nap);

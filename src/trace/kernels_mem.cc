@@ -32,7 +32,7 @@ heapBase3(int site_base)
 // ---------------------------------------------------------------------
 
 KernelRun
-prepareHashTable(KernelCtx &ctx, const HashTableParams &p, int site_base)
+prepareHashTable(KernelCtx &kctx, const HashTableParams &p, int site_base)
 {
     struct Node
     {
@@ -71,10 +71,10 @@ prepareHashTable(KernelCtx &ctx, const HashTableParams &p, int site_base)
         Addr newNode() { return nodeArena + 48 * nodesUsed++; }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     st->hotKeys.resize(p.hotKeys);
     for (auto &k : st->hotKeys)
         k = init.next64() | 1;
@@ -156,7 +156,7 @@ prepareHashTable(KernelCtx &ctx, const HashTableParams &p, int site_base)
 // ---------------------------------------------------------------------
 
 KernelRun
-prepareCompressor(KernelCtx &ctx, const CompressorParams &p, int site_base)
+prepareCompressor(KernelCtx &kctx, const CompressorParams &p, int site_base)
 {
     struct State
     {
@@ -196,10 +196,10 @@ prepareCompressor(KernelCtx &ctx, const CompressorParams &p, int site_base)
         }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     // Run-structured symbol data: bzip2-ish RLE-compressible input.
     st->symbols.reserve(p.blockLen);
     while (st->symbols.size() < p.blockLen) {
@@ -272,7 +272,7 @@ prepareCompressor(KernelCtx &ctx, const CompressorParams &p, int site_base)
 // ---------------------------------------------------------------------
 
 KernelRun
-prepareSparseSolver(KernelCtx &ctx, const SparseSolverParams &p,
+prepareSparseSolver(KernelCtx &kctx, const SparseSolverParams &p,
                     int site_base)
 {
     struct State
@@ -298,10 +298,10 @@ prepareSparseSolver(KernelCtx &ctx, const SparseSolverParams &p,
         }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     const std::size_t nnz =
         static_cast<std::size_t>(p.rows) * p.nnzPerRow;
     const std::size_t x_elems = p.vectorBytes / 8;

@@ -32,7 +32,7 @@ heapBase4(int site_base)
 // ---------------------------------------------------------------------
 
 KernelRun
-prepareStrideSweep(KernelCtx &ctx, const StrideSweepParams &p,
+prepareStrideSweep(KernelCtx &kctx, const StrideSweepParams &p,
                    int site_base)
 {
     struct State
@@ -55,10 +55,10 @@ prepareStrideSweep(KernelCtx &ctx, const StrideSweepParams &p,
         }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     // Values arranged in long single-value runs: a value predictor
     // with slow-training confidence (VTAGE) covers the run interiors;
     // an address predictor covers almost nothing (every x address is
@@ -86,23 +86,23 @@ prepareStrideSweep(KernelCtx &ctx, const StrideSweepParams &p,
         // chain; covering the address (PAP cannot: each address is
         // fresh within a pass) is impossible.
         while (ctx.emitted() < stop_at) {
-            const unsigned i = st->i;
+            const unsigned cur = st->i;
             const std::uint64_t xv =
-                ctx.mem().read(st->xArr + i * 8, 8);
+                ctx.mem().read(st->xArr + cur * 8, 8);
             const unsigned step = 1 + static_cast<unsigned>(xv & 7);
             st->i = (st->i + step) % st->p.arrayElems;
-            Val pv = ctx.alu(S + 0, st->xArr + i * 8, st->posVal);
-            Val x = ctx.load(S + 1, st->xArr + i * 8, pv);
+            Val pv = ctx.alu(S + 0, st->xArr + cur * 8, st->posVal);
+            Val x = ctx.load(S + 1, st->xArr + cur * 8, pv);
             Val sv = ctx.alu(S + 2, step, x);
             st->posVal = ctx.alu(S + 3, st->i, st->posVal, sv);
             // The translate index mixes the position: the table
             // address changes per step (no address predictor covers
             // it), keeping this squarely value-predictor territory.
             const unsigned tidx =
-                static_cast<unsigned>((xv ^ i) & 7);
+                static_cast<unsigned>((xv ^ cur) & 7);
             Val y = ctx.load(S + 5, st->table + tidx * 8, sv);
             Val s2 = ctx.alu(S + 6, (xv + y.v) >> 1, x, y);
-            ctx.store(S + 7, st->outArr + i * 8, s2.v, pv, s2);
+            ctx.store(S + 7, st->outArr + cur * 8, s2.v, pv, s2);
             // Independent per-element work: widens the non-chain part
             // of the loop so the walker chain doesn't dominate
             // everything (tunes the attainable speedup).
@@ -119,7 +119,7 @@ prepareStrideSweep(KernelCtx &ctx, const StrideSweepParams &p,
 // ---------------------------------------------------------------------
 
 KernelRun
-preparePacketRouter(KernelCtx &ctx, const PacketRouterParams &p,
+preparePacketRouter(KernelCtx &kctx, const PacketRouterParams &p,
                     int site_base)
 {
     struct State
@@ -152,10 +152,10 @@ preparePacketRouter(KernelCtx &ctx, const PacketRouterParams &p,
         }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     st->flows.resize(p.numFlows);
     for (auto &f : st->flows)
         f = static_cast<std::uint32_t>(init.next64());
@@ -221,7 +221,7 @@ preparePacketRouter(KernelCtx &ctx, const PacketRouterParams &p,
 // ---------------------------------------------------------------------
 
 KernelRun
-prepareDspFilter(KernelCtx &ctx, const DspFilterParams &p, int site_base)
+prepareDspFilter(KernelCtx &kctx, const DspFilterParams &p, int site_base)
 {
     struct State
     {
@@ -244,10 +244,10 @@ prepareDspFilter(KernelCtx &ctx, const DspFilterParams &p, int site_base)
         }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     for (unsigned t = 0; t < p.taps; ++t)
         mem.write(st->coeffs + t * 8, 1 + init.below(100), 8);
     for (unsigned i = 0; i < p.bufferLen; ++i)
@@ -348,7 +348,7 @@ prepareDspFilter(KernelCtx &ctx, const DspFilterParams &p, int site_base)
 // ---------------------------------------------------------------------
 
 KernelRun
-prepareMatrix(KernelCtx &ctx, const MatrixParams &p, int site_base)
+prepareMatrix(KernelCtx &kctx, const MatrixParams &p, int site_base)
 {
     struct State
     {
@@ -374,10 +374,10 @@ prepareMatrix(KernelCtx &ctx, const MatrixParams &p, int site_base)
         }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     for (unsigned r = 0; r < p.n; ++r) {
         for (unsigned col = 0; col < p.n; ++col) {
             mem.write(st->at(st->a, r, col), init.below(100), 8);

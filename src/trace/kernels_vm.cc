@@ -56,7 +56,7 @@ enum VmOp : unsigned
 } // namespace
 
 KernelRun
-prepareInterpreter(KernelCtx &ctx, const InterpreterParams &p,
+prepareInterpreter(KernelCtx &kctx, const InterpreterParams &p,
                    int site_base)
 {
     struct State
@@ -98,10 +98,10 @@ prepareInterpreter(KernelCtx &ctx, const InterpreterParams &p,
         }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     for (unsigned g = 0; g < 16; ++g)
         mem.write(st->globals + g * 8, init.below(1000), 8);
     for (unsigned k = 0; k < 16; ++k)
@@ -158,7 +158,8 @@ prepareInterpreter(KernelCtx &ctx, const InterpreterParams &p,
             Val opv = ctx.load(S + 1, st->bc + pos, vpc, 1);
             Val tgt = ctx.alu(S + 2, op * 32, opv);
             ctx.indirectJump(S + 3, st->hsite(op, 0), tgt);
-            unsigned next = (pos + 1) % st->program.size();
+            unsigned next = static_cast<unsigned>(
+                (pos + 1) % st->program.size());
             // ---- handlers ----
             switch (op) {
               case kPushC: {
@@ -292,7 +293,7 @@ prepareInterpreter(KernelCtx &ctx, const InterpreterParams &p,
 // ---------------------------------------------------------------------
 
 KernelRun
-prepareStateMachine(KernelCtx &ctx, const StateMachineParams &p,
+prepareStateMachine(KernelCtx &kctx, const StateMachineParams &p,
                     int site_base)
 {
     struct State
@@ -323,10 +324,10 @@ prepareStateMachine(KernelCtx &ctx, const StateMachineParams &p,
         }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     for (unsigned s = 0; s < p.numStates; ++s)
         for (unsigned y = 0; y < p.numSymbols; ++y)
             mem.write(st->trans + (s * p.numSymbols + y) * 8,
@@ -369,7 +370,7 @@ prepareStateMachine(KernelCtx &ctx, const StateMachineParams &p,
 // ---------------------------------------------------------------------
 
 KernelRun
-prepareStringOps(KernelCtx &ctx, const StringOpsParams &p, int site_base)
+prepareStringOps(KernelCtx &kctx, const StringOpsParams &p, int site_base)
 {
     struct State
     {
@@ -393,10 +394,10 @@ prepareStringOps(KernelCtx &ctx, const StringOpsParams &p, int site_base)
         Addr strAddr(unsigned i) const { return heap + 0x1000 + i * 64; }
     };
 
-    auto st = std::make_shared<State>(ctx, p, site_base);
+    auto st = std::make_shared<State>(kctx, p, site_base);
 
     Rng init(p.seed);
-    MemoryImage &mem = ctx.mem();
+    MemoryImage &mem = kctx.mem();
     st->lens.resize(p.numStrings);
     for (unsigned i = 0; i < p.numStrings; ++i) {
         const unsigned len = p.avgLen / 2 +

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -36,6 +37,8 @@ MemoryImage::operator=(const MemoryImage &other)
     resetMru();
     pages_.clear();
     pages_.reserve(other.pages_.size());
+    // Order-independent deep copy into another hash map.
+    // dlvp-analyze: allow(determinism)
     for (const auto &kv : other.pages_)
         pages_.emplace(kv.first, std::make_unique<Page>(*kv.second));
     return *this;
@@ -158,8 +161,17 @@ void
 MemoryImage::forEachPage(
     const std::function<void(Addr, const std::uint8_t *)> &fn) const
 {
+    // Visit in ascending address order so callers (trace
+    // serialization, dumps) are deterministic without each having to
+    // re-sort the hash map's iteration order themselves.
+    std::vector<Addr> addrs;
+    addrs.reserve(pages_.size());
+    // dlvp-analyze: allow(determinism)
     for (const auto &kv : pages_)
-        fn(kv.first, kv.second->data());
+        addrs.push_back(kv.first);
+    std::sort(addrs.begin(), addrs.end());
+    for (Addr a : addrs)
+        fn(a, pages_.find(a)->second->data());
 }
 
 void

@@ -68,7 +68,7 @@ class MemoryImage
      */
     std::size_t allocatedBytes() const { return pages_.size() * kPageSize; }
 
-    /** Visit every populated page (order unspecified). */
+    /** Visit every populated page in ascending address order. */
     void forEachPage(
         const std::function<void(Addr, const std::uint8_t *)> &fn) const;
 

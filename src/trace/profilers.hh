@@ -30,14 +30,16 @@ struct ConflictProfile
     committedFraction() const
     {
         return dynamicLoads == 0 ? 0.0 :
-            static_cast<double>(committedConflicts) / dynamicLoads;
+            static_cast<double>(committedConflicts) /
+                static_cast<double>(dynamicLoads);
     }
 
     double
     inflightFraction() const
     {
         return dynamicLoads == 0 ? 0.0 :
-            static_cast<double>(inflightConflicts) / dynamicLoads;
+            static_cast<double>(inflightConflicts) /
+                static_cast<double>(dynamicLoads);
     }
 
     double

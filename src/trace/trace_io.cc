@@ -146,13 +146,13 @@ saveTrace(const Trace &trace, std::ostream &os)
     putString(os, trace.name);
     putString(os, trace.suite);
 
-    // Pages, sorted by address so the file is deterministic.
+    // forEachPage visits in ascending address order, so the file is
+    // deterministic by construction.
     std::vector<std::pair<Addr, const std::uint8_t *>> pages;
     trace.initialImage.forEachPage(
         [&pages](Addr a, const std::uint8_t *p) {
             pages.emplace_back(a, p);
         });
-    std::sort(pages.begin(), pages.end());
     put<std::uint64_t>(os, pages.size());
     for (const auto &[addr, bytes] : pages) {
         put<std::uint64_t>(os, addr);

@@ -1,0 +1,37 @@
+// Fixture: determinism-clean file. Mentions of rand() and time() in
+// comments and strings must not be flagged; steady_clock is the
+// sanctioned timing source; a justified unordered iteration carries a
+// suppression comment.
+#include <chrono>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct DetClean
+{
+    std::unordered_map<int, int> table_;
+    std::map<std::string, int> ordered_;
+
+    const char *notice_ = "calls rand() and time() nowhere";
+
+    long
+    elapsed() const
+    {
+        // rand() in a comment is fine.
+        const auto t0 = std::chrono::steady_clock::now();
+        return (std::chrono::steady_clock::now() - t0).count();
+    }
+
+    int
+    sum() const
+    {
+        int total = 0;
+        // Order-independent reduction over the table.
+        // dlvp-analyze: allow(determinism)
+        for (const auto &kv : table_)
+            total += kv.second;
+        for (const auto &kv : ordered_)
+            total += kv.second;
+        return total;
+    }
+};

@@ -1,0 +1,30 @@
+// Fixture: spec-state violations. ghost_ has neither snapshot nor
+// restore site; halfway_ is saved into a *Snap field but never
+// restored — the exact missing-flush-restore bug class.
+#include <cstdint>
+
+#define DLVP_SPEC_STATE(member) \
+    static_assert(true, "speculative state: " #member)
+
+class SpecBad
+{
+  public:
+    struct Checkpoint
+    {
+        std::uint64_t halfSnap = 0;
+    };
+
+    Checkpoint
+    checkpoint() const
+    {
+        Checkpoint c;
+        c.halfSnap = halfway_;
+        return c;
+    }
+
+  private:
+    std::uint64_t ghost_ = 0;
+    DLVP_SPEC_STATE(ghost_);
+    std::uint64_t halfway_ = 0;
+    DLVP_SPEC_STATE(halfway_);
+};

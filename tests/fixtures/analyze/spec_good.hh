@@ -1,0 +1,33 @@
+// Fixture: properly recovered speculative state — one member covered
+// by snapshot()/restore() functions, one by explicit *Snap
+// assignments on the flush path.
+#include <cstdint>
+
+#define DLVP_SPEC_STATE(member) \
+    static_assert(true, "speculative state: " #member)
+
+class SpecGood
+{
+  public:
+    std::uint64_t snapshot() const { return hist_; }
+    void restore(std::uint64_t snap) { hist_ = snap; }
+
+    void
+    onFetch()
+    {
+        ghrSnap = ghr_;
+    }
+
+    void
+    applyFlush()
+    {
+        ghr_ = ghrSnap;
+    }
+
+  private:
+    std::uint64_t hist_ = 0;
+    DLVP_SPEC_STATE(hist_);
+    std::uint64_t ghr_ = 0;
+    DLVP_SPEC_STATE(ghr_);
+    std::uint64_t ghrSnap = 0;
+};

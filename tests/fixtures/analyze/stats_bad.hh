@@ -1,0 +1,16 @@
+// Fixture: stats-registry violations — a field missing from the
+// X-macro, a field without zero-init, and a stale macro entry naming
+// no field.
+#include <cstdint>
+
+#define DLVP_CORE_STATS_FIELDS(X) \
+    X(cycles) \
+    X(committedInsts) \
+    X(removedCounter)
+
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committedInsts;      // not zero-initialized
+    std::uint64_t unlistedCounter = 0; // missing from the X-macro
+};

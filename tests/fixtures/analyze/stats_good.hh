@@ -1,0 +1,25 @@
+// Fixture: registry and struct in sync, all fields zero-initialized.
+#include <cstdint>
+#include <ostream>
+
+#define DLVP_CORE_STATS_FIELDS(X) \
+    X(cycles) \
+    X(committedInsts) \
+    X(committedLoads)
+
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committedInsts = 0;
+    std::uint64_t committedLoads = 0;
+
+    bool operator==(const CoreStats &) const = default;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(committedInsts) /
+                                 static_cast<double>(cycles);
+    }
+};

@@ -1,0 +1,20 @@
+// Fixture: error-taxonomy violations — a foreign exception type, a
+// raw abort(), and a raw exit().
+#include <cstdlib>
+#include <stdexcept>
+
+int
+parsePositive(int v)
+{
+    if (v < 0)
+        throw std::runtime_error("negative");
+    return v;
+}
+
+void
+dieHard(bool fast)
+{
+    if (fast)
+        std::abort();
+    exit(1);
+}

@@ -1,0 +1,45 @@
+// Fixture: error-taxonomy-clean file — RunError throws, a bare
+// rethrow, atexit registration (not exit), and a suppressed abort in
+// panic-style infrastructure.
+#include <cstdlib>
+#include <string>
+
+enum class ErrorKind
+{
+    Internal
+};
+
+struct RunError
+{
+    RunError(ErrorKind, const std::string &) {}
+};
+
+int
+parsePositive(int v)
+{
+    if (v < 0)
+        throw RunError(ErrorKind::Internal, "negative");
+    return v;
+}
+
+void
+forward()
+{
+    try {
+        parsePositive(-1);
+    } catch (...) {
+        throw; // bare rethrow is allowed
+    }
+}
+
+void
+installHook()
+{
+    std::atexit([] {});
+}
+
+[[noreturn]] void
+panicStop()
+{
+    std::abort(); // dlvp-analyze: allow(error-taxonomy)
+}

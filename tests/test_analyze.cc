@@ -1,0 +1,237 @@
+/**
+ * @file
+ * dlvp-analyze rule tests: each rule class is demonstrated by a
+ * fixture that trips it and a clean fixture that doesn't, plus the
+ * acceptance check that the real source tree lints clean.
+ *
+ * Fixtures live in tests/fixtures/analyze/ and are never compiled;
+ * they are parsed through the dlvp_analyze library, so the tests see
+ * exactly what the dlvp-analyze binary sees.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze.hh"
+
+using dlvp::analyze::AnalyzeConfig;
+using dlvp::analyze::Finding;
+using dlvp::analyze::runAnalysis;
+using dlvp::analyze::stripCommentsAndStrings;
+
+namespace
+{
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(DLVP_ANALYZE_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Finding>
+lintFile(const std::string &path, const std::string &rule)
+{
+    AnalyzeConfig config;
+    config.files = {path};
+    config.rules = {rule};
+    return runAnalysis(config);
+}
+
+std::vector<Finding>
+lintStatsHeader(const std::string &path)
+{
+    AnalyzeConfig config;
+    config.coreStatsPath = path;
+    config.rules = {"stats-registry"};
+    return runAnalysis(config);
+}
+
+bool
+anyMessageContains(const std::vector<Finding> &findings,
+                   const std::string &needle)
+{
+    return std::any_of(findings.begin(), findings.end(),
+                       [&](const Finding &f) {
+                           return f.message.find(needle) !=
+                                  std::string::npos;
+                       });
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Comment/string stripping
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeStrip, RemovesCommentsAndStringContents)
+{
+    const std::string src = "int a; // rand()\n"
+                            "const char *s = \"time(0)\";\n"
+                            "/* srand(1)\n   abort() */ int b;\n";
+    const std::string out = stripCommentsAndStrings(src);
+    EXPECT_EQ(out.find("rand"), std::string::npos);
+    EXPECT_EQ(out.find("time"), std::string::npos);
+    EXPECT_EQ(out.find("srand"), std::string::npos);
+    EXPECT_EQ(out.find("abort"), std::string::npos);
+    EXPECT_NE(out.find("int a;"), std::string::npos);
+    EXPECT_NE(out.find("int b;"), std::string::npos);
+    // Line structure is preserved for line-number reporting.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+              std::count(src.begin(), src.end(), '\n'));
+}
+
+TEST(AnalyzeStrip, HandlesEscapesAndRawStrings)
+{
+    const std::string src =
+        "const char *a = \"quote \\\" rand()\";\n"
+        "const char *b = R\"(abort() exit(1))\";\n"
+        "char c = '\\'';\n"
+        "int keep = 1;\n";
+    const std::string out = stripCommentsAndStrings(src);
+    EXPECT_EQ(out.find("rand"), std::string::npos);
+    EXPECT_EQ(out.find("abort"), std::string::npos);
+    EXPECT_EQ(out.find("exit"), std::string::npos);
+    EXPECT_NE(out.find("int keep = 1;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeDeterminism, FlagsRandTimeUnorderedIterAndPointerKeys)
+{
+    const auto findings =
+        lintFile(fixture("det_bad.cc"), "determinism");
+    EXPECT_TRUE(anyMessageContains(findings, "'srand()'"));
+    EXPECT_TRUE(anyMessageContains(findings, "'time()'"));
+    EXPECT_TRUE(anyMessageContains(findings, "'rand()'"));
+    EXPECT_TRUE(anyMessageContains(findings, "range-for over "
+                                             "unordered container"));
+    EXPECT_TRUE(anyMessageContains(findings, "pointer-keyed"));
+    EXPECT_GE(findings.size(), 5u);
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.rule, "determinism") << f.message;
+}
+
+TEST(AnalyzeDeterminism, CleanFixtureHasNoFindings)
+{
+    const auto findings =
+        lintFile(fixture("det_clean.cc"), "determinism");
+    EXPECT_TRUE(findings.empty())
+        << findings.front().file << ":" << findings.front().line
+        << ": " << findings.front().message;
+}
+
+// ---------------------------------------------------------------------
+// stats-registry
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeStatsRegistry, FlagsMissingEntryStaleEntryAndNoZeroInit)
+{
+    const auto findings = lintStatsHeader(fixture("stats_bad.hh"));
+    EXPECT_TRUE(anyMessageContains(findings, "'unlistedCounter'"));
+    EXPECT_TRUE(anyMessageContains(findings, "'removedCounter'"));
+    EXPECT_TRUE(anyMessageContains(
+        findings, "'committedInsts' is not zero-initialized"));
+    EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(AnalyzeStatsRegistry, CleanHeaderHasNoFindings)
+{
+    const auto findings = lintStatsHeader(fixture("stats_good.hh"));
+    EXPECT_TRUE(findings.empty())
+        << findings.front().message;
+}
+
+// ---------------------------------------------------------------------
+// spec-state
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeSpecState, FlagsUntrackedAndHalfTrackedMembers)
+{
+    const auto findings =
+        lintFile(fixture("spec_bad.hh"), "spec-state");
+    // ghost_: no snapshot, no restore. halfway_: snapshot only.
+    EXPECT_TRUE(anyMessageContains(findings,
+                                   "'ghost_' has no snapshot site"));
+    EXPECT_TRUE(anyMessageContains(findings,
+                                   "'ghost_' has no restore site"));
+    EXPECT_TRUE(anyMessageContains(findings,
+                                   "'halfway_' has no restore site"));
+    EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(AnalyzeSpecState, RecoveredMembersAreClean)
+{
+    const auto findings =
+        lintFile(fixture("spec_good.hh"), "spec-state");
+    EXPECT_TRUE(findings.empty()) << findings.front().message;
+}
+
+// ---------------------------------------------------------------------
+// error-taxonomy
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeErrorTaxonomy, FlagsForeignThrowAbortAndExit)
+{
+    const auto findings =
+        lintFile(fixture("taxonomy_bad.cc"), "error-taxonomy");
+    EXPECT_TRUE(anyMessageContains(findings, "non-RunError"));
+    EXPECT_TRUE(anyMessageContains(findings, "'abort()'"));
+    EXPECT_TRUE(anyMessageContains(findings, "'exit()'"));
+    EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(AnalyzeErrorTaxonomy, RunErrorRethrowAtexitAndSuppressionPass)
+{
+    const auto findings =
+        lintFile(fixture("taxonomy_good.cc"), "error-taxonomy");
+    EXPECT_TRUE(findings.empty())
+        << findings.front().file << ":" << findings.front().line
+        << ": " << findings.front().message;
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: the shipped source tree lints clean
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeRepo, SourceTreeIsClean)
+{
+    AnalyzeConfig config;
+    namespace fs = std::filesystem;
+    const fs::path root = DLVP_ANALYZE_REPO_ROOT;
+    for (const char *sub : {"src", "tools"}) {
+        for (const auto &entry :
+             fs::recursive_directory_iterator(root / sub)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext == ".cc" || ext == ".hh")
+                config.files.push_back(entry.path().string());
+        }
+    }
+    std::sort(config.files.begin(), config.files.end());
+    ASSERT_FALSE(config.files.empty());
+    config.coreStatsPath =
+        (root / "src" / "core" / "core_stats.hh").string();
+
+    const auto findings = runAnalysis(config);
+    for (const Finding &f : findings)
+        ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message;
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeRepo, RealCoreStatsRegistryIsConsistent)
+{
+    namespace fs = std::filesystem;
+    const fs::path hdr = fs::path(DLVP_ANALYZE_REPO_ROOT) / "src" /
+                         "core" / "core_stats.hh";
+    const auto findings = lintStatsHeader(hdr.string());
+    EXPECT_TRUE(findings.empty())
+        << findings.front().message;
+}

@@ -60,7 +60,8 @@ TEST(CoreDlvp, CollapsesPointerChain)
     EXPECT_EQ(base.committedInsts, dlvp.committedInsts);
     EXPECT_GT(dlvp.coverage(), 0.3);
     EXPECT_DOUBLE_EQ(dlvp.accuracy(), 1.0);
-    EXPECT_LT(dlvp.cycles, base.cycles * 0.8)
+    EXPECT_LT(static_cast<double>(dlvp.cycles),
+              static_cast<double>(base.cycles) * 0.8)
         << "value prediction must break the serial chain";
 }
 

@@ -102,6 +102,34 @@ TEST(FaultPlan, RejectsMalformedSpecs)
     }
 }
 
+TEST(FaultPlan, RejectsSignedAndWrappingNumbers)
+{
+    // strtoull-style wrapping would turn each of these into a rule
+    // with a huge operand that never fires — a malformed plan
+    // silently degrading to "no faults injected".
+    for (const char *bad :
+         {"trunc:-1", "flip:-1.3", "flip:3.-1", "stall:mcf=-5",
+          "build:mcf@-2", "seed=-7", "trunc:+4", "trunc: 4",
+          "trunc:18446744073709551616",       // 2^64, overflows
+          "trunc:99999999999999999999999"}) { // way past 2^64
+        EXPECT_THROW((void)FaultPlan::parse(bad), RunError) << bad;
+    }
+    // The maximum representable value itself still parses.
+    EXPECT_FALSE(
+        FaultPlan::parse("trunc:18446744073709551615").empty());
+}
+
+TEST(FaultPlan, RejectsStallBeyondSleepRange)
+{
+    // stallMs() feeds a 32-bit sleep; wider values would truncate to
+    // an arbitrary different delay.
+    EXPECT_THROW((void)FaultPlan::parse("stall:mcf=4294967296"),
+                 RunError);
+    EXPECT_EQ(FaultPlan::parse("stall:mcf=4294967295")
+                  .stallMs("mcf", "dlvp"),
+              4294967295u);
+}
+
 TEST(FaultPlan, NthBuildCountsPerRule)
 {
     const auto plan = FaultPlan::parse("build:mcf@2");
@@ -426,8 +454,12 @@ TEST(FaultStorm, RandomPlansNeverCrashAndSpareHealthyRows)
         std::string plan;
         for (std::size_t i = 0; i < all.size(); ++i) {
             dead[i] = (rng() & 3) == 0;
-            if (dead[i])
-                plan += (plan.empty() ? "" : ";") + ("build:" + all[i]);
+            if (dead[i]) {
+                if (!plan.empty())
+                    plan += ';';
+                plan += "build:";
+                plan += all[i];
+            }
         }
         PlanGuard guard(plan);
         TraceStore store;

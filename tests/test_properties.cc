@@ -144,9 +144,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SchemeCase{"gobmk", "vtage"},
                       SchemeCase{"eon", "dlvp"},
                       SchemeCase{"viterb", "dvtage"}),
-    [](const ::testing::TestParamInfo<SchemeCase> &info) {
-        return std::string(info.param.workload) + "_" +
-               info.param.scheme;
+    [](const ::testing::TestParamInfo<SchemeCase> &tpi) {
+        return std::string(tpi.param.workload) + "_" +
+               tpi.param.scheme;
     });
 
 // ---------------------------------------------------------------
@@ -215,8 +215,8 @@ INSTANTIATE_TEST_SUITE_P(
     Sample, Fig2Band,
     ::testing::Values("perlbmk", "mcf", "crafty", "nat", "aifirf",
                       "bzip2", "eon", "routelookup"),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        return info.param;
+    [](const ::testing::TestParamInfo<std::string> &tpi) {
+        return tpi.param;
     });
 
 } // namespace

@@ -163,7 +163,9 @@ TEST(AddrDriver, PapHighAccuracyOnSuite)
         correct += r.correct;
     }
     ASSERT_GT(predicted, 0u);
-    EXPECT_GT(static_cast<double>(correct) / predicted, 0.985);
+    EXPECT_GT(static_cast<double>(correct) /
+                  static_cast<double>(predicted),
+              0.985);
 }
 
 TEST(Simulator, EndToEndSmoke)

@@ -74,16 +74,17 @@ TEST_P(SiteConsistency, BranchesRecordPlausibleTargets)
         if (inst.branchTarget != t[i + 1].pc)
             ++mismatched;
     }
-    if (direct > 0)
+    if (direct > 0) {
         EXPECT_LE(mismatched, direct / 100 + 16)
             << "more target mismatches than phase switches explain";
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, SiteConsistency,
     ::testing::ValuesIn(trace::WorkloadRegistry::names()),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        return info.param;
+    [](const ::testing::TestParamInfo<std::string> &tpi) {
+        return tpi.param;
     });
 
 } // namespace

@@ -44,7 +44,8 @@ TEST(ThreadPool, PropagatesExceptions)
 {
     ThreadPool pool(2);
     auto ok = pool.submit([] { return 7; });
-    auto bad = pool.submit(
+    // Deliberately foreign type: exercises exception normalization.
+    auto bad = pool.submit( // dlvp-analyze: allow(error-taxonomy)
         []() -> int { throw std::runtime_error("boom"); });
     EXPECT_EQ(ok.get(), 7);
     EXPECT_THROW(bad.get(), std::runtime_error);

@@ -89,8 +89,8 @@ TEST_P(WorkloadBuild, BuildsAndReplays)
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, WorkloadBuild,
     ::testing::ValuesIn(trace::WorkloadRegistry::names()),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        return info.param;
+    [](const ::testing::TestParamInfo<std::string> &tpi) {
+        return tpi.param;
     });
 
 TEST(Profilers, ConflictDetectsCommittedStore)

@@ -1,0 +1,872 @@
+#include "analyze.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace dlvp::analyze
+{
+
+namespace
+{
+
+constexpr const char *kRuleDeterminism = "determinism";
+constexpr const char *kRuleStatsRegistry = "stats-registry";
+constexpr const char *kRuleSpecState = "spec-state";
+constexpr const char *kRuleErrorTaxonomy = "error-taxonomy";
+
+// ---------------------------------------------------------------------
+// Source model
+// ---------------------------------------------------------------------
+
+/** One token of stripped source: an identifier or a punctuator char. */
+struct Token
+{
+    std::string text;
+    unsigned line = 0;
+
+    bool isIdent() const
+    {
+        const char c = text.empty() ? '\0' : text[0];
+        return c == '_' || std::isalpha(static_cast<unsigned char>(c));
+    }
+};
+
+struct SourceFile
+{
+    std::string path;
+    std::vector<std::string> raw;  ///< raw lines, index 0 = line 1
+    std::vector<std::string> code; ///< comment/string-stripped lines
+    std::vector<Token> tokens;     ///< tokens of the stripped text
+    /** Rules suppressed per line (1-based index into raw). */
+    std::map<unsigned, std::set<std::string>> allow;
+};
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+std::vector<Token>
+tokenize(const std::vector<std::string> &lines)
+{
+    std::vector<Token> toks;
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string &s = lines[li];
+        const unsigned lineNo = static_cast<unsigned>(li + 1);
+        std::size_t i = 0;
+        while (i < s.size()) {
+            const char c = s[i];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i;
+            } else if (c == '_' ||
+                       std::isalnum(static_cast<unsigned char>(c))) {
+                std::size_t j = i;
+                while (j < s.size() &&
+                       (s[j] == '_' ||
+                        std::isalnum(static_cast<unsigned char>(s[j]))))
+                    ++j;
+                toks.push_back({s.substr(i, j - i), lineNo});
+                i = j;
+            } else if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+                toks.push_back({"::", lineNo});
+                i += 2;
+            } else if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+                toks.push_back({"->", lineNo});
+                i += 2;
+            } else {
+                toks.push_back({std::string(1, c), lineNo});
+                ++i;
+            }
+        }
+    }
+    return toks;
+}
+
+/** Parse "// dlvp-analyze: allow(rule[,rule])" suppressions. */
+void
+collectSuppressions(SourceFile &f)
+{
+    static const std::regex re(
+        R"(dlvp-analyze:\s*allow\(([A-Za-z\-, ]+)\))");
+    for (std::size_t li = 0; li < f.raw.size(); ++li) {
+        std::smatch m;
+        if (!std::regex_search(f.raw[li], m, re))
+            continue;
+        std::set<std::string> rules;
+        std::string rule;
+        std::istringstream ss(m[1].str());
+        while (std::getline(ss, rule, ',')) {
+            rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                      [](unsigned char c) {
+                                          return std::isspace(c);
+                                      }),
+                       rule.end());
+            if (!rule.empty())
+                rules.insert(rule);
+        }
+        // The comment covers its own line and the next one, so it can
+        // trail the flagged statement or sit on the line above it.
+        const unsigned lineNo = static_cast<unsigned>(li + 1);
+        f.allow[lineNo].insert(rules.begin(), rules.end());
+        f.allow[lineNo + 1].insert(rules.begin(), rules.end());
+    }
+}
+
+bool
+loadFile(const std::string &path, SourceFile &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    out.path = path;
+    out.raw = splitLines(text);
+    out.code = splitLines(stripCommentsAndStrings(text));
+    out.tokens = tokenize(out.code);
+    collectSuppressions(out);
+    return true;
+}
+
+class Reporter
+{
+  public:
+    explicit Reporter(std::vector<Finding> &out) : out_(out) {}
+
+    void
+    report(const SourceFile &f, unsigned line, const std::string &rule,
+           std::string message)
+    {
+        const auto it = f.allow.find(line);
+        if (it != f.allow.end() && it->second.count(rule))
+            return;
+        out_.push_back({rule, f.path, line, std::move(message)});
+    }
+
+  private:
+    std::vector<Finding> &out_;
+};
+
+// ---------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------
+
+/**
+ * Starting with toks[i] == "<", return the index just past the
+ * matching ">" (npos-like toks.size() when unbalanced).
+ */
+std::size_t
+skipAngles(const std::vector<Token> &toks, std::size_t i)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        if (toks[i].text == "<")
+            ++depth;
+        else if (toks[i].text == ">" && --depth == 0)
+            return i + 1;
+    }
+    return toks.size();
+}
+
+/** Index just past the ")" matching toks[i] == "(". */
+std::size_t
+skipParens(const std::vector<Token> &toks, std::size_t i)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        if (toks[i].text == "(")
+            ++depth;
+        else if (toks[i].text == ")" && --depth == 0)
+            return i + 1;
+    }
+    return toks.size();
+}
+
+/** Index just past the "}" matching toks[i] == "{". */
+std::size_t
+skipBraces(const std::vector<Token> &toks, std::size_t i)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        if (toks[i].text == "{")
+            ++depth;
+        else if (toks[i].text == "}" && --depth == 0)
+            return i + 1;
+    }
+    return toks.size();
+}
+
+bool
+containsNoCase(const std::string &haystack, const std::string &needle)
+{
+    std::string h = haystack;
+    std::transform(h.begin(), h.end(), h.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return h.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// Rule: determinism
+// ---------------------------------------------------------------------
+
+/**
+ * Names of unordered containers declared in this component. Walks the
+ * token stream for `unordered_map< ... > name` / `unordered_set< ... >
+ * name` (alias declarations via `using` are outside this net and are
+ * caught at their own declaration site).
+ */
+std::set<std::string>
+unorderedNames(const std::vector<Token> &toks)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].text != "unordered_map" &&
+            toks[i].text != "unordered_set")
+            continue;
+        if (toks[i + 1].text != "<")
+            continue;
+        std::size_t j = skipAngles(toks, i + 1);
+        if (j < toks.size() && toks[j].isIdent())
+            names.insert(toks[j].text);
+    }
+    return names;
+}
+
+void
+runDeterminismRule(const SourceFile &f, const SourceFile *sibling,
+                   Reporter &rep)
+{
+    // Libc randomness / wall-clock calls. steady_clock is the
+    // sanctioned timing source (monotonic, never consulted by
+    // simulation logic); everything here either returns wall time or
+    // hidden-seed randomness, both of which vary run to run.
+    static const std::set<std::string> kBannedCalls = {
+        "rand",   "srand",       "drand48", "lrand48",
+        "random", "gettimeofday", "time",    "clock",
+        "timespec_get",
+    };
+    static const std::set<std::string> kBannedIdents = {
+        "random_device", "system_clock",
+    };
+
+    const std::vector<Token> &toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (!t.isIdent())
+            continue;
+        if (kBannedIdents.count(t.text)) {
+            rep.report(f, t.line, kRuleDeterminism,
+                       "'" + t.text +
+                           "' is nondeterministic across runs; use a "
+                           "seeded generator / steady_clock");
+            continue;
+        }
+        if (!kBannedCalls.count(t.text))
+            continue;
+        if (i + 1 >= toks.size() || toks[i + 1].text != "(")
+            continue; // not a call
+        if (i > 0) {
+            const std::string &prev = toks[i - 1].text;
+            if (prev == "." || prev == "->")
+                continue; // member call on some other object
+            if (prev == "::" &&
+                (i < 2 || toks[i - 2].text != "std"))
+                continue; // qualified into a non-std namespace
+        }
+        rep.report(f, t.line, kRuleDeterminism,
+                   "call to '" + t.text +
+                       "()' injects wall-clock/libc randomness into "
+                       "simulation code");
+    }
+
+    // Iteration over unordered containers: their order depends on
+    // hash seeding, libstdc++ version, and pointer values, so any
+    // stat- or report-affecting loop over one is a repeatability bug.
+    std::set<std::string> unordered = unorderedNames(toks);
+    if (sibling) {
+        std::set<std::string> sib = unorderedNames(sibling->tokens);
+        unordered.insert(sib.begin(), sib.end());
+    }
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].text != "for" || toks[i + 1].text != "(")
+            continue;
+        const std::size_t end = skipParens(toks, i + 1);
+        // Find the range-for ':' at top parenthesis depth.
+        int depth = 0;
+        std::size_t colon = 0;
+        for (std::size_t j = i + 1; j < end; ++j) {
+            const std::string &txt = toks[j].text;
+            if (txt == "(" || txt == "[")
+                ++depth;
+            else if (txt == ")" || txt == "]")
+                --depth;
+            else if (txt == ":" && depth == 1) {
+                colon = j;
+                break;
+            }
+        }
+        if (colon == 0)
+            continue;
+        // Last identifier of the range expression names the
+        // container for the patterns used in this codebase
+        // (`pages_`, `other.pages_`, ...).
+        std::string last;
+        for (std::size_t j = colon + 1; j + 1 < end; ++j)
+            if (toks[j].isIdent())
+                last = toks[j].text;
+        if (!last.empty() && unordered.count(last)) {
+            rep.report(f, toks[i].line, kRuleDeterminism,
+                       "range-for over unordered container '" + last +
+                           "'; iteration order is not deterministic");
+        }
+    }
+
+    // Pointer-keyed ordered containers: std::less<T*> compares
+    // addresses, i.e. allocation order.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if ((toks[i].text != "map" && toks[i].text != "set") ||
+            toks[i + 1].text != "<")
+            continue;
+        if (i < 2 || toks[i - 1].text != "::" ||
+            toks[i - 2].text != "std")
+            continue;
+        // Key type = tokens up to the first top-level ',' (or '>').
+        int depth = 0;
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+            const std::string &txt = toks[j].text;
+            if (txt == "<")
+                ++depth;
+            else if (txt == ">") {
+                if (--depth == 0)
+                    break;
+            } else if (txt == "," && depth == 1) {
+                break;
+            } else if (txt == "*" && depth == 1) {
+                rep.report(f, toks[i].line, kRuleDeterminism,
+                           "pointer-keyed std::" + toks[i].text +
+                               "; key order is allocation order, not "
+                               "deterministic");
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: stats-registry
+// ---------------------------------------------------------------------
+
+void
+runStatsRegistryRule(const SourceFile &f, const std::string &macroName,
+                     const std::string &structName, Reporter &rep)
+{
+    // X-macro entries: from "#define <macroName>(" through the last
+    // backslash-continued line.
+    std::map<std::string, unsigned> macroEntries; // name -> line
+    unsigned macroLine = 0;
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+        const std::string &line = f.code[li];
+        if (line.find("#define") == std::string::npos ||
+            line.find(macroName) == std::string::npos)
+            continue;
+        macroLine = static_cast<unsigned>(li + 1);
+        static const std::regex entryRe(R"(X\(\s*(\w+)\s*\))");
+        for (std::size_t lj = li;; ++lj) {
+            if (lj >= f.code.size())
+                break;
+            const std::string &body = f.code[lj];
+            if (lj > li) {
+                auto begin = std::sregex_iterator(body.begin(),
+                                                  body.end(), entryRe);
+                for (auto it = begin; it != std::sregex_iterator(); ++it)
+                    macroEntries.emplace(
+                        (*it)[1].str(),
+                        static_cast<unsigned>(lj + 1));
+            }
+            const auto lastNonSpace = body.find_last_not_of(" \t");
+            if (lastNonSpace == std::string::npos ||
+                body[lastNonSpace] != '\\')
+                break;
+        }
+        break;
+    }
+    if (macroLine == 0) {
+        rep.report(f, 1, kRuleStatsRegistry,
+                   "registry X-macro '" + macroName + "' not found");
+        return;
+    }
+
+    // Struct fields: the brace-matched region after "struct <name>".
+    const std::vector<Token> &toks = f.tokens;
+    std::size_t bodyBegin = toks.size(), bodyEnd = toks.size();
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].text == "struct" && toks[i + 1].text == structName &&
+            toks[i + 2].text == "{") {
+            bodyBegin = i + 2;
+            bodyEnd = skipBraces(toks, i + 2);
+            break;
+        }
+    }
+    if (bodyBegin == toks.size()) {
+        rep.report(f, macroLine, kRuleStatsRegistry,
+                   "struct '" + structName + "' not found");
+        return;
+    }
+    const unsigned structFirstLine = toks[bodyBegin].line;
+    const unsigned structLastLine = toks[bodyEnd - 1].line;
+
+    struct FieldInfo
+    {
+        unsigned line = 0;
+        bool zeroInit = false;
+    };
+    std::map<std::string, FieldInfo> fields;
+    // Data members are single-line "Type name = init;" declarations;
+    // anything with parentheses on the line is a function.
+    static const std::regex fieldRe(
+        R"(^\s*[A-Za-z_][\w:]*\s+(\w+)\s*(=\s*([^;]*?)\s*)?;)");
+    for (unsigned ln = structFirstLine; ln <= structLastLine; ++ln) {
+        const std::string &line = f.code[ln - 1];
+        if (line.find('(') != std::string::npos ||
+            line.find("using") != std::string::npos ||
+            line.find("static") != std::string::npos)
+            continue;
+        std::smatch m;
+        if (!std::regex_search(line, m, fieldRe))
+            continue;
+        FieldInfo info;
+        info.line = ln;
+        info.zeroInit = m[2].matched && m[3].str() == "0";
+        fields.emplace(m[1].str(), info);
+    }
+
+    for (const auto &[name, info] : fields) {
+        if (!macroEntries.count(name))
+            rep.report(f, info.line, kRuleStatsRegistry,
+                       "field '" + name + "' missing from " +
+                           macroName +
+                           " (sweeps/goldens will silently skip it)");
+        if (!info.zeroInit)
+            rep.report(f, info.line, kRuleStatsRegistry,
+                       "field '" + name +
+                           "' is not zero-initialized ('= 0')");
+    }
+    for (const auto &[name, line] : macroEntries) {
+        if (!fields.count(name))
+            rep.report(f, line, kRuleStatsRegistry,
+                       "registry entry '" + name +
+                           "' names no field of " + structName);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: spec-state
+// ---------------------------------------------------------------------
+
+/**
+ * Identifiers appearing inside bodies of functions whose name
+ * contains @p nameFragment (case-insensitive), over a component's
+ * token stream. "applyFlush" bodies count as restore sites.
+ */
+void
+collectFunctionBodyIdents(const std::vector<Token> &toks,
+                          const std::vector<std::string> &fragments,
+                          std::set<std::string> &out)
+{
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].isIdent() || toks[i + 1].text != "(")
+            continue;
+        bool wanted = false;
+        for (const std::string &frag : fragments)
+            if (containsNoCase(toks[i].text, frag))
+                wanted = true;
+        if (!wanted)
+            continue;
+        std::size_t j = skipParens(toks, i + 1);
+        // Skip qualifiers (const, noexcept, trailing return) up to
+        // the body '{'; a ';' first means it was only a declaration
+        // or a call.
+        while (j < toks.size() && toks[j].text != "{" &&
+               toks[j].text != ";")
+            ++j;
+        if (j >= toks.size() || toks[j].text != "{")
+            continue;
+        const std::size_t end = skipBraces(toks, j);
+        for (std::size_t k = j + 1; k + 1 < end; ++k)
+            if (toks[k].isIdent())
+                out.insert(toks[k].text);
+        i = end > i ? end - 1 : i;
+    }
+}
+
+void
+runSpecStateRule(const SourceFile &f, const SourceFile *sibling,
+                 Reporter &rep)
+{
+    // Collect DLVP_SPEC_STATE(member) tags, skipping the macro's own
+    // #define.
+    struct Tag
+    {
+        std::string member;
+        unsigned line = 0;
+    };
+    std::vector<Tag> tags;
+    const std::vector<Token> &toks = f.tokens;
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (toks[i].text != "DLVP_SPEC_STATE" ||
+            toks[i + 1].text != "(" || !toks[i + 2].isIdent() ||
+            toks[i + 3].text != ")")
+            continue;
+        const unsigned line = toks[i].line;
+        if (f.raw[line - 1].find("#define") != std::string::npos)
+            continue;
+        tags.push_back({toks[i + 2].text, line});
+    }
+    if (tags.empty())
+        return;
+
+    // Component = this file plus its sibling; evidence may live in
+    // either (tags sit in headers, flush paths in the .cc).
+    std::vector<const SourceFile *> component = {&f};
+    if (sibling)
+        component.push_back(sibling);
+
+    std::set<std::string> snapshotIdents, restoreIdents;
+    for (const SourceFile *part : component) {
+        collectFunctionBodyIdents(part->tokens, {"snapshot"},
+                                  snapshotIdents);
+        collectFunctionBodyIdents(part->tokens,
+                                  {"restore", "applyflush"},
+                                  restoreIdents);
+    }
+
+    for (const Tag &tag : tags) {
+        // Line-level evidence: "xSnap = member" saves, "member =
+        // ...Snap..." or "member.restore(...)" restores.
+        const std::regex snapAssign(
+            R"(\w*[sS]nap\w*\s*=[^=].*\b)" + tag.member + R"(\b)");
+        const std::regex restoreAssign(
+            R"(\b)" + tag.member + R"(\b\s*=[^=].*[sS]nap)");
+        const std::regex restoreCall(
+            R"(\b)" + tag.member + R"(\b\.restore\()");
+        bool saved = snapshotIdents.count(tag.member) > 0;
+        bool restored = restoreIdents.count(tag.member) > 0;
+        for (const SourceFile *part : component) {
+            for (const std::string &line : part->code) {
+                if (saved && restored)
+                    break;
+                if (!saved && std::regex_search(line, snapAssign))
+                    saved = true;
+                if (!restored &&
+                    (std::regex_search(line, restoreAssign) ||
+                     std::regex_search(line, restoreCall)))
+                    restored = true;
+            }
+        }
+        if (!saved)
+            rep.report(f, tag.line, kRuleSpecState,
+                       "speculative member '" + tag.member +
+                           "' has no snapshot site in its component");
+        if (!restored)
+            rep.report(f, tag.line, kRuleSpecState,
+                       "speculative member '" + tag.member +
+                           "' has no restore site on the flush path");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: error-taxonomy
+// ---------------------------------------------------------------------
+
+void
+runErrorTaxonomyRule(const SourceFile &f, Reporter &rep)
+{
+    static const std::set<std::string> kBannedCalls = {
+        "abort", "terminate", "exit", "_Exit", "_exit", "quick_exit",
+    };
+    const std::vector<Token> &toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (!t.isIdent())
+            continue;
+        if (t.text == "throw") {
+            // The thrown expression must be a RunError construction;
+            // a bare rethrow ("throw;") is fine.
+            std::string lastIdent;
+            std::size_t j = i + 1;
+            while (j < toks.size() &&
+                   (toks[j].isIdent() || toks[j].text == "::")) {
+                if (toks[j].isIdent())
+                    lastIdent = toks[j].text;
+                ++j;
+            }
+            if (j < toks.size() && toks[j].text == ";" &&
+                lastIdent.empty())
+                continue; // rethrow
+            if (lastIdent != "RunError")
+                rep.report(f, t.line, kRuleErrorTaxonomy,
+                           "throw of non-RunError type; job-reachable "
+                           "code must use the RunError taxonomy");
+            continue;
+        }
+        if (!kBannedCalls.count(t.text))
+            continue;
+        if (i + 1 >= toks.size() || toks[i + 1].text != "(")
+            continue;
+        if (i > 0) {
+            const std::string &prev = toks[i - 1].text;
+            if (prev == "." || prev == "->")
+                continue;
+            if (prev == "::" && (i < 2 || toks[i - 2].text != "std"))
+                continue;
+        }
+        rep.report(f, t.line, kRuleErrorTaxonomy,
+                   "call to '" + t.text +
+                       "()' kills the whole process; job-reachable "
+                       "code must throw RunError instead");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+bool
+ruleEnabled(const AnalyzeConfig &config, const std::string &rule)
+{
+    if (config.rules.empty())
+        return true;
+    return std::find(config.rules.begin(), config.rules.end(), rule) !=
+           config.rules.end();
+}
+
+/** The .cc for a .hh (and vice versa), when it exists on disk. */
+std::optional<std::string>
+siblingPath(const std::string &path)
+{
+    fs::path p(path);
+    const std::string ext = p.extension().string();
+    const char *other = ext == ".hh" ? ".cc" : ext == ".cc" ? ".hh" : "";
+    if (*other == '\0')
+        return std::nullopt;
+    fs::path sib = p;
+    sib.replace_extension(other);
+    std::error_code ec;
+    if (!fs::exists(sib, ec))
+        return std::nullopt;
+    return sib.string();
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allRules()
+{
+    static const std::vector<std::string> rules = {
+        kRuleDeterminism,
+        kRuleStatsRegistry,
+        kRuleSpecState,
+        kRuleErrorTaxonomy,
+    };
+    return rules;
+}
+
+std::string
+stripCommentsAndStrings(const std::string &source)
+{
+    std::string out;
+    out.reserve(source.size());
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString
+    };
+    State state = State::Code;
+    std::string rawDelim; // for R"delim( ... )delim"
+    for (std::size_t i = 0; i < source.size(); ++i) {
+        const char c = source[i];
+        const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                out += "  ";
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                out += "  ";
+                ++i;
+            } else if (c == 'R' && next == '"' &&
+                       (i == 0 ||
+                        (!std::isalnum(static_cast<unsigned char>(
+                             source[i - 1])) &&
+                         source[i - 1] != '_'))) {
+                state = State::RawString;
+                rawDelim.clear();
+                std::size_t j = i + 2;
+                while (j < source.size() && source[j] != '(')
+                    rawDelim += source[j++];
+                out.append(j + 1 - i, ' ');
+                i = j;
+            } else if (c == '"') {
+                state = State::String;
+                out += '"';
+            } else if (c == '\'') {
+                state = State::Char;
+                out += '\'';
+            } else {
+                out += c;
+            }
+            break;
+        case State::LineComment:
+            if (c == '\n') {
+                state = State::Code;
+                out += '\n';
+            } else {
+                out += ' ';
+            }
+            break;
+        case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                out += "  ";
+                ++i;
+            } else {
+                out += c == '\n' ? '\n' : ' ';
+            }
+            break;
+        case State::String:
+        case State::Char: {
+            const char quote = state == State::String ? '"' : '\'';
+            if (c == '\\') {
+                out += "  ";
+                ++i;
+                if (next == '\n')
+                    out.back() = '\n';
+            } else if (c == quote) {
+                state = State::Code;
+                out += quote;
+            } else {
+                out += c == '\n' ? '\n' : ' ';
+            }
+            break;
+        }
+        case State::RawString: {
+            const std::string close = ")" + rawDelim + "\"";
+            if (c == ')' && source.compare(i, close.size(), close) == 0) {
+                state = State::Code;
+                out.append(close.size(), ' ');
+                i += close.size() - 1;
+            } else {
+                out += c == '\n' ? '\n' : ' ';
+            }
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+std::vector<Finding>
+runAnalysis(const AnalyzeConfig &config)
+{
+    std::vector<Finding> findings;
+    Reporter rep(findings);
+
+    // Cache loaded files so a sibling listed explicitly is parsed once.
+    std::map<std::string, SourceFile> cache;
+    const auto load = [&cache](const std::string &path) -> SourceFile * {
+        auto it = cache.find(path);
+        if (it != cache.end())
+            return &it->second;
+        SourceFile f;
+        if (!loadFile(path, f))
+            return nullptr;
+        return &cache.emplace(path, std::move(f)).first->second;
+    };
+
+    for (const std::string &path : config.files) {
+        SourceFile *f = load(path);
+        if (!f) {
+            findings.push_back({"usage", path, 0, "cannot read file"});
+            continue;
+        }
+        SourceFile *sibling = nullptr;
+        if (auto sib = siblingPath(path))
+            sibling = load(*sib);
+        if (ruleEnabled(config, kRuleDeterminism))
+            runDeterminismRule(*f, sibling, rep);
+        if (ruleEnabled(config, kRuleSpecState))
+            runSpecStateRule(*f, sibling, rep);
+        if (ruleEnabled(config, kRuleErrorTaxonomy))
+            runErrorTaxonomyRule(*f, rep);
+    }
+
+    if (!config.coreStatsPath.empty() &&
+        ruleEnabled(config, kRuleStatsRegistry)) {
+        SourceFile *f = load(config.coreStatsPath);
+        if (!f) {
+            findings.push_back({"usage", config.coreStatsPath, 0,
+                                "cannot read stats header"});
+        } else {
+            runStatsRegistryRule(*f, config.statsMacroName,
+                                 config.statsStructName, rep);
+        }
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+    return findings;
+}
+
+void
+printFindings(const std::vector<Finding> &findings, std::ostream &os)
+{
+    for (const Finding &f : findings)
+        os << f.file << ":" << f.line << ": [" << f.rule << "] "
+           << f.message << "\n";
+    if (findings.empty())
+        os << "dlvp-analyze: no findings\n";
+    else
+        os << "dlvp-analyze: " << findings.size() << " finding"
+           << (findings.size() == 1 ? "" : "s") << "\n";
+}
+
+} // namespace dlvp::analyze

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * dlvp-analyze: repo-specific static analysis for the DLVP simulator.
+ *
+ * Four rule classes guard the repo's core contract — bit-identical
+ * CoreStats across thread counts, retries, and engine rewrites
+ * (DESIGN.md §10):
+ *
+ *   determinism      no wall-clock/libc randomness in simulation
+ *                    code, no iteration over unordered containers
+ *                    (their order varies across libstdc++ versions
+ *                    and ASLR runs), no pointer-keyed ordered
+ *                    containers (pointer order is allocation order).
+ *   stats-registry   every CoreStats field appears in the
+ *                    DLVP_CORE_STATS_FIELDS X-macro and is
+ *                    zero-initialized; every X-macro entry names a
+ *                    real field.
+ *   spec-state       every member tagged DLVP_SPEC_STATE has both a
+ *                    snapshot site and a restore site in its
+ *                    component (header + sibling .cc) — the flush
+ *                    path must be able to rewind it.
+ *   error-taxonomy   job-reachable code throws only RunError (or
+ *                    rethrows); no abort()/exit()/terminate() outside
+ *                    the logging layer.
+ *
+ * Findings on a line are suppressed by a trailing or preceding
+ * comment `// dlvp-analyze: allow(<rule>[,<rule>...])`.
+ *
+ * The analysis is token/regex level over comment- and string-stripped
+ * source — the same altitude as gem5's style checker and ChampSim's
+ * config lints — so it runs in milliseconds with no compiler
+ * dependency and is immune to build flags. compile_commands.json
+ * (exported by every configured build tree) can supply the file list.
+ */
+
+#ifndef DLVP_TOOLS_ANALYZE_ANALYZE_HH
+#define DLVP_TOOLS_ANALYZE_ANALYZE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlvp::analyze
+{
+
+/** One lint finding, printable as "file:line: [rule] message". */
+struct Finding
+{
+    std::string rule;
+    std::string file;
+    unsigned line = 0;
+    std::string message;
+
+    bool operator==(const Finding &) const = default;
+};
+
+struct AnalyzeConfig
+{
+    /**
+     * Files to analyze (absolute or cwd-relative). The determinism,
+     * spec-state, and error-taxonomy rules run over each; sibling
+     * files (same stem, .hh/.cc) are consulted for cross-file
+     * evidence even when not listed.
+     */
+    std::vector<std::string> files;
+
+    /**
+     * Path of the stats header holding the registry X-macro and the
+     * struct it mirrors; empty disables the stats-registry rule.
+     */
+    std::string coreStatsPath;
+    std::string statsMacroName = "DLVP_CORE_STATS_FIELDS";
+    std::string statsStructName = "CoreStats";
+
+    /** Restrict to these rules; empty = all. */
+    std::vector<std::string> rules;
+};
+
+/** All rule names, in reporting order. */
+const std::vector<std::string> &allRules();
+
+/** Run the configured analysis; findings are sorted by file:line. */
+std::vector<Finding> runAnalysis(const AnalyzeConfig &config);
+
+/** "file:line: [rule] message" per finding plus a summary line. */
+void printFindings(const std::vector<Finding> &findings,
+                   std::ostream &os);
+
+/**
+ * Comment/string stripping shared by every rule: comments and
+ * literal contents are blanked with spaces so token scans cannot
+ * match inside them, while line numbers and suppression comments
+ * (parsed from the raw text first) are preserved. Exposed for tests.
+ */
+std::string stripCommentsAndStrings(const std::string &source);
+
+} // namespace dlvp::analyze
+
+#endif // DLVP_TOOLS_ANALYZE_ANALYZE_HH

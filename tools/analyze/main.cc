@@ -1,0 +1,209 @@
+/**
+ * @file
+ * dlvp-analyze CLI: run the repo's static-analysis rules over the
+ * source tree (or an explicit file list) and exit nonzero on findings.
+ *
+ *   dlvp-analyze --root .                        # lint src/ + tools/
+ *   dlvp-analyze --compile-commands build/compile_commands.json
+ *   dlvp-analyze --rule determinism src/trace/memory_image.cc
+ *   dlvp-analyze --core-stats tests/fixtures/analyze/bad_stats.hh \
+ *                --rule stats-registry            # fixture mode
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.hh"
+
+namespace fs = std::filesystem;
+using dlvp::analyze::AnalyzeConfig;
+using dlvp::analyze::Finding;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: dlvp-analyze [options] [files...]\n"
+          "  --root <dir>              repo root to scan (default: .)\n"
+          "  --compile-commands <json> add translation units from a\n"
+          "                            compile_commands.json\n"
+          "  --core-stats <hdr>        stats header for the registry\n"
+          "                            rule (default:\n"
+          "                            <root>/src/core/core_stats.hh;\n"
+          "                            'none' disables)\n"
+          "  --rule <name>             restrict to a rule (repeatable):\n"
+          "                            ";
+    bool first = true;
+    for (const std::string &r : dlvp::analyze::allRules()) {
+        os << (first ? "" : ", ") << r;
+        first = false;
+    }
+    os << "\n  --list-rules              print rule names and exit\n"
+          "  -h, --help                this text\n"
+          "\n"
+          "With no explicit files, every .cc/.hh under <root>/src and\n"
+          "<root>/tools is analyzed. Exit status: 0 clean, 1 findings,\n"
+          "2 usage error.\n";
+}
+
+/** All .cc/.hh files under root/src and root/tools, sorted. */
+std::vector<std::string>
+defaultFileSet(const fs::path &root)
+{
+    std::vector<std::string> files;
+    for (const char *sub : {"src", "tools"}) {
+        const fs::path dir = root / sub;
+        std::error_code ec;
+        if (!fs::exists(dir, ec))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(dir, ec);
+             it != fs::recursive_directory_iterator();
+             it.increment(ec)) {
+            if (ec)
+                break;
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext == ".cc" || ext == ".hh")
+                files.push_back(it->path().string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+/**
+ * "file" entries from compile_commands.json. A full JSON parser would
+ * be overkill for the schema cmake emits; the quoted-path regex also
+ * sidesteps needing any third-party dependency.
+ */
+std::vector<std::string>
+compileCommandFiles(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "dlvp-analyze: cannot read " << path << "\n";
+        return {};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::vector<std::string> files;
+    static const std::regex re(R"re("file"\s*:\s*"([^"]+)")re");
+    auto begin = std::sregex_iterator(text.begin(), text.end(), re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it)
+        files.push_back((*it)[1].str());
+    return files;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string compileCommands;
+    std::string coreStats;
+    bool coreStatsSet = false;
+    AnalyzeConfig config;
+    std::vector<std::string> explicitFiles;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "dlvp-analyze: " << arg
+                          << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--list-rules") {
+            for (const std::string &r : dlvp::analyze::allRules())
+                std::cout << r << "\n";
+            return 0;
+        } else if (arg == "--root") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            root = v;
+        } else if (arg == "--compile-commands") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            compileCommands = v;
+        } else if (arg == "--core-stats") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            coreStats = v;
+            coreStatsSet = true;
+        } else if (arg == "--rule") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            const auto &known = dlvp::analyze::allRules();
+            if (std::find(known.begin(), known.end(), v) ==
+                known.end()) {
+                std::cerr << "dlvp-analyze: unknown rule '" << v
+                          << "'\n";
+                return 2;
+            }
+            config.rules.push_back(v);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "dlvp-analyze: unknown option '" << arg
+                      << "'\n";
+            usage(std::cerr);
+            return 2;
+        } else {
+            explicitFiles.push_back(arg);
+        }
+    }
+
+    if (!explicitFiles.empty()) {
+        config.files = explicitFiles;
+    } else {
+        config.files = defaultFileSet(root);
+        if (config.files.empty()) {
+            std::cerr << "dlvp-analyze: no sources under " << root
+                      << "/src or " << root << "/tools\n";
+            return 2;
+        }
+    }
+    if (!compileCommands.empty()) {
+        std::set<std::string> seen(config.files.begin(),
+                                   config.files.end());
+        for (std::string &f : compileCommandFiles(compileCommands)) {
+            std::error_code ec;
+            if (fs::exists(f, ec) && seen.insert(f).second)
+                config.files.push_back(std::move(f));
+        }
+    }
+
+    if (coreStatsSet) {
+        config.coreStatsPath = coreStats == "none" ? "" : coreStats;
+    } else {
+        const fs::path def =
+            fs::path(root) / "src" / "core" / "core_stats.hh";
+        std::error_code ec;
+        if (fs::exists(def, ec))
+            config.coreStatsPath = def.string();
+    }
+
+    const std::vector<Finding> findings =
+        dlvp::analyze::runAnalysis(config);
+    dlvp::analyze::printFindings(findings, std::cout);
+    return findings.empty() ? 0 : 1;
+}

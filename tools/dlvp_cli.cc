@@ -313,10 +313,11 @@ cmdProfile(const std::string &workload, const Options &opt)
                 "branches, %.1f%% of loads multi-dest\n",
                 workload.c_str(),
                 static_cast<unsigned long long>(mix.total),
-                100.0 * mix.loads / mix.total,
-                100.0 * mix.stores / mix.total,
-                100.0 * mix.branches / mix.total,
-                mix.loads ? 100.0 * mix.multiDestLoads / mix.loads
+                100.0 * double(mix.loads) / double(mix.total),
+                100.0 * double(mix.stores) / double(mix.total),
+                100.0 * double(mix.branches) / double(mix.total),
+                mix.loads ? 100.0 * double(mix.multiDestLoads) /
+                                double(mix.loads)
                           : 0.0);
     const auto conf = trace::profileConflicts(t);
     std::printf("Figure 1: %.2f%% committed conflicts, %.2f%% "
