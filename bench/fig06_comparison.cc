@@ -26,41 +26,52 @@ main()
     using namespace dlvp;
     using namespace dlvp::bench;
 
+    // The paper's three contenders plus the registry-zoo entries;
+    // tables 6c/6d keep the paper's original three-way framing.
     const std::vector<Config> configs = {
         {"CAP", sim::capConfig()},
         {"VTAGE", sim::vtageConfig()},
         {"DLVP", sim::dlvpConfig()},
+        {"BALCVP", sim::balcvpConfig()},
+        {"Hermes", sim::hermesConfig()},
     };
     const auto rows = runSuite(configs);
 
-    sim::Table a("Figure 6a/6b: speedup and coverage per workload");
+    sim::Table a("Figure 6a/6b: speedup and coverage per workload "
+                 "(+ zoo)");
     a.columns({"workload", "cap_spd", "vtage_spd", "dlvp_spd",
-               "cap_cov", "vtage_cov", "dlvp_cov"});
+               "balcvp_spd", "hermes_spd", "cap_cov", "vtage_cov",
+               "dlvp_cov"});
     for (const auto &r : rows)
         a.row({r.workload, sim::speedup(r.baseline, r.results[0]),
                sim::speedup(r.baseline, r.results[1]),
                sim::speedup(r.baseline, r.results[2]),
+               sim::speedup(r.baseline, r.results[3]),
+               sim::speedup(r.baseline, r.results[4]),
                r.results[0].coverage(), r.results[1].coverage(),
                r.results[2].coverage()});
     // Per-suite rows (the paper's figure groups the x-axis by suite).
     for (const char *suite :
          {"SPEC2K", "SPEC2K6", "EEMBC", "Other", "JS"}) {
-        std::vector<double> s0, s1, s2;
+        std::vector<std::vector<double>> s(configs.size());
         for (const auto &r : rows) {
             if (trace::WorkloadRegistry::find(r.workload).suite !=
                 suite)
                 continue;
-            s0.push_back(sim::speedup(r.baseline, r.results[0]));
-            s1.push_back(sim::speedup(r.baseline, r.results[1]));
-            s2.push_back(sim::speedup(r.baseline, r.results[2]));
+            for (std::size_t ci = 0; ci < configs.size(); ++ci)
+                s[ci].push_back(
+                    sim::speedup(r.baseline, r.results[ci]));
         }
-        if (!s0.empty())
-            a.row({std::string("  avg:") + suite, sim::amean(s0),
-                   sim::amean(s1), sim::amean(s2), std::string(""),
-                   std::string(""), std::string("")});
+        if (!s[0].empty())
+            a.row({std::string("  avg:") + suite, sim::amean(s[0]),
+                   sim::amean(s[1]), sim::amean(s[2]),
+                   sim::amean(s[3]), sim::amean(s[4]),
+                   std::string(""), std::string(""),
+                   std::string("")});
     }
     a.row({std::string("AVERAGE"), meanSpeedup(rows, 0),
            meanSpeedup(rows, 1), meanSpeedup(rows, 2),
+           meanSpeedup(rows, 3), meanSpeedup(rows, 4),
            meanOf(rows, [](const WorkloadRow &r) {
                return r.results[0].coverage();
            }),

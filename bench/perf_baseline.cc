@@ -3,7 +3,8 @@
  * Simulator wall-clock baseline: how fast does one simulated row run?
  *
  * Runs the fig06 workload suite (every registered workload) under
- * {baseline, DLVP} and reports per-row wall time, simulated MIPS
+ * {baseline, DLVP, BALCVP, Hermes} and reports per-row wall time,
+ * simulated MIPS
  * (micro-ops simulated per wall second, warmup included), and memory-
  * image footprint, plus aggregate MIPS. Writes the machine-readable
  * report (schema "dlvp-perf-v1") so the perf trajectory is recorded
@@ -168,7 +169,11 @@ main(int argc, char **argv)
     }
 
     sim::SweepSpec spec;
-    spec.configs = {{"dlvp", sim::dlvpConfig()}};
+    // DLVP plus the registry-zoo entries: the perf gate watches the
+    // new accelerators' simulation throughput from the PR they land.
+    spec.configs = {{"dlvp", sim::dlvpConfig()},
+                    {"balcvp", sim::balcvpConfig()},
+                    {"hermes", sim::hermesConfig()}};
     spec.insts = insts;
     spec.core = sim::baselineCore();
     spec.baseline = sim::baselineVp();
@@ -185,8 +190,12 @@ main(int argc, char **argv)
     double wall_sum = 0.0;
     for (const auto &r : result.rows) {
         rows.push_back({r.workload, "baseline", r.baselinePerf});
-        rows.push_back({r.workload, "dlvp", r.perf[0]});
-        wall_sum += r.baselinePerf.wallMs + r.perf[0].wallMs;
+        wall_sum += r.baselinePerf.wallMs;
+        for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
+            rows.push_back({r.workload, spec.configs[ci].name,
+                            r.perf[ci]});
+            wall_sum += r.perf[ci].wallMs;
+        }
     }
     const double total_uops =
         static_cast<double>(insts) * static_cast<double>(rows.size());
@@ -194,13 +203,13 @@ main(int argc, char **argv)
         wall_sum > 0.0 ? total_uops / (wall_sum * 1e3) : 0.0;
 
     sim::Table t("Simulation performance baseline (fig06 suite, "
-                 "baseline + DLVP)");
-    t.columns({"workload", "base_ms", "base_mips", "dlvp_ms",
-               "dlvp_mips", "pages"});
+                 "baseline + zoo)");
+    t.columns({"workload", "base_mips", "dlvp_mips", "balcvp_mips",
+               "hermes_mips", "pages"});
     t.precision(2);
     for (const auto &r : result.rows)
-        t.row({r.workload, r.baselinePerf.wallMs, r.baselinePerf.mips,
-               r.perf[0].wallMs, r.perf[0].mips,
+        t.row({r.workload, r.baselinePerf.mips, r.perf[0].mips,
+               r.perf[1].mips, r.perf[2].mips,
                static_cast<long long>(r.perf[0].pagesTouched)});
     t.print(std::cout);
     std::printf("\nrows: %zu x %zu uops   row wall sum: %.0f ms   "

@@ -23,37 +23,28 @@ OoOCore::OoOCore(const CoreParams &params, const VpConfig &vp,
       paq_(vp.paqSize, vp.paqLifetime),
       archMem_(trace.initialImage), committedMem_(trace.initialImage)
 {
-    switch (vp_.scheme) {
-      case VpScheme::Dlvp:
-        pap_ = std::make_unique<pred::Pap>(vp_.pap);
-        break;
-      case VpScheme::CapDlvp:
-        cap_ = std::make_unique<pred::Cap>(vp_.cap);
-        break;
-      case VpScheme::StrideDlvp:
-        strideAp_ = std::make_unique<pred::StrideAp>(vp_.strideAp);
-        break;
-      case VpScheme::Vtage:
-        vtage_ = std::make_unique<pred::Vtage>(vp_.vtage);
-        break;
-      case VpScheme::Dvtage:
-        dvtage_ = std::make_unique<pred::Dvtage>(vp_.dvtage);
-        break;
-      case VpScheme::Tournament:
-        pap_ = std::make_unique<pred::Pap>(vp_.pap);
-        vtage_ = std::make_unique<pred::Vtage>(vp_.vtage);
-        break;
-      case VpScheme::None:
-        break;
+    {
+        pred::AccelParams ap;
+        ap.pap = vp_.pap;
+        ap.cap = vp_.cap;
+        ap.strideAp = vp_.strideAp;
+        ap.vtage = vp_.vtage;
+        ap.dvtage = vp_.dvtage;
+        ap.balcvp = vp_.balcvp;
+        ap.hermes = vp_.hermes;
+        ap.tournamentPartition = vp_.tournamentPartition;
+        accel_ = pred::makeAccelerator(vp_.accel, ap);
     }
+    accelAddr_ = accel_->predictsAddresses();
+    accelValues_ = accel_->predictsValues();
+    accelExecTrain_ = accel_->trainsAtExecute();
+    accelCommitTrain_ = accel_->trainsAtCommit();
+    accelActive_ = accelAddr_ || accelValues_;
     if (vp_.rngSeed != 0) {
         tage_.reseedRng(vp_.rngSeed ^ 0x7461676500000000ULL);
-        if (pap_)
-            pap_->reseedRng(vp_.rngSeed ^ 0x7061700000000000ULL);
-        if (vtage_)
-            vtage_->reseedRng(vp_.rngSeed ^ 0x7674616765000000ULL);
-        if (dvtage_)
-            dvtage_->reseedRng(vp_.rngSeed ^ 0x6476746167650000ULL);
+        // Each accelerator derives its own per-predictor salt so two
+        // predictors never share an Rng stream.
+        accel_->reseedRng(vp_.rngSeed);
     }
     dlvp_assert(params_.numPhysRegs > kNumArchRegs);
     freePhys_ = params_.numPhysRegs - kNumArchRegs;
@@ -308,69 +299,33 @@ OoOCore::fetchOne(const TraceInst &inst)
         }
     }
 
-    // ---- VTAGE / D-VTAGE prediction at fetch ----
-    if (vtage_ && vtage_->eligible(inst)) {
-        s.vpEligible = true;
-        const unsigned n = std::max<unsigned>(1, inst.numDests);
-        for (unsigned d = 0; d < n; ++d) {
-            const auto p = vtage_->predict(inst, d, s.ghrSnap);
-            ++stats_.predictorLookups;
-            if (p.valid) {
-                s.vtMask |= (1u << d);
-                s.vtValues[d] = p.value;
-            }
-        }
-    }
-    if (dvtage_ && dvtage_->eligible(inst)) {
-        s.vpEligible = true;
-        const unsigned n = std::max<unsigned>(1, inst.numDests);
-        for (unsigned d = 0; d < n; ++d) {
-            const auto p = dvtage_->predictSpec(inst, d, s.ghrSnap);
-            ++stats_.predictorLookups;
-            if (p.valid) {
-                s.vtMask |= (1u << d);
-                s.vtValues[d] = p.value;
-            }
-        }
+    // ---- value prediction at fetch ----
+    if (accelValues_) {
+        const pred::AccelFetchContext fctx{s.ghrSnap, s.lphSnap};
+        pred::AccelValuePredictions vpred;
+        auto astats = accelStats();
+        accel_->predictValues(inst, fctx, vpred, astats);
+        if (vpred.eligible)
+            s.vpEligible = true;
+        s.vtMask = vpred.mask;
+        s.vtValues = vpred.values;
     }
 
-    // ---- DLVP address prediction at fetch stage 1 ----
+    // ---- address prediction at fetch stage 1 ----
     if (inst.isLoad()) {
         const unsigned slot = groupLoadCount_++;
-        const bool scheme_ap = vp_.scheme == VpScheme::Dlvp ||
-                               vp_.scheme == VpScheme::CapDlvp ||
-                               vp_.scheme == VpScheme::StrideDlvp ||
-                               vp_.scheme == VpScheme::Tournament;
-        if (scheme_ap && slot < 2) {
+        if (accelAddr_ && slot < 2) {
             s.apLooked = true;
             s.apSlot = static_cast<std::uint8_t>(slot);
             if (vp_.useLscd && lscd_.contains(inst.pc)) {
                 s.apBlocked = true;
                 ++stats_.lscdBlocked;
             } else {
-                pred::Pap::Prediction pp;
-                if (pap_) {
-                    pp = pap_->predict(inst.pc & ~Addr{15}, slot,
-                                       s.lphSnap);
-                } else if (cap_) {
-                    // CAP predicts and trains at fetch: idealized
-                    // zero-latency per-load history management (see
-                    // pred/cap.hh).
-                    const auto cp = cap_->predict(inst.pc);
-                    cap_->train(inst.pc, inst.memAddr);
-                    ++stats_.predictorWrites;
-                    pp.valid = cp.valid;
-                    pp.addr = cp.addr;
-                    pp.size = inst.memSize;
-                    pp.way = -1;
-                } else if (strideAp_) {
-                    const auto sp = strideAp_->predict(inst.pc);
-                    pp.valid = sp.valid;
-                    pp.addr = sp.addr;
-                    pp.size = inst.memSize;
-                    pp.way = -1;
-                }
-                ++stats_.predictorLookups;
+                const pred::AccelFetchContext fctx{s.ghrSnap,
+                                                   s.lphSnap};
+                auto astats = accelStats();
+                const auto pp =
+                    accel_->predictAddress(inst, slot, fctx, astats);
                 if (pp.valid && !paq_.full()) {
                     s.apPredicted = true;
                     s.apAddr = pp.addr;
@@ -420,42 +375,18 @@ OoOCore::activatePredictions(InstState &s)
     std::uint8_t source = 0;
     const std::array<std::uint64_t, trace::kMaxDests> *values = nullptr;
 
-    switch (vp_.scheme) {
-      case VpScheme::Dlvp:
-      case VpScheme::CapDlvp:
-      case VpScheme::StrideDlvp:
-        if (!dlvp_avail)
-            return;
+    switch (accel_->choose(inst.pc, dlvp_avail, vtage_avail)) {
+      case pred::AccelChoice::Address:
         mask = full_mask;
         values = &s.dlValues;
         source = 1;
         break;
-      case VpScheme::Vtage:
-      case VpScheme::Dvtage:
-        if (!vtage_avail)
-            return;
+      case pred::AccelChoice::Value:
         mask = s.vtMask;
         values = &s.vtValues;
         source = 2;
         break;
-      case VpScheme::Tournament: {
-        bool use_dlvp;
-        if (dlvp_avail && vtage_avail)
-            use_dlvp = chooser_.preferDlvp(inst.pc);
-        else
-            use_dlvp = dlvp_avail;
-        if (use_dlvp) {
-            mask = full_mask;
-            values = &s.dlValues;
-            source = 1;
-        } else {
-            mask = s.vtMask;
-            values = &s.vtValues;
-            source = 2;
-        }
-        break;
-      }
-      case VpScheme::None:
+      case pred::AccelChoice::None:
         return;
     }
 
@@ -859,10 +790,7 @@ OoOCore::issueStage()
 void
 OoOCore::probeStage(unsigned free_ls_lanes)
 {
-    if (vp_.scheme != VpScheme::Dlvp &&
-        vp_.scheme != VpScheme::CapDlvp &&
-        vp_.scheme != VpScheme::StrideDlvp &&
-        vp_.scheme != VpScheme::Tournament)
+    if (!accelAddr_)
         return;
     paq_.expire(now_, stats_.paqDrops);
     for (unsigned lane = 0; lane < free_ls_lanes; ++lane) {
@@ -938,8 +866,7 @@ OoOCore::validatePrediction(InstState &s)
         s.apAddr == inst.memAddr && vp_.useLscd) {
         // Correct address, wrong value: an in-flight store conflicted.
         lscd_.insert(inst.pc);
-        if (pap_)
-            pap_->invalidate(inst.pc & ~Addr{15}, s.apSlot, s.lphSnap);
+        accel_->invalidateAddress(inst.pc, s.apSlot, s.lphSnap);
         ++stats_.lscdInserts;
         if (dbgLscd_)
             fprintf(stderr,
@@ -988,36 +915,31 @@ OoOCore::completeInst(InstState &s)
     }
 
     if (inst.isLoad()) {
-        // Address-predictor training happens at execute (§3.1.2).
+        // Accelerator training at execute (§3.1.2): address-predictor
+        // updates, plus latency/chooser feedback.
         const int way = mem_.l1dWayOf(inst.memAddr);
-        if (s.apLooked && !s.apBlocked && pap_) {
-            pap_->train(inst.pc & ~Addr{15}, s.apSlot, s.lphSnap,
-                        inst.memAddr, inst.memSize, way);
-            ++stats_.predictorWrites;
-        }
-        if (s.apLooked && !s.apBlocked && strideAp_) {
-            strideAp_->train(inst.pc, inst.memAddr);
-            ++stats_.predictorWrites;
+        if (accelExecTrain_) {
+            pred::AccelExecInfo ei;
+            ei.inst = &inst;
+            ei.addrTrainable = s.apLooked && !s.apBlocked;
+            ei.slot = s.apSlot;
+            ei.ghr = s.ghrSnap;
+            ei.lph = s.lphSnap;
+            ei.l1dWay = way;
+            ei.latency = s.completeCycle - s.issueCycle;
+            ei.probeHit = s.probeHit;
+            ei.valueMask = s.vtMask;
+            ei.probeValues = &s.dlValues;
+            ei.values = &s.vtValues;
+            ei.actualValues = &s.actualValues;
+            auto astats = accelStats();
+            accel_->trainAtExecute(ei, astats);
         }
         if (s.apPredicted) {
             if (s.apAddr == inst.memAddr)
                 ++stats_.addrPredCorrect;
             else
                 ++stats_.addrPredWrong;
-        }
-        // Tournament chooser learns from both candidates.
-        if (vp_.scheme == VpScheme::Tournament &&
-            (s.probeHit || s.vtMask)) {
-            const unsigned n = std::max<unsigned>(1, inst.numDests);
-            bool dl_ok = s.probeHit;
-            for (unsigned d = 0; dl_ok && d < n; ++d)
-                dl_ok = s.dlValues[d] == s.actualValues[d];
-            bool vt_ok = s.vtMask != 0;
-            for (unsigned d = 0; vt_ok && d < n; ++d)
-                if (s.vtMask & (1u << d))
-                    vt_ok = s.vtValues[d] == s.actualValues[d];
-            if (s.probeHit && s.vtMask)
-                chooser_.update(inst.pc, dl_ok, vt_ok);
         }
         validatePrediction(s);
     } else if (s.vpActiveMask) {
@@ -1157,10 +1079,7 @@ OoOCore::applyFlush()
 
     nextFetch_ = from;
     nextDispatch_ = std::min(nextDispatch_, from);
-    if (dvtage_)
-        dvtage_->flushResync();
-    if (strideAp_)
-        strideAp_->flushResync();
+    accel_->flushResync();
     // Any pending front-end stall was for the squashed path.
     fetchResumeCycle_ = flushRedirect_;
     if (fetchHaltSeq_ != kNoSeq && fetchHaltSeq_ >= from)
@@ -1229,41 +1148,18 @@ OoOCore::commitStage()
             }
         }
 
-        // D-VTAGE trains at commit.
-        if (dvtage_ && dvtage_->eligible(inst)) {
-            const unsigned nd = std::max<unsigned>(1, inst.numDests);
-            for (unsigned d = 0; d < nd; ++d) {
-                dvtage_->train(inst, d, s.ghrSnap, s.actualValues[d]);
-                ++stats_.predictorWrites;
-            }
-        }
-        // VTAGE trains at commit.
-        if (vtage_) {
-            const unsigned nd = std::max<unsigned>(1, inst.numDests);
-            const bool was_pred = s.vtMask != 0;
-            bool was_correct = was_pred;
-            for (unsigned d = 0; was_correct && d < nd; ++d)
-                if (s.vtMask & (1u << d))
-                    was_correct = s.vtValues[d] == s.actualValues[d];
-            // Partitioned tournament (SS5.2.3 future work): a load
-            // DLVP handled correctly does not compete for VTAGE
-            // capacity.
-            bool dlvp_owned = false;
-            if (vp_.tournamentPartition && inst.isLoad() &&
-                s.probeHit) {
-                dlvp_owned = true;
-                for (unsigned d = 0; dlvp_owned && d < nd; ++d)
-                    dlvp_owned = s.dlValues[d] == s.actualValues[d];
-            }
-            if (!dlvp_owned &&
-                (vtage_->eligible(inst) || was_pred)) {
-                for (unsigned d = 0; d < nd; ++d) {
-                    vtage_->train(inst, d, s.ghrSnap,
-                                  s.actualValues[d], was_pred,
-                                  was_correct);
-                    ++stats_.predictorWrites;
-                }
-            }
+        // Accelerator training at commit (architectural values).
+        if (accelCommitTrain_) {
+            pred::AccelCommitInfo ci;
+            ci.inst = &inst;
+            ci.ghr = s.ghrSnap;
+            ci.probeHit = s.probeHit;
+            ci.valueMask = s.vtMask;
+            ci.probeValues = &s.dlValues;
+            ci.values = &s.vtValues;
+            ci.actualValues = &s.actualValues;
+            auto astats = accelStats();
+            accel_->trainAtCommit(ci, astats);
         }
 
         // Statistics.
@@ -1272,7 +1168,7 @@ OoOCore::commitStage()
         stats_.prfWrites += inst.numDests;
         if (inst.isLoad()) {
             ++stats_.committedLoads;
-            if (vp_.scheme != VpScheme::None)
+            if (accelActive_)
                 ++stats_.vpEligibleLoads;
             if (s.vpActiveMask && dbgCov_)
                 fprintf(stderr, "cov pc=%llx\n",

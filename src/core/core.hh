@@ -34,18 +34,14 @@
 #include "core/paq.hh"
 #include "core/params.hh"
 #include "mem/hierarchy.hh"
+#include "pred/accel.hh"
 #include "pred/btb.hh"
-#include "pred/cap.hh"
-#include "pred/chooser.hh"
-#include "pred/dvtage.hh"
 #include "pred/ittage.hh"
 #include "pred/lscd.hh"
 #include "pred/mdp.hh"
 #include "pred/pap.hh"
 #include "pred/ras.hh"
-#include "pred/stride_ap.hh"
 #include "pred/tage.hh"
-#include "pred/vtage.hh"
 #include "trace/trace.hh"
 
 namespace dlvp::core
@@ -84,9 +80,8 @@ class OoOCore
      */
     std::uint64_t cyclesSkipped() const { return cyclesSkipped_; }
 
-    const pred::Pap *pap() const { return pap_.get(); }
-    const pred::Cap *cap() const { return cap_.get(); }
-    const pred::Vtage *vtage() const { return vtage_.get(); }
+    /** The registry-constructed load accelerator driving the VPE. */
+    const pred::LoadAccelerator &accelerator() const { return *accel_; }
 
   private:
     /** Per-in-flight-instruction state (ROB + front-end entry). */
@@ -316,13 +311,19 @@ class OoOCore
     pred::Btb btb_;
     pred::Ras ras_;
     pred::Mdp mdp_;
-    std::unique_ptr<pred::Pap> pap_;
-    std::unique_ptr<pred::Cap> cap_;
-    std::unique_ptr<pred::StrideAp> strideAp_;
-    std::unique_ptr<pred::Vtage> vtage_;
-    std::unique_ptr<pred::Dvtage> dvtage_;
+    /** The load accelerator, constructed from the registry by key. */
+    std::unique_ptr<pred::LoadAccelerator> accel_;
+    /** @{
+     * Capability flags cached at construction so disabled hooks cost
+     * one branch — not a virtual call — on the hot path.
+     */
+    bool accelAddr_ = false;
+    bool accelValues_ = false;
+    bool accelExecTrain_ = false;
+    bool accelCommitTrain_ = false;
+    bool accelActive_ = false;
+    /** @} */
     pred::Lscd lscd_;
-    pred::TournamentChooser chooser_;
     pred::LoadPathHistory lph_;
     std::uint64_t ghr_ = 0;
     std::uint64_t indHist_ = 0;
@@ -427,6 +428,12 @@ class OoOCore
     void completeInst(InstState &s);
     void validatePrediction(InstState &s);
     void activatePredictions(InstState &s);
+
+    /** The only CoreStats fields accelerator hooks may touch. */
+    pred::AccelStats accelStats()
+    {
+        return {stats_.predictorLookups, stats_.predictorWrites};
+    }
     void requestFlush(InstSeqNum from, Cycle redirect,
                       std::uint64_t CoreStats::*counter);
     void applyFlush();

@@ -7,10 +7,13 @@
 #define DLVP_CORE_PARAMS_HH
 
 #include <cstdint>
+#include <string>
 
 #include "mem/hierarchy.hh"
+#include "pred/balcvp.hh"
 #include "pred/cap.hh"
 #include "pred/dvtage.hh"
+#include "pred/hermes.hh"
 #include "pred/pap.hh"
 #include "pred/stride_ap.hh"
 #include "pred/vtage.hh"
@@ -79,18 +82,6 @@ struct CoreParams
     mem::HierarchyParams memory{};
 };
 
-/** Which value-prediction scheme the core runs. */
-enum class VpScheme : std::uint8_t
-{
-    None,       ///< baseline, no value prediction
-    Dlvp,       ///< PAP address prediction + cache probing
-    CapDlvp,    ///< DLVP microarchitecture but with the CAP predictor
-    StrideDlvp, ///< DLVP with a computation-based stride predictor
-    Vtage,      ///< conventional VTAGE value prediction
-    Dvtage,     ///< D-VTAGE (SS2.1): last values + stride deltas
-    Tournament, ///< DLVP + VTAGE with a chooser (Figure 8)
-};
-
 /** Misprediction recovery model (§5.2.4, Figure 10). */
 enum class RecoveryMode : std::uint8_t
 {
@@ -111,7 +102,12 @@ enum class VpeDesign : std::uint8_t
 
 struct VpConfig
 {
-    VpScheme scheme = VpScheme::None;
+    /**
+     * Registry key of the load accelerator the core runs (see
+     * pred/accel.hh); "none" is the unaccelerated baseline. Unknown
+     * keys surface as RunError{internal} when the core is built.
+     */
+    std::string accel = "none";
     RecoveryMode recovery = RecoveryMode::Flush;
     VpeDesign vpeDesign = VpeDesign::Pvt;
 
@@ -135,6 +131,8 @@ struct VpConfig
     pred::StrideApParams strideAp{};
     pred::VtageParams vtage{};
     pred::DvtageParams dvtage{};
+    pred::BalcvpParams balcvp{};
+    pred::HermesParams hermes{};
 
     /** 1-cycle penalty for checking a predicted value (SS3.2.2). */
     unsigned valueCheckPenalty = 1;

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * LoadAccelerator registry. See accel.hh for the interface contract.
+ */
+
+#include "pred/accel.hh"
+
+#include <map>
+#include <utility>
+
+#include "common/run_error.hh"
+
+namespace dlvp::pred
+{
+
+// Defined in accel_builtin.cc / accel_zoo.cc. Called explicitly from
+// ensureBuiltins() so a static-library link cannot drop the
+// registrations (self-registering globals in unreferenced objects
+// would).
+void registerBuiltinAccelerators();
+void registerZooAccelerators();
+
+namespace
+{
+
+// std::map, not unordered: acceleratorCatalog() iterates it, and the
+// determinism lint (rightly) bans unordered iteration order.
+std::map<std::string, AccelInfo> &
+registry()
+{
+    static std::map<std::string, AccelInfo> instance;
+    return instance;
+}
+
+void
+ensureBuiltins()
+{
+    static const bool once = [] {
+        registerBuiltinAccelerators();
+        registerZooAccelerators();
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace
+
+void
+registerAccelerator(const std::string &key,
+                    const std::string &description, AccelFactory factory)
+{
+    auto [it, inserted] =
+        registry().emplace(key, AccelInfo{key, description, factory});
+    (void)it;
+    if (!inserted) {
+        throw common::RunError(common::ErrorKind::Internal,
+                               "duplicate accelerator key '" + key + "'");
+    }
+}
+
+bool
+acceleratorRegistered(const std::string &key)
+{
+    ensureBuiltins();
+    return registry().count(key) != 0;
+}
+
+std::unique_ptr<LoadAccelerator>
+makeAccelerator(const std::string &key, const AccelParams &params)
+{
+    ensureBuiltins();
+    const auto it = registry().find(key);
+    if (it == registry().end()) {
+        throw common::RunError(common::ErrorKind::Internal,
+                               "unknown accelerator key '" + key + "'");
+    }
+    return it->second.factory(params);
+}
+
+std::vector<AccelInfo>
+acceleratorCatalog()
+{
+    ensureBuiltins();
+    std::vector<AccelInfo> out;
+    out.reserve(registry().size());
+    for (const auto &[key, info] : registry())
+        out.push_back(info);
+    return out;
+}
+
+} // namespace dlvp::pred

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * BALCVP implementation. See balcvp.hh for the model.
+ */
+
+#include "pred/balcvp.hh"
+
+namespace dlvp::pred
+{
+
+Balcvp::Balcvp(const BalcvpParams &params)
+    : params_(params), values_(std::size_t{1} << params.valueBits),
+      eqPred_(std::size_t{1} << params.eqBits)
+{
+}
+
+Addr
+Balcvp::effectivePc(Addr pc, unsigned dest_idx)
+{
+    // Golden-ratio salt keeps destination rows of one load apart
+    // without perturbing dest 0 (the common single-dest case).
+    return pc + Addr{dest_idx} * 0x9e3779b9ULL;
+}
+
+unsigned
+Balcvp::valueIndexOf(Addr pc) const
+{
+    return static_cast<unsigned>(
+        ((pc >> 2) ^ (pc >> (2 + params_.valueBits))) &
+        mask(params_.valueBits));
+}
+
+unsigned
+Balcvp::eqIndexOf(Addr pc) const
+{
+    return static_cast<unsigned>(
+        ((pc >> 2) ^ (pc >> (2 + params_.eqBits))) &
+        mask(params_.eqBits));
+}
+
+std::uint16_t
+Balcvp::tagOf(Addr pc) const
+{
+    return static_cast<std::uint16_t>(
+        ((pc >> 2) ^ (pc >> 9) ^ (pc >> 17)) & mask(params_.tagBits));
+}
+
+Balcvp::Prediction
+Balcvp::predict(Addr pc, unsigned dest_idx)
+{
+    Prediction p;
+    if (specOutstanding_ >= params_.maxSpecDistance)
+        return p; // beyond the recovery model's rewind depth
+    const Addr epc = effectivePc(pc, dest_idx);
+    const std::uint16_t t = tagOf(epc);
+    const ValueEntry &v = values_[valueIndexOf(epc)];
+    const EqEntry &e = eqPred_[eqIndexOf(epc)];
+    if (v.valid && v.tag == t && e.valid && e.tag == t &&
+        e.eq >= params_.eqThreshold && e.ne <= params_.neTolerance) {
+        p.valid = true;
+        p.value = v.value;
+        ++specOutstanding_;
+    }
+    return p;
+}
+
+void
+Balcvp::train(Addr pc, unsigned dest_idx, std::uint64_t actual)
+{
+    const Addr epc = effectivePc(pc, dest_idx);
+    const std::uint16_t t = tagOf(epc);
+    ValueEntry &v = values_[valueIndexOf(epc)];
+    EqEntry &e = eqPred_[eqIndexOf(epc)];
+
+    if (v.valid && v.tag == t) {
+        // Equality predictor learns whether this PC's committed value
+        // repeats; a mismatch (e.g. a store retired in between) halves
+        // the "repeated" count so confidence rebuilds slowly.
+        if (!e.valid || e.tag != t) {
+            e.valid = true;
+            e.tag = t;
+            e.eq = 0;
+            e.ne = 0;
+        }
+        if (v.value == actual) {
+            if (e.eq < params_.counterMax)
+                ++e.eq;
+            if (e.ne > 0)
+                --e.ne;
+        } else {
+            if (e.ne < params_.counterMax)
+                ++e.ne;
+            e.eq = static_cast<std::uint8_t>(e.eq / 2);
+        }
+    }
+
+    // The value table is written only here, at commit — never from a
+    // speculative value — which is what makes BALCVP immune to
+    // in-flight conflicting stores.
+    v.valid = true;
+    v.tag = t;
+    v.value = actual;
+}
+
+void
+Balcvp::resolve()
+{
+    if (specOutstanding_ > 0)
+        --specOutstanding_;
+}
+
+std::uint64_t
+Balcvp::storageBits() const
+{
+    const std::uint64_t value_bits =
+        values_.size() * (params_.tagBits + 64 + 1);
+    const std::uint64_t eq_bits =
+        eqPred_.size() * (params_.tagBits + 3 + 3 + 1);
+    return value_bits + eq_bits;
+}
+
+} // namespace dlvp::pred

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Hermes-style off-chip predictor implementation. See hermes.hh.
+ */
+
+#include "pred/hermes.hh"
+
+#include <algorithm>
+
+namespace dlvp::pred
+{
+
+Hermes::Hermes(const HermesParams &params)
+    : params_(params), lvp_(params.lvp)
+{
+    for (auto &table : weights_)
+        table.assign(std::size_t{1} << params_.tableBits, 0);
+}
+
+Addr
+Hermes::effectivePc(Addr pc, unsigned dest_idx)
+{
+    return pc + Addr{dest_idx} * 0x9e3779b9ULL;
+}
+
+std::uint64_t
+Hermes::fold(std::uint64_t h) const
+{
+    // XOR-fold 64 bits of history down to the table index width.
+    std::uint64_t folded = 0;
+    for (unsigned shift = 0; shift < 64; shift += params_.tableBits)
+        folded ^= h >> shift;
+    return folded & mask(params_.tableBits);
+}
+
+unsigned
+Hermes::featureIndex(unsigned feature, Addr pc, std::uint64_t ghr,
+                     std::uint64_t lph) const
+{
+    std::uint64_t h = (pc >> 2) ^ (pc >> (2 + params_.tableBits));
+    switch (feature) {
+      case 0:
+        break; // plain PC
+      case 1:
+        h ^= fold(ghr); // PC x global branch history
+        break;
+      default:
+        h ^= fold(lph); // PC x load path history
+        break;
+    }
+    return static_cast<unsigned>(h & mask(params_.tableBits));
+}
+
+int
+Hermes::sum(Addr pc, std::uint64_t ghr, std::uint64_t lph) const
+{
+    int s = bias_;
+    for (unsigned f = 0; f < kNumFeatures; ++f)
+        s += weights_[f][featureIndex(f, pc, ghr, lph)];
+    return s;
+}
+
+bool
+Hermes::predictSlow(Addr pc, std::uint64_t ghr, std::uint64_t lph) const
+{
+    return sum(pc, ghr, lph) >= params_.activationThreshold;
+}
+
+Hermes::Prediction
+Hermes::predictValue(Addr pc, unsigned dest_idx)
+{
+    Prediction p;
+    if (specInflight_ >= params_.maxSpecInflight)
+        return p;
+    const auto lp = lvp_.predict(effectivePc(pc, dest_idx));
+    if (lp.valid) {
+        p.valid = true;
+        p.value = lp.value;
+        ++specInflight_;
+    }
+    return p;
+}
+
+bool
+Hermes::trainLatency(Addr pc, std::uint64_t ghr, std::uint64_t lph,
+                     unsigned latency)
+{
+    const bool slow = latency >= params_.slowLatency;
+    const int s = sum(pc, ghr, lph);
+    const bool predicted_slow = s >= params_.activationThreshold;
+    // Perceptron rule: update on a wrong direction, or while the
+    // margin is still inside the training theta.
+    if (predicted_slow == slow && std::abs(s) > params_.trainingTheta)
+        return false;
+    const int delta = slow ? 1 : -1;
+    auto bump = [&](std::int8_t &w) {
+        const int next = std::clamp(static_cast<int>(w) + delta,
+                                    params_.weightMin, params_.weightMax);
+        w = static_cast<std::int8_t>(next);
+    };
+    for (unsigned f = 0; f < kNumFeatures; ++f)
+        bump(weights_[f][featureIndex(f, pc, ghr, lph)]);
+    bump(bias_);
+    return true;
+}
+
+void
+Hermes::trainValue(Addr pc, unsigned dest_idx, std::uint64_t actual)
+{
+    lvp_.train(effectivePc(pc, dest_idx), actual);
+}
+
+void
+Hermes::resolve()
+{
+    if (specInflight_ > 0)
+        --specInflight_;
+}
+
+std::uint64_t
+Hermes::storageBits() const
+{
+    std::uint64_t bits = 6; // bias weight
+    for (const auto &table : weights_)
+        bits += table.size() * 6;
+    return bits + lvp_.storageBits();
+}
+
+} // namespace dlvp::pred

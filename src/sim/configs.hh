@@ -1,16 +1,46 @@
 /**
  * @file
  * Named simulator configurations matching the paper's evaluated design
- * points (Table 4 plus the §5 sweeps).
+ * points (Table 4 plus the §5 sweeps) and the post-registry zoo
+ * entries. Configurations are data — a name, the LoadAccelerator
+ * registry key it instantiates, a description, and a parameter
+ * builder — enumerable by the CLI and cross-checked by dlvp-analyze.
  */
 
 #ifndef DLVP_SIM_CONFIGS_HH
 #define DLVP_SIM_CONFIGS_HH
 
+#include <string>
+#include <vector>
+
 #include "core/params.hh"
 
 namespace dlvp::sim
 {
+
+/** One named design point of the predictor zoo. */
+struct ConfigDesc
+{
+    const char *name;        ///< CLI / golden-table name
+    const char *accel;       ///< LoadAccelerator registry key
+    const char *description; ///< one line, shown by list-configs
+    core::VpConfig (*make)();
+};
+
+/** Every named configuration, in catalog (presentation) order. */
+const std::vector<ConfigDesc> &configCatalog();
+
+/**
+ * Look up a configuration by name; returns false (leaving @p out
+ * untouched) for unknown names.
+ */
+bool configByName(const std::string &name, core::VpConfig &out);
+
+/**
+ * Closest catalog name to @p name by edit distance, for did-you-mean
+ * diagnostics; empty when nothing is plausibly close.
+ */
+std::string suggestConfig(const std::string &name);
 
 /** Baseline core (Table 4); shared by every scheme. */
 core::CoreParams baselineCore();
@@ -42,6 +72,12 @@ core::VpConfig dvtageConfig();
 
 /** Tournament with partitioned training (SS5.2.3 future work). */
 core::VpConfig partitionedTournamentConfig();
+
+/** BALCVP: last-committed-value + equality prediction. */
+core::VpConfig balcvpConfig();
+
+/** Hermes-style off-chip perceptron gating a last value predictor. */
+core::VpConfig hermesConfig();
 
 } // namespace dlvp::sim
 

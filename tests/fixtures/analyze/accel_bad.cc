@@ -1,0 +1,15 @@
+// accel-registry fixture: 'orphan' is registered but the golden
+// table (accel_golden_bad.inc) never pins it, and the table pins
+// 'ghost', which nothing here registers.
+
+#define DLVP_ACCEL(key) key // the marker itself registers nothing
+
+// A doc example like DLVP_ACCEL("comment-key") must not count either.
+
+void
+registerFixtureAccelerators()
+{
+    registerAccelerator({DLVP_ACCEL("alpha"), "first", nullptr});
+    registerAccelerator({DLVP_ACCEL("beta"), "second", nullptr});
+    registerAccelerator({DLVP_ACCEL("orphan"), "unpinned", nullptr});
+}

@@ -1,0 +1,14 @@
+// accel-registry fixture: every registered key is pinned by
+// accel_golden_good.inc, except 'experimental', whose registration
+// carries an explicit suppression.
+
+#define DLVP_ACCEL(key) key
+
+void
+registerFixtureAccelerators()
+{
+    registerAccelerator({DLVP_ACCEL("alpha"), "first", nullptr});
+    registerAccelerator({DLVP_ACCEL("beta"), "second", nullptr});
+    // dlvp-analyze: allow(accel-registry)
+    registerAccelerator({DLVP_ACCEL("experimental"), "wip", nullptr});
+}

@@ -196,6 +196,50 @@ TEST(AnalyzeErrorTaxonomy, RunErrorRethrowAtexitAndSuppressionPass)
 }
 
 // ---------------------------------------------------------------------
+// accel-registry
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::vector<Finding>
+lintAccelRegistry(const std::string &src, const std::string &golden)
+{
+    AnalyzeConfig config;
+    config.accelSourcePaths = {fixture(src)};
+    config.goldenStatsPath = fixture(golden);
+    config.rules = {"accel-registry"};
+    return runAnalysis(config);
+}
+
+} // namespace
+
+TEST(AnalyzeAccelRegistry, FlagsUnpinnedKeyAndUnregisteredRow)
+{
+    const auto findings =
+        lintAccelRegistry("accel_bad.cc", "accel_golden_bad.inc");
+    EXPECT_TRUE(anyMessageContains(
+        findings, "'orphan' is registered but pinned by no golden"));
+    EXPECT_TRUE(anyMessageContains(
+        findings, "pins accelerator 'ghost'"));
+    // The #define and the comment example register nothing.
+    EXPECT_FALSE(anyMessageContains(findings, "'comment-key'"));
+    EXPECT_FALSE(anyMessageContains(findings, "'key'"));
+    EXPECT_EQ(findings.size(), 2u);
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.rule, "accel-registry") << f.message;
+}
+
+TEST(AnalyzeAccelRegistry, PinnedKeysAndSuppressionAreClean)
+{
+    const auto findings =
+        lintAccelRegistry("accel_good.cc", "accel_golden_good.inc");
+    EXPECT_TRUE(findings.empty())
+        << findings.front().file << ":" << findings.front().line
+        << ": " << findings.front().message;
+}
+
+// ---------------------------------------------------------------------
 // Acceptance: the shipped source tree lints clean
 // ---------------------------------------------------------------------
 
@@ -218,6 +262,12 @@ TEST(AnalyzeRepo, SourceTreeIsClean)
     ASSERT_FALSE(config.files.empty());
     config.coreStatsPath =
         (root / "src" / "core" / "core_stats.hh").string();
+    config.goldenStatsPath =
+        (root / "tests" / "golden_core_stats.inc").string();
+    for (const std::string &f : config.files)
+        if (f.find("/src/pred/") != std::string::npos)
+            config.accelSourcePaths.push_back(f);
+    ASSERT_FALSE(config.accelSourcePaths.empty());
 
     const auto findings = runAnalysis(config);
     for (const Finding &f : findings)

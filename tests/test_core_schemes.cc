@@ -19,7 +19,6 @@ using core::CoreParams;
 using core::CoreStats;
 using core::OoOCore;
 using core::VpConfig;
-using core::VpScheme;
 
 CoreStats
 runWith(const Trace &t, const VpConfig &vp)
@@ -209,7 +208,7 @@ TEST(CoreSchemes, AllSchemesCommitIdenticalInstCounts)
     for (const auto &vp : configs) {
         const auto s = runWith(t, vp);
         EXPECT_EQ(s.committedInsts, t.size())
-            << "scheme " << static_cast<int>(vp.scheme);
+            << "accel " << vp.accel;
     }
 }
 

@@ -23,11 +23,11 @@ using namespace dlvp::sim;
 
 TEST(Configs, SchemesAreDistinct)
 {
-    EXPECT_EQ(baselineVp().scheme, core::VpScheme::None);
-    EXPECT_EQ(dlvpConfig().scheme, core::VpScheme::Dlvp);
-    EXPECT_EQ(capConfig().scheme, core::VpScheme::CapDlvp);
-    EXPECT_EQ(vtageConfig().scheme, core::VpScheme::Vtage);
-    EXPECT_EQ(tournamentConfig().scheme, core::VpScheme::Tournament);
+    EXPECT_EQ(baselineVp().accel, "none");
+    EXPECT_EQ(dlvpConfig().accel, "pap-dlvp");
+    EXPECT_EQ(capConfig().accel, "cap-dlvp");
+    EXPECT_EQ(vtageConfig().accel, "vtage");
+    EXPECT_EQ(tournamentConfig().accel, "tournament");
 }
 
 TEST(Configs, CapConfidenceParameterized)

@@ -23,6 +23,7 @@ constexpr const char *kRuleDeterminism = "determinism";
 constexpr const char *kRuleStatsRegistry = "stats-registry";
 constexpr const char *kRuleSpecState = "spec-state";
 constexpr const char *kRuleErrorTaxonomy = "error-taxonomy";
+constexpr const char *kRuleAccelRegistry = "accel-registry";
 
 // ---------------------------------------------------------------------
 // Source model
@@ -485,6 +486,81 @@ runStatsRegistryRule(const SourceFile &f, const std::string &macroName,
 }
 
 // ---------------------------------------------------------------------
+// Rule: accel-registry
+// ---------------------------------------------------------------------
+
+/**
+ * Cross-check the LoadAccelerator registry against the golden
+ * CoreStats table: every key registered under DLVP_ACCEL("<key>")
+ * must appear in some golden row's accelerator column, and every
+ * golden accelerator column must name a registered key. A registered
+ * accelerator without a golden row has no bit-identity anchor — the
+ * exact gap this lint closes.
+ *
+ * Both sides of the check live inside string literals, which the
+ * shared stripper blanks, so this rule scans raw lines.
+ */
+void
+runAccelRegistryRule(const std::vector<SourceFile *> &sources,
+                     const SourceFile &golden, Reporter &rep)
+{
+    // key -> first registration site (file, line)
+    std::map<std::string, std::pair<const SourceFile *, unsigned>>
+        registered;
+    static const std::regex markerRe(
+        R"re(DLVP_ACCEL\(\s*"([^"]*)"\s*\))re");
+    for (const SourceFile *f : sources) {
+        for (std::size_t li = 0; li < f->raw.size(); ++li) {
+            const std::string &line = f->raw[li];
+            // Comments (stripped from .code) and the marker's own
+            // #define don't register anything; only use sites do.
+            if (li >= f->code.size() ||
+                f->code[li].find("DLVP_ACCEL") == std::string::npos)
+                continue;
+            if (line.find("#define") != std::string::npos)
+                continue;
+            std::smatch m;
+            if (!std::regex_search(line, m, markerRe))
+                continue;
+            registered.emplace(
+                m[1].str(),
+                std::make_pair(f, static_cast<unsigned>(li + 1)));
+        }
+    }
+
+    // Golden rows: {"workload", "config", "accel-key", ...
+    std::map<std::string, unsigned> pinned; // key -> first row line
+    static const std::regex rowRe(
+        R"re(^\s*\{\s*"[^"]*"\s*,\s*"[^"]*"\s*,\s*"([^"]*)")re");
+    for (std::size_t li = 0; li < golden.raw.size(); ++li) {
+        std::smatch m;
+        if (std::regex_search(golden.raw[li], m, rowRe))
+            pinned.emplace(m[1].str(),
+                           static_cast<unsigned>(li + 1));
+    }
+
+    if (registered.empty()) {
+        rep.report(golden, 1, kRuleAccelRegistry,
+                   "no DLVP_ACCEL(\"...\") registration sites found "
+                   "in the accelerator sources");
+        return;
+    }
+    for (const auto &[key, site] : registered) {
+        if (!pinned.count(key))
+            rep.report(*site.first, site.second, kRuleAccelRegistry,
+                       "accelerator '" + key +
+                           "' is registered but pinned by no golden "
+                           "CoreStats row (no bit-identity anchor)");
+    }
+    for (const auto &[key, line] : pinned) {
+        if (!registered.count(key))
+            rep.report(golden, line, kRuleAccelRegistry,
+                       "golden row pins accelerator '" + key +
+                           "', which no DLVP_ACCEL site registers");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Rule: spec-state
 // ---------------------------------------------------------------------
 
@@ -692,6 +768,7 @@ allRules()
         kRuleStatsRegistry,
         kRuleSpecState,
         kRuleErrorTaxonomy,
+        kRuleAccelRegistry,
     };
     return rules;
 }
@@ -840,6 +917,26 @@ runAnalysis(const AnalyzeConfig &config)
         } else {
             runStatsRegistryRule(*f, config.statsMacroName,
                                  config.statsStructName, rep);
+        }
+    }
+
+    if (!config.goldenStatsPath.empty() &&
+        !config.accelSourcePaths.empty() &&
+        ruleEnabled(config, kRuleAccelRegistry)) {
+        SourceFile *g = load(config.goldenStatsPath);
+        if (!g) {
+            findings.push_back({"usage", config.goldenStatsPath, 0,
+                                "cannot read golden stats table"});
+        } else {
+            std::vector<SourceFile *> sources;
+            for (const std::string &p : config.accelSourcePaths) {
+                if (SourceFile *sf = load(p))
+                    sources.push_back(sf);
+                else
+                    findings.push_back(
+                        {"usage", p, 0, "cannot read file"});
+            }
+            runAccelRegistryRule(sources, *g, rep);
         }
     }
 

@@ -22,6 +22,11 @@
  *   error-taxonomy   job-reachable code throws only RunError (or
  *                    rethrows); no abort()/exit()/terminate() outside
  *                    the logging layer.
+ *   accel-registry   every LoadAccelerator key registered under a
+ *                    DLVP_ACCEL("...") marker is pinned by at least
+ *                    one golden CoreStats row, and every golden row
+ *                    names a registered key — a registered-but-
+ *                    unpinned predictor has no bit-identity anchor.
  *
  * Findings on a line are suppressed by a trailing or preceding
  * comment `// dlvp-analyze: allow(<rule>[,<rule>...])`.
@@ -71,6 +76,18 @@ struct AnalyzeConfig
     std::string coreStatsPath;
     std::string statsMacroName = "DLVP_CORE_STATS_FIELDS";
     std::string statsStructName = "CoreStats";
+
+    /**
+     * Files scanned for DLVP_ACCEL("<key>") registration markers
+     * (the accel-registry rule); empty disables the rule.
+     */
+    std::vector<std::string> accelSourcePaths;
+
+    /**
+     * Golden CoreStats table (.inc) whose rows pin accelerator keys
+     * in their third column; empty disables the accel-registry rule.
+     */
+    std::string goldenStatsPath;
 
     /** Restrict to these rules; empty = all. */
     std::vector<std::string> rules;

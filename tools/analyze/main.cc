@@ -40,6 +40,14 @@ usage(std::ostream &os)
           "                            rule (default:\n"
           "                            <root>/src/core/core_stats.hh;\n"
           "                            'none' disables)\n"
+          "  --golden-stats <inc>      golden CoreStats table for the\n"
+          "                            accel-registry rule (default:\n"
+          "                            <root>/tests/golden_core_stats.inc;\n"
+          "                            'none' disables)\n"
+          "  --accel-src <file>        file scanned for DLVP_ACCEL\n"
+          "                            markers (repeatable; default:\n"
+          "                            every .cc/.hh under\n"
+          "                            <root>/src/pred)\n"
           "  --rule <name>             restrict to a rule (repeatable):\n"
           "                            ";
     bool first = true;
@@ -114,6 +122,9 @@ main(int argc, char **argv)
     std::string compileCommands;
     std::string coreStats;
     bool coreStatsSet = false;
+    std::string goldenStats;
+    bool goldenStatsSet = false;
+    std::vector<std::string> accelSrcs;
     AnalyzeConfig config;
     std::vector<std::string> explicitFiles;
 
@@ -150,6 +161,17 @@ main(int argc, char **argv)
                 return 2;
             coreStats = v;
             coreStatsSet = true;
+        } else if (arg == "--golden-stats") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            goldenStats = v;
+            goldenStatsSet = true;
+        } else if (arg == "--accel-src") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            accelSrcs.push_back(v);
         } else if (arg == "--rule") {
             const char *v = value();
             if (!v)
@@ -200,6 +222,36 @@ main(int argc, char **argv)
         std::error_code ec;
         if (fs::exists(def, ec))
             config.coreStatsPath = def.string();
+    }
+
+    if (goldenStatsSet) {
+        config.goldenStatsPath =
+            goldenStats == "none" ? "" : goldenStats;
+    } else {
+        const fs::path def =
+            fs::path(root) / "tests" / "golden_core_stats.inc";
+        std::error_code ec;
+        if (fs::exists(def, ec))
+            config.goldenStatsPath = def.string();
+    }
+    if (!accelSrcs.empty()) {
+        config.accelSourcePaths = accelSrcs;
+    } else if (!config.goldenStatsPath.empty()) {
+        const fs::path dir = fs::path(root) / "src" / "pred";
+        std::error_code ec;
+        for (auto it = fs::recursive_directory_iterator(dir, ec);
+             it != fs::recursive_directory_iterator();
+             it.increment(ec)) {
+            if (ec)
+                break;
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext == ".cc" || ext == ".hh")
+                config.accelSourcePaths.push_back(it->path().string());
+        }
+        std::sort(config.accelSourcePaths.begin(),
+                  config.accelSourcePaths.end());
     }
 
     const std::vector<Finding> findings =

@@ -4,6 +4,8 @@
  * save/load, and simulate workloads without writing C++.
  *
  *   dlvp_cli list
+ *   dlvp_cli list-configs
+ *   dlvp_cli list-predictors
  *   dlvp_cli run <workload> [--scheme S] [--insts N] [--dump]
  *   dlvp_cli sweep <workload> [--insts N] [--jobs J]
  *   dlvp_cli suite [--insts N] [--jobs J] [--json FILE]
@@ -14,8 +16,9 @@
  * Parallelism: --jobs (or the DLVP_JOBS env var) sets the worker
  * count; output is bit-identical for any value (see sim/sweep.hh).
  *
- * Schemes: baseline dlvp cap stride-dlvp vtage vtage-vanilla
- *          vtage-dynamic vtage-all dvtage tournament
+ * Configurations: see `dlvp_cli list-configs` (the named design
+ * points) and `dlvp_cli list-predictors` (the LoadAccelerator
+ * registry those configurations instantiate).
  */
 
 #include <cstdio>
@@ -28,6 +31,7 @@
 
 #include "common/fault_inject.hh"
 #include "common/run_error.hh"
+#include "pred/accel.hh"
 #include "sim/configs.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
@@ -48,6 +52,8 @@ usage()
         stderr,
         "usage: dlvp_cli <command> [args]\n"
         "  list                              list the workload suite\n"
+        "  list-configs                      named design points\n"
+        "  list-predictors                   accelerator registry\n"
         "  run <workload> [opts]             run one configuration\n"
         "  sweep <workload> [opts]           all schemes side by side\n"
         "  suite [opts]                      all schemes x all workloads\n"
@@ -59,37 +65,19 @@ usage()
         "         --deadline-ms <n> (sweep/suite wall-clock budget)\n"
         "         --fault-plan <spec> (or DLVP_FAULT_INJECT; see\n"
         "           README \"Fault tolerance\" for the grammar)\n"
-        "schemes: baseline dlvp cap stride-dlvp vtage vtage-vanilla\n"
-        "         vtage-dynamic vtage-all dvtage tournament\n");
+        "schemes: see `dlvp_cli list-configs`\n");
     return 2;
 }
 
-bool
-schemeByName(const std::string &name, core::VpConfig &vp)
+int
+unknownConfig(const std::string &name)
 {
-    if (name == "baseline")
-        vp = sim::baselineVp();
-    else if (name == "dlvp")
-        vp = sim::dlvpConfig();
-    else if (name == "cap")
-        vp = sim::capConfig();
-    else if (name == "stride-dlvp")
-        vp = sim::strideDlvpConfig();
-    else if (name == "vtage")
-        vp = sim::vtageConfig();
-    else if (name == "vtage-vanilla")
-        vp = sim::vtageConfigWith(pred::VtageFilter::None, true);
-    else if (name == "vtage-dynamic")
-        vp = sim::vtageConfigWith(pred::VtageFilter::Dynamic, true);
-    else if (name == "vtage-all")
-        vp = sim::vtageConfigWith(pred::VtageFilter::Static, false);
-    else if (name == "dvtage")
-        vp = sim::dvtageConfig();
-    else if (name == "tournament")
-        vp = sim::tournamentConfig();
-    else
-        return false;
-    return true;
+    std::fprintf(stderr, "unknown scheme '%s'", name.c_str());
+    const std::string hint = sim::suggestConfig(name);
+    if (!hint.empty())
+        std::fprintf(stderr, " (did you mean '%s'?)", hint.c_str());
+    std::fprintf(stderr, "; see `dlvp_cli list-configs`\n");
+    return 2;
 }
 
 struct Options
@@ -170,14 +158,33 @@ cmdList()
 }
 
 int
+cmdListConfigs()
+{
+    sim::Table t("named configurations");
+    t.columns({"name", "accelerator", "description"});
+    for (const auto &c : sim::configCatalog())
+        t.row({c.name, c.accel, c.description});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdListPredictors()
+{
+    sim::Table t("load-accelerator registry");
+    t.columns({"key", "description"});
+    for (const auto &a : pred::acceleratorCatalog())
+        t.row({a.key, a.description});
+    t.print(std::cout);
+    return 0;
+}
+
+int
 cmdRun(const std::string &workload, const Options &opt)
 {
     core::VpConfig vp;
-    if (!schemeByName(opt.scheme, vp)) {
-        std::fprintf(stderr, "unknown scheme '%s'\n",
-                     opt.scheme.c_str());
-        return 2;
-    }
+    if (!sim::configByName(opt.scheme, vp))
+        return unknownConfig(opt.scheme);
     sim::Simulator simulator(sim::baselineCore(), opt.insts);
     const auto base = simulator.run(workload, sim::baselineVp());
     const auto s = simulator.run(workload, vp);
@@ -189,10 +196,11 @@ std::vector<sim::SweepConfig>
 defaultSchemes()
 {
     std::vector<sim::SweepConfig> configs;
-    for (const char *n : {"dlvp", "cap", "stride-dlvp", "vtage",
-                          "dvtage", "tournament"}) {
+    for (const char *n :
+         {"dlvp", "cap", "stride-dlvp", "vtage", "dvtage",
+          "tournament", "balcvp", "hermes"}) {
         core::VpConfig vp;
-        schemeByName(n, vp);
+        sim::configByName(n, vp);
         configs.push_back({n, vp});
     }
     return configs;
@@ -357,11 +365,8 @@ cmdRunFile(const std::string &path, const Options &opt)
         return 1;
     }
     core::VpConfig vp;
-    if (!schemeByName(opt.scheme, vp)) {
-        std::fprintf(stderr, "unknown scheme '%s'\n",
-                     opt.scheme.c_str());
-        return 2;
-    }
+    if (!sim::configByName(opt.scheme, vp))
+        return unknownConfig(opt.scheme);
     sim::Simulator simulator(sim::baselineCore(), t.size());
     const auto base = simulator.run(t, sim::baselineVp());
     const auto s = simulator.run(t, vp);
@@ -387,6 +392,10 @@ main(int argc, char **argv)
     try {
         if (cmd == "list")
             return cmdList();
+        if (cmd == "list-configs")
+            return cmdListConfigs();
+        if (cmd == "list-predictors")
+            return cmdListPredictors();
         if (cmd == "run" && argc >= 3 &&
             parseOptions(argc, argv, 3, opt))
             return cmdRun(argv[2], opt);
