@@ -91,10 +91,18 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/** Batched-column evidence; recorded != false when the pass ran. */
+struct BatchEvidence
+{
+    bool recorded = false;
+    double wallMs = 0.0;
+    double mips = 0.0;
+};
+
 void
 writePerfJson(std::ostream &os, const std::vector<PerfRow> &rows,
               std::size_t insts, unsigned jobs, double total_wall_ms,
-              double mips_total)
+              double mips_total, const BatchEvidence &batch)
 {
     os.precision(12);
     os << "{\n  \"schema\": \"dlvp-perf-v1\",\n"
@@ -119,7 +127,16 @@ writePerfJson(std::ostream &os, const std::vector<PerfRow> &rows,
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"summary\": {\"total_wall_ms\": " << total_wall_ms
-       << ", \"mips_total\": " << mips_total << "}\n}\n";
+       << ", \"mips_total\": " << mips_total;
+    // The gate metric stays the serial per-cell rows above; the
+    // batched-column pass is recorded alongside as throughput
+    // evidence (sum of per-lane wall over all columns).
+    if (batch.recorded)
+        os << ", \"batch_wall_ms\": " << batch.wallMs
+           << ", \"batch_mips\": " << batch.mips
+           << ", \"batch_speedup\": "
+           << (mips_total > 0.0 ? batch.mips / mips_total : 0.0);
+    os << "}\n}\n";
 }
 
 /** Pull summary.mips_total out of a dlvp-perf-v1 file (no JSON lib). */
@@ -149,6 +166,7 @@ main(int argc, char **argv)
     unsigned jobs = 1;
     std::string out = "BENCH_perf.json";
     std::string ref;
+    bool batch_pass = true;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--insts" && i + 1 < argc)
@@ -160,10 +178,12 @@ main(int argc, char **argv)
             out = argv[++i];
         else if (a == "--ref" && i + 1 < argc)
             ref = argv[++i];
+        else if (a == "--no-batch")
+            batch_pass = false;
         else {
             std::fprintf(stderr,
                          "usage: perf_baseline [--insts N] [--jobs J] "
-                         "[--out FILE] [--ref FILE]\n");
+                         "[--out FILE] [--ref FILE] [--no-batch]\n");
             return 2;
         }
     }
@@ -227,12 +247,50 @@ main(int argc, char **argv)
                          ref.c_str());
     }
 
+    // Batched-column evidence pass: the same grid, scheduled as one
+    // lockstep job per workload (ROADMAP item 3's ">2x grid
+    // throughput" target is measured on this number).
+    BatchEvidence batch;
+    if (batch_pass) {
+        auto bspec = spec;
+        bspec.batch = true;
+        const auto bresult = sim::runSweep(bspec);
+        double bwall = 0.0;
+        bool all_ok = true;
+        for (const auto &r : bresult.rows) {
+            if (!r.baselineOutcome.ok())
+                all_ok = false;
+            bwall += r.baselinePerf.wallMs;
+            for (std::size_t ci = 0; ci < bspec.configs.size();
+                 ++ci) {
+                if (!r.outcomes[ci].ok())
+                    all_ok = false;
+                bwall += r.perf[ci].wallMs;
+            }
+        }
+        if (all_ok && bwall > 0.0) {
+            batch.recorded = true;
+            batch.wallMs = bwall;
+            batch.mips = total_uops / (bwall * 1e3);
+            std::printf("batched columns: wall sum %.0f ms, "
+                        "aggregate %.3f MIPS (%.2fx vs serial "
+                        "cells)\n",
+                        bwall, batch.mips,
+                        mips_total > 0.0 ? batch.mips / mips_total
+                                         : 0.0);
+        } else {
+            std::fprintf(stderr,
+                         "warn: batched pass incomplete; no "
+                         "batch_mips recorded\n");
+        }
+    }
+
     std::ofstream os(out);
     if (!os) {
         std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
         return 1;
     }
-    writePerfJson(os, rows, insts, jobs, wall_sum, mips_total);
+    writePerfJson(os, rows, insts, jobs, wall_sum, mips_total, batch);
     std::fprintf(stderr, "wrote %s\n", out.c_str());
     return 0;
 }

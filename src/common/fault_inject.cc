@@ -129,6 +129,19 @@ FaultPlan::parse(const std::string &spec)
                 throw RunError(ErrorKind::Internal,
                                "fault plan: bad stall target in '" +
                                    entry + "'");
+        } else if (kind == "lane") {
+            rule.kind = Kind::Lane;
+            const auto slash = body.find('/');
+            rule.workload =
+                slash == std::string::npos ? body
+                                           : body.substr(0, slash);
+            rule.config = slash == std::string::npos
+                              ? "*"
+                              : body.substr(slash + 1);
+            if (rule.workload.empty() || rule.config.empty())
+                throw RunError(ErrorKind::Internal,
+                               "fault plan: bad lane target in '" +
+                                   entry + "'");
         } else if (kind == "trunc") {
             rule.kind = Kind::Trunc;
             rule.param = parseNumber(body, entry);
@@ -150,7 +163,7 @@ FaultPlan::parse(const std::string &spec)
         } else {
             throw RunError(ErrorKind::Internal,
                            "fault plan: unknown rule kind '" + kind +
-                               "' (build/stall/trunc/flip/seed)");
+                               "' (build/stall/lane/trunc/flip/seed)");
         }
         plan.rules_.push_back(std::move(rule));
     }
@@ -187,6 +200,17 @@ FaultPlan::stallMs(const std::string &workload,
             matches(r.config, config))
             return static_cast<unsigned>(r.param);
     return 0;
+}
+
+bool
+FaultPlan::failLane(const std::string &workload,
+                    const std::string &config) const
+{
+    for (const Rule &r : rules_)
+        if (r.kind == Kind::Lane && matches(r.workload, workload) &&
+            matches(r.config, config))
+            return true;
+    return false;
 }
 
 bool

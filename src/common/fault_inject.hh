@@ -14,6 +14,11 @@
  *                                         RunError{trace_build}
  *          | 'stall' ':' target '=' ms    sleep <ms> inside the matching
  *                                         sweep job before simulating
+ *          | 'lane' ':' target            throw RunError{internal} from the
+ *                                         matching lane of a batched
+ *                                         column after its first lockstep
+ *                                         chunk (mid-column), exercising
+ *                                         per-lane isolation
  *          | 'trunc' ':' nbytes           truncate trace files loaded via
  *                                         loadTraceFile to <nbytes> bytes
  *          | 'flip' ':' byte '.' bit      flip bit <bit> (0-7) of byte
@@ -74,6 +79,14 @@ class FaultPlan
                      const std::string &config) const;
 
     /**
+     * Should the (workload, config) lane of a batched column fail
+     * mid-run? Consulted by sim::runBatch after the lane's first
+     * lockstep chunk; stateless, so it fires on every matching lane.
+     */
+    bool failLane(const std::string &workload,
+                  const std::string &config) const;
+
+    /**
      * Apply trunc/flip rules to a raw serialized-trace blob.
      * Returns true if @p bytes was mutated.
      */
@@ -96,7 +109,7 @@ class FaultPlan
     static void clearGlobal();
 
   private:
-    enum class Kind { Build, Stall, Trunc, Flip };
+    enum class Kind { Build, Stall, Lane, Trunc, Flip };
 
     struct Rule
     {

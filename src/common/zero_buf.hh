@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Lazily-zeroed flat buffer for large, sparsely-touched tables.
+ *
+ * `std::vector<T>(n)` value-initialises every element eagerly; for a
+ * multi-megabyte cache tag array that memset is the dominant cost of
+ * constructing a core, and a short run never touches most of it.
+ * ZeroBuf allocates with calloc instead: the allocator hands back
+ * copy-on-write zero pages, so untouched sets cost nothing and the
+ * kernel zeroes only the pages the run actually faults in.
+ *
+ * The element type must be trivially copyable/destructible and must
+ * treat the all-zero-bytes state as its initial state (asserted where
+ * checkable; the zero-state contract is the caller's).
+ */
+
+#ifndef DLVP_COMMON_ZERO_BUF_HH
+#define DLVP_COMMON_ZERO_BUF_HH
+
+#include <cstdlib>
+#include <type_traits>
+#include <utility>
+
+#include "common/run_error.hh"
+
+namespace dlvp::common
+{
+
+template <typename T>
+class ZeroBuf
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "ZeroBuf skips element construction/destruction");
+
+  public:
+    ZeroBuf() = default;
+
+    explicit ZeroBuf(std::size_t n) { reset(n); }
+
+    ZeroBuf(ZeroBuf &&o) noexcept
+        : data_(std::exchange(o.data_, nullptr)),
+          size_(std::exchange(o.size_, 0))
+    {
+    }
+
+    ZeroBuf &
+    operator=(ZeroBuf &&o) noexcept
+    {
+        if (this != &o) {
+            std::free(data_);
+            data_ = std::exchange(o.data_, nullptr);
+            size_ = std::exchange(o.size_, 0);
+        }
+        return *this;
+    }
+
+    ZeroBuf(const ZeroBuf &) = delete;
+    ZeroBuf &operator=(const ZeroBuf &) = delete;
+
+    ~ZeroBuf() { std::free(data_); }
+
+    /** Drop the old buffer and allocate @p n zeroed elements. */
+    void
+    reset(std::size_t n)
+    {
+        std::free(data_);
+        data_ = nullptr;
+        size_ = 0;
+        if (n == 0)
+            return;
+        data_ = static_cast<T *>(std::calloc(n, sizeof(T)));
+        if (data_ == nullptr)
+            throw RunError(ErrorKind::Oom, "ZeroBuf allocation failed");
+        size_ = n;
+    }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace dlvp::common
+
+#endif // DLVP_COMMON_ZERO_BUF_HH

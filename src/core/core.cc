@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/run_error.hh"
+#include "trace/funct_stream.hh"
 
 namespace dlvp::core
 {
@@ -16,12 +17,18 @@ using trace::OpClass;
 using trace::TraceInst;
 
 OoOCore::OoOCore(const CoreParams &params, const VpConfig &vp,
-                 const trace::Trace &trace)
+                 const trace::Trace &trace,
+                 const trace::FunctStream *shared_values)
     : params_(params), vp_(vp), trace_(trace), mem_(params.memory),
       tage_({}), ittage_({}), mdp_(),
       lph_(vp.pap.histBits),
       paq_(vp.paqSize, vp.paqLifetime),
-      archMem_(trace.initialImage), committedMem_(trace.initialImage)
+      funct_(shared_values),
+      // With a shared stream the private architectural image is never
+      // read: skip copying the initial image into it entirely.
+      archMem_(shared_values ? trace::MemoryImage{}
+                             : trace.initialImage),
+      committedMem_(trace.initialImage)
 {
     {
         pred::AccelParams ap;
@@ -152,11 +159,20 @@ OoOCore::firstFetchFunctional(InstSeqNum seq, const TraceInst &inst)
         auto &vals = loadValues_[slot];
         loadValSeq_[slot] = seq;
         const unsigned n = std::max<unsigned>(1, inst.numDests);
+        if (funct_ != nullptr) {
+            // Shared pre-captured stream: the replay below already
+            // ran once (FunctStream::capture) for every lane.
+            const std::uint64_t *vs = funct_->values(seq);
+            for (unsigned d = 0; d < n; ++d)
+                vals[d] = vs[d];
+            return;
+        }
         for (unsigned d = 0; d < n; ++d)
             vals[d] = archMem_.read(inst.memAddr + d * inst.memSize,
                                     inst.memSize);
     }
-    if (inst.isStore() || inst.cls == OpClass::Atomic)
+    if (funct_ == nullptr &&
+        (inst.isStore() || inst.cls == OpClass::Atomic))
         archMem_.write(inst.memAddr, inst.storeValue, inst.memSize);
 }
 
@@ -238,12 +254,18 @@ OoOCore::fetchOne(const TraceInst &inst)
     s.rasSnap = ras_.snapshot();
 
     firstFetchFunctional(seq, inst);
+    // The slot is recycled with its value arrays unzeroed, so fill
+    // exactly the [0, max(1, numDests)) range every reader bounds by.
     if (inst.isLoad() || inst.cls == OpClass::Atomic) {
         const std::size_t slot = seq & loadValMask_;
         dlvp_assert(loadValSeq_[slot] == seq);
-        s.actualValues = loadValues_[slot];
+        const unsigned n = std::max<unsigned>(1, inst.numDests);
+        for (unsigned d = 0; d < n; ++d)
+            s.actualValues[d] = loadValues_[slot][d];
     } else if (inst.numDests > 0) {
         s.actualValues[0] = inst.destValue;
+        for (unsigned d = 1; d < inst.numDests; ++d)
+            s.actualValues[d] = 0;
     }
 
     // ---- branch prediction ----
@@ -299,16 +321,27 @@ OoOCore::fetchOne(const TraceInst &inst)
         }
     }
 
+    // Both predictor hooks see the same fetch-time context: build the
+    // snapshot struct once instead of per hook.
+    const pred::AccelFetchContext fctx{s.ghrSnap, s.lphSnap};
+
     // ---- value prediction at fetch ----
     if (accelValues_) {
-        const pred::AccelFetchContext fctx{s.ghrSnap, s.lphSnap};
-        pred::AccelValuePredictions vpred;
+        // Reuse one scratch AccelValuePredictions: zeroing its 16
+        // value slots per fetched instruction is wasted work, since
+        // predictValues only writes (and fetch only copies) slots it
+        // also sets in the mask.
+        pred::AccelValuePredictions &vpred = vpredScratch_;
+        vpred.eligible = false;
+        vpred.mask = 0;
         auto astats = accelStats();
         accel_->predictValues(inst, fctx, vpred, astats);
         if (vpred.eligible)
             s.vpEligible = true;
         s.vtMask = vpred.mask;
-        s.vtValues = vpred.values;
+        const unsigned n = std::max<unsigned>(1, inst.numDests);
+        for (unsigned d = 0; d < n; ++d)
+            s.vtValues[d] = vpred.values[d];
     }
 
     // ---- address prediction at fetch stage 1 ----
@@ -321,8 +354,6 @@ OoOCore::fetchOne(const TraceInst &inst)
                 s.apBlocked = true;
                 ++stats_.lscdBlocked;
             } else {
-                const pred::AccelFetchContext fctx{s.ghrSnap,
-                                                   s.lphSnap};
                 auto astats = accelStats();
                 const auto pp =
                     accel_->predictAddress(inst, slot, fctx, astats);
@@ -484,16 +515,21 @@ OoOCore::dispatchStage()
         ++iqCount_;
         if (inst.isLoad() || inst.cls == OpClass::Atomic)
             ++ldqCount_;
-        if (inst.isStore() || inst.cls == OpClass::Atomic)
+        if (inst.isStore() || inst.cls == OpClass::Atomic) {
             ++stqCount_;
+            // In-order dispatch keeps the STQ seq list ascending.
+            storeSeqs_.push_back(s->seq);
+        }
         freePhys_ -= inst.numDests;
 
-        // Rename: resolve sources against the latest producers.
+        // Rename: resolve sources against the latest producers. Every
+        // i < numSrcs must be written (the slot's srcs array is
+        // recycled without clearing): the zero register renames to the
+        // always-ready default.
         for (unsigned i = 0; i < inst.numSrcs; ++i) {
             const RegId r = inst.srcs[i];
-            if (r == 0)
-                continue; // hard-wired zero register
-            s->srcs[i] = archProducer_[r];
+            s->srcs[i] =
+                r == 0 ? InstState::Src{} : archProducer_[r];
         }
         for (unsigned d = 0; d < inst.numDests; ++d) {
             const RegId r = static_cast<RegId>(inst.destBase + d);
@@ -576,12 +612,15 @@ OoOCore::memOrderReady(const InstState &s) const
     // dispatched (in-order dispatch), so zero means no older store
     // can exist and the scan below is vacuous.
     if (inst.isLoad() && s.mdpWait && stqCount_ > 0) {
-        // Store-wait: hold until all older stores have issued.
-        for (InstSeqNum q = base; q < s.seq; ++q) {
-            const InstState &o = window_[q - base];
-            if (o.dispatched && o.inst->isStore() && !o.issued)
-                return false;
-            if (!o.dispatched && o.inst->isStore())
+        // Store-wait: hold until all older stores have issued. The
+        // STQ seq list holds exactly the dispatched stores/atomics,
+        // so this walks a handful of entries instead of the window.
+        for (std::size_t q = storeSeqs_.size(); q-- > storeHead_;) {
+            const InstSeqNum oseq = storeSeqs_[q];
+            if (oseq >= s.seq)
+                continue;
+            const InstState &o = window_[oseq - base];
+            if (o.inst->isStore() && !o.issued)
                 return false;
         }
     }
@@ -658,14 +697,17 @@ OoOCore::issueLoad(InstState &s)
 {
     const TraceInst &inst = *s.inst;
     // Store-to-load forwarding from the youngest older overlapping
-    // store whose address is known. Only dispatched stores can have
-    // issued, so an empty STQ makes the scan vacuous.
+    // store whose address is known. The STQ seq list walks only the
+    // in-flight stores/atomics (youngest first, like the old
+    // full-window scan) — the window scan over every older entry was
+    // the single hottest loop in the issue path.
     if (stqCount_ > 0) {
         const InstSeqNum base = window_.front().seq;
-        for (InstSeqNum q = s.seq; q-- > base;) {
-            const InstState &o = window_[q - base];
-            if (!o.inst->isStore() && o.inst->cls != OpClass::Atomic)
+        for (std::size_t q = storeSeqs_.size(); q-- > storeHead_;) {
+            const InstSeqNum oseq = storeSeqs_[q];
+            if (oseq >= s.seq)
                 continue;
+            const InstState &o = window_[oseq - base];
             if (!o.issued)
                 continue; // unknown address: speculate no conflict
             if (overlaps(inst, *o.inst))
@@ -1068,6 +1110,10 @@ OoOCore::applyFlush()
         }
         window_.pop_back();
     }
+    // Squashed stores are the ascending list's suffix.
+    while (storeSeqs_.size() > storeHead_ &&
+           storeSeqs_.back() >= from)
+        storeSeqs_.pop_back();
     paq_.squashAfter(from == 0 ? 0 : from - 1);
 
     // Squashed seqs form a suffix of the sorted ready list. Waiter
@@ -1197,8 +1243,20 @@ OoOCore::commitStage()
         --dispatchedCount_;
         if (inst.isLoad() || inst.cls == OpClass::Atomic)
             --ldqCount_;
-        if (inst.isStore() || inst.cls == OpClass::Atomic)
+        if (inst.isStore() || inst.cls == OpClass::Atomic) {
             --stqCount_;
+            // Commit retires the oldest STQ entry; compact the dead
+            // prefix once it is large enough to matter.
+            dlvp_assert(storeHead_ < storeSeqs_.size() &&
+                        storeSeqs_[storeHead_] == s.seq);
+            if (++storeHead_ >= 4096) {
+                storeSeqs_.erase(storeSeqs_.begin(),
+                                 storeSeqs_.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         storeHead_));
+                storeHead_ = 0;
+            }
+        }
 
         // Retire rename-map entries that still point at this inst.
         for (unsigned d = 0; d < inst.numDests; ++d) {
@@ -1324,38 +1382,45 @@ OoOCore::fastForward(Cycle deadline)
     now_ = target;
 }
 
-CoreStats
-OoOCore::run(std::size_t warmup_insts)
+void
+OoOCore::beginRun(std::size_t warmup_insts)
 {
-    const Cycle deadlock_limit = params_.maxNoCommitCycles
-                                     ? params_.maxNoCommitCycles
-                                     : 200000;
-    Cycle last_commit_cycle = 0;
-    InstSeqNum last_committed = 0;
-    Cycle warmup_cycles = 0;
-    bool warm = warmup_insts == 0;
+    runCtl_ = RunControl{};
+    runCtl_.deadlockLimit = params_.maxNoCommitCycles
+                                ? params_.maxNoCommitCycles
+                                : 200000;
+    runCtl_.warmupInsts = warmup_insts;
+    runCtl_.warm = warmup_insts == 0;
 
     // Wall-clock watchdog: sampled every 4096 loop iterations so the
     // fault-free path stays free of clock syscalls. Granularity is
     // coarse by design — this guards against wedged runs, not for
     // precise accounting.
     using WallClock = std::chrono::steady_clock;
-    const bool wall_limited = params_.maxWallMs > 0.0;
-    const WallClock::time_point wall_deadline =
-        wall_limited
+    runCtl_.wallLimited = params_.maxWallMs > 0.0;
+    runCtl_.wallDeadline =
+        runCtl_.wallLimited
             ? WallClock::now() +
                   std::chrono::duration_cast<WallClock::duration>(
                       std::chrono::duration<double, std::milli>(
                           params_.maxWallMs))
             : WallClock::time_point::max();
-    std::uint64_t wall_check = 0;
+}
 
-    while (committed_ < trace_.size()) {
-        if (!warm && committed_ >= warmup_insts) {
+bool
+OoOCore::stepUntil(InstSeqNum target_committed)
+{
+    using WallClock = std::chrono::steady_clock;
+    RunControl &rc = runCtl_;
+    const InstSeqNum stop =
+        std::min<InstSeqNum>(target_committed, trace_.size());
+
+    while (committed_ < stop) {
+        if (!rc.warm && committed_ >= rc.warmupInsts) {
             // End of warmup: measurement region starts here, as with
             // the paper's simpoint methodology.
-            warm = true;
-            warmup_cycles = now_;
+            rc.warm = true;
+            rc.warmupCycles = now_;
             stats_ = CoreStats{};
             mem_.resetStats();
         }
@@ -1366,21 +1431,21 @@ OoOCore::run(std::size_t warmup_insts)
         fetchStage();
         ++now_;
 
-        if (committed_ != last_committed) {
-            last_committed = committed_;
-            last_commit_cycle = now_;
-        } else if (now_ - last_commit_cycle > deadlock_limit) {
+        if (committed_ != rc.lastCommitted) {
+            rc.lastCommitted = committed_;
+            rc.lastCommitCycle = now_;
+        } else if (now_ - rc.lastCommitCycle > rc.deadlockLimit) {
             // Recoverable form of the old deadlock panic: the sweep
             // layer records this as a failed row instead of dying.
             throw common::RunError(
                 common::ErrorKind::SimDeadlock,
-                "no commit for " + std::to_string(deadlock_limit) +
+                "no commit for " + std::to_string(rc.deadlockLimit) +
                     " cycles (committed=" +
                     std::to_string(committed_) +
                     " window=" + std::to_string(window_.size()) + ")");
         }
-        if (wall_limited && (++wall_check & 0xFFF) == 0 &&
-            WallClock::now() > wall_deadline)
+        if (rc.wallLimited && (++rc.wallCheck & 0xFFF) == 0 &&
+            WallClock::now() > rc.wallDeadline)
             throw common::RunError(
                 common::ErrorKind::SimTimeout,
                 "core wall-clock budget of " +
@@ -1392,14 +1457,28 @@ OoOCore::run(std::size_t warmup_insts)
         // event-free; an unconditional call would jump to the
         // deadlock horizon and inflate stats_.cycles.
         if (committed_ < trace_.size())
-            fastForward(last_commit_cycle + deadlock_limit);
+            fastForward(rc.lastCommitCycle + rc.deadlockLimit);
     }
-    stats_.cycles = now_ - warmup_cycles;
+    return committed_ >= trace_.size();
+}
+
+CoreStats
+OoOCore::finishRun()
+{
+    stats_.cycles = now_ - runCtl_.warmupCycles;
     stats_.tlbMisses = mem_.tlb().misses();
     stats_.l2Accesses = mem_.l2().hits() + mem_.l2().misses();
     stats_.l3Accesses = mem_.l3().hits() + mem_.l3().misses();
     stats_.memAccesses = mem_.l3().misses();
     return stats_;
+}
+
+CoreStats
+OoOCore::run(std::size_t warmup_insts)
+{
+    beginRun(warmup_insts);
+    stepUntil(trace_.size());
+    return finishRun();
 }
 
 } // namespace dlvp::core

@@ -24,6 +24,7 @@
 #define DLVP_CORE_CORE_HH
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -44,14 +45,29 @@
 #include "pred/tage.hh"
 #include "trace/trace.hh"
 
+namespace dlvp::trace
+{
+class FunctStream;
+} // namespace dlvp::trace
+
 namespace dlvp::core
 {
 
 class OoOCore
 {
   public:
+    /**
+     * @p shared_values, when non-null, is a pre-captured functional
+     * load-value stream for @p trace (trace::FunctStream::capture).
+     * The core then skips its private program-order memory replay —
+     * loads read the shared stream instead — which is what lets a
+     * batch of cores over one trace pay the replay once. CoreStats
+     * are bit-identical either way; only host-side telemetry
+     * (pagesTouched) differs. The stream must outlive the core.
+     */
     OoOCore(const CoreParams &params, const VpConfig &vp,
-            const trace::Trace &trace);
+            const trace::Trace &trace,
+            const trace::FunctStream *shared_values = nullptr);
     ~OoOCore();
 
     /**
@@ -61,6 +77,26 @@ class OoOCore
      * predictor and cache state trains through warmup.
      */
     CoreStats run(std::size_t warmup_insts = 0);
+
+    /** @{
+     * Incremental driver, used by sim::BatchRunner to interleave many
+     * cores over one trace in lockstep. beginRun() arms the
+     * deadlock/wall watchdogs and warmup bookkeeping; each
+     * stepUntil() call advances the pipeline until at least
+     * @p target_committed instructions have committed (or the trace
+     * is done), returning true once the whole trace has committed;
+     * finishRun() applies the end-of-run stats fixup and returns the
+     * collected stats. run() is exactly beginRun + one full stepUntil
+     * + finishRun, so both drivers produce bit-identical CoreStats.
+     * stepUntil throws RunError on deadlock/timeout like run().
+     */
+    void beginRun(std::size_t warmup_insts = 0);
+    bool stepUntil(InstSeqNum target_committed);
+    CoreStats finishRun();
+    /** @} */
+
+    /** Instructions committed so far (stepping-driver progress). */
+    InstSeqNum committedInsts() const { return committed_; }
 
     const CoreStats &stats() const { return stats_; }
     const mem::MemoryHierarchy &memory() const { return mem_; }
@@ -156,6 +192,68 @@ class OoOCore
          * squashed-and-refetched) consumers are skipped lazily.
          */
         std::vector<InstSeqNum> waiters;
+
+        /**
+         * Recycle this slot for a new instruction: clear every scalar
+         * field but leave the four per-destination value arrays, the
+         * renamed-source array and the waiters buffer untouched. Each
+         * skipped field is written before it is read, always under a
+         * flag or mask set during the new incarnation's lifetime:
+         *
+         *  - srcs[i]: dispatch rename writes every i < numSrcs, and
+         *    srcsReady/issue only read i < numSrcs;
+         *  - actualValues: fetch fills [0, max(1, numDests)) and all
+         *    readers bound d the same way;
+         *  - vtValues: fetch writes the destinations in vtMask; reads
+         *    are vtMask-gated (accel hooks read d < numDests but only
+         *    use bits under their own masks);
+         *  - vpValues: activation writes the vpActiveMask bits before
+         *    setting them; reads are vpActiveMask-gated;
+         *  - dlValues: the L1D probe fills [0, max(1, numDests)) on a
+         *    hit, and every reader checks probeHit first.
+         *
+         * This skips ~560 bytes of zeroing per fetched instruction —
+         * the InstState{} assignment was the hottest single line in
+         * the whole simulator (memset/copy inside fetchOne).
+         */
+        void
+        reset()
+        {
+            seq = 0;
+            inst = nullptr;
+            fetchCycle = kNoCycle;
+            dispatchCycle = kNoCycle;
+            issueCycle = kNoCycle;
+            completeCycle = kNoCycle;
+            dispatched = false;
+            issued = false;
+            completed = false;
+            ghrSnap = 0;
+            indHistSnap = 0;
+            lphSnap = 0;
+            rasSnap = pred::Ras::Snapshot{};
+            branchMispredicted = false;
+            branchPredTaken = false;
+            branchActualTarget = 0;
+            mdpWait = false;
+            vpEligible = false;
+            vtMask = 0;
+            vpActiveMask = 0;
+            vpWrong = false;
+            vpSource = 0;
+            apLooked = false;
+            apBlocked = false;
+            apSlot = 0;
+            apPredicted = false;
+            apAddr = 0;
+            apSize = 0;
+            apWay = -1;
+            probeDone = false;
+            probeHit = false;
+            probeReady = kNoCycle;
+            dataReady = false;
+            waiters.clear();
+        }
     };
 
     /**
@@ -198,19 +296,12 @@ class OoOCore
         InstState &back() { return (*this)[size_ - 1]; }
         const InstState &back() const { return (*this)[size_ - 1]; }
 
-        /** Append a default-initialised entry (slot is recycled). */
+        /** Append a recycled entry (scalar state reset, arrays lazy). */
         InstState &
         emplace_back()
         {
             InstState &s = (*this)[size_++];
-            // Reset field-wise but keep the waiters vector's heap
-            // buffer: slots are recycled constantly and re-allocating
-            // the wakeup list per instruction would put one malloc on
-            // the dispatch path.
-            auto waiters = std::move(s.waiters);
-            waiters.clear();
-            s = InstState{};
-            s.waiters = std::move(waiters);
+            s.reset();
             return s;
         }
 
@@ -323,6 +414,12 @@ class OoOCore
     bool accelCommitTrain_ = false;
     bool accelActive_ = false;
     /** @} */
+    /**
+     * Scratch prediction record reused across fetchOne calls so the
+     * 16-slot value array is not re-zeroed per instruction; fetch
+     * resets eligible/mask and only reads mask-covered slots.
+     */
+    pred::AccelValuePredictions vpredScratch_;
     pred::Lscd lscd_;
     pred::LoadPathHistory lph_;
     std::uint64_t ghr_ = 0;
@@ -340,7 +437,9 @@ class OoOCore
     unsigned prfPortsUsed_ = 0;
 
     // ---- functional state ----
-    trace::MemoryImage archMem_;
+    /** Shared pre-captured load-value stream; nullptr = private replay. */
+    const trace::FunctStream *funct_ = nullptr;
+    trace::MemoryImage archMem_; ///< empty when funct_ is set
     trace::MemoryImage committedMem_;
     InstSeqNum archApplied_ = 0;
     /**
@@ -368,6 +467,15 @@ class OoOCore
     unsigned iqCount_ = 0;
     unsigned ldqCount_ = 0;
     unsigned stqCount_ = 0;
+    /**
+     * Seqs of the dispatched, uncommitted stores/atomics (the STQ's
+     * occupants), ascending; live entries are [storeHead_, size).
+     * Dispatch appends, commit advances the head, a flush prunes the
+     * squashed suffix. Store-to-load forwarding and store-wait checks
+     * walk this short list instead of every older window entry.
+     */
+    std::vector<InstSeqNum> storeSeqs_;
+    std::size_t storeHead_ = 0;
     unsigned dispatchedCount_ = 0; ///< ROB occupancy
     unsigned freePhys_ = 0;
     std::array<InstState::Src, kNumArchRegs> archProducer_{};
@@ -395,6 +503,24 @@ class OoOCore
     Cycle flushRedirect_ = 0;
 
     CoreStats stats_;
+
+    /**
+     * Watchdog/warmup state spanning stepUntil calls, so a stepped
+     * run walks exactly the same per-iteration checks as run().
+     */
+    struct RunControl
+    {
+        Cycle deadlockLimit = 0;
+        Cycle lastCommitCycle = 0;
+        InstSeqNum lastCommitted = 0;
+        Cycle warmupCycles = 0;
+        std::size_t warmupInsts = 0;
+        bool warm = false;
+        bool wallLimited = false;
+        std::chrono::steady_clock::time_point wallDeadline{};
+        std::uint64_t wallCheck = 0;
+    };
+    RunControl runCtl_;
 
     // Debug-env flags, cached once per core: getenv() rescans the
     // whole environment on every call, which is measurable when

@@ -17,7 +17,8 @@ Cache::Cache(const CacheParams &params)
         params_.sizeBytes / (params_.blockBytes * params_.assoc));
     dlvp_assert(isPowerOfTwo(num_sets_));
     set_shift_ = floorLog2(params_.blockBytes);
-    lines_.resize(static_cast<std::size_t>(num_sets_) * params_.assoc);
+    tag_shift_ = set_shift_ + floorLog2(num_sets_);
+    lines_.reset(static_cast<std::size_t>(num_sets_) * params_.assoc);
 }
 
 unsigned
@@ -29,7 +30,9 @@ Cache::setOf(Addr addr) const
 Addr
 Cache::tagOf(Addr addr) const
 {
-    return addr >> (set_shift_ + floorLog2(num_sets_));
+    // tag_shift_ is precomputed: floorLog2 is a loop, and this runs on
+    // every access of every cache level.
+    return addr >> tag_shift_;
 }
 
 Cache::Line &

@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "common/zero_buf.hh"
 
 namespace dlvp::mem
 {
@@ -81,6 +81,7 @@ class Cache
     unsigned numSets() const { return num_sets_; }
 
   private:
+    /** All-zero bytes == the invalid initial line (ZeroBuf contract). */
     struct Line
     {
         Addr tag = 0;
@@ -91,7 +92,13 @@ class Cache
     CacheParams params_;
     unsigned num_sets_ = 0;
     unsigned set_shift_ = 0;
-    std::vector<Line> lines_; ///< sets * assoc, row-major
+    unsigned tag_shift_ = 0; ///< set_shift_ + log2(num_sets_)
+    /**
+     * sets * assoc, row-major. Lazily zeroed: an L3's line array is
+     * megabytes, and eagerly memsetting it per constructed core was
+     * one of the largest fixed costs of a short grid cell.
+     */
+    common::ZeroBuf<Line> lines_;
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

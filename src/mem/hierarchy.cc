@@ -44,22 +44,27 @@ MemoryHierarchy::loadAccess(Addr pc, Addr addr, Cycle now)
     r.tlbMiss = tlb_lat != 0;
     r.latency = tlb_lat + l1d_.hitLatency();
 
+    // One hash probe serves both the drain check and the
+    // miss-on-inbound-line check (drainPendingFill would re-find).
     const Addr block = l1d_.blockAddr(addr);
-    drainPendingFill(block, now + tlb_lat);
+    auto pending = pendingFills_.find(block);
+    if (pending != pendingFills_.end() &&
+        pending->second <= now + tlb_lat) {
+        l1d_.fill(block);
+        pendingFills_.erase(pending);
+        pending = pendingFills_.end();
+    }
 
     if (l1d_.access(addr)) {
         r.l1Hit = true;
+    } else if (pending != pendingFills_.end()) {
+        // Miss on a line already inbound: wait for the fill.
+        const Cycle ready = pending->second;
+        r.latency += ready > now ? static_cast<unsigned>(ready - now)
+                                 : 0;
+        pendingFills_.erase(pending);
     } else {
-        auto pending = pendingFills_.find(block);
-        if (pending != pendingFills_.end()) {
-            // Miss on a line already inbound: wait for the fill.
-            const Cycle ready = pending->second;
-            r.latency += ready > now ? static_cast<unsigned>(ready - now)
-                                     : 0;
-            pendingFills_.erase(pending);
-        } else {
-            r.latency += missLatency(addr);
-        }
+        r.latency += missLatency(addr);
     }
 
     if (params_.enablePrefetcher) {

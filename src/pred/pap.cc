@@ -8,12 +8,15 @@ namespace dlvp::pred
 
 Pap::Pap(const PapParams &params)
     : params_(params), confVec_(params.confProbs),
-      table_(std::size_t{1} << params.tableBits)
+      tags_(std::size_t{1} << params.tableBits, 0),
+      valid_(std::size_t{1} << params.tableBits, 0),
+      payload_(std::size_t{1} << params.tableBits)
 {
     dlvp_assert(params_.tagBits <= 16);
     dlvp_assert(params_.assoc >= 1 && isPowerOfTwo(params_.assoc));
     dlvp_assert((std::size_t{1} << params_.tableBits) >=
                 params_.assoc);
+    set_bits_ = params_.tableBits - floorLog2(params_.assoc);
 }
 
 std::uint64_t
@@ -24,49 +27,49 @@ Pap::key(Addr group_pc, unsigned slot) const
     return ((group_pc >> 4) << 1) | slot;
 }
 
-unsigned
-Pap::index(std::uint64_t k, std::uint64_t hist) const
+Pap::SetTag
+Pap::setTag(std::uint64_t k, std::uint64_t hist) const
 {
-    const unsigned set_bits =
-        params_.tableBits - floorLog2(params_.assoc);
-    return static_cast<unsigned>(
-        (k ^ (k >> set_bits) ^ xorFold(hist, set_bits)) &
-        mask(set_bits));
-}
-
-Pap::Entry *
-Pap::find(unsigned set, std::uint16_t t)
-{
-    Entry *base = &table_[static_cast<std::size_t>(set) *
-                          params_.assoc];
-    for (unsigned w = 0; w < params_.assoc; ++w)
-        if (base[w].valid && base[w].tag == t)
-            return &base[w];
-    return nullptr;
-}
-
-Pap::Entry &
-Pap::victim(unsigned set)
-{
-    Entry *base = &table_[static_cast<std::size_t>(set) *
-                          params_.assoc];
-    Entry *v = &base[0];
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (!base[w].valid)
-            return base[w];
-        if (base[w].lastUse < v->lastUse)
-            v = &base[w];
+    if (!foldValid_ || foldHist_ != hist) {
+        foldSet_ = xorFold(hist, set_bits_);
+        foldTagHi_ = xorFold(hist, params_.tagBits);
+        foldTagLo_ = xorFold(hist, params_.tagBits - 1);
+        foldHist_ = hist;
+        foldValid_ = true;
     }
-    return *v;
+    SetTag st;
+    st.set = static_cast<unsigned>(
+        (k ^ (k >> set_bits_) ^ foldSet_) & mask(set_bits_));
+    st.tag = static_cast<std::uint16_t>(
+        (k ^ (k >> 7) ^ foldTagHi_ ^ (foldTagLo_ << 1)) &
+        mask(params_.tagBits));
+    return st;
 }
 
-std::uint16_t
-Pap::tag(std::uint64_t k, std::uint64_t hist) const
+int
+Pap::find(unsigned set, std::uint16_t t) const
 {
-    return static_cast<std::uint16_t>(
-        (k ^ (k >> 7) ^ xorFold(hist, params_.tagBits) ^
-         (xorFold(hist, params_.tagBits - 1) << 1)) &
-        mask(params_.tagBits));
+    const std::size_t base =
+        static_cast<std::size_t>(set) * params_.assoc;
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (valid_[base + w] && tags_[base + w] == t)
+            return static_cast<int>(base + w);
+    return -1;
+}
+
+unsigned
+Pap::victim(unsigned set) const
+{
+    const std::size_t base =
+        static_cast<std::size_t>(set) * params_.assoc;
+    unsigned v = 0;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (!valid_[base + w])
+            return static_cast<unsigned>(base + w);
+        if (payload_[base + w].lastUse < payload_[base + v].lastUse)
+            v = w;
+    }
+    return static_cast<unsigned>(base + v);
 }
 
 Pap::Prediction
@@ -75,16 +78,18 @@ Pap::predict(Addr group_pc, unsigned slot, std::uint64_t hist)
     ++lookups_;
     Prediction pred;
     const std::uint64_t k = key(group_pc, slot);
-    Entry *e = find(index(k, hist), tag(k, hist));
-    if (e == nullptr)
+    const SetTag st = setTag(k, hist);
+    const int i = find(st.set, st.tag);
+    if (i < 0)
         return pred; // APT miss: no prediction
-    e->lastUse = ++tick_;
-    if (!e->conf.saturated(confVec_))
+    Payload &e = payload_[i];
+    e.lastUse = ++tick_;
+    if (!e.conf.saturated(confVec_))
         return pred; // still training
     pred.valid = true;
-    pred.addr = e->addr;
-    pred.size = e->size;
-    pred.way = params_.wayPrediction ? e->way : -1;
+    pred.addr = e.addr;
+    pred.size = e.size;
+    pred.way = params_.wayPrediction ? e.way : -1;
     return pred;
 }
 
@@ -93,31 +98,32 @@ Pap::train(Addr group_pc, unsigned slot, std::uint64_t hist,
            Addr actual_addr, std::uint8_t size, int way)
 {
     const std::uint64_t k = key(group_pc, slot);
-    const unsigned set = index(k, hist);
-    const std::uint16_t t = tag(k, hist);
+    const SetTag st = setTag(k, hist);
     ++tableWrites_;
-    if (Entry *e = find(set, t)) {
-        e->lastUse = ++tick_;
-        if (e->addr == actual_addr) {
-            e->conf.increment(confVec_, rng_);
+    if (const int i = find(st.set, st.tag); i >= 0) {
+        Payload &e = payload_[i];
+        e.lastUse = ++tick_;
+        if (e.addr == actual_addr) {
+            e.conf.increment(confVec_, rng_);
             // Refresh the way hint: the block may have moved.
-            e->way = static_cast<std::int8_t>(way);
-            e->size = size;
+            e.way = static_cast<std::int8_t>(way);
+            e.size = size;
         } else {
             // Mispredicted address: reset and reallocate in place.
-            e->addr = actual_addr;
-            e->size = size;
-            e->way = static_cast<std::int8_t>(way);
-            e->conf.reset();
+            e.addr = actual_addr;
+            e.size = size;
+            e.way = static_cast<std::int8_t>(way);
+            e.conf.reset();
         }
         return;
     }
     // APT miss: allocate per the configured policy.
-    Entry &e = victim(set);
-    if (params_.allocPolicy == PapAllocPolicy::Policy1 || !e.valid ||
+    const unsigned v = victim(st.set);
+    Payload &e = payload_[v];
+    if (params_.allocPolicy == PapAllocPolicy::Policy1 || !valid_[v] ||
         e.conf.value() == 0) {
-        e.valid = true;
-        e.tag = t;
+        valid_[v] = 1;
+        tags_[v] = st.tag;
         e.addr = actual_addr;
         e.size = size;
         e.way = static_cast<std::int8_t>(way);
@@ -132,9 +138,10 @@ void
 Pap::invalidate(Addr group_pc, unsigned slot, std::uint64_t hist)
 {
     const std::uint64_t k = key(group_pc, slot);
-    if (Entry *e = find(index(k, hist), tag(k, hist))) {
-        e->valid = false;
-        e->conf.reset();
+    const SetTag st = setTag(k, hist);
+    if (const int i = find(st.set, st.tag); i >= 0) {
+        valid_[i] = 0;
+        payload_[i].conf.reset();
         ++tableWrites_;
     }
 }
@@ -147,7 +154,7 @@ Pap::storageBits() const
     const std::uint64_t per_entry =
         params_.tagBits + params_.addrBits + 2 + 2 +
         (params_.wayPrediction ? 2 : 0);
-    return table_.size() * per_entry;
+    return tags_.size() * per_entry;
 }
 
 } // namespace dlvp::pred

@@ -115,33 +115,60 @@ class Pap
     const PapParams &params() const { return params_; }
 
   private:
-    struct Entry
+    /**
+     * Entry payload, split structure-of-arrays style from the probe
+     * lane: the set scan in find() touches only the packed tags_ and
+     * valid_ vectors (4 bytes per way instead of a 24-byte Entry), and
+     * the payload is read once on the hit way.
+     */
+    struct Payload
     {
-        std::uint16_t tag = 0;
         Addr addr = 0;
         Fpc conf;
         std::uint32_t lastUse = 0;
         std::uint8_t size = 0;
         std::int8_t way = -1;
-        bool valid = false;
     };
 
     PapParams params_;
     FpcVector confVec_;
-    std::vector<Entry> table_;
+    std::vector<std::uint16_t> tags_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<Payload> payload_;
     Rng rng_{0xfeedface87654321ULL};
     std::uint64_t lookups_ = 0;
     std::uint64_t tableWrites_ = 0;
 
     std::uint32_t tick_ = 0;
 
+    unsigned set_bits_ = 0; ///< tableBits - log2(assoc), precomputed
+
+    /**
+     * Single-entry folded-history cache. predict at fetch, train at
+     * execute, and invalidate on an LSCD insert all fold the same
+     * history three ways (set index + two tag folds); the fold trio is
+     * a pure function of the history value, so one memo slot lets a
+     * same-history PAP/PAQ probe pair skip the refold entirely.
+     */
+    mutable std::uint64_t foldHist_ = 0;
+    mutable std::uint64_t foldSet_ = 0;
+    mutable std::uint64_t foldTagHi_ = 0;
+    mutable std::uint64_t foldTagLo_ = 0;
+    mutable bool foldValid_ = false;
+
+    struct SetTag
+    {
+        unsigned set;
+        std::uint16_t tag;
+    };
+    /** Fold @p hist (memoized) and combine with @p key. */
+    SetTag setTag(std::uint64_t key, std::uint64_t hist) const;
+
     std::uint64_t key(Addr group_pc, unsigned slot) const;
-    unsigned index(std::uint64_t key, std::uint64_t hist) const;
-    std::uint16_t tag(std::uint64_t key, std::uint64_t hist) const;
-    /** Entry matching (set, tag), or nullptr. */
-    Entry *find(unsigned set, std::uint16_t tag);
+    /** Entry index matching (set, tag), or -1. */
+    int find(unsigned set, std::uint16_t tag) const;
     /** Replacement victim within a set (invalid first, then LRU). */
-    Entry &victim(unsigned set);
+    unsigned victim(unsigned set) const;
 };
 
 /**

@@ -13,6 +13,22 @@ Tage::Tage(const TageParams &params)
     tables_.resize(params_.histLengths.size());
     for (auto &t : tables_)
         t.resize(std::size_t{1} << params_.tableBits);
+    prepIdx_.resize(tables_.size());
+    prepTag_.resize(tables_.size());
+}
+
+void
+Tage::prepare(Addr pc, std::uint64_t ghr) const
+{
+    if (prepValid_ && prepPc_ == pc && prepGhr_ == ghr)
+        return;
+    for (unsigned t = 0; t < tables_.size(); ++t) {
+        prepIdx_[t] = index(t, pc, ghr);
+        prepTag_[t] = tag(t, pc, ghr);
+    }
+    prepPc_ = pc;
+    prepGhr_ = ghr;
+    prepValid_ = true;
 }
 
 unsigned
@@ -44,9 +60,10 @@ Tage::bimodalPred(Addr pc) const
 int
 Tage::provider(Addr pc, std::uint64_t ghr) const
 {
+    prepare(pc, ghr);
     for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
-        const auto &e = tables_[t][index(t, pc, ghr)];
-        if (e.valid && e.tag == tag(t, pc, ghr))
+        const auto &e = tables_[t][prepIdx_[t]];
+        if (e.valid && e.tag == prepTag_[t])
             return t;
     }
     return -1;
@@ -59,30 +76,30 @@ Tage::predict(Addr pc, std::uint64_t ghr) const
     const int p = provider(pc, ghr);
     if (p < 0)
         return bimodalPred(pc);
-    return tables_[p][index(static_cast<unsigned>(p), pc, ghr)].ctr >= 4;
+    return tables_[p][prepIdx_[p]].ctr >= 4;
 }
 
 void
 Tage::update(Addr pc, std::uint64_t ghr, bool taken)
 {
-    const int p = provider(pc, ghr);
+    const int p = provider(pc, ghr); // also primes prepIdx_/prepTag_
     bool provider_pred;
     bool alt_pred = bimodalPred(pc);
     if (p >= 0) {
         // Alternate prediction: next-longest hit below the provider.
         for (int t = p - 1; t >= 0; --t) {
-            const auto &e = tables_[t][index(t, pc, ghr)];
-            if (e.valid && e.tag == tag(t, pc, ghr)) {
+            const auto &e = tables_[t][prepIdx_[t]];
+            if (e.valid && e.tag == prepTag_[t]) {
                 alt_pred = e.ctr >= 4;
                 break;
             }
         }
-        auto &e = tables_[p][index(static_cast<unsigned>(p), pc, ghr)];
+        auto &e = tables_[p][prepIdx_[p]];
         provider_pred = e.ctr >= 4;
-        if (taken && e.ctr < 7)
-            ++e.ctr;
-        else if (!taken && e.ctr > 0)
-            --e.ctr;
+        // Saturating 3-bit counter, branch-free: the in-range guard is
+        // arithmetic, not a branch the predictor has to guess.
+        e.ctr = static_cast<std::uint8_t>(
+            e.ctr + (taken ? (e.ctr < 7) : -(e.ctr > 0)));
         if (provider_pred != alt_pred) {
             if (provider_pred == taken) {
                 if (e.useful < 3)
@@ -94,10 +111,8 @@ Tage::update(Addr pc, std::uint64_t ghr, bool taken)
     } else {
         provider_pred = alt_pred;
         auto &b = bimodal_[(pc >> 2) & mask(params_.bimodalBits)];
-        if (taken && b < 3)
-            ++b;
-        else if (!taken && b > 0)
-            --b;
+        b = static_cast<std::uint8_t>(
+            b + (taken ? (b < 3) : -(b > 0)));
     }
 
     // Allocate a longer entry on a misprediction.
@@ -108,7 +123,7 @@ Tage::update(Addr pc, std::uint64_t ghr, bool taken)
         unsigned seen = 0;
         for (unsigned t = static_cast<unsigned>(p + 1);
              t < tables_.size(); ++t) {
-            auto &e = tables_[t][index(t, pc, ghr)];
+            const auto &e = tables_[t][prepIdx_[t]];
             if (!e.valid || e.useful == 0) {
                 ++seen;
                 // Reservoir-style choice biased toward shorter tables.
@@ -117,16 +132,15 @@ Tage::update(Addr pc, std::uint64_t ghr, bool taken)
             }
         }
         if (chosen >= 0) {
-            auto &e = tables_[chosen][index(static_cast<unsigned>(chosen),
-                                            pc, ghr)];
+            auto &e = tables_[chosen][prepIdx_[chosen]];
             e.valid = true;
-            e.tag = tag(static_cast<unsigned>(chosen), pc, ghr);
+            e.tag = prepTag_[chosen];
             e.ctr = taken ? 4 : 3;
             e.useful = 0;
         } else {
             for (unsigned t = static_cast<unsigned>(p + 1);
                  t < tables_.size(); ++t) {
-                auto &e = tables_[t][index(t, pc, ghr)];
+                auto &e = tables_[t][prepIdx_[t]];
                 if (e.useful > 0)
                     --e.useful;
             }

@@ -63,6 +63,21 @@ class Tage
     mutable std::uint64_t lookups_ = 0;
     Rng rng_{0xdeadbeef12345678ULL};
 
+    /**
+     * Prepared lookup: per-table indices and tags for one (pc, ghr),
+     * computed in a single pass and memoized. provider/predict/update
+     * each used to re-fold the history per table per call (update
+     * walks the tables up to three times); the memo collapses all of
+     * that into one fold pass per distinct (pc, ghr). Pure function of
+     * its key, so results — and golden stats — are bit-identical.
+     */
+    mutable std::vector<std::uint32_t> prepIdx_;
+    mutable std::vector<std::uint16_t> prepTag_;
+    mutable Addr prepPc_ = 0;
+    mutable std::uint64_t prepGhr_ = 0;
+    mutable bool prepValid_ = false;
+    void prepare(Addr pc, std::uint64_t ghr) const;
+
     unsigned index(unsigned t, Addr pc, std::uint64_t ghr) const;
     std::uint16_t tag(unsigned t, Addr pc, std::uint64_t ghr) const;
     int provider(Addr pc, std::uint64_t ghr) const;

@@ -41,6 +41,8 @@ Vtage::Vtage(const VtageParams &params)
     tables_.resize(params_.histLengths.size());
     for (auto &t : tables_)
         t.resize(std::size_t{1} << params_.tableBits);
+    prepIdx_.resize(tables_.size());
+    prepTag_.resize(tables_.size());
     if (params_.filter == VtageFilter::Static) {
         // Preloaded with the low-accuracy types found in §5.2.2.
         typeStats_[static_cast<unsigned>(OpType::PairLoad)].blocked = true;
@@ -80,12 +82,27 @@ Vtage::tag(unsigned t, Addr epc, std::uint64_t ghr) const
         mask(params_.tagBits));
 }
 
+void
+Vtage::prepare(Addr epc, std::uint64_t ghr) const
+{
+    if (prepValid_ && prepEpc_ == epc && prepGhr_ == ghr)
+        return;
+    for (unsigned t = 0; t < tables_.size(); ++t) {
+        prepIdx_[t] = index(t, epc, ghr);
+        prepTag_[t] = tag(t, epc, ghr);
+    }
+    prepEpc_ = epc;
+    prepGhr_ = ghr;
+    prepValid_ = true;
+}
+
 int
 Vtage::provider(Addr epc, std::uint64_t ghr) const
 {
+    prepare(epc, ghr);
     for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
-        const auto &e = tables_[t][index(t, epc, ghr)];
-        if (e.valid && e.tag == tag(t, epc, ghr))
+        const auto &e = tables_[t][prepIdx_[t]];
+        if (e.valid && e.tag == prepTag_[t])
             return t;
     }
     return -1;
@@ -127,7 +144,7 @@ Vtage::predict(const trace::TraceInst &inst, unsigned dest_idx,
     const int p = provider(epc, ghr);
     if (p < 0)
         return pred;
-    const auto &e = tables_[p][index(static_cast<unsigned>(p), epc, ghr)];
+    const auto &e = tables_[p][prepIdx_[p]];
     if (!e.conf.saturated(confVec_))
         return pred;
     pred.valid = true;
@@ -170,10 +187,10 @@ Vtage::train(const trace::TraceInst &inst, unsigned dest_idx,
         return;
 
     const Addr epc = effectivePc(inst.pc, dest_idx);
-    const int p = provider(epc, ghr);
+    const int p = provider(epc, ghr); // also primes prepIdx_/prepTag_
     bool provider_correct = false;
     if (p >= 0) {
-        auto &e = tables_[p][index(static_cast<unsigned>(p), epc, ghr)];
+        auto &e = tables_[p][prepIdx_[p]];
         if (e.value == actual) {
             provider_correct = true;
             e.conf.increment(confVec_, rng_);
@@ -195,12 +212,12 @@ Vtage::train(const trace::TraceInst &inst, unsigned dest_idx,
         if (start < tables_.size()) {
             const unsigned t = start + static_cast<unsigned>(
                 rng_.below(tables_.size() - start));
-            auto &e = tables_[t][index(t, epc, ghr)];
+            auto &e = tables_[t][prepIdx_[t]];
             // Entries with residual confidence survive (they are
             // being useful for another instruction).
             if (!e.valid || e.conf.value() == 0) {
                 e.valid = true;
-                e.tag = tag(t, epc, ghr);
+                e.tag = prepTag_[t];
                 e.value = actual;
                 e.conf.reset();
                 ++tableWrites_;

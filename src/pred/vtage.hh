@@ -129,6 +129,19 @@ class Vtage
     };
     mutable std::array<TypeStats, 8> typeStats_{};
 
+    /**
+     * Prepared lookup memo, same scheme as Tage: per-table index/tag
+     * for one (epc, ghr) key, folded once and reused by provider/
+     * predict/train instead of re-folding the history per table per
+     * call. Pure function of the key — bit-identical results.
+     */
+    mutable std::vector<std::uint32_t> prepIdx_;
+    mutable std::vector<std::uint16_t> prepTag_;
+    mutable Addr prepEpc_ = 0;
+    mutable std::uint64_t prepGhr_ = 0;
+    mutable bool prepValid_ = false;
+    void prepare(Addr epc, std::uint64_t ghr) const;
+
     static Addr effectivePc(Addr pc, unsigned dest_idx);
     unsigned index(unsigned t, Addr epc, std::uint64_t ghr) const;
     std::uint16_t tag(unsigned t, Addr epc, std::uint64_t ghr) const;

@@ -1,0 +1,149 @@
+#include "sim/batch_runner.hh"
+
+#include <chrono>
+#include <memory>
+
+#include "common/fault_inject.hh"
+#include "common/run_error.hh"
+#include "core/core.hh"
+#include "trace/funct_stream.hh"
+
+namespace dlvp::sim
+{
+
+namespace
+{
+
+using WallClock = std::chrono::steady_clock;
+
+double
+msSince(WallClock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(WallClock::now() -
+                                                     t0)
+        .count();
+}
+
+/** Record a lane failure the same way a serial sweep cell would. */
+void
+failLane(BatchLaneResult &res, const std::string &context)
+{
+    const common::RunError err =
+        common::normalizeCurrentException(context);
+    res.outcome.status = err.kind() == common::ErrorKind::SimTimeout
+                             ? JobStatus::Timeout
+                             : JobStatus::Failed;
+    res.outcome.errorKind = err.kind();
+    res.outcome.error = err.describe();
+    res.outcome.attempts = 1;
+}
+
+} // namespace
+
+bool
+batchable(const core::CoreParams &params)
+{
+    // The core wall watchdog measures absolute wall time; in lockstep
+    // a lane's budget would also cover its siblings' step slices.
+    return params.maxWallMs <= 0.0;
+}
+
+std::vector<BatchLaneResult>
+runBatch(const core::CoreParams &params, const trace::Trace &trace,
+         const std::vector<BatchLane> &lanes,
+         const BatchOptions &opts)
+{
+    std::vector<BatchLaneResult> results(lanes.size());
+    if (lanes.empty())
+        return results;
+
+    const std::size_t chunk = opts.chunkInsts ? opts.chunkInsts : 8192;
+    const auto warmup = static_cast<std::size_t>(
+        static_cast<double>(trace.size()) * kWarmupFraction);
+
+    // The column's shared work: one functional replay for all lanes.
+    // Its cost is split evenly into every lane's wall time so batched
+    // MIPS stay honest against serial rows (which each pay a full
+    // private replay instead).
+    const auto tcap = WallClock::now();
+    const trace::FunctStream stream = trace::FunctStream::capture(trace);
+    const double shared_ms = msSince(tcap) /
+                             static_cast<double>(lanes.size());
+
+    struct Lane
+    {
+        std::unique_ptr<core::OoOCore> core;
+        double wallMs = 0.0;
+        bool done = false;
+    };
+    std::vector<Lane> live(lanes.size());
+
+    const common::FaultPlan &faults = common::FaultPlan::global();
+
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const auto t0 = WallClock::now();
+        try {
+            live[i].core = std::make_unique<core::OoOCore>(
+                params, lanes[i].vp, trace, &stream);
+            live[i].core->beginRun(warmup);
+        } catch (...) {
+            failLane(results[i], "batch lane=" + lanes[i].name +
+                                     " workload=" + trace.name +
+                                     " (construction)");
+            live[i].core.reset();
+        }
+        live[i].wallMs += msSince(t0);
+    }
+
+    // Round-robin lockstep: every live lane advances one chunk of
+    // committed instructions before any lane starts the next chunk,
+    // keeping all lanes inside the same region of the trace.
+    bool any_live = true;
+    for (InstSeqNum target = chunk; any_live; target += chunk) {
+        any_live = false;
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            Lane &lane = live[i];
+            if (!lane.core || lane.done)
+                continue;
+            const auto t0 = WallClock::now();
+            try {
+                lane.done = lane.core->stepUntil(target);
+                if (!lane.done &&
+                    faults.failLane(trace.name, lanes[i].name))
+                    throw common::RunError(
+                        common::ErrorKind::Internal,
+                        "injected lane fault (lane=" + lanes[i].name +
+                            " workload=" + trace.name + ")");
+                if (!lane.done)
+                    any_live = true;
+            } catch (...) {
+                failLane(results[i], "batch lane=" + lanes[i].name +
+                                         " workload=" + trace.name);
+                lane.core.reset(); // free the dead lane's footprint
+            }
+            lane.wallMs += msSince(t0);
+        }
+    }
+
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        Lane &lane = live[i];
+        if (!lane.core)
+            continue;
+        const auto t0 = WallClock::now();
+        results[i].stats = lane.core->finishRun();
+        lane.wallMs += msSince(t0) + shared_ms;
+        results[i].perf.wallMs = lane.wallMs;
+        results[i].perf.mips =
+            lane.wallMs > 0.0
+                ? static_cast<double>(trace.size()) /
+                      (lane.wallMs * 1e3)
+                : 0.0;
+        results[i].perf.pagesTouched = lane.core->pagesTouched();
+        results[i].perf.cyclesSkipped = lane.core->cyclesSkipped();
+        results[i].outcome.status = JobStatus::Ok;
+        results[i].outcome.attempts = 1;
+    }
+    return results;
+}
+
+} // namespace dlvp::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Batched lockstep multi-config runner: one trace, N cores.
+ *
+ * Every figure in the paper is a (config × workload) grid, and each
+ * grid column re-simulates the identical instruction stream once per
+ * config. runBatch streams a workload's trace ONCE through N
+ * independent OoOCore lanes in round-robin lockstep chunks: the
+ * functional load-value replay and the initial-image copy are captured
+ * once per column (trace::FunctStream) and shared read-only by all
+ * lanes, and the trace's pages stay hot in the host cache while every
+ * lane consumes them — instead of each grid cell re-paging the trace
+ * from cold.
+ *
+ * Lockstep contract (DESIGN.md):
+ *  - every lane is a fully independent OoOCore (own cycle clock,
+ *    predictors, accelerator, memory hierarchy, CoreStats); no timing
+ *    or predictor state crosses lanes, so each lane's CoreStats are
+ *    bit-identical to a solo run of that config;
+ *  - lanes advance in committed-instruction chunks via the core's
+ *    stepUntil driver; chunk size affects only host cache locality,
+ *    never simulated behavior;
+ *  - per-lane wall time is metered around each lane's own step slices
+ *    (plus an equal share of the shared capture), so RunPerf MIPS
+ *    stays comparable with serial rows;
+ *  - per-lane fault isolation: a lane that throws (deadlock, injected
+ *    fault, OOM) records a structured JobOutcome and is torn down;
+ *    sibling lanes stream on unaffected.
+ *
+ * Batching is disabled (batchable() == false) when the core has a
+ * per-run wall-clock budget: the core watchdog measures absolute wall
+ * time, which under lockstep would charge every lane for its
+ * siblings' work.
+ */
+
+#ifndef DLVP_SIM_BATCH_RUNNER_HH
+#define DLVP_SIM_BATCH_RUNNER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/core_stats.hh"
+#include "core/params.hh"
+#include "sim/sweep.hh"
+#include "trace/trace.hh"
+
+namespace dlvp::sim
+{
+
+/** One lane of a batched column: a named config. */
+struct BatchLane
+{
+    std::string name;
+    core::VpConfig vp;
+};
+
+/** One lane's outputs; stats/perf are valid iff outcome.ok(). */
+struct BatchLaneResult
+{
+    core::CoreStats stats;
+    RunPerf perf;
+    JobOutcome outcome;
+};
+
+struct BatchOptions
+{
+    /**
+     * Committed instructions per lockstep round. Large enough to
+     * amortize the round-robin switch, small enough that the column's
+     * working set (trace pages + each lane's tables) cycles through
+     * the host cache once per round rather than once per cell.
+     */
+    std::size_t chunkInsts = 8192;
+};
+
+/** True when @p params supports lockstep batching (see file header). */
+bool batchable(const core::CoreParams &params);
+
+/**
+ * Stream @p trace once through all @p lanes in lockstep. Warmup is
+ * kWarmupFraction of the trace, as in Simulator::run. Returns one
+ * result per lane, in lane order; per-lane failures are isolated into
+ * the lane's JobOutcome and never throw.
+ */
+std::vector<BatchLaneResult>
+runBatch(const core::CoreParams &params, const trace::Trace &trace,
+         const std::vector<BatchLane> &lanes,
+         const BatchOptions &opts = {});
+
+} // namespace dlvp::sim
+
+#endif // DLVP_SIM_BATCH_RUNNER_HH

@@ -148,7 +148,8 @@ writeSweepJson(std::ostream &os, const SweepResult &r)
         const auto &row = r.rows[wi];
         body << "    {\"workload\": \"" << jsonEscape(row.workload)
              << "\", \"status\": \"" << jobStatusName(row.status())
-             << "\", \"baseline\": {";
+             << "\", \"batch\": " << (row.batch ? "true" : "false")
+             << ", \"lanes\": " << row.lanes << ", \"baseline\": {";
         jsonCellFields(body, row.baselineOutcome, row.baseline,
                        row.baselinePerf);
         body << "}, \"results\": [";

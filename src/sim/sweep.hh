@@ -180,6 +180,16 @@ struct SweepSpec
     std::function<void(std::size_t done, std::size_t total)> progress;
     /** Trace store to use; nullptr = TraceStore::global(). */
     TraceStore *store = nullptr;
+    /**
+     * Batched column scheduling: run all configs of one workload as a
+     * single lockstep job (sim::runBatch) instead of one job per
+     * cell, so the trace is fetched/decoded once per grid column.
+     * CoreStats are bit-identical either way (tests/
+     * test_batch_runner.cc); only RunPerf telemetry differs. Falls
+     * back to per-cell jobs when batchable(core) is false (cores with
+     * a wall-clock budget) or the grid has a single column.
+     */
+    bool batch = false;
 
     // -- fault tolerance (DESIGN.md §9) --------------------------
     /**
@@ -214,6 +224,10 @@ struct SweepRow
     std::vector<RunPerf> perf;            ///< one per spec config
     JobOutcome baselineOutcome;           ///< baseline cell status
     std::vector<JobOutcome> outcomes;     ///< one per spec config
+    /** This row ran as one batched lockstep column job. */
+    bool batch = false;
+    /** Lanes in that job (baseline + configs); 1 for per-cell jobs. */
+    unsigned lanes = 1;
 
     /** stats/perf for config @p idx (and the baseline) are valid. */
     bool

@@ -1,0 +1,45 @@
+#include "trace/funct_stream.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dlvp::trace
+{
+
+FunctStream
+FunctStream::capture(const Trace &trace)
+{
+    FunctStream fs;
+    fs.offsets_.assign(trace.size(), 0);
+
+    // First pass: count destination slots so values_ is sized once.
+    std::size_t total = 0;
+    for (const TraceInst &inst : trace.insts)
+        if (inst.isLoad() || inst.cls == OpClass::Atomic)
+            total += std::max<unsigned>(1, inst.numDests);
+    dlvp_assert(total <= ~std::uint32_t{0});
+    fs.values_.resize(total);
+
+    // Second pass: the program-order replay itself. This mirrors
+    // OoOCore::firstFetchFunctional exactly — loads read the image
+    // before an atomic's own store applies — so a core consuming the
+    // stream sees bit-identical values to one replaying privately.
+    MemoryImage image(trace.initialImage);
+    std::uint32_t off = 0;
+    for (std::size_t seq = 0; seq < trace.size(); ++seq) {
+        const TraceInst &inst = trace.insts[seq];
+        if (inst.isLoad() || inst.cls == OpClass::Atomic) {
+            fs.offsets_[seq] = off;
+            const unsigned n = std::max<unsigned>(1, inst.numDests);
+            for (unsigned d = 0; d < n; ++d)
+                fs.values_[off++] = image.read(
+                    inst.memAddr + d * inst.memSize, inst.memSize);
+        }
+        if (inst.isStore() || inst.cls == OpClass::Atomic)
+            image.write(inst.memAddr, inst.storeValue, inst.memSize);
+    }
+    return fs;
+}
+
+} // namespace dlvp::trace

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The architectural load-value stream of a trace.
+ *
+ * Replaying a trace functionally — stores advance a memory image in
+ * program order, loads read it — is the only per-instruction work in
+ * the core that does not depend on the core/predictor configuration.
+ * FunctStream captures that replay once: every load (and atomic)
+ * records the value of each destination register at its program-order
+ * point. A batch of cores streaming the same trace can then share one
+ * capture instead of each paying the memory-image replay and a private
+ * copy of the initial image (sim::BatchRunner does exactly this).
+ *
+ * The stream is immutable after capture and is read concurrently by
+ * many lanes without synchronization.
+ */
+
+#ifndef DLVP_TRACE_FUNCT_STREAM_HH
+#define DLVP_TRACE_FUNCT_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace dlvp::trace
+{
+
+class FunctStream
+{
+  public:
+    /** Replay @p trace once and record every load's dest values. */
+    static FunctStream capture(const Trace &trace);
+
+    /**
+     * Destination values for the load/atomic at trace index @p seq
+     * (numDests entries, or 1 for a zero-dest atomic). Calling this
+     * for a non-load index is undefined.
+     */
+    const std::uint64_t *
+    values(std::uint64_t seq) const
+    {
+        return values_.data() + offsets_[seq];
+    }
+
+    bool empty() const { return offsets_.empty(); }
+
+  private:
+    /** Per trace index: start of that load's span in values_. */
+    std::vector<std::uint32_t> offsets_;
+    std::vector<std::uint64_t> values_;
+};
+
+} // namespace dlvp::trace
+
+#endif // DLVP_TRACE_FUNCT_STREAM_HH

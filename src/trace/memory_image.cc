@@ -35,18 +35,17 @@ MemoryImage::operator=(const MemoryImage &other)
     if (this == &other)
         return *this;
     resetMru();
-    pages_.clear();
-    pages_.reserve(other.pages_.size());
-    // Order-independent deep copy into another hash map.
-    // dlvp-analyze: allow(determinism)
-    for (const auto &kv : other.pages_)
-        pages_.emplace(kv.first, std::make_unique<Page>(*kv.second));
+    // Copy-on-write: alias the source's pages instead of duplicating
+    // them. Every page is now shared, so neither image may write
+    // through a cached "owned" pointer until it re-proves ownership.
+    pages_ = other.pages_;
+    other.mruOwned_ = false;
     return *this;
 }
 
 MemoryImage::MemoryImage(MemoryImage &&other) noexcept
     : pages_(std::move(other.pages_)), mruAddr_(other.mruAddr_),
-      mruPage_(other.mruPage_)
+      mruPage_(other.mruPage_), mruOwned_(other.mruOwned_)
 {
     // The pages (and thus the MRU pointer) now belong to this image;
     // the moved-from image must not serve stale pages it no longer
@@ -62,6 +61,7 @@ MemoryImage::operator=(MemoryImage &&other) noexcept
     pages_ = std::move(other.pages_);
     mruAddr_ = other.mruAddr_;
     mruPage_ = other.mruPage_;
+    mruOwned_ = other.mruOwned_;
     other.resetMru();
     return *this;
 }
@@ -77,22 +77,35 @@ MemoryImage::findMru(Addr page_addr) const
                         // to this page must not be shadowed
     mruAddr_ = page_addr;
     mruPage_ = it->second.get();
+    // Refresh ownership alongside the pointer: leaving a stale true
+    // from a previously-cached page would let the write path mutate a
+    // shared page through the fast path.
+    mruOwned_ = it->second.use_count() == 1;
     return mruPage_;
 }
 
 MemoryImage::Page *
 MemoryImage::getPage(Addr page_addr, bool allocate)
 {
-    Page *p = findMru(page_addr);
-    if (p != nullptr || !allocate)
-        return p;
-    auto page = std::make_unique<Page>();
-    page->fill(0);
-    Page *raw = page.get();
-    pages_.emplace(page_addr, std::move(page));
+    // Write-side lookup: the MRU pointer is only safe to hand out for
+    // mutation when the page was exclusively ours last time we looked.
+    if (page_addr == mruAddr_ && mruOwned_)
+        return mruPage_;
+    auto it = pages_.find(page_addr);
+    if (it == pages_.end()) {
+        if (!allocate)
+            return nullptr;
+        auto page = std::make_shared<Page>();
+        page->fill(0);
+        it = pages_.emplace(page_addr, std::move(page)).first;
+    } else if (it->second.use_count() > 1) {
+        // Copy-on-write fault: another image still aliases this page.
+        it->second = std::make_shared<Page>(*it->second);
+    }
     mruAddr_ = page_addr;
-    mruPage_ = raw;
-    return raw;
+    mruPage_ = it->second.get();
+    mruOwned_ = true;
+    return mruPage_;
 }
 
 std::uint8_t

@@ -34,8 +34,10 @@ namespace dlvp::trace
 
 /**
  * Page-granular sparse memory. Unwritten bytes read as zero.
- * Copyable (pages are deep-copied) so a trace can snapshot its initial
- * image.
+ * Copyable so a trace can snapshot its initial image; copies share
+ * pages copy-on-write, so snapshotting a multi-megabyte image into
+ * every core (and every batched lane) costs pointer copies, and a page
+ * is only duplicated when one of the sharers first writes it.
  */
 class MemoryImage
 {
@@ -85,25 +87,34 @@ class MemoryImage
   private:
     using Page = std::array<std::uint8_t, kPageSize>;
 
-    /** unique_ptr keeps the map nodes small and makes moves cheap. */
-    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    /**
+     * shared_ptr implements the copy-on-write sharing: a copied image
+     * aliases the source's pages, and getPage() clones a page the
+     * moment a write finds it shared (use_count > 1).
+     */
+    std::unordered_map<Addr, std::shared_ptr<Page>> pages_;
 
     /**
      * MRU last-page cache. Page storage is heap-allocated behind
-     * unique_ptr, so a cached pointer survives map rehash; it only
-     * dies with the page map itself (clear / assignment), which is
-     * exactly when resetMru() runs. kNoAddr can never match a real
-     * (page-aligned) base, so it doubles as the empty sentinel.
+     * shared_ptr, so a cached pointer survives map rehash, and our own
+     * map entry keeps the page alive even if a sharing image clones
+     * away from it. kNoAddr can never match a real (page-aligned)
+     * base, so it doubles as the empty sentinel. mruOwned_ records
+     * whether the cached page was exclusively ours when last checked —
+     * the write path may only reuse the cached pointer when it is,
+     * and any copy that shares our pages out must clear it.
      * mutable: the read path is const but still updates the cache.
      */
     mutable Addr mruAddr_ = kNoAddr;
     mutable Page *mruPage_ = nullptr;
+    mutable bool mruOwned_ = false;
 
     void
     resetMru() const
     {
         mruAddr_ = kNoAddr;
         mruPage_ = nullptr;
+        mruOwned_ = false;
     }
 
     /** MRU-cached page lookup; nullptr when absent (not cached). */

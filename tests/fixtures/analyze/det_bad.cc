@@ -25,4 +25,13 @@ struct DetBad
             total += kv.second;
         return total;
     }
+
+    // Lockstep-scheduling shape: timing a lane with a clock that may
+    // alias wall time.
+    long
+    laneSlice()
+    {
+        auto t0 = std::chrono::high_resolution_clock::now();
+        return t0.time_since_epoch().count();
+    }
 };

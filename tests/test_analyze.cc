@@ -112,9 +112,33 @@ TEST(AnalyzeDeterminism, FlagsRandTimeUnorderedIterAndPointerKeys)
     EXPECT_TRUE(anyMessageContains(findings, "range-for over "
                                              "unordered container"));
     EXPECT_TRUE(anyMessageContains(findings, "pointer-keyed"));
-    EXPECT_GE(findings.size(), 5u);
+    EXPECT_TRUE(anyMessageContains(findings, "high_resolution_clock"));
+    EXPECT_GE(findings.size(), 6u);
     for (const Finding &f : findings)
         EXPECT_EQ(f.rule, "determinism") << f.message;
+}
+
+// The batched lockstep runner must never derive simulated behavior
+// from wall time or unordered iteration: a lane's stats are pinned
+// bit-identical to the serial engine (test_batch_runner.cc), so any
+// determinism finding in these sources is a real bug, not style.
+TEST(AnalyzeDeterminism, BatchRunnerSourcesAreClean)
+{
+    namespace fs = std::filesystem;
+    const fs::path root = DLVP_ANALYZE_REPO_ROOT;
+    AnalyzeConfig config;
+    config.rules = {"determinism"};
+    for (const char *f :
+         {"src/sim/batch_runner.hh", "src/sim/batch_runner.cc",
+          "src/sim/sweep.hh", "src/sim/sweep.cc",
+          "src/trace/funct_stream.hh"}) {
+        const fs::path p = root / f;
+        ASSERT_TRUE(fs::exists(p)) << p;
+        config.files.push_back(p.string());
+    }
+    const auto findings = runAnalysis(config);
+    for (const Finding &f : findings)
+        ADD_FAILURE() << f.file << ":" << f.line << ": " << f.message;
 }
 
 TEST(AnalyzeDeterminism, CleanFixtureHasNoFindings)

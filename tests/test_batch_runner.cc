@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the batched lockstep multi-config runner
+ * (sim/batch_runner.hh). The load-bearing property is differential:
+ * every lane of a batched column must produce CoreStats bit-identical
+ * to a solo run of that config on the same trace — batching is a
+ * wall-clock optimization, never a model change. The second property
+ * is isolation: a lane that dies mid-column (injected fault) must not
+ * perturb its siblings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault_inject.hh"
+#include "common/run_error.hh"
+#include "sim/batch_runner.hh"
+#include "sim/configs.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+
+namespace
+{
+
+using namespace dlvp;
+using namespace dlvp::sim;
+
+constexpr std::size_t kInsts = 16000;
+
+/** Scoped global fault plan (mirrors test_fault_injection.cc). */
+struct PlanGuard
+{
+    explicit PlanGuard(const std::string &spec)
+    {
+        common::FaultPlan::setGlobal(spec);
+    }
+    ~PlanGuard() { common::FaultPlan::clearGlobal(); }
+};
+
+/** Every catalog config as a batch lane. */
+std::vector<BatchLane>
+catalogLanes()
+{
+    std::vector<BatchLane> lanes;
+    for (const ConfigDesc &c : configCatalog())
+        lanes.push_back({c.name, c.make()});
+    return lanes;
+}
+
+/** Solo (serial-engine) stats for every catalog config on @p trace. */
+std::vector<core::CoreStats>
+serialStats(Simulator &sim, const trace::Trace &trace)
+{
+    std::vector<core::CoreStats> out;
+    for (const ConfigDesc &c : configCatalog())
+        out.push_back(sim.run(trace, c.make()));
+    return out;
+}
+
+TEST(BatchRunner, EveryLaneBitIdenticalToSerialAllConfigs)
+{
+    TraceStore store;
+    Simulator sim(baselineCore(), kInsts, &store);
+    const auto lanes = catalogLanes();
+    ASSERT_TRUE(batchable(sim.params()));
+    for (const char *workload : {"mcf", "gzip", "omnetpp"}) {
+        const trace::Trace &trace = sim.workload(workload);
+        const auto serial = serialStats(sim, trace);
+        const auto batched = runBatch(sim.params(), trace, lanes);
+        ASSERT_EQ(batched.size(), lanes.size());
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            ASSERT_TRUE(batched[i].outcome.ok())
+                << workload << "/" << lanes[i].name << ": "
+                << batched[i].outcome.error;
+            EXPECT_EQ(batched[i].stats, serial[i])
+                << "batched lane diverged from the serial engine on "
+                << workload << "/" << lanes[i].name;
+            EXPECT_GT(batched[i].perf.wallMs, 0.0);
+            EXPECT_GT(batched[i].perf.mips, 0.0);
+        }
+    }
+}
+
+TEST(BatchRunner, ChunkSizeNeverChangesSimulatedBehavior)
+{
+    TraceStore store;
+    Simulator sim(baselineCore(), kInsts, &store);
+    const trace::Trace &trace = sim.workload("mcf");
+    const std::vector<BatchLane> lanes = {{"dlvp", dlvpConfig()},
+                                          {"baseline", baselineVp()}};
+    BatchOptions tiny;
+    tiny.chunkInsts = 64; // pathological round-robin granularity
+    const auto coarse = runBatch(sim.params(), trace, lanes);
+    const auto fine = runBatch(sim.params(), trace, lanes, tiny);
+    ASSERT_EQ(coarse.size(), fine.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        ASSERT_TRUE(coarse[i].outcome.ok());
+        ASSERT_TRUE(fine[i].outcome.ok());
+        EXPECT_EQ(coarse[i].stats, fine[i].stats)
+            << "chunk size leaked into lane " << lanes[i].name;
+    }
+}
+
+TEST(BatchRunner, MidColumnLaneFaultLeavesSiblingsIntact)
+{
+    TraceStore store;
+    Simulator sim(baselineCore(), kInsts, &store);
+    const trace::Trace &trace = sim.workload("mcf");
+    const auto lanes = catalogLanes();
+    // Reference stats come from the serial engine, which never
+    // consults the lane hook — so agreement below also proves the
+    // fault did not perturb the surviving lanes.
+    const auto serial = serialStats(sim, trace);
+
+    PlanGuard guard("lane:mcf/dlvp");
+    const auto batched = runBatch(sim.params(), trace, lanes);
+    ASSERT_EQ(batched.size(), lanes.size());
+    bool sawFault = false;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (std::string(lanes[i].name) == "dlvp") {
+            sawFault = true;
+            EXPECT_FALSE(batched[i].outcome.ok());
+            EXPECT_EQ(batched[i].outcome.errorKind,
+                      common::ErrorKind::Internal);
+            EXPECT_NE(batched[i].outcome.error.find("injected"),
+                      std::string::npos)
+                << batched[i].outcome.error;
+        } else {
+            ASSERT_TRUE(batched[i].outcome.ok())
+                << lanes[i].name << ": " << batched[i].outcome.error;
+            EXPECT_EQ(batched[i].stats, serial[i])
+                << "sibling lane " << lanes[i].name
+                << " perturbed by the injected dlvp lane fault";
+        }
+    }
+    EXPECT_TRUE(sawFault) << "catalog no longer contains a dlvp lane";
+}
+
+TEST(BatchRunner, WildcardLaneFaultKillsEveryLane)
+{
+    TraceStore store;
+    Simulator sim(baselineCore(), kInsts, &store);
+    const trace::Trace &trace = sim.workload("gzip");
+    const std::vector<BatchLane> lanes = {{"baseline", baselineVp()},
+                                          {"dlvp", dlvpConfig()}};
+    PlanGuard guard("lane:*");
+    const auto batched = runBatch(sim.params(), trace, lanes);
+    for (const auto &r : batched)
+        EXPECT_FALSE(r.outcome.ok());
+}
+
+TEST(BatchRunner, EmptyLaneListIsEmptyResult)
+{
+    TraceStore store;
+    Simulator sim(baselineCore(), kInsts, &store);
+    const trace::Trace &trace = sim.workload("gzip");
+    EXPECT_TRUE(runBatch(sim.params(), trace, {}).empty());
+}
+
+TEST(BatchRunner, WallBudgetDisablesBatching)
+{
+    core::CoreParams params = baselineCore();
+    params.maxWallMs = 1000.0;
+    EXPECT_FALSE(batchable(params));
+    params.maxWallMs = 0.0;
+    EXPECT_TRUE(batchable(params));
+}
+
+} // namespace

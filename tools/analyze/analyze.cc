@@ -267,12 +267,17 @@ runDeterminismRule(const SourceFile &f, const SourceFile *sibling,
     // simulation logic); everything here either returns wall time or
     // hidden-seed randomness, both of which vary run to run.
     static const std::set<std::string> kBannedCalls = {
-        "rand",   "srand",       "drand48", "lrand48",
+        "rand",   "srand",        "drand48", "lrand48",
         "random", "gettimeofday", "time",    "clock",
-        "timespec_get",
+        "timespec_get", "clock_gettime", "rand_r", "localtime",
     };
+    // high_resolution_clock is banned alongside system_clock: the
+    // standard lets it alias the wall clock, so lockstep scheduling
+    // code (batch_runner) that timed lanes with it could observe
+    // different values run to run; steady_clock is the sanctioned
+    // telemetry source.
     static const std::set<std::string> kBannedIdents = {
-        "random_device", "system_clock",
+        "random_device", "system_clock", "high_resolution_clock",
     };
 
     const std::vector<Token> &toks = f.tokens;
