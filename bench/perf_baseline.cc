@@ -14,7 +14,13 @@
  * Jobs default to 1 (not all hardware threads) so MIPS numbers are
  * not distorted by co-scheduled sweep jobs; pass --jobs to override.
  *
- *   perf_baseline [--insts N] [--jobs J] [--out FILE] [--ref FILE]
+ * A final pass runs the composed mega traces (mega-mix, mega-storm)
+ * at 1M+ uops under interval sampling and appends one row per config
+ * with "sampled": true; their detailed-engine MIPS is summarized as
+ * summary.mega_mips alongside the serial-cell gate metric.
+ *
+ *   perf_baseline [--insts N] [--mega-insts N] [--jobs J]
+ *                 [--out FILE] [--ref FILE] [--no-batch] [--no-mega]
  */
 
 #include <chrono>
@@ -37,6 +43,8 @@ struct PerfRow
     std::string workload;
     std::string config;
     sim::RunPerf perf;
+    /** Row ran under interval sampling (mega pass). */
+    bool sampled = false;
 };
 
 /** First "model name" line from /proc/cpuinfo, or "unknown". */
@@ -99,10 +107,20 @@ struct BatchEvidence
     double mips = 0.0;
 };
 
+/** Mega sampled-sweep evidence; recorded != false when the pass ran. */
+struct MegaEvidence
+{
+    bool recorded = false;
+    std::size_t insts = 0;
+    double wallMs = 0.0;
+    double mips = 0.0;
+};
+
 void
 writePerfJson(std::ostream &os, const std::vector<PerfRow> &rows,
               std::size_t insts, unsigned jobs, double total_wall_ms,
-              double mips_total, const BatchEvidence &batch)
+              double mips_total, const BatchEvidence &batch,
+              const MegaEvidence &mega)
 {
     os.precision(12);
     os << "{\n  \"schema\": \"dlvp-perf-v1\",\n"
@@ -123,7 +141,8 @@ writePerfJson(std::ostream &os, const std::vector<PerfRow> &rows,
            << "\", \"wall_ms\": " << r.perf.wallMs
            << ", \"mips\": " << r.perf.mips
            << ", \"pages\": " << r.perf.pagesTouched
-           << ", \"cycles_skipped\": " << r.perf.cyclesSkipped << "}"
+           << ", \"cycles_skipped\": " << r.perf.cyclesSkipped
+           << (r.sampled ? ", \"sampled\": true" : "") << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"summary\": {\"total_wall_ms\": " << total_wall_ms
@@ -136,6 +155,13 @@ writePerfJson(std::ostream &os, const std::vector<PerfRow> &rows,
            << ", \"batch_mips\": " << batch.mips
            << ", \"batch_speedup\": "
            << (mips_total > 0.0 ? batch.mips / mips_total : 0.0);
+    // Mega sampled rows are detailed-engine throughput over the
+    // sampled intervals only; the fast-forwarded gap instructions are
+    // excluded from the MIPS numerator.
+    if (mega.recorded)
+        os << ", \"mega_insts\": " << mega.insts
+           << ", \"mega_wall_ms\": " << mega.wallMs
+           << ", \"mega_mips\": " << mega.mips;
     os << "}\n}\n";
 }
 
@@ -163,14 +189,18 @@ main(int argc, char **argv)
     using namespace dlvp::bench;
 
     std::size_t insts = kBenchInsts;
+    std::size_t mega_insts = 0; // 0 -> derived from insts below
     unsigned jobs = 1;
     std::string out = "BENCH_perf.json";
     std::string ref;
     bool batch_pass = true;
+    bool mega_pass = true;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--insts" && i + 1 < argc)
             insts = std::strtoull(argv[++i], nullptr, 10);
+        else if (a == "--mega-insts" && i + 1 < argc)
+            mega_insts = std::strtoull(argv[++i], nullptr, 10);
         else if (a == "--jobs" && i + 1 < argc)
             jobs = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
@@ -180,13 +210,21 @@ main(int argc, char **argv)
             ref = argv[++i];
         else if (a == "--no-batch")
             batch_pass = false;
+        else if (a == "--no-mega")
+            mega_pass = false;
         else {
             std::fprintf(stderr,
-                         "usage: perf_baseline [--insts N] [--jobs J] "
-                         "[--out FILE] [--ref FILE] [--no-batch]\n");
+                         "usage: perf_baseline [--insts N] "
+                         "[--mega-insts N] [--jobs J] [--out FILE] "
+                         "[--ref FILE] [--no-batch] [--no-mega]\n");
             return 2;
         }
     }
+    // The mega pass scales with --insts so the ci_check perf smoke
+    // (--insts 30000) stays cheap while the recorded reference uses
+    // 1M+-uop composed traces (default 300000 * 4 = 1.2M).
+    if (mega_insts == 0)
+        mega_insts = insts * 4;
 
     sim::SweepSpec spec;
     // DLVP plus the registry-zoo entries: the perf gate watches the
@@ -285,12 +323,61 @@ main(int argc, char **argv)
         }
     }
 
+    // Mega sampled pass: the composed 1M+-uop traces run under the
+    // default interval-sampling spec (--sample), one row per config,
+    // so the perf trajectory records streaming+sampling throughput at
+    // a scale the full-detail rows never reach.
+    MegaEvidence mega;
+    if (mega_pass) {
+        auto mspec = spec;
+        mspec.workloads = {"mega-mix", "mega-storm"};
+        mspec.insts = mega_insts;
+        mspec.batch = false;
+        mspec.sample.enabled = true;
+        sim::TraceStore mstore;
+        mspec.store = &mstore;
+        const auto mresult = sim::runSweep(mspec);
+        double mwall = 0.0;
+        double muops = 0.0;
+        bool all_ok = true;
+        for (const auto &r : mresult.rows) {
+            if (!r.baselineOutcome.ok())
+                all_ok = false;
+            rows.push_back({r.workload, "baseline", r.baselinePerf,
+                            true});
+            mwall += r.baselinePerf.wallMs;
+            muops += r.baselinePerf.mips * r.baselinePerf.wallMs * 1e3;
+            for (std::size_t ci = 0; ci < mspec.configs.size();
+                 ++ci) {
+                if (!r.outcomes[ci].ok())
+                    all_ok = false;
+                rows.push_back({r.workload, mspec.configs[ci].name,
+                                r.perf[ci], true});
+                mwall += r.perf[ci].wallMs;
+                muops += r.perf[ci].mips * r.perf[ci].wallMs * 1e3;
+            }
+        }
+        if (all_ok && mwall > 0.0) {
+            mega.recorded = true;
+            mega.insts = mega_insts;
+            mega.wallMs = mwall;
+            mega.mips = muops / (mwall * 1e3);
+            std::printf("mega sampled rows: %zu uops/trace, wall sum "
+                        "%.0f ms, detailed %.3f MIPS\n",
+                        mega_insts, mwall, mega.mips);
+        } else {
+            std::fprintf(stderr, "warn: mega sampled pass incomplete; "
+                                 "no mega_mips recorded\n");
+        }
+    }
+
     std::ofstream os(out);
     if (!os) {
         std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
         return 1;
     }
-    writePerfJson(os, rows, insts, jobs, wall_sum, mips_total, batch);
+    writePerfJson(os, rows, insts, jobs, wall_sum, mips_total, batch,
+                  mega);
     std::fprintf(stderr, "wrote %s\n", out.c_str());
     return 0;
 }

@@ -30,6 +30,7 @@ OoOCore::OoOCore(const CoreParams &params, const VpConfig &vp,
                              : trace.initialImage),
       committedMem_(trace.initialImage)
 {
+    cursor_.reset(trace_);
     {
         pred::AccelParams ap;
         ap.pap = vp_.pap;
@@ -202,7 +203,7 @@ OoOCore::fetchStage()
     unsigned fetched = 0;
     while (fetched < params_.fetchWidth && nextFetch_ < trace_.size() &&
            window_.size() < params_.robSize + frontendCapacity()) {
-        const TraceInst &inst = trace_.insts[nextFetch_];
+        const TraceInst &inst = cursor_.at(nextFetch_);
         const Addr group = inst.pc >> 4;
         if (group != curFetchGroup_) {
             const unsigned ic_lat = mem_.fetchAccess(inst.pc, now_);
@@ -271,7 +272,7 @@ OoOCore::fetchOne(const TraceInst &inst)
     // ---- branch prediction ----
     if (inst.isControl()) {
         const Addr actual_next =
-            seq + 1 < trace_.size() ? trace_.insts[seq + 1].pc : 0;
+            seq + 1 < trace_.size() ? cursor_.at(seq + 1).pc : 0;
         s.branchActualTarget = actual_next;
         // Non-conditional control is predicted taken; fetchStage
         // reuses this instead of re-querying TAGE.
@@ -1458,6 +1459,10 @@ OoOCore::stepUntil(InstSeqNum target_committed)
         // deadlock horizon and inflate stats_.cycles.
         if (committed_ < trace_.size())
             fastForward(rc.lastCommitCycle + rc.deadlockLimit);
+        // Everything below the commit point is dead; for streamed
+        // traces this unpins decoded chunks the window has left
+        // behind (no-op compare for materialized traces).
+        cursor_.retireTo(committed_);
     }
     return committed_ >= trace_.size();
 }

@@ -44,6 +44,7 @@
 #include "pred/ras.hh"
 #include "pred/tage.hh"
 #include "trace/trace.hh"
+#include "trace/trace_v2.hh"
 
 namespace dlvp::trace
 {
@@ -394,6 +395,13 @@ class OoOCore
     CoreParams params_;
     VpConfig vp_;
     const trace::Trace &trace_;
+    /**
+     * The core's read window into trace_. Materialized traces resolve
+     * at() to a bare bounds-check + index; v2-streamed traces pin the
+     * decoded chunks covering [committed_, nextFetch_] so resident
+     * instruction memory stays O(chunk) on mega traces.
+     */
+    trace::TraceCursor cursor_;
     mem::MemoryHierarchy mem_;
 
     // ---- predictors ----

@@ -153,6 +153,19 @@ struct CoreStats
     /** Field-wise equality (sweep determinism checks). */
     bool operator==(const CoreStats &) const = default;
 
+    /**
+     * Field-wise sum: interval-sampled runs (sim/sampler.hh) aggregate
+     * per-interval stats through this. Driven by the X-macro so a new
+     * counter is accumulated automatically.
+     */
+    void
+    accumulate(const CoreStats &o)
+    {
+#define DLVP_STATS_ACC_FIELD(f) f += o.f;
+        DLVP_CORE_STATS_FIELDS(DLVP_STATS_ACC_FIELD)
+#undef DLVP_STATS_ACC_FIELD
+    }
+
     double
     ipc() const
     {

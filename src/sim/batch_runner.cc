@@ -58,8 +58,11 @@ runBatch(const core::CoreParams &params, const trace::Trace &trace,
         return results;
 
     const std::size_t chunk = opts.chunkInsts ? opts.chunkInsts : 8192;
-    const auto warmup = static_cast<std::size_t>(
-        static_cast<double>(trace.size()) * kWarmupFraction);
+    const auto warmup =
+        opts.warmupInsts >= 0
+            ? static_cast<std::size_t>(opts.warmupInsts)
+            : static_cast<std::size_t>(
+                  static_cast<double>(trace.size()) * kWarmupFraction);
 
     // The column's shared work: one functional replay for all lanes.
     // Its cost is split evenly into every lane's wall time so batched

@@ -72,6 +72,13 @@ struct BatchOptions
      * the host cache once per round rather than once per cell.
      */
     std::size_t chunkInsts = 8192;
+
+    /**
+     * Warmup override in committed instructions; negative selects the
+     * default kWarmupFraction of the trace (Simulator::run parity).
+     * The interval sampler passes its per-interval warmup here.
+     */
+    long long warmupInsts = -1;
 };
 
 /** True when @p params supports lockstep batching (see file header). */

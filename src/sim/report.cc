@@ -115,13 +115,22 @@ jsonStats(std::ostream &os, const core::CoreStats &s,
  */
 void
 jsonCellFields(std::ostream &os, const JobOutcome &outcome,
-               const core::CoreStats &s, const RunPerf &perf)
+               const core::CoreStats &s, const RunPerf &perf,
+               const SampleCell *sample = nullptr)
 {
     os << "\"status\": \"" << jobStatusName(outcome.status)
        << "\", \"attempts\": " << outcome.attempts;
     if (outcome.ok()) {
         os << ", \"stats\": ";
         jsonStats(os, s, perf);
+        if (sample != nullptr) {
+            os << ", \"sample\": {\"intervals\": "
+               << sample->intervals
+               << ", \"sampled_insts\": " << sample->sampledInsts;
+            if (sample->cpiError >= 0.0)
+                os << ", \"cpi_error\": " << sample->cpiError;
+            os << "}";
+        }
     } else {
         os << ", \"error_kind\": \""
            << common::errorKindName(outcome.errorKind)
@@ -139,6 +148,14 @@ writeSweepJson(std::ostream &os, const SweepResult &r)
     body << std::setprecision(12);
     body << "{\n  \"schema\": \"dlvp-sweep-v1\",\n";
     body << "  \"insts\": " << r.insts << ",\n";
+    if (r.sample.enabled) {
+        body << "  \"sample\": {\"warmup_insts\": "
+             << r.sample.warmupInsts
+             << ", \"measure_insts\": " << r.sample.measureInsts
+             << ", \"period_insts\": " << r.sample.periodInsts
+             << ", \"check\": "
+             << (r.sample.check ? "true" : "false") << "},\n";
+    }
     body << "  \"configs\": [";
     for (std::size_t i = 0; i < r.configNames.size(); ++i)
         body << (i ? ", " : "") << '"'
@@ -151,7 +168,9 @@ writeSweepJson(std::ostream &os, const SweepResult &r)
              << "\", \"batch\": " << (row.batch ? "true" : "false")
              << ", \"lanes\": " << row.lanes << ", \"baseline\": {";
         jsonCellFields(body, row.baselineOutcome, row.baseline,
-                       row.baselinePerf);
+                       row.baselinePerf,
+                       r.sample.enabled ? &row.baselineSample
+                                        : nullptr);
         body << "}, \"results\": [";
         for (std::size_t ci = 0; ci < row.results.size(); ++ci) {
             body << (ci ? ", " : "") << "{\"config\": \""
@@ -162,7 +181,11 @@ writeSweepJson(std::ostream &os, const SweepResult &r)
                      << speedup(row.baseline, row.results[ci])
                      << ", ";
             jsonCellFields(body, row.outcomes[ci], row.results[ci],
-                           row.perf[ci]);
+                           row.perf[ci],
+                           r.sample.enabled &&
+                                   ci < row.samples.size()
+                               ? &row.samples[ci]
+                               : nullptr);
             body << "}";
         }
         body << "]}" << (wi + 1 < r.rows.size() ? "," : "") << "\n";

@@ -11,6 +11,7 @@
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "sim/batch_runner.hh"
+#include "sim/sampler.hh"
 #include "trace/workloads.hh"
 
 namespace dlvp::sim
@@ -239,12 +240,14 @@ runSweep(const SweepSpec &spec)
     const std::size_t ncols = spec.configs.size() + 1;
     const std::size_t total = workloads.size() * ncols;
 
+    result.sample = spec.sample;
     result.rows.resize(workloads.size());
     for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
         result.rows[wi].workload = workloads[wi];
         result.rows[wi].results.resize(spec.configs.size());
         result.rows[wi].perf.resize(spec.configs.size());
         result.rows[wi].outcomes.resize(spec.configs.size());
+        result.rows[wi].samples.resize(spec.configs.size());
     }
     if (total == 0)
         return result;
@@ -381,8 +384,36 @@ runSweep(const SweepSpec &spec)
                         std::chrono::milliseconds(ms));
             }
 
-            const std::vector<BatchLaneResult> res =
-                runBatch(spec.core, *tr, lanes);
+            std::vector<BatchLaneResult> res;
+            std::vector<SampleCell> cells(ncols);
+            if (spec.sample.enabled) {
+                const SampledBatchResult sres = runSampledBatch(
+                    spec.core, *tr, lanes, spec.sample);
+                res = sres.lanes;
+                // The optional full-run check streams the column once
+                // more in lockstep; per-lane CPI errors come from the
+                // same lane pairing.
+                std::vector<BatchLaneResult> full;
+                if (spec.sample.check)
+                    full = runBatch(spec.core, *tr, lanes);
+                for (std::size_t ci = 0; ci < ncols; ++ci) {
+                    if (!res[ci].outcome.ok())
+                        continue;
+                    cells[ci].intervals = sres.intervals;
+                    cells[ci].sampledInsts =
+                        res[ci].stats.committedInsts;
+                    if (spec.sample.check &&
+                        full[ci].outcome.ok()) {
+                        SampledRun sr;
+                        sr.stats = res[ci].stats;
+                        sr.intervals = sres.intervals;
+                        cells[ci].cpiError =
+                            cpiError(sr, full[ci].stats);
+                    }
+                }
+            } else {
+                res = runBatch(spec.core, *tr, lanes);
+            }
             for (std::size_t ci = 0; ci < ncols; ++ci) {
                 JobOutcome o = res[ci].outcome;
                 if (o.ok() && attempts > 1) {
@@ -393,10 +424,12 @@ runSweep(const SweepSpec &spec)
                     row.baseline = res[ci].stats;
                     row.baselinePerf = res[ci].perf;
                     row.baselineOutcome = std::move(o);
+                    row.baselineSample = cells[ci];
                 } else {
                     row.results[ci - 1] = res[ci].stats;
                     row.perf[ci - 1] = res[ci].perf;
                     row.outcomes[ci - 1] = std::move(o);
+                    row.samples[ci - 1] = cells[ci];
                 }
             }
         };
@@ -466,13 +499,42 @@ runSweep(const SweepSpec &spec)
                 if (spec.perJobSeed)
                     vp.rngSeed = jobSeed(w, cfg_name);
                 RunPerf perf;
-                core::CoreStats stats = sim.run(*tr, vp, &perf);
+                core::CoreStats stats;
+                SampleCell scell;
+                if (spec.sample.enabled) {
+                    // Sampled cell: detailed intervals + functional
+                    // fast-forward; telemetry covers the sampled work
+                    // only (the optional check run is validation
+                    // cost, not throughput).
+                    const auto s0 = std::chrono::steady_clock::now();
+                    const SampledRun sr =
+                        runSampled(spec.core, vp, *tr, spec.sample);
+                    const std::chrono::duration<double, std::milli>
+                        wall =
+                            std::chrono::steady_clock::now() - s0;
+                    stats = sr.stats;
+                    perf.wallMs = wall.count();
+                    perf.mips =
+                        wall.count() > 0.0
+                            ? static_cast<double>(sr.sampledInsts()) /
+                                  (wall.count() * 1e3)
+                            : 0.0;
+                    scell.intervals = sr.intervals;
+                    scell.sampledInsts = sr.sampledInsts();
+                    if (spec.sample.check)
+                        scell.cpiError =
+                            cpiError(sr, sim.run(*tr, vp));
+                } else {
+                    stats = sim.run(*tr, vp, &perf);
+                }
                 if (ci == 0) {
                     result.rows[wi].baseline = stats;
                     result.rows[wi].baselinePerf = perf;
+                    result.rows[wi].baselineSample = scell;
                 } else {
                     result.rows[wi].results[ci - 1] = stats;
                     result.rows[wi].perf[ci - 1] = perf;
+                    result.rows[wi].samples[ci - 1] = scell;
                 }
                 outcome.status = attempt == 1 ? JobStatus::Ok
                                               : JobStatus::Retried;

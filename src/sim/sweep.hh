@@ -31,6 +31,7 @@
 #include "common/run_error.hh"
 #include "core/core_stats.hh"
 #include "core/params.hh"
+#include "sim/sample_spec.hh"
 #include "sim/simulator.hh"
 #include "trace/trace.hh"
 
@@ -191,6 +192,16 @@ struct SweepSpec
      */
     bool batch = false;
 
+    /**
+     * Interval sampling (sim/sampler.hh): when sample.enabled, every
+     * cell runs the sampled pipeline instead of the full trace and
+     * rows carry per-cell SampleCell telemetry; with sample.check the
+     * full run happens too and the CPI error is recorded. Sampled
+     * results keep the determinism contract: bit-identical for any
+     * job count and between batched and per-cell scheduling.
+     */
+    SampleSpec sample{};
+
     // -- fault tolerance (DESIGN.md §9) --------------------------
     /**
      * Attempts per job including the first. Only transient failures
@@ -214,6 +225,15 @@ struct SweepSpec
     double deadlineMs = 0.0;
 };
 
+/** Per-cell sampling telemetry (valid when the sweep sampled). */
+struct SampleCell
+{
+    std::size_t intervals = 0;
+    std::uint64_t sampledInsts = 0;
+    /** Sampled-vs-full relative CPI error; < 0 = not checked. */
+    double cpiError = -1.0;
+};
+
 /** One workload's results across all configs, in spec config order. */
 struct SweepRow
 {
@@ -228,6 +248,9 @@ struct SweepRow
     bool batch = false;
     /** Lanes in that job (baseline + configs); 1 for per-cell jobs. */
     unsigned lanes = 1;
+    /** Sampling telemetry; meaningful when the sweep sampled. */
+    SampleCell baselineSample;
+    std::vector<SampleCell> samples; ///< one per spec config
 
     /** stats/perf for config @p idx (and the baseline) are valid. */
     bool
@@ -247,6 +270,8 @@ struct SweepResult
     std::vector<std::string> configNames; ///< without the baseline
     std::vector<SweepRow> rows;
     std::size_t insts = 0;
+    /** The sampling spec the sweep ran under (enabled or not). */
+    SampleSpec sample{};
 
     /**
      * Arithmetic-mean speedup of config @p idx across rows whose

@@ -14,10 +14,13 @@ FunctStream::capture(const Trace &trace)
     fs.offsets_.assign(trace.size(), 0);
 
     // First pass: count destination slots so values_ is sized once.
+    // forEachInst streams decoded chunks for v2-backed traces, so the
+    // capture itself never materializes the instruction stream.
     std::size_t total = 0;
-    for (const TraceInst &inst : trace.insts)
+    trace.forEachInst([&total](const TraceInst &inst) {
         if (inst.isLoad() || inst.cls == OpClass::Atomic)
             total += std::max<unsigned>(1, inst.numDests);
+    });
     dlvp_assert(total <= ~std::uint32_t{0});
     fs.values_.resize(total);
 
@@ -27,8 +30,8 @@ FunctStream::capture(const Trace &trace)
     // stream sees bit-identical values to one replaying privately.
     MemoryImage image(trace.initialImage);
     std::uint32_t off = 0;
-    for (std::size_t seq = 0; seq < trace.size(); ++seq) {
-        const TraceInst &inst = trace.insts[seq];
+    std::size_t seq = 0;
+    trace.forEachInst([&](const TraceInst &inst) {
         if (inst.isLoad() || inst.cls == OpClass::Atomic) {
             fs.offsets_[seq] = off;
             const unsigned n = std::max<unsigned>(1, inst.numDests);
@@ -38,7 +41,8 @@ FunctStream::capture(const Trace &trace)
         }
         if (inst.isStore() || inst.cls == OpClass::Atomic)
             image.write(inst.memAddr, inst.storeValue, inst.memSize);
-    }
+        ++seq;
+    });
     return fs;
 }
 

@@ -297,6 +297,28 @@ struct MatrixParams
 KernelRun prepareMatrix(KernelCtx &ctx, const MatrixParams &p,
                         int site_base = 0);
 
+/**
+ * Store-conflict storm: every iteration loads a slot, stores an
+ * updated value back, and — after a tunable ALU gap — reloads the same
+ * slot. With a short gap the reload issues while the store is still
+ * in flight, which is exactly the paper's Challenge #1 (a cache-probe
+ * value prediction would return the stale committed value; LSCD must
+ * suppress it). gapInsts dials the conflict density from "every
+ * reload conflicts" to "stores always drain first"; the mega-trace
+ * generator (trace/mega.hh) schedules this kernel to set a composed
+ * workload's conflict density.
+ */
+struct ConflictStormParams
+{
+    unsigned numSlots = 64;     ///< distinct conflicted addresses
+    unsigned gapInsts = 3;      ///< ALU ops between store and reload
+    double storeRate = 1.0;     ///< fraction of iterations that store
+    std::uint64_t seed = 60;
+};
+KernelRun prepareConflictStorm(KernelCtx &ctx,
+                               const ConflictStormParams &p,
+                               int site_base = 0);
+
 } // namespace dlvp::trace::kernels
 
 #endif // DLVP_TRACE_KERNELS_HH

@@ -8,6 +8,7 @@
 
 #include "kernels.hh"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -356,6 +357,83 @@ prepareSparseSolver(KernelCtx &kctx, const SparseSolverParams &p,
             Val cmp = ctx.alu(S + 10, r + 1, rv);
             ctx.store(S + 11, st->yVec + r * 8, acc.v, rv, acc);
             ctx.condBranch(S + 12, st->row != 0, cmp, S + 0);
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// conflictStorm
+// ---------------------------------------------------------------------
+
+KernelRun
+prepareConflictStorm(KernelCtx &kctx, const ConflictStormParams &p,
+                     int site_base)
+{
+    struct State
+    {
+        KernelCtx &ctx;
+        ConflictStormParams p;
+        int S;
+        Addr slots;
+        std::size_t pos = 0;
+        std::vector<unsigned> sched;
+        Rng rng;
+
+        State(KernelCtx &c, const ConflictStormParams &pp, int sb)
+            : ctx(c), p(pp), S(sb), slots(heapBase3(sb)),
+              rng(pp.seed ^ 0x60)
+        {
+        }
+    };
+
+    auto st = std::make_shared<State>(kctx, p, site_base);
+
+    Rng init(p.seed);
+    MemoryImage &mem = kctx.mem();
+    for (unsigned i = 0; i < p.numSlots; ++i)
+        mem.write(st->slots + i * 8, init.next64() | 1, 8);
+    // Repeating slot schedule: a hot front plus a uniform tail, so PAP
+    // sees both strongly and weakly repeating conflicted addresses.
+    st->sched.resize(128);
+    for (auto &s : st->sched) {
+        const auto r = init.below(100);
+        s = static_cast<unsigned>(
+            r < 50 ? init.below(std::max(1u, p.numSlots / 4))
+                   : init.below(p.numSlots));
+    }
+
+    return [st](std::size_t stop_at) {
+        KernelCtx &ctx = st->ctx;
+        const ConflictStormParams &sp = st->p;
+        const int S = st->S;
+        while (ctx.emitted() < stop_at) {
+            const unsigned slot = st->sched[st->pos];
+            st->pos = (st->pos + 1) % st->sched.size();
+            const Addr a = st->slots + slot * 8;
+            Val iv = ctx.imm(S + 0, slot);
+            Val av = ctx.alu(S + 1, a, iv);
+            // Read-modify-write of the slot...
+            Val v = ctx.load(S + 2, a, av);
+            Val v2 = ctx.alu(S + 3, v.v + 1, v);
+            const bool stores = st->rng.chance(sp.storeRate);
+            ctx.condBranch(S + 4, !stores, v2, S + 6);
+            if (stores)
+                ctx.store(S + 5, a, v2.v, av, v2);
+            // ...a tunable gap of dependent ALU work...
+            Val acc = v2;
+            for (unsigned g = 0; g < sp.gapInsts; ++g)
+                acc = ctx.alu(S + 6 + static_cast<int>(g % 16),
+                              acc.v * 3 + g, acc);
+            // ...then the reload of the same slot. With a short gap it
+            // issues while the store above is still in flight — the
+            // paper's Challenge #1: a naive cache probe returns the
+            // pre-store value, so LSCD must suppress the prediction.
+            // Recompute the address so register lifetimes stay short
+            // even for large gaps.
+            Val av2 = ctx.alu(S + 23, a, acc);
+            Val r = ctx.load(S + 24, a, av2);
+            Val cmp = ctx.alu(S + 25, acc.v ^ r.v, acc, r);
+            ctx.condBranch(S + 26, true, cmp, S + 0);
         }
     };
 }

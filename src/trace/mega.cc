@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Mega-trace stitcher implementation. See mega.hh for the relocation
+ * argument; the invariants that matter here:
+ *
+ *  - distinct phases are built exactly once (WorkloadRegistry::build
+ *    is deterministic per name, so occurrence N of a phase replays the
+ *    same slice as occurrence 0, in a fresh address window — a new
+ *    instance of the program, not a continuation);
+ *  - the occurrence address offset (occ + 1) << 44 sits far above any
+ *    kernel heap (heapBase3 tops out near 2^41) and is page-aligned,
+ *    so adoptPages can alias page storage;
+ *  - per-distinct-workload code offsets keep composed PCs disjoint so
+ *    predictors see each phase's static code as its own.
+ */
+
+#include "trace/mega.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "common/run_error.hh"
+#include "trace/workloads.hh"
+
+namespace dlvp::trace
+{
+
+namespace
+{
+
+constexpr Addr kAddrOffsetShift = 44;
+constexpr Addr kCodeOffsetStride = 0x40000000;
+
+/** Occurrence cap so (occ + 1) << 44 cannot wrap 64 bits. */
+constexpr std::size_t kMaxOccurrences = std::size_t{1} << 18;
+
+/** Name of the registry workload inserted by conflictDensity. */
+constexpr const char *kStormPhase = "storm";
+
+[[noreturn]] void
+specErr(const MegaSpec &spec, const std::string &what)
+{
+    throw common::RunError(common::ErrorKind::TraceBuild,
+                           "mega spec '" + spec.name + "': " + what,
+                           "workload=" + spec.name);
+}
+
+Addr
+addrOffsetFor(std::size_t occ)
+{
+    return static_cast<Addr>(occ + 1) << kAddrOffsetShift;
+}
+
+TraceInst
+relocate(TraceInst inst, Addr addr_off, Addr code_off)
+{
+    inst.pc += code_off;
+    if (inst.branchTarget != 0)
+        inst.branchTarget += code_off;
+    if (inst.isMemRef())
+        inst.memAddr += addr_off;
+    return inst;
+}
+
+void
+validate(const MegaSpec &spec)
+{
+    if (spec.phases.empty())
+        specErr(spec, "no phases");
+    if (spec.totalInsts == 0 || spec.phaseInsts == 0)
+        specErr(spec, "totalInsts and phaseInsts must be positive");
+    if (!(spec.conflictDensity >= 0.0 && spec.conflictDensity <= 1.0))
+        specErr(spec, "conflictDensity outside [0, 1]");
+    const std::size_t occurrences =
+        (spec.totalInsts + spec.phaseInsts - 1) / spec.phaseInsts;
+    if (occurrences > kMaxOccurrences)
+        specErr(spec, "too many phase occurrences (raise phaseInsts)");
+    std::vector<std::string> names = spec.phases;
+    if (spec.conflictDensity > 0.0)
+        names.push_back(kStormPhase);
+    for (const auto &n : names) {
+        const WorkloadSpec *w = WorkloadRegistry::tryFind(n);
+        if (w == nullptr)
+            specErr(spec, "unknown phase workload '" + n + "'");
+        if (w->customBuild)
+            specErr(spec,
+                    "phase '" + n + "' is itself a composed workload");
+    }
+}
+
+/** Everything both emitters need: schedule, built phases, offsets. */
+struct MegaPlan
+{
+    std::vector<std::string> sched;
+    std::map<std::string, Trace> built;
+    std::map<std::string, Addr> codeOff;
+};
+
+MegaPlan
+planMega(const MegaSpec &spec)
+{
+    MegaPlan plan;
+    plan.sched = megaSchedule(spec); // validates
+
+    // Build each distinct phase once; assign code offsets in
+    // first-appearance order so the layout is schedule-deterministic.
+    for (const auto &name : plan.sched) {
+        if (plan.codeOff.count(name) != 0)
+            continue;
+        const Addr off =
+            static_cast<Addr>(plan.codeOff.size()) * kCodeOffsetStride;
+        plan.codeOff.emplace(name, off);
+        plan.built.emplace(name,
+                           WorkloadRegistry::build(name, spec.phaseInsts));
+    }
+    return plan;
+}
+
+/**
+ * Drive @p add_inst with every relocated micro-op of the composition,
+ * in order, and merge every occurrence's relocated pages into
+ * @p image. The single traversal both emitters share.
+ */
+template <typename AddInst>
+void
+emitMega(const MegaSpec &spec, const MegaPlan &plan, MemoryImage &image,
+         AddInst &&add_inst)
+{
+    std::size_t emitted = 0;
+    for (std::size_t occ = 0; occ < plan.sched.size(); ++occ) {
+        const Trace &phase = plan.built.at(plan.sched[occ]);
+        const Addr aOff = addrOffsetFor(occ);
+        const Addr cOff = plan.codeOff.at(plan.sched[occ]);
+        image.adoptPages(phase.initialImage, aOff);
+        const std::size_t take =
+            std::min(phase.insts.size(), spec.totalInsts - emitted);
+        for (std::size_t i = 0; i < take; ++i)
+            add_inst(relocate(phase.insts[i], aOff, cOff));
+        emitted += take;
+        if (emitted >= spec.totalInsts)
+            break;
+    }
+}
+
+std::size_t
+plannedInsts(const MegaSpec &spec, const MegaPlan &plan)
+{
+    std::size_t n = 0;
+    for (const auto &name : plan.sched)
+        n += plan.built.at(name).insts.size();
+    return std::min(n, spec.totalInsts);
+}
+
+} // namespace
+
+std::vector<std::string>
+megaSchedule(const MegaSpec &spec)
+{
+    validate(spec);
+    const std::size_t occurrences =
+        (spec.totalInsts + spec.phaseInsts - 1) / spec.phaseInsts;
+    std::vector<std::string> sched;
+    sched.reserve(occurrences);
+
+    // Error diffusion: occurrence k is a storm exactly when the
+    // running density sum crosses an integer, giving an even spread
+    // whose storm fraction is conflictDensity to within one slot.
+    double acc = 0.0;
+    std::size_t nextPhase = 0;
+    for (std::size_t occ = 0; occ < occurrences; ++occ) {
+        acc += spec.conflictDensity;
+        if (acc >= 1.0) {
+            acc -= 1.0;
+            sched.push_back(kStormPhase);
+        } else {
+            sched.push_back(spec.phases[nextPhase]);
+            nextPhase = (nextPhase + 1) % spec.phases.size();
+        }
+    }
+    return sched;
+}
+
+Trace
+buildMega(const MegaSpec &spec)
+{
+    const MegaPlan plan = planMega(spec);
+    Trace t;
+    t.name = spec.name;
+    t.suite = spec.suite;
+    t.insts.reserve(plannedInsts(spec, plan));
+    emitMega(spec, plan, t.initialImage,
+             [&t](const TraceInst &inst) { t.insts.push_back(inst); });
+    return t;
+}
+
+void
+writeMegaV2(const MegaSpec &spec, const std::string &path)
+{
+    const MegaPlan plan = planMega(spec);
+
+    // Pass 1: the merged initial image. adoptPages aliases page
+    // storage, so this is pointer work even when occurrences number in
+    // the hundreds.
+    MemoryImage image;
+    {
+        std::size_t emitted = 0;
+        for (std::size_t occ = 0; occ < plan.sched.size(); ++occ) {
+            const Trace &phase = plan.built.at(plan.sched[occ]);
+            image.adoptPages(phase.initialImage, addrOffsetFor(occ));
+            emitted += phase.insts.size();
+            if (emitted >= spec.totalInsts)
+                break;
+        }
+    }
+
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        throw common::RunError(common::ErrorKind::IoCorrupt,
+                               "cannot open '" + path + "' for writing",
+                               "workload=" + spec.name);
+
+    // Pass 2: stream relocated micro-ops straight into the writer.
+    // Peak memory is the distinct phase traces plus one chunk buffer —
+    // independent of totalInsts.
+    ChunkedTraceWriter writer(os, spec.name, spec.suite, image,
+                              plannedInsts(spec, plan), spec.chunkInsts);
+    MemoryImage scratch; // pages already merged above
+    emitMega(spec, plan, scratch,
+             [&writer](const TraceInst &inst) { writer.add(inst); });
+    if (!writer.finish())
+        throw common::RunError(common::ErrorKind::IoCorrupt,
+                               "write failed for '" + path + "'",
+                               "workload=" + spec.name);
+}
+
+} // namespace dlvp::trace

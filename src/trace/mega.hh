@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Mega-trace generator: stitches registry workload phases into
+ * multi-million-instruction composed workloads with controllable
+ * store-conflict density, emitted directly in the chunked v2 format.
+ *
+ * Scaling strategy: each phase occurrence is an independent *instance*
+ * of a registry workload — its instruction slice is relocated to a
+ * private data-address window (occurrence-indexed offset on memAddr
+ * and on the initial-image pages) and its static code to a private PC
+ * window per distinct workload. Shifting every memory reference and
+ * every page by the same offset is replay-isomorphic: page bytes are
+ * untouched (stored pointer *values* stay unrelocated, and the
+ * simulator only ever dereferences recorded memAddr fields, never
+ * load values), so Trace::verifyReplay holds on the composition by
+ * construction. Distinct phases are built once and re-used across
+ * occurrences; relocated images share page storage copy-on-write
+ * (MemoryImage::adoptPages), so a 10M-instruction composition costs
+ * the build time of its distinct phases, not of its length.
+ *
+ * Conflict density: a deterministic error-diffusion accumulator
+ * replaces the requested fraction of occurrences with the "storm"
+ * kernel (kernels.hh ConflictStormParams), whose load -> in-flight
+ * store -> reload pattern is the paper's Challenge #1. Density 0.25
+ * means exactly every fourth occurrence (evenly spread, not clumped)
+ * is a storm.
+ */
+
+#ifndef DLVP_TRACE_MEGA_HH
+#define DLVP_TRACE_MEGA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "trace/trace_v2.hh"
+
+namespace dlvp::trace
+{
+
+/** Recipe for a composed mega-trace. */
+struct MegaSpec
+{
+    std::string name = "mega";
+    std::string suite = "Mega";
+
+    /**
+     * Registry workload names cycled round-robin as phases. Must name
+     * plain (non-composed) workloads; nesting mega specs would recurse.
+     */
+    std::vector<std::string> phases;
+
+    /** Total micro-ops in the composed trace. */
+    std::size_t totalInsts = 1000000;
+
+    /** Micro-ops per phase occurrence (the last one is truncated). */
+    std::size_t phaseInsts = 60000;
+
+    /**
+     * Fraction of phase occurrences replaced by the "storm"
+     * store-conflict kernel, spread evenly by error diffusion.
+     * Must be in [0, 1].
+     */
+    double conflictDensity = 0.0;
+
+    /** v2 chunk size used by writeMegaV2. */
+    std::uint32_t chunkInsts = kDefaultChunkInsts;
+};
+
+/**
+ * The deterministic phase schedule (one workload name per occurrence)
+ * a spec expands to. Exposed so tests can assert density placement.
+ * Throws common::RunError{trace_build} on invalid specs.
+ */
+std::vector<std::string> megaSchedule(const MegaSpec &spec);
+
+/**
+ * Build the composed trace fully in memory. Intended for tests and
+ * modest totals; production mega traces go through writeMegaV2 and
+ * are streamed back with O(chunk) memory.
+ */
+Trace buildMega(const MegaSpec &spec);
+
+/**
+ * Stream the composed trace to @p path in v2 format without ever
+ * materializing it: distinct phases are built once, then relocated
+ * occurrence slices feed ChunkedTraceWriter chunk by chunk.
+ * Throws common::RunError{trace_build} on invalid specs and
+ * RunError{io} on write failure.
+ */
+void writeMegaV2(const MegaSpec &spec, const std::string &path);
+
+} // namespace dlvp::trace
+
+#endif // DLVP_TRACE_MEGA_HH

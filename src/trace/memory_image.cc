@@ -36,16 +36,17 @@ MemoryImage::operator=(const MemoryImage &other)
         return *this;
     resetMru();
     // Copy-on-write: alias the source's pages instead of duplicating
-    // them. Every page is now shared, so neither image may write
-    // through a cached "owned" pointer until it re-proves ownership.
+    // them. Sharing bumps every page's refcount, which is what the
+    // write path checks before mutating through its MRU cache — so
+    // the source needs no notification, and concurrent copies from
+    // one shared source stay free of cross-image writes.
     pages_ = other.pages_;
-    other.mruOwned_ = false;
     return *this;
 }
 
 MemoryImage::MemoryImage(MemoryImage &&other) noexcept
     : pages_(std::move(other.pages_)), mruAddr_(other.mruAddr_),
-      mruPage_(other.mruPage_), mruOwned_(other.mruOwned_)
+      mruPage_(other.mruPage_), mruSlot_(other.mruSlot_)
 {
     // The pages (and thus the MRU pointer) now belong to this image;
     // the moved-from image must not serve stale pages it no longer
@@ -61,7 +62,7 @@ MemoryImage::operator=(MemoryImage &&other) noexcept
     pages_ = std::move(other.pages_);
     mruAddr_ = other.mruAddr_;
     mruPage_ = other.mruPage_;
-    mruOwned_ = other.mruOwned_;
+    mruSlot_ = other.mruSlot_;
     other.resetMru();
     return *this;
 }
@@ -77,10 +78,7 @@ MemoryImage::findMru(Addr page_addr) const
                         // to this page must not be shadowed
     mruAddr_ = page_addr;
     mruPage_ = it->second.get();
-    // Refresh ownership alongside the pointer: leaving a stale true
-    // from a previously-cached page would let the write path mutate a
-    // shared page through the fast path.
-    mruOwned_ = it->second.use_count() == 1;
+    mruSlot_ = &it->second;
     return mruPage_;
 }
 
@@ -88,8 +86,11 @@ MemoryImage::Page *
 MemoryImage::getPage(Addr page_addr, bool allocate)
 {
     // Write-side lookup: the MRU pointer is only safe to hand out for
-    // mutation when the page was exclusively ours last time we looked.
-    if (page_addr == mruAddr_ && mruOwned_)
+    // mutation when the page is exclusively ours *right now* — a copy
+    // taken since the last write shares it, and the refcount is the
+    // one place that fact is recorded.
+    if (page_addr == mruAddr_ && mruSlot_ != nullptr &&
+        mruSlot_->use_count() == 1)
         return mruPage_;
     auto it = pages_.find(page_addr);
     if (it == pages_.end()) {
@@ -104,7 +105,7 @@ MemoryImage::getPage(Addr page_addr, bool allocate)
     }
     mruAddr_ = page_addr;
     mruPage_ = it->second.get();
-    mruOwned_ = true;
+    mruSlot_ = &it->second;
     return mruPage_;
 }
 
@@ -185,6 +186,19 @@ MemoryImage::forEachPage(
     std::sort(addrs.begin(), addrs.end());
     for (Addr a : addrs)
         fn(a, pages_.find(a)->second->data());
+}
+
+void
+MemoryImage::adoptPages(const MemoryImage &src, Addr addr_offset)
+{
+    dlvp_assert((addr_offset & (kPageSize - 1)) == 0);
+    // Copy-on-write aliasing, same contract as operator=: adopting
+    // bumps each page's refcount, which the source's write path
+    // re-checks before mutating — no need to touch src at all.
+    // dlvp-analyze: allow(determinism)
+    for (const auto &kv : src.pages_)
+        pages_[kv.first + addr_offset] = kv.second;
+    resetMru();
 }
 
 void

@@ -77,6 +77,15 @@ class MemoryImage
     /** Install a whole page of raw bytes at @p page_addr (aligned). */
     void installPage(Addr page_addr, const std::uint8_t *bytes);
 
+    /**
+     * Alias every page of @p src at (page address + @p addr_offset),
+     * sharing storage copy-on-write like the copy constructor. The
+     * offset must be page-aligned. Lets the mega-trace stitcher
+     * (trace/mega.hh) relocate a phase's multi-megabyte image many
+     * times for the cost of pointer copies.
+     */
+    void adoptPages(const MemoryImage &src, Addr addr_offset);
+
     void
     clear()
     {
@@ -99,22 +108,26 @@ class MemoryImage
      * shared_ptr, so a cached pointer survives map rehash, and our own
      * map entry keeps the page alive even if a sharing image clones
      * away from it. kNoAddr can never match a real (page-aligned)
-     * base, so it doubles as the empty sentinel. mruOwned_ records
-     * whether the cached page was exclusively ours when last checked —
-     * the write path may only reuse the cached pointer when it is,
-     * and any copy that shares our pages out must clear it.
+     * base, so it doubles as the empty sentinel. mruSlot_ points at
+     * the cached page's map slot (stable until that element is
+     * erased); the write path re-proves exclusive ownership on every
+     * use via the slot's use_count(), so images that alias our pages
+     * out (copies, adoptPages) never have to reach back and poison
+     * this cache — sharing bumps the refcount, and the refcount *is*
+     * the ownership proof. That keeps concurrent copies from one
+     * shared source image free of cross-image writes.
      * mutable: the read path is const but still updates the cache.
      */
     mutable Addr mruAddr_ = kNoAddr;
     mutable Page *mruPage_ = nullptr;
-    mutable bool mruOwned_ = false;
+    mutable const std::shared_ptr<Page> *mruSlot_ = nullptr;
 
     void
     resetMru() const
     {
         mruAddr_ = kNoAddr;
         mruPage_ = nullptr;
-        mruOwned_ = false;
+        mruSlot_ = nullptr;
     }
 
     /** MRU-cached page lookup; nullptr when absent (not cached). */

@@ -2,12 +2,23 @@
  * @file
  * A complete committed-path trace: the dynamic micro-op stream plus the
  * initial memory image it executes against.
+ *
+ * A Trace is either *materialized* (every instruction resident in
+ * `insts`, the only mode before dlvp-trace-v2) or *streamed* (backed
+ * by a ChunkedTraceFile that decodes fixed-size chunks on demand, so
+ * a 10M-instruction mega trace costs O(chunk) resident memory). All
+ * whole-trace scans go through forEachInst(), which walks either
+ * backing; random access for the core goes through TraceCursor
+ * (trace_v2.hh). operator[] stays materialized-only — it is the hot
+ * path for every pre-v2 caller and must stay a bare vector index.
  */
 
 #ifndef DLVP_TRACE_TRACE_HH
 #define DLVP_TRACE_TRACE_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +27,8 @@
 
 namespace dlvp::trace
 {
+
+class ChunkedTraceFile;
 
 /** Aggregate mix statistics over a trace. */
 struct TraceMix
@@ -41,11 +54,61 @@ class Trace
     /** Memory contents before the first instruction executes. */
     MemoryImage initialImage;
 
+    /** The instruction stream when materialized; empty when streamed. */
     std::vector<TraceInst> insts;
 
-    std::size_t size() const { return insts.size(); }
-    bool empty() const { return insts.empty(); }
+    /**
+     * Attach a v2 chunked backing: size()/forEachInst()/TraceCursor
+     * serve from it, `insts` stays empty. Also copies the backing's
+     * name/suite/image into this trace.
+     */
+    void attachStream(std::shared_ptr<ChunkedTraceFile> file);
+
+    /** Non-null when this trace streams from a v2 file. */
+    const std::shared_ptr<ChunkedTraceFile> &stream() const
+    {
+        return stream_;
+    }
+
+    bool streamed() const { return stream_ != nullptr; }
+
+    std::size_t
+    size() const
+    {
+        return stream_ ? streamSize_ : insts.size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** Materialized traces only (asserted by the vector in debug). */
     const TraceInst &operator[](std::size_t i) const { return insts[i]; }
+
+    /**
+     * Visit instructions [begin, end) in order, decoding chunk by
+     * chunk for streamed traces (O(chunk) resident). @p end is
+     * clamped to size().
+     */
+    void forEachInst(std::size_t begin, std::size_t end,
+                     const std::function<void(const TraceInst &)> &fn)
+        const;
+
+    void
+    forEachInst(const std::function<void(const TraceInst &)> &fn) const
+    {
+        forEachInst(0, size(), fn);
+    }
+
+    /**
+     * Materialized sub-trace of instructions [begin, begin+count)
+     * executing against @p image (the caller supplies the functional
+     * memory state at @p begin — see advanceImage). Sampled
+     * simulation's per-interval unit.
+     */
+    Trace slice(std::size_t begin, std::size_t count,
+                MemoryImage image) const;
+
+    /** Decode a streamed trace fully into `insts`; drops the backing. */
+    void materialize();
 
     TraceMix mix() const;
 
@@ -57,7 +120,22 @@ class Trace
      * @return index of first mismatching instruction, or size() if OK.
      */
     std::size_t verifyReplay() const;
+
+  private:
+    std::shared_ptr<ChunkedTraceFile> stream_;
+    /** Cached so the core's per-cycle size() checks stay a load. */
+    std::size_t streamSize_ = 0;
 };
+
+/**
+ * Functionally advance @p image from instruction @p begin to @p end of
+ * @p trace by replaying stores and atomics in program order — the
+ * fast-forward between sampled intervals. @p image must hold the
+ * memory state as of @p begin (initially a copy of
+ * trace.initialImage).
+ */
+void advanceImage(MemoryImage &image, const Trace &trace,
+                  std::size_t begin, std::size_t end);
 
 } // namespace dlvp::trace
 

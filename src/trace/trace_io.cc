@@ -10,6 +10,7 @@
 
 #include "common/fault_inject.hh"
 #include "common/run_error.hh"
+#include "trace/trace_v2.hh"
 
 namespace dlvp::trace
 {
@@ -173,6 +174,14 @@ loadTraceOrThrow(Trace &trace, std::istream &is)
     is.read(magic, sizeof(magic));
     if (!is || std::memcmp(magic, kMagic, sizeof(kMagic) - 1) != 0)
         corruptErr("bad magic (not a dlvp trace file)");
+    if (magic[7] == '2') {
+        // dlvp-trace-v2: chunked format; materialize sequentially
+        // (loadTraceV2OrThrow re-reads the magic itself).
+        is.seekg(-static_cast<std::streamoff>(sizeof(magic)),
+                 std::ios::cur);
+        loadTraceV2OrThrow(trace, is);
+        return;
+    }
     if (magic[7] != kMagic[7])
         corruptErr("unsupported format version");
     if (!getString(is, trace.name) || !getString(is, trace.suite))
@@ -239,6 +248,21 @@ loadTraceFileOrThrow(Trace &trace, const std::string &path)
         throw common::RunError(common::ErrorKind::IoCorrupt,
                                "cannot open trace file '" + path +
                                    "'");
+    // v2 files attach a streaming backing instead of materializing:
+    // the core reads decoded chunks on demand (O(chunk) resident).
+    // ChunkedTraceFile::open applies the FaultPlan itself; chunk
+    // corruption (checksum, field ranges) surfaces lazily as
+    // RunError{io_corrupt} at first decode of the bad chunk.
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (is && std::memcmp(magic, kMagic, sizeof(kMagic) - 1) == 0 &&
+        magic[7] == '2') {
+        is.close();
+        trace.attachStream(ChunkedTraceFile::open(path));
+        return;
+    }
+    is.clear();
+    is.seekg(0);
     const common::FaultPlan &plan = common::FaultPlan::global();
     if (plan.empty()) {
         loadTraceOrThrow(trace, is);

@@ -6,6 +6,7 @@
 #include "common/fault_inject.hh"
 #include "common/logging.hh"
 #include "common/run_error.hh"
+#include "trace/mega.hh"
 
 namespace dlvp::trace
 {
@@ -220,6 +221,53 @@ makeRegistry()
         prepareMatrix, MatrixParams{24, 8, 505},
         prepareStrideSweep, StrideSweepParams{3072, 128, 3, 1505}));
 
+    // ---- stress / mega-trace workloads ----
+    ws.push_back(single("storm", "Stress",
+        "store-conflict storm: load/store/short-gap reload on a "
+        "recurring slot set (Challenge #1 at maximum density)",
+        prepareConflictStorm, ConflictStormParams{64, 3, 1.0, 601}));
+
+    {
+        WorkloadSpec mega;
+        mega.name = "mega-mix";
+        mega.suite = "Mega";
+        mega.description =
+            "phase-stitched composition of mcf/perlbmk/gzip/crafty "
+            "instances with 25% storm phases (trace/mega.hh)";
+        mega.customBuild = [](std::size_t num_insts) {
+            MegaSpec spec;
+            spec.name = "mega-mix";
+            spec.suite = "Mega";
+            spec.phases = {"mcf", "perlbmk", "gzip", "crafty"};
+            spec.totalInsts = num_insts;
+            spec.phaseInsts =
+                std::max<std::size_t>(20000, num_insts / 16);
+            spec.conflictDensity = 0.25;
+            return buildMega(spec);
+        };
+        ws.push_back(std::move(mega));
+    }
+    {
+        WorkloadSpec mega;
+        mega.name = "mega-storm";
+        mega.suite = "Mega";
+        mega.description =
+            "conflict-saturated composition: pointer chases and "
+            "hash tables with 50% storm phases";
+        mega.customBuild = [](std::size_t num_insts) {
+            MegaSpec spec;
+            spec.name = "mega-storm";
+            spec.suite = "Mega";
+            spec.phases = {"vpr", "vortex"};
+            spec.totalInsts = num_insts;
+            spec.phaseInsts =
+                std::max<std::size_t>(20000, num_insts / 16);
+            spec.conflictDensity = 0.5;
+            return buildMega(spec);
+        };
+        ws.push_back(std::move(mega));
+    }
+
     return ws;
 }
 
@@ -271,6 +319,12 @@ WorkloadRegistry::build(const std::string &name, std::size_t num_insts)
                                "injected trace-build fault",
                                "workload=" + name);
     const WorkloadSpec &spec = *found;
+    if (spec.customBuild) {
+        Trace t = spec.customBuild(num_insts);
+        t.name = spec.name;
+        t.suite = spec.suite;
+        return t;
+    }
     Trace t;
     t.name = spec.name;
     t.suite = spec.suite;

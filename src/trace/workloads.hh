@@ -37,6 +37,15 @@ struct WorkloadSpec
      */
     std::function<void(KernelCtx &ctx,
                        std::vector<kernels::KernelRun> &runs)> prepare;
+
+    /**
+     * Composed workloads (the mega-trace entries) bypass the kernel
+     * interleaver entirely: when set, build() delegates here and
+     * prepare is unused. The builder still applies the name/suite and
+     * fault-injection checks. Composed workloads may not appear as
+     * phases of other composed workloads (trace/mega.cc rejects it).
+     */
+    std::function<Trace(std::size_t num_insts)> customBuild;
 };
 
 class WorkloadRegistry

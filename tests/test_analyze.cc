@@ -131,7 +131,10 @@ TEST(AnalyzeDeterminism, BatchRunnerSourcesAreClean)
     for (const char *f :
          {"src/sim/batch_runner.hh", "src/sim/batch_runner.cc",
           "src/sim/sweep.hh", "src/sim/sweep.cc",
-          "src/trace/funct_stream.hh"}) {
+          "src/trace/funct_stream.hh", "src/sim/sampler.hh",
+          "src/sim/sampler.cc", "src/sim/sample_spec.hh",
+          "src/trace/trace_v2.hh", "src/trace/trace_v2.cc",
+          "src/trace/mega.hh", "src/trace/mega.cc"}) {
         const fs::path p = root / f;
         ASSERT_TRUE(fs::exists(p)) << p;
         config.files.push_back(p.string());

@@ -90,7 +90,13 @@ INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, WorkloadBuild,
     ::testing::ValuesIn(trace::WorkloadRegistry::names()),
     [](const ::testing::TestParamInfo<std::string> &tpi) {
-        return tpi.param;
+        // gtest parameter names must be alphanumeric ("mega-mix" is
+        // not); map the dashes.
+        std::string n = tpi.param;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
     });
 
 TEST(Profilers, ConflictDetectsCommittedStore)

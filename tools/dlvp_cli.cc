@@ -10,11 +10,18 @@
  *   dlvp_cli sweep <workload> [--insts N] [--jobs J]
  *   dlvp_cli suite [--insts N] [--jobs J] [--json FILE]
  *   dlvp_cli profile <workload> [--insts N]
- *   dlvp_cli gen <workload> <file> [--insts N]
+ *   dlvp_cli gen <workload> <file> [--insts N] [--v2]
+ *   dlvp_cli gen-mega <file> [--insts N] [--phases a,b,c] ...
  *   dlvp_cli runfile <file> [--scheme S]
+ *   dlvp_cli trace-info <file>
+ *   dlvp_cli trace-convert <in> <out> [--to v1|v2]
  *
  * Parallelism: --jobs (or the DLVP_JOBS env var) sets the worker
  * count; output is bit-identical for any value (see sim/sweep.hh).
+ *
+ * Sampling: --sample switches run/runfile/sweep/suite to the interval
+ * sampler (sim/sampler.hh); --sample-check additionally runs the full
+ * trace and reports the sampled-vs-full CPI error.
  *
  * Configurations: see `dlvp_cli list-configs` (the named design
  * points) and `dlvp_cli list-predictors` (the LoadAccelerator
@@ -34,10 +41,13 @@
 #include "pred/accel.hh"
 #include "sim/configs.hh"
 #include "sim/report.hh"
+#include "sim/sampler.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
+#include "trace/mega.hh"
 #include "trace/profilers.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_v2.hh"
 #include "trace/workloads.hh"
 
 namespace
@@ -59,7 +69,10 @@ usage()
         "  suite [opts]                      all schemes x all workloads\n"
         "  profile <workload> [opts]         Figure 1/2 trace profiles\n"
         "  gen <workload> <file> [opts]      generate and save a trace\n"
+        "  gen-mega <file> [opts]            compose a mega trace (v2)\n"
         "  runfile <file> [opts]             run a saved trace\n"
+        "  trace-info <file>                 describe a saved trace\n"
+        "  trace-convert <in> <out> [opts]   re-encode v1 <-> v2\n"
         "options: --scheme <name> --insts <n> --warmup <n> --dump\n"
         "         --jobs <n> (or DLVP_JOBS) --json <file>\n"
         "         --batch | --no-batch (lockstep column scheduling;\n"
@@ -67,6 +80,14 @@ usage()
         "         --deadline-ms <n> (sweep/suite wall-clock budget)\n"
         "         --fault-plan <spec> (or DLVP_FAULT_INJECT; see\n"
         "           README \"Fault tolerance\" for the grammar)\n"
+        "         --sample (interval sampling for run/runfile/sweep/\n"
+        "           suite) --sample-warmup <n> --sample-measure <n>\n"
+        "           --sample-period <n> --sample-check (also run the\n"
+        "           full trace and report the CPI error)\n"
+        "         --v2 (gen: write dlvp-trace-v2)\n"
+        "         --to v1|v2 --chunk-insts <n> (trace-convert)\n"
+        "         --phases <a,b,c> --phase-insts <n> --density <d>\n"
+        "           --name <s> (gen-mega)\n"
         "schemes: see `dlvp_cli list-configs`\n");
     return 2;
 }
@@ -93,6 +114,22 @@ struct Options
     bool dump = false;
     /** -1 = command default (suite: on, sweep: off), 0 off, 1 on. */
     int batch = -1;
+    /** Interval sampling; sample.enabled set by --sample*. */
+    sim::SampleSpec sample;
+    /** gen: write v2 instead of v1. */
+    bool v2 = false;
+    /** trace-convert target format. */
+    std::string to = "v2";
+    /** v2 chunk size (trace-convert, gen-mega, gen --v2). */
+    std::uint32_t chunkInsts = trace::kDefaultChunkInsts;
+    /** gen-mega phase list (comma-separated registry names). */
+    std::string phases = "mcf,perlbmk,gzip,crafty";
+    /** gen-mega micro-ops per phase occurrence. */
+    std::size_t phaseInsts = 60000;
+    /** gen-mega storm-occurrence fraction. */
+    double density = 0.0;
+    /** gen-mega trace name. */
+    std::string name = "mega";
 };
 
 bool
@@ -132,6 +169,50 @@ parseOptions(int argc, char **argv, int start, Options &opt)
             opt.batch = 0;
         } else if (a == "--dump") {
             opt.dump = true;
+        } else if (a == "--sample") {
+            opt.sample.enabled = true;
+        } else if (a == "--sample-warmup" && i + 1 < argc) {
+            opt.sample.enabled = true;
+            opt.sample.warmupInsts =
+                static_cast<std::size_t>(atoll(argv[++i]));
+        } else if (a == "--sample-measure" && i + 1 < argc) {
+            opt.sample.enabled = true;
+            opt.sample.measureInsts =
+                static_cast<std::size_t>(atoll(argv[++i]));
+        } else if (a == "--sample-period" && i + 1 < argc) {
+            opt.sample.enabled = true;
+            opt.sample.periodInsts =
+                static_cast<std::size_t>(atoll(argv[++i]));
+        } else if (a == "--sample-check") {
+            opt.sample.enabled = true;
+            opt.sample.check = true;
+        } else if (a == "--v2") {
+            opt.v2 = true;
+        } else if (a == "--to" && i + 1 < argc) {
+            opt.to = argv[++i];
+            if (opt.to != "v1" && opt.to != "v2") {
+                std::fprintf(stderr,
+                             "bad --to value '%s' (want v1 or v2)\n",
+                             opt.to.c_str());
+                return false;
+            }
+        } else if (a == "--chunk-insts" && i + 1 < argc) {
+            const long long v = atoll(argv[++i]);
+            if (v < 1 || v > (1 << 24)) {
+                std::fprintf(stderr, "bad --chunk-insts value '%s'\n",
+                             argv[i]);
+                return false;
+            }
+            opt.chunkInsts = static_cast<std::uint32_t>(v);
+        } else if (a == "--phases" && i + 1 < argc) {
+            opt.phases = argv[++i];
+        } else if (a == "--phase-insts" && i + 1 < argc) {
+            opt.phaseInsts =
+                static_cast<std::size_t>(atoll(argv[++i]));
+        } else if (a == "--density" && i + 1 < argc) {
+            opt.density = atof(argv[++i]);
+        } else if (a == "--name" && i + 1 < argc) {
+            opt.name = argv[++i];
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             return false;
@@ -152,6 +233,35 @@ printRun(const std::string &label, const core::CoreStats &base,
                 100.0 * s.coverage(), 100.0 * s.accuracy());
     if (dump)
         s.dump(std::cout);
+}
+
+/**
+ * Sampled run of baseline + scheme over one trace; with --sample-check
+ * the full detailed run happens too and the CPI error is printed.
+ */
+int
+runSampledPair(const trace::Trace &t, const core::VpConfig &vp,
+               const Options &opt)
+{
+    const auto params = sim::baselineCore();
+    const auto base =
+        sim::runSampled(params, sim::baselineVp(), t, opt.sample);
+    const auto s = sim::runSampled(params, vp, t, opt.sample);
+    std::printf("sampled: %zu intervals, %llu of %zu uops measured\n",
+                base.intervals,
+                static_cast<unsigned long long>(base.sampledInsts()),
+                t.size());
+    printRun(opt.scheme, base.stats, s.stats, opt.dump);
+    if (opt.sample.check) {
+        sim::Simulator simulator(params, t.size());
+        const auto fullBase = simulator.run(t, sim::baselineVp());
+        const auto fullS = simulator.run(t, vp);
+        std::printf("cpi error vs full: baseline %.3f%%  %s %.3f%%\n",
+                    100.0 * sim::cpiError(base, fullBase),
+                    opt.scheme.c_str(),
+                    100.0 * sim::cpiError(s, fullS));
+    }
+    return 0;
 }
 
 int
@@ -193,6 +303,11 @@ cmdRun(const std::string &workload, const Options &opt)
     core::VpConfig vp;
     if (!sim::configByName(opt.scheme, vp))
         return unknownConfig(opt.scheme);
+    if (opt.sample.enabled) {
+        const auto t =
+            sim::TraceStore::global().acquire(workload, opt.insts);
+        return runSampledPair(*t, vp, opt);
+    }
     sim::Simulator simulator(sim::baselineCore(), opt.insts);
     const auto base = simulator.run(workload, sim::baselineVp());
     const auto s = simulator.run(workload, vp);
@@ -223,6 +338,7 @@ sweepSpec(const Options &opt)
     spec.core = sim::baselineCore();
     spec.baseline = sim::baselineVp();
     spec.jobs = opt.jobs;
+    spec.sample = opt.sample;
     return spec;
 }
 
@@ -357,22 +473,70 @@ cmdGen(const std::string &workload, const std::string &path,
        const Options &opt)
 {
     const auto t = trace::WorkloadRegistry::build(workload, opt.insts);
-    if (!trace::saveTraceFile(t, path)) {
+    const bool ok = opt.v2
+                        ? trace::saveTraceFileV2(t, path, opt.chunkInsts)
+                        : trace::saveTraceFile(t, path);
+    if (!ok) {
         std::fprintf(stderr, "failed to write '%s'\n", path.c_str());
         return 1;
     }
-    std::printf("wrote %zu uops (%zu pages of memory image) to %s\n",
-                t.size(), t.initialImage.numPages(), path.c_str());
+    std::printf("wrote %zu uops (%zu pages of memory image) to %s "
+                "(%s)\n",
+                t.size(), t.initialImage.numPages(), path.c_str(),
+                opt.v2 ? "v2" : "v1");
     return 0;
+}
+
+int
+cmdGenMega(const std::string &path, const Options &opt)
+{
+    trace::MegaSpec spec;
+    spec.name = opt.name;
+    spec.totalInsts = opt.insts;
+    spec.phaseInsts = opt.phaseInsts;
+    spec.conflictDensity = opt.density;
+    spec.chunkInsts = opt.chunkInsts;
+    for (std::size_t pos = 0; pos < opt.phases.size();) {
+        const std::size_t comma = opt.phases.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? opt.phases.size() : comma;
+        if (end > pos)
+            spec.phases.push_back(opt.phases.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    trace::writeMegaV2(spec, path);
+    const auto f = trace::ChunkedTraceFile::open(path);
+    std::printf("wrote %llu uops in %llu chunks (%zu occurrences of "
+                "%zu phases, density %.2f) to %s\n",
+                static_cast<unsigned long long>(f->numInsts()),
+                static_cast<unsigned long long>(f->numChunks()),
+                trace::megaSchedule(spec).size(), spec.phases.size(),
+                spec.conflictDensity, path.c_str());
+    return 0;
+}
+
+/** True when the file leads with the dlvp-trace-v2 magic. */
+bool
+isV2File(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    char magic[8] = {};
+    is.read(magic, sizeof(magic));
+    return is && std::memcmp(magic, "DLVPTRC2", sizeof(magic)) == 0;
 }
 
 int
 cmdRunFile(const std::string &path, const Options &opt)
 {
     trace::Trace t;
-    // Throws RunError{io_corrupt} with the precise validation failure
-    // (caught in main) instead of a generic "failed to read".
-    trace::loadTraceFileOrThrow(t, path);
+    // v2 files attach as a streamed backing (O(chunk) resident); v1
+    // materializes. Either load throws RunError{io_corrupt} with the
+    // precise validation failure (caught in main) instead of a
+    // generic "failed to read".
+    if (isV2File(path))
+        t.attachStream(trace::ChunkedTraceFile::open(path));
+    else
+        trace::loadTraceFileOrThrow(t, path);
     if (t.verifyReplay() != t.size()) {
         std::fprintf(stderr, "trace failed functional replay\n");
         return 1;
@@ -380,12 +544,71 @@ cmdRunFile(const std::string &path, const Options &opt)
     core::VpConfig vp;
     if (!sim::configByName(opt.scheme, vp))
         return unknownConfig(opt.scheme);
+    std::printf("%s (%zu uops from %s%s)\n", t.name.c_str(), t.size(),
+                path.c_str(), t.streamed() ? ", streamed v2" : "");
+    if (opt.sample.enabled)
+        return runSampledPair(t, vp, opt);
     sim::Simulator simulator(sim::baselineCore(), t.size());
     const auto base = simulator.run(t, sim::baselineVp());
     const auto s = simulator.run(t, vp);
-    std::printf("%s (%zu uops from %s)\n", t.name.c_str(), t.size(),
-                path.c_str());
     printRun(opt.scheme, base, s, opt.dump);
+    return 0;
+}
+
+int
+cmdTraceInfo(const std::string &path)
+{
+    if (isV2File(path)) {
+        const auto f = trace::ChunkedTraceFile::open(path);
+        const double perInst =
+            f->numInsts() ? static_cast<double>(f->encodedBytes()) /
+                                static_cast<double>(f->numInsts())
+                          : 0.0;
+        std::printf(
+            "format      dlvp-trace-v2\n"
+            "name        %s\n"
+            "suite       %s\n"
+            "uops        %llu\n"
+            "pages       %zu\n"
+            "chunks      %llu x %u uops\n"
+            "file bytes  %llu (%.2f B/uop encoded; v1 would be "
+            "%llu)\n",
+            f->name().c_str(), f->suite().c_str(),
+            static_cast<unsigned long long>(f->numInsts()),
+            f->initialImage().numPages(),
+            static_cast<unsigned long long>(f->numChunks()),
+            f->chunkInsts(),
+            static_cast<unsigned long long>(f->fileBytes()), perInst,
+            static_cast<unsigned long long>(f->numInsts() * 50));
+        return 0;
+    }
+    trace::Trace t;
+    trace::loadTraceFileOrThrow(t, path);
+    std::printf("format      dlvp-trace-v1\n"
+                "name        %s\n"
+                "suite       %s\n"
+                "uops        %zu\n"
+                "pages       %zu\n",
+                t.name.c_str(), t.suite.c_str(), t.size(),
+                t.initialImage.numPages());
+    return 0;
+}
+
+int
+cmdTraceConvert(const std::string &in, const std::string &out,
+                const Options &opt)
+{
+    trace::Trace t;
+    trace::loadTraceFileOrThrow(t, in); // materializes either format
+    const bool ok = opt.to == "v1"
+                        ? trace::saveTraceFile(t, out)
+                        : trace::saveTraceFileV2(t, out, opt.chunkInsts);
+    if (!ok) {
+        std::fprintf(stderr, "failed to write '%s'\n", out.c_str());
+        return 1;
+    }
+    std::printf("converted %zu uops: %s -> %s (%s)\n", t.size(),
+                in.c_str(), out.c_str(), opt.to.c_str());
     return 0;
 }
 
@@ -423,9 +646,20 @@ main(int argc, char **argv)
         if (cmd == "gen" && argc >= 4 &&
             parseOptions(argc, argv, 4, opt))
             return cmdGen(argv[2], argv[3], opt);
+        if (cmd == "gen-mega" && argc >= 3) {
+            opt.insts = 1000000; // mega default, not kDefaultInsts
+            if (parseOptions(argc, argv, 3, opt))
+                return cmdGenMega(argv[2], opt);
+            return usage();
+        }
         if (cmd == "runfile" && argc >= 3 &&
             parseOptions(argc, argv, 3, opt))
             return cmdRunFile(argv[2], opt);
+        if (cmd == "trace-info" && argc >= 3)
+            return cmdTraceInfo(argv[2]);
+        if (cmd == "trace-convert" && argc >= 4 &&
+            parseOptions(argc, argv, 4, opt))
+            return cmdTraceConvert(argv[2], argv[3], opt);
     } catch (const dlvp::common::RunError &e) {
         std::fprintf(stderr, "dlvp_cli: %s\n", e.describe().c_str());
         return 1;
