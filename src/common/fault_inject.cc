@@ -142,6 +142,32 @@ FaultPlan::parse(const std::string &spec)
                 throw RunError(ErrorKind::Internal,
                                "fault plan: bad lane target in '" +
                                    entry + "'");
+        } else if (kind == "cache" || kind == "conn") {
+            rule.kind = kind == "cache" ? Kind::Cache : Kind::Conn;
+            const auto at = body.find('@');
+            if (at != std::string::npos) {
+                rule.nth = parseNumber(body.substr(at + 1), entry);
+                if (rule.nth == 0)
+                    throw RunError(ErrorKind::Internal,
+                                   "fault plan: @n is 1-based in '" +
+                                       entry + "'");
+                body = body.substr(0, at);
+            }
+            if (body.empty())
+                throw RunError(ErrorKind::Internal,
+                               "fault plan: " + kind + " rule '" +
+                                   entry + "' needs an op name");
+            // Ops are lower-case words: the vocabulary belongs to the
+            // consulting subsystem, but a stray '=' / '/' / upper-case
+            // here is a typo'd rule that would silently never fire.
+            for (const char c : body)
+                if (!((c >= 'a' && c <= 'z') ||
+                      (c >= '0' && c <= '9') || c == '-'))
+                    throw RunError(ErrorKind::Internal,
+                                   "fault plan: bad " + kind +
+                                       " op '" + body + "' in '" +
+                                       entry + "' ([a-z0-9-] only)");
+            rule.workload = body;
         } else if (kind == "trunc") {
             rule.kind = Kind::Trunc;
             rule.param = parseNumber(body, entry);
@@ -163,7 +189,8 @@ FaultPlan::parse(const std::string &spec)
         } else {
             throw RunError(ErrorKind::Internal,
                            "fault plan: unknown rule kind '" + kind +
-                               "' (build/stall/lane/trunc/flip/seed)");
+                               "' (build/stall/lane/trunc/flip/cache/"
+                               "conn/seed)");
         }
         plan.rules_.push_back(std::move(rule));
     }
@@ -211,6 +238,32 @@ FaultPlan::failLane(const std::string &workload,
             matches(r.config, config))
             return true;
     return false;
+}
+
+bool
+FaultPlan::countedOp(Kind kind, const std::string &op) const
+{
+    for (const Rule &r : rules_) {
+        if (r.kind != kind || r.workload != op)
+            continue;
+        const std::uint64_t n =
+            r.hits->fetch_add(1, std::memory_order_relaxed) + 1;
+        if (r.nth == 0 || n == r.nth)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultPlan::cacheOp(const std::string &op) const
+{
+    return countedOp(Kind::Cache, op);
+}
+
+bool
+FaultPlan::connOp(const std::string &op) const
+{
+    return countedOp(Kind::Conn, op);
 }
 
 bool

@@ -23,15 +23,31 @@
  *                                         loadTraceFile to <nbytes> bytes
  *          | 'flip' ':' byte '.' bit      flip bit <bit> (0-7) of byte
  *                                         <byte> in loaded trace files
+ *          | 'cache' ':' op ['@' n]       fire the named result-cache
+ *                                         fault at the n-th (1-based,
+ *                                         per-rule; every if omitted)
+ *                                         matching injection point
+ *                                         (serve/cache.cc: kill-entry,
+ *                                         kill-rename, kill-journal,
+ *                                         trunc-entry, flip-entry)
+ *          | 'conn' ':' op ['@' n]        fire the named connection
+ *                                         fault in the serve daemon
+ *                                         (serve/server.cc: drop,
+ *                                         trunc, garble)
  *          | 'seed' '=' n                 seed consumed by randomized
  *                                         fault tests
  *   target := workload ['/' config] | '*'
+ *   op     := [a-z0-9-]+                  interpreted by the consulting
+ *                                         subsystem; unknown ops never
+ *                                         fire
  *
  * Examples:
  *   build:mcf            every mcf trace build fails
  *   build:mcf@1          only the first attempt fails (retry succeeds)
  *   stall:vpr/dlvp=50    the (vpr, dlvp) job sleeps 50 ms
  *   trunc:128            loaded trace files are cut to 128 bytes
+ *   cache:kill-journal@1 SIGKILL mid-append of the first journal record
+ *   conn:drop@2          the daemon drops its second accepted connection
  *
  * Injection points count per target name (not per thread or schedule),
  * so a plan fires identically under any job count. An empty/absent
@@ -92,6 +108,22 @@ class FaultPlan
      */
     bool corrupt(std::string &bytes) const;
 
+    /**
+     * Should the named result-cache fault fire at this injection
+     * point? Counts occurrences per rule (like failBuild) and matches
+     * the rule's @n occurrence, so e.g. "cache:kill-journal@2" kills
+     * exactly the second journal append. The op vocabulary belongs to
+     * the consulting subsystem (serve/cache.cc); unknown ops simply
+     * never fire. Thread-safe; deterministic per op name.
+     */
+    bool cacheOp(const std::string &op) const;
+
+    /**
+     * Same contract as cacheOp() for the serve daemon's connection
+     * faults (serve/server.cc: drop / trunc / garble).
+     */
+    bool connOp(const std::string &op) const;
+
     /** Seed for randomized fault tests (0 if the plan sets none). */
     std::uint64_t seed() const { return seed_; }
 
@@ -109,14 +141,16 @@ class FaultPlan
     static void clearGlobal();
 
   private:
-    enum class Kind { Build, Stall, Lane, Trunc, Flip };
+    enum class Kind { Build, Stall, Lane, Trunc, Flip, Cache, Conn };
 
     struct Rule
     {
         Kind kind;
-        std::string workload; ///< "*" matches any
+        /** Build/stall/lane: workload pattern ("*" matches any).
+         *  Cache/conn: the op name the consulting subsystem asks for. */
+        std::string workload;
         std::string config;   ///< "*" matches any (stall only)
-        std::uint64_t nth = 0;   ///< build: fire only on this count
+        std::uint64_t nth = 0;   ///< build/cache/conn: fire on this count
         std::uint64_t param = 0; ///< stall ms / trunc bytes / flip byte
         unsigned bit = 0;        ///< flip: bit index 0-7
         /** Shared so copies of a plan keep one deterministic count. */
@@ -126,6 +160,9 @@ class FaultPlan
 
     static bool matches(const std::string &pattern,
                         const std::string &value);
+
+    /** Shared counted-occurrence matcher for cache/conn op rules. */
+    bool countedOp(Kind kind, const std::string &op) const;
 
     std::string spec_;
     std::vector<Rule> rules_;

@@ -1,0 +1,33 @@
+#include "client.hh"
+
+#include "common/run_error.hh"
+
+namespace dlvp::serve
+{
+
+ServeClient::ServeClient(const std::string &socketPath,
+                         unsigned timeoutMs)
+    : sock_(connectUnix(socketPath))
+{
+    setSocketTimeouts(sock_, timeoutMs);
+}
+
+std::string
+ServeClient::requestRaw(const std::string &payload)
+{
+    sendFrame(sock_, payload);
+    std::string response;
+    if (!recvFrame(sock_, response))
+        throw common::RunError(
+            common::ErrorKind::IoCorrupt,
+            "serve: daemon closed the connection before answering");
+    return response;
+}
+
+JsonValue
+ServeClient::request(const std::string &payload)
+{
+    return parseJson(requestRaw(payload));
+}
+
+} // namespace dlvp::serve

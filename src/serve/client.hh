@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Thin synchronous client for the dlvp-serve protocol: one frame out,
+ * one frame back. Used by `dlvp_cli serve-request`, tools/ci_check,
+ * and tests/test_serve.cc — all three talk to the daemon through this
+ * one code path so protocol drift is impossible.
+ */
+
+#ifndef DLVP_SERVE_CLIENT_HH
+#define DLVP_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "serve/json.hh"
+#include "serve/wire.hh"
+
+namespace dlvp::serve
+{
+
+class ServeClient
+{
+  public:
+    /**
+     * Connect to the daemon at @p socketPath with @p timeoutMs on
+     * every send/receive. Throws RunError{internal} if the daemon is
+     * not there.
+     */
+    explicit ServeClient(const std::string &socketPath,
+                         unsigned timeoutMs = 30000);
+
+    /**
+     * Send one request payload, return the raw response payload.
+     * Throws RunError{io_corrupt} if the daemon hangs up without
+     * answering (e.g. the conn:drop fault) and RunError{sim_timeout}
+     * on a socket timeout. The connection stays usable afterwards on
+     * success, so callers can pipeline requests.
+     */
+    std::string requestRaw(const std::string &payload);
+
+    /** requestRaw + strict parse of the response JSON. */
+    JsonValue request(const std::string &payload);
+
+  private:
+    Socket sock_;
+};
+
+} // namespace dlvp::serve
+
+#endif // DLVP_SERVE_CLIENT_HH

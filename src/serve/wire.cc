@@ -1,0 +1,215 @@
+#include "wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/run_error.hh"
+
+namespace dlvp::serve
+{
+
+namespace
+{
+
+using common::ErrorKind;
+using common::RunError;
+
+[[noreturn]] void
+sysFail(const std::string &what)
+{
+    throw RunError(ErrorKind::Internal,
+                   "serve: " + what + ": " +
+                       std::string(std::strerror(errno)));
+}
+
+/**
+ * Full-buffer read that restarts on EINTR and treats a receive
+ * timeout (EAGAIN with SO_RCVTIMEO armed) as a structured error.
+ * Returns bytes read: n on success, 0 on immediate EOF, a short
+ * count on mid-buffer EOF.
+ */
+std::size_t
+readFull(int fd, char *buf, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, buf + got, n - got);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0)
+            return got;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            throw RunError(ErrorKind::SimTimeout,
+                           "serve: receive timed out");
+        sysFail("read");
+    }
+    return got;
+}
+
+void
+writeFull(int fd, const char *buf, std::size_t n)
+{
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t r = ::send(fd, buf + sent, n - sent,
+                                 MSG_NOSIGNAL);
+        if (r > 0) {
+            sent += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            throw RunError(ErrorKind::SimTimeout,
+                           "serve: send timed out");
+        sysFail("send");
+    }
+}
+
+sockaddr_un
+unixAddr(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() + 1 > sizeof(addr.sun_path))
+        throw RunError(ErrorKind::Internal,
+                       "serve: socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+void
+Socket::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket
+listenUnix(const std::string &path, int backlog)
+{
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid())
+        sysFail("socket");
+    const sockaddr_un addr = unixAddr(path);
+    // A stale socket file from a crashed daemon blocks bind; the
+    // crash-recovery story (DESIGN.md §14) requires restart to just
+    // work, so claim the path unconditionally.
+    ::unlink(path.c_str());
+    if (::bind(sock.fd(),
+               reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        sysFail("bind " + path);
+    if (::listen(sock.fd(), backlog) != 0)
+        sysFail("listen " + path);
+    return sock;
+}
+
+Socket
+connectUnix(const std::string &path)
+{
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid())
+        sysFail("socket");
+    const sockaddr_un addr = unixAddr(path);
+    if (::connect(sock.fd(),
+                  reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        sysFail("connect " + path);
+    return sock;
+}
+
+void
+setSocketTimeouts(const Socket &sock, unsigned timeoutMs)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeoutMs / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((timeoutMs % 1000) * 1000);
+    if (::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv,
+                     sizeof(tv)) != 0 ||
+        ::setsockopt(sock.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv,
+                     sizeof(tv)) != 0)
+        sysFail("setsockopt timeouts");
+}
+
+void
+sendRaw(const Socket &sock, const char *data, std::size_t n)
+{
+    writeFull(sock.fd(), data, n);
+}
+
+void
+sendFrame(const Socket &sock, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        throw RunError(ErrorKind::Internal,
+                       "serve: frame too large: " +
+                           std::to_string(payload.size()) +
+                           " bytes");
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    char prefix[4];
+    prefix[0] = static_cast<char>(len & 0xff);
+    prefix[1] = static_cast<char>((len >> 8) & 0xff);
+    prefix[2] = static_cast<char>((len >> 16) & 0xff);
+    prefix[3] = static_cast<char>((len >> 24) & 0xff);
+    writeFull(sock.fd(), prefix, sizeof(prefix));
+    writeFull(sock.fd(), payload.data(), payload.size());
+}
+
+bool
+recvFrame(const Socket &sock, std::string &payload)
+{
+    char prefix[4];
+    const std::size_t got =
+        readFull(sock.fd(), prefix, sizeof(prefix));
+    if (got == 0)
+        return false;
+    if (got < sizeof(prefix))
+        throw RunError(ErrorKind::IoCorrupt,
+                       "serve: truncated frame prefix");
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(
+            static_cast<unsigned char>(prefix[0])) |
+        (static_cast<std::uint32_t>(
+             static_cast<unsigned char>(prefix[1]))
+         << 8) |
+        (static_cast<std::uint32_t>(
+             static_cast<unsigned char>(prefix[2]))
+         << 16) |
+        (static_cast<std::uint32_t>(
+             static_cast<unsigned char>(prefix[3]))
+         << 24);
+    if (len > kMaxFrameBytes)
+        throw RunError(ErrorKind::IoCorrupt,
+                       "serve: frame prefix " +
+                           std::to_string(len) +
+                           " exceeds the 16 MB limit");
+    payload.resize(len);
+    if (len > 0 &&
+        readFull(sock.fd(), payload.data(), len) < len)
+        throw RunError(ErrorKind::IoCorrupt,
+                       "serve: connection truncated mid-frame");
+    return true;
+}
+
+} // namespace dlvp::serve

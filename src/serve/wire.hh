@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Framing and socket plumbing for the dlvp-serve protocol.
+ *
+ * One frame = a 4-byte little-endian u32 byte count followed by that
+ * many bytes of UTF-8 JSON. The prefix bounds every read up front
+ * (kMaxFrameBytes), so a garbled peer can waste at most one frame of
+ * memory, and a truncated stream is detected as a short read rather
+ * than a parse ambiguity. Both directions carry SO_RCVTIMEO /
+ * SO_SNDTIMEO so a stalled peer turns into a structured timeout, not
+ * a hung thread.
+ *
+ * Transport is a Unix domain socket: the daemon is a local,
+ * same-machine service (it shares a mmap'd TraceStore with nobody
+ * remote), and filesystem permissions on the socket path are the
+ * access control.
+ */
+
+#ifndef DLVP_SERVE_WIRE_HH
+#define DLVP_SERVE_WIRE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dlvp::serve
+{
+
+/** Hard per-frame ceiling; larger prefixes are a protocol error. */
+inline constexpr std::uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
+
+/**
+ * Thin owner of one socket fd: closes on destruction, move-only.
+ * Keeps raw fds out of the cache/server logic so early returns and
+ * thrown RunErrors can never leak a descriptor.
+ */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { reset(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close now (idempotent). */
+    void reset();
+
+    /**
+     * shutdown(2) both directions without closing. Safe to call from
+     * another thread to unblock a read — used for daemon stop.
+     */
+    void shutdownBoth();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind + listen on @p path (unlinking any stale socket file first).
+ * Throws RunError{internal} on any socket-layer failure.
+ */
+Socket listenUnix(const std::string &path, int backlog);
+
+/** Connect to the daemon at @p path; throws RunError{internal}. */
+Socket connectUnix(const std::string &path);
+
+/** Apply @p timeoutMs to both SO_RCVTIMEO and SO_SNDTIMEO (0 = off). */
+void setSocketTimeouts(const Socket &sock, unsigned timeoutMs);
+
+/**
+ * Write one length-prefixed frame; loops over partial writes and
+ * EINTR. Throws RunError{internal} if @p payload exceeds
+ * kMaxFrameBytes or the peer vanishes mid-write.
+ */
+void sendFrame(const Socket &sock, const std::string &payload);
+
+/**
+ * Read one frame into @p payload. Returns false on clean EOF at a
+ * frame boundary (peer finished); throws RunError{internal} on an
+ * oversized prefix, a mid-frame truncation, or a receive timeout.
+ */
+bool recvFrame(const Socket &sock, std::string &payload);
+
+/**
+ * Raw byte write with no framing, EINTR/partial-write safe. Exists
+ * for the conn:trunc fault (send a deliberately short frame body) —
+ * regular traffic goes through sendFrame.
+ */
+void sendRaw(const Socket &sock, const char *data, std::size_t n);
+
+} // namespace dlvp::serve
+
+#endif // DLVP_SERVE_WIRE_HH

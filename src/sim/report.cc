@@ -72,9 +72,6 @@ Table::print(std::ostream &os) const
     }
 }
 
-namespace
-{
-
 std::string
 jsonEscape(const std::string &s)
 {
@@ -90,6 +87,9 @@ jsonEscape(const std::string &s)
     }
     return out;
 }
+
+namespace
+{
 
 void
 jsonStats(std::ostream &os, const core::CoreStats &s,
@@ -107,6 +107,8 @@ jsonStats(std::ostream &os, const core::CoreStats &s,
        << ", \"cycles_skipped\": " << perf.cyclesSkipped << "}";
 }
 
+} // namespace
+
 /**
  * Interior fields of one grid cell: its fault status, then either the
  * usual stats object (ok/retried) or the structured error (failed/
@@ -114,9 +116,9 @@ jsonStats(std::ostream &os, const core::CoreStats &s,
  * "slow" (low mips) from "dead" (status != ok).
  */
 void
-jsonCellFields(std::ostream &os, const JobOutcome &outcome,
-               const core::CoreStats &s, const RunPerf &perf,
-               const SampleCell *sample = nullptr)
+writeCellFieldsJson(std::ostream &os, const JobOutcome &outcome,
+                    const core::CoreStats &s, const RunPerf &perf,
+                    const SampleCell *sample)
 {
     os << "\"status\": \"" << jobStatusName(outcome.status)
        << "\", \"attempts\": " << outcome.attempts;
@@ -138,8 +140,6 @@ jsonCellFields(std::ostream &os, const JobOutcome &outcome,
            << "\"";
     }
 }
-
-} // namespace
 
 void
 writeSweepJson(std::ostream &os, const SweepResult &r)
@@ -167,10 +167,10 @@ writeSweepJson(std::ostream &os, const SweepResult &r)
              << "\", \"status\": \"" << jobStatusName(row.status())
              << "\", \"batch\": " << (row.batch ? "true" : "false")
              << ", \"lanes\": " << row.lanes << ", \"baseline\": {";
-        jsonCellFields(body, row.baselineOutcome, row.baseline,
-                       row.baselinePerf,
-                       r.sample.enabled ? &row.baselineSample
-                                        : nullptr);
+        writeCellFieldsJson(body, row.baselineOutcome, row.baseline,
+                            row.baselinePerf,
+                            r.sample.enabled ? &row.baselineSample
+                                             : nullptr);
         body << "}, \"results\": [";
         for (std::size_t ci = 0; ci < row.results.size(); ++ci) {
             body << (ci ? ", " : "") << "{\"config\": \""
@@ -180,12 +180,12 @@ writeSweepJson(std::ostream &os, const SweepResult &r)
                 body << "\"speedup\": "
                      << speedup(row.baseline, row.results[ci])
                      << ", ";
-            jsonCellFields(body, row.outcomes[ci], row.results[ci],
-                           row.perf[ci],
-                           r.sample.enabled &&
-                                   ci < row.samples.size()
-                               ? &row.samples[ci]
-                               : nullptr);
+            writeCellFieldsJson(body, row.outcomes[ci],
+                                row.results[ci], row.perf[ci],
+                                r.sample.enabled &&
+                                        ci < row.samples.size()
+                                    ? &row.samples[ci]
+                                    : nullptr);
             body << "}";
         }
         body << "]}" << (wi + 1 < r.rows.size() ? "," : "") << "\n";

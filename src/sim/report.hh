@@ -12,6 +12,11 @@
 #include <variant>
 #include <vector>
 
+namespace dlvp::core
+{
+struct CoreStats;
+}
+
 namespace dlvp::sim
 {
 
@@ -45,6 +50,26 @@ class Table
 std::string pct(double ratio);
 
 struct SweepResult;
+struct JobOutcome;
+struct SampleCell;
+struct RunPerf;
+
+/**
+ * Interior JSON fields of one grid cell — the "status"/"attempts"
+ * pair followed by either the stats object (ok/retried, with optional
+ * sampling telemetry) or the structured error (failed/timeout).
+ * Shared by writeSweepJson and the dlvp-serve daemon so served,
+ * cached, and batch-report rows all carry the identical dlvp-sweep-v1
+ * cell schema. Does not touch stream formatting: callers that need
+ * writeSweepJson's rendering set precision 12 on @p os first.
+ */
+void writeCellFieldsJson(std::ostream &os, const JobOutcome &outcome,
+                         const core::CoreStats &stats,
+                         const RunPerf &perf,
+                         const SampleCell *sample = nullptr);
+
+/** JSON string escaping used by every dlvp-*-v1 report writer. */
+std::string jsonEscape(const std::string &s);
 
 /**
  * Machine-readable sweep report (schema "dlvp-sweep-v1", documented

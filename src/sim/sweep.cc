@@ -141,6 +141,31 @@ jobSeed(const std::string &workload, const std::string &config)
     return deriveSeed(workload, config, /*salt=*/0x5357454550ULL);
 }
 
+unsigned
+retryDelayMs(unsigned baseMs, unsigned attempt, std::uint64_t seed)
+{
+    if (baseMs == 0 || attempt < 2)
+        return 0;
+    // Saturating exponential: clamp the shift so a large attempt
+    // count cannot overflow, then cap the doubling at the ceiling.
+    const unsigned shift = std::min(attempt - 2, 20u);
+    const std::uint64_t capped = std::min(
+        std::uint64_t{baseMs} << shift, kMaxRetryBackoffMs);
+    // splitmix64 over (seed, attempt): deterministic per (workload,
+    // config, attempt), independent of thread identity or schedule.
+    std::uint64_t x =
+        seed ^ (0x9e3779b97f4a7c15ULL * std::uint64_t{attempt});
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    // Land in [capped/2, capped]: jitter spreads synchronized
+    // failures without ever exceeding the cap or collapsing to 0.
+    const std::uint64_t half = capped / 2;
+    return static_cast<unsigned>(half + x % (capped - half + 1));
+}
+
 const char *
 jobStatusName(JobStatus s)
 {
@@ -355,12 +380,14 @@ runSweep(const SweepSpec &spec)
                             std::to_string(attempts));
                     if (err.transient() && attempts < max_attempts &&
                         !deadline_expired()) {
-                        if (spec.retryBackoffMs)
+                        // Capped + jittered: the column retry seed is
+                        // a pure function of the workload, so the
+                        // delay sequence is schedule-independent.
+                        if (const unsigned ms = retryDelayMs(
+                                spec.retryBackoffMs, attempts + 1,
+                                jobSeed(w, "column")))
                             std::this_thread::sleep_for(
-                                std::chrono::milliseconds(
-                                    std::uint64_t{
-                                        spec.retryBackoffMs}
-                                    << (attempts - 1)));
+                                std::chrono::milliseconds(ms));
                         continue;
                     }
                     fail_column(wi, err, attempts);
@@ -547,12 +574,14 @@ runSweep(const SweepSpec &spec)
                         " attempt=" + std::to_string(attempt));
                 if (err.transient() && attempt < max_attempts &&
                     !deadline_expired()) {
-                    // Exponential backoff: base << (retry - 1).
-                    if (spec.retryBackoffMs)
+                    // Capped exponential with per-job-seed jitter
+                    // (see retryDelayMs): bounded, deterministic
+                    // under any job count.
+                    if (const unsigned ms = retryDelayMs(
+                            spec.retryBackoffMs, attempt + 1,
+                            jobSeed(w, cfg_name)))
                         std::this_thread::sleep_for(
-                            std::chrono::milliseconds(
-                                std::uint64_t{spec.retryBackoffMs}
-                                << (attempt - 1)));
+                            std::chrono::milliseconds(ms));
                     continue;
                 }
                 outcome.status =

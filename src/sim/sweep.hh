@@ -211,9 +211,10 @@ struct SweepSpec
      */
     unsigned maxAttempts = 2;
     /**
-     * Backoff before retry r (1-based) is retryBackoffMs << (r-1)
-     * milliseconds, giving a concurrently failing store or allocator
-     * time to drain.
+     * Base for the capped exponential backoff before retry r
+     * (1-based): see retryDelayMs(). 0 disables the sleep entirely
+     * (tests). The delay gives a concurrently failing store or
+     * allocator time to drain.
      */
     unsigned retryBackoffMs = 5;
     /**
@@ -304,6 +305,28 @@ SweepResult runSweep(const SweepSpec &spec);
 /** Seed for one (workload, config) job; schedule-independent. */
 std::uint64_t jobSeed(const std::string &workload,
                       const std::string &config);
+
+/** Ceiling every retry backoff is capped at, in milliseconds. */
+inline constexpr std::uint64_t kMaxRetryBackoffMs = 1000;
+
+/**
+ * Milliseconds to sleep before retry @p attempt (1-based count of the
+ * attempt about to run, so the first retry is attempt 2): a capped
+ * exponential with deterministic jitter.
+ *
+ * The exponential doubles from @p baseMs but saturates at
+ * kMaxRetryBackoffMs — an uncapped doubling turns a handful of
+ * transient failures into minutes of sleeping, which under a sweep
+ * deadline silently converts retryable cells into timeout rows. The
+ * jitter desynchronizes jobs that failed together (e.g. an OOM burst
+ * hitting every worker at once) and is derived from @p seed — the
+ * per-job seed, a pure function of (workload, config) — so the exact
+ * delay sequence is reproducible under any job count or schedule.
+ * The result is always within [cap/2, cap] of the capped value:
+ * never 0 for baseMs > 0, never above kMaxRetryBackoffMs.
+ */
+unsigned retryDelayMs(unsigned baseMs, unsigned attempt,
+                      std::uint64_t seed);
 
 } // namespace dlvp::sim
 

@@ -222,6 +222,33 @@ TEST(AnalyzeErrorTaxonomy, RunErrorRethrowAtexitAndSuppressionPass)
         << ": " << findings.front().message;
 }
 
+// The serve daemon must stay inside both disciplines: cache keys and
+// cached rows are only sound if nothing in the serve path consults
+// wall clocks or unordered iteration (determinism), and a daemon that
+// abort()s or throws foreign types turns an injected fault into an
+// outage instead of a structured row (error-taxonomy).
+TEST(AnalyzeErrorTaxonomy, ServeSourcesAreClean)
+{
+    namespace fs = std::filesystem;
+    const fs::path root = DLVP_ANALYZE_REPO_ROOT;
+    AnalyzeConfig config;
+    config.rules = {"determinism", "error-taxonomy"};
+    for (const char *f :
+         {"src/serve/json.hh", "src/serve/json.cc",
+          "src/serve/wire.hh", "src/serve/wire.cc",
+          "src/serve/cache.hh", "src/serve/cache.cc",
+          "src/serve/client.hh", "src/serve/client.cc",
+          "src/serve/server.hh", "src/serve/server.cc",
+          "tools/dlvp_serve.cc"}) {
+        const fs::path p = root / f;
+        ASSERT_TRUE(fs::exists(p)) << p;
+        config.files.push_back(p.string());
+    }
+    const auto findings = runAnalysis(config);
+    for (const Finding &f : findings)
+        ADD_FAILURE() << f.file << ":" << f.line << ": " << f.message;
+}
+
 // ---------------------------------------------------------------------
 // accel-registry
 // ---------------------------------------------------------------------

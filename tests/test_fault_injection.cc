@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <sstream>
 #include <string>
@@ -482,6 +483,98 @@ TEST(FaultStorm, RandomPlansNeverCrashAndSpareHealthyRows)
             }
         }
     }
+}
+
+// ---- cache:/conn: rules (the dlvp-serve fault surface) ----
+
+TEST(FaultPlan, ParsesCacheAndConnRules)
+{
+    const auto plan = FaultPlan::parse(
+        "cache:kill-journal@1;conn:drop;cache:flip-entry");
+    EXPECT_FALSE(plan.empty());
+    // kill-journal is @1: fires on the first consult only.
+    EXPECT_TRUE(plan.cacheOp("kill-journal"));
+    EXPECT_FALSE(plan.cacheOp("kill-journal"));
+    // flip-entry is unnumbered: fires every time.
+    EXPECT_TRUE(plan.cacheOp("flip-entry"));
+    EXPECT_TRUE(plan.cacheOp("flip-entry"));
+    // Ops not in the plan never fire; kinds don't cross-match.
+    EXPECT_FALSE(plan.cacheOp("kill-entry"));
+    EXPECT_FALSE(plan.cacheOp("drop"));
+    EXPECT_TRUE(plan.connOp("drop"));
+    EXPECT_FALSE(plan.connOp("kill-journal"));
+}
+
+TEST(FaultPlan, CacheRuleCountsAreDeterministicPerRule)
+{
+    const auto plan = FaultPlan::parse("conn:trunc@3");
+    EXPECT_FALSE(plan.connOp("trunc"));
+    EXPECT_FALSE(plan.connOp("trunc"));
+    EXPECT_TRUE(plan.connOp("trunc"));
+    EXPECT_FALSE(plan.connOp("trunc"));
+}
+
+TEST(FaultPlan, RejectsMalformedCacheAndConnRules)
+{
+    for (const char *bad :
+         {"cache:", "conn:", "cache:@1", "cache:kill-entry@0",
+          "cache:Kill-Entry", "conn:drop@", "cache:kill entry",
+          "conn:drop@x", "cache:kill_entry"}) {
+        EXPECT_THROW((void)FaultPlan::parse(bad), RunError) << bad;
+    }
+    // The documented ops all parse.
+    EXPECT_FALSE(FaultPlan::parse("cache:kill-entry;cache:kill-"
+                                  "rename;cache:kill-journal;"
+                                  "cache:trunc-entry;cache:flip-"
+                                  "entry;conn:drop;conn:trunc;"
+                                  "conn:garble")
+                     .empty());
+}
+
+// ---- retry backoff (sim/sweep.cc) ----
+
+TEST(RetryBackoff, ZeroBaseAndFirstAttemptSleepNothing)
+{
+    EXPECT_EQ(retryDelayMs(0, 5, 123), 0u);
+    EXPECT_EQ(retryDelayMs(10, 0, 123), 0u);
+    EXPECT_EQ(retryDelayMs(10, 1, 123), 0u);
+}
+
+TEST(RetryBackoff, ExponentialIsCappedWithJitterInRange)
+{
+    const std::uint64_t seed = jobSeed("mcf", "dlvp");
+    for (unsigned attempt = 2; attempt < 40; ++attempt) {
+        const unsigned d = retryDelayMs(5, attempt, seed);
+        const std::uint64_t uncapped =
+            std::uint64_t{5}
+            << std::min(attempt - 2, 20u); // pre-cap exponential
+        const std::uint64_t cap =
+            std::min(uncapped, kMaxRetryBackoffMs);
+        EXPECT_LE(d, cap) << "attempt " << attempt;
+        EXPECT_GE(d, cap / 2) << "attempt " << attempt;
+        EXPECT_GT(d, 0u) << "attempt " << attempt;
+    }
+    // An uncapped doubling would be 5 << 30 ms ≈ 62 days by attempt
+    // 32; the cap keeps every delay within the bounded ceiling.
+    EXPECT_LE(retryDelayMs(5, 32, seed), kMaxRetryBackoffMs);
+}
+
+TEST(RetryBackoff, JitterIsDeterministicPerSeedAndSpreadsAcrossSeeds)
+{
+    // Same (seed, attempt) → same delay, under any schedule.
+    for (unsigned attempt = 2; attempt < 12; ++attempt)
+        EXPECT_EQ(retryDelayMs(5, attempt, jobSeed("mcf", "dlvp")),
+                  retryDelayMs(5, attempt, jobSeed("mcf", "dlvp")));
+    // Different jobs should not all sleep the same amount (that
+    // thundering herd is what the jitter exists to break up).
+    std::vector<unsigned> delays;
+    for (const char *w : {"mcf", "vpr", "gzip", "crafty", "parser",
+                          "twolf", "gap", "eon"})
+        delays.push_back(retryDelayMs(40, 6, jobSeed(w, "dlvp")));
+    std::sort(delays.begin(), delays.end());
+    const auto uniques = static_cast<std::size_t>(
+        std::unique(delays.begin(), delays.end()) - delays.begin());
+    EXPECT_GE(uniques, 3u);
 }
 
 } // namespace

@@ -15,6 +15,8 @@
  *   dlvp_cli runfile <file> [--scheme S]
  *   dlvp_cli trace-info <file>
  *   dlvp_cli trace-convert <in> <out> [--to v1|v2]
+ *   dlvp_cli serve-request <socket> <workload> [--scheme S] ...
+ *   dlvp_cli serve-request <socket> --ping|--stats|--shutdown
  *
  * Parallelism: --jobs (or the DLVP_JOBS env var) sets the worker
  * count; output is bit-identical for any value (see sim/sweep.hh).
@@ -33,12 +35,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/fault_inject.hh"
 #include "common/run_error.hh"
 #include "pred/accel.hh"
+#include "serve/client.hh"
 #include "sim/configs.hh"
 #include "sim/report.hh"
 #include "sim/sampler.hh"
@@ -73,6 +77,11 @@ usage()
         "  runfile <file> [opts]             run a saved trace\n"
         "  trace-info <file>                 describe a saved trace\n"
         "  trace-convert <in> <out> [opts]   re-encode v1 <-> v2\n"
+        "  serve-request <socket> <workload> [opts]\n"
+        "                                    ask a dlvp-serve daemon\n"
+        "                                    for one row (exit 0 ok,\n"
+        "                                    3 rejected, 1 error)\n"
+        "  serve-request <socket> --ping|--stats|--shutdown\n"
         "options: --scheme <name> --insts <n> --warmup <n> --dump\n"
         "         --jobs <n> (or DLVP_JOBS) --json <file>\n"
         "         --batch | --no-batch (lockstep column scheduling;\n"
@@ -88,6 +97,8 @@ usage()
         "         --to v1|v2 --chunk-insts <n> (trace-convert)\n"
         "         --phases <a,b,c> --phase-insts <n> --density <d>\n"
         "           --name <s> (gen-mega)\n"
+        "         --seed <n> --priority <p> --client <name>\n"
+        "           --ping --stats --shutdown (serve-request)\n"
         "schemes: see `dlvp_cli list-configs`\n");
     return 2;
 }
@@ -130,6 +141,16 @@ struct Options
     double density = 0.0;
     /** gen-mega trace name. */
     std::string name = "mega";
+    /** serve-request: VpConfig::rngSeed override (part of the key). */
+    std::uint64_t seed = 0;
+    /** serve-request: queue priority (higher first, per client). */
+    double priority = 0.0;
+    /** serve-request: client name for per-client fairness. */
+    std::string client;
+    /** serve-request: daemon commands instead of a run. */
+    bool ping = false;
+    bool stats = false;
+    bool shutdown = false;
 };
 
 bool
@@ -213,6 +234,18 @@ parseOptions(int argc, char **argv, int start, Options &opt)
             opt.density = atof(argv[++i]);
         } else if (a == "--name" && i + 1 < argc) {
             opt.name = argv[++i];
+        } else if (a == "--seed" && i + 1 < argc) {
+            opt.seed = static_cast<std::uint64_t>(atoll(argv[++i]));
+        } else if (a == "--priority" && i + 1 < argc) {
+            opt.priority = atof(argv[++i]);
+        } else if (a == "--client" && i + 1 < argc) {
+            opt.client = argv[++i];
+        } else if (a == "--ping") {
+            opt.ping = true;
+        } else if (a == "--stats") {
+            opt.stats = true;
+        } else if (a == "--shutdown") {
+            opt.shutdown = true;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             return false;
@@ -612,6 +645,58 @@ cmdTraceConvert(const std::string &in, const std::string &out,
     return 0;
 }
 
+/**
+ * Client mode for the dlvp-serve daemon (tools/dlvp_serve.cc): send
+ * one request, print the raw response JSON, and map the response
+ * status to an exit code scripts can branch on (0 ok, 3 rejected,
+ * 1 anything else).
+ */
+int
+cmdServeRequest(const std::string &socketPath,
+                const std::string &workload, const Options &opt)
+{
+    std::ostringstream os;
+    if (opt.ping || opt.stats || opt.shutdown) {
+        os << "{\"cmd\": \""
+           << (opt.ping ? "ping"
+                        : (opt.stats ? "stats" : "shutdown"))
+           << "\"}";
+    } else {
+        os << "{\"cmd\": \"run\", \"workload\": \""
+           << sim::jsonEscape(workload) << "\", \"config\": \""
+           << sim::jsonEscape(opt.scheme) << "\", \"insts\": "
+           << opt.insts;
+        if (opt.seed != 0)
+            os << ", \"seed\": " << opt.seed;
+        if (opt.priority != 0.0)
+            os << ", \"priority\": " << opt.priority;
+        if (opt.deadlineMs > 0.0)
+            os << ", \"deadline_ms\": " << opt.deadlineMs;
+        if (!opt.client.empty())
+            os << ", \"client\": \"" << sim::jsonEscape(opt.client)
+               << "\"";
+        if (opt.sample.enabled)
+            os << ", \"sample\": {\"warmup_insts\": "
+               << opt.sample.warmupInsts << ", \"measure_insts\": "
+               << opt.sample.measureInsts << ", \"period_insts\": "
+               << opt.sample.periodInsts << ", \"check\": "
+               << (opt.sample.check ? "true" : "false") << "}";
+        os << "}";
+    }
+    serve::ServeClient cli(socketPath);
+    const std::string response = cli.requestRaw(os.str());
+    std::printf("%s\n", response.c_str());
+    const serve::JsonValue v = serve::parseJson(response);
+    std::string status;
+    if (const serve::JsonValue *s = v.find("status"))
+        status = s->asString();
+    if (status == "ok")
+        return 0;
+    if (status == "rejected")
+        return 3;
+    return 1;
+}
+
 } // namespace
 
 int
@@ -660,6 +745,20 @@ main(int argc, char **argv)
         if (cmd == "trace-convert" && argc >= 4 &&
             parseOptions(argc, argv, 4, opt))
             return cmdTraceConvert(argv[2], argv[3], opt);
+        if (cmd == "serve-request" && argc >= 3) {
+            // The workload operand is optional for --ping/--stats/
+            // --shutdown, so peek before deciding where options start.
+            const bool hasWorkload =
+                argc >= 4 && argv[3][0] != '-';
+            if (parseOptions(argc, argv, hasWorkload ? 4 : 3, opt)) {
+                if (!hasWorkload && !opt.ping && !opt.stats &&
+                    !opt.shutdown)
+                    return usage();
+                return cmdServeRequest(
+                    argv[2], hasWorkload ? argv[3] : "", opt);
+            }
+            return usage();
+        }
     } catch (const dlvp::common::RunError &e) {
         std::fprintf(stderr, "dlvp_cli: %s\n", e.describe().c_str());
         return 1;
