@@ -20,8 +20,10 @@
  * bit-identical CoreStats (DESIGN.md §10).
  *
  * Suppression, where a tag is intentional but the recovery lives
- * elsewhere: append `// dlvp-analyze: allow(spec-state)` to the
- * DLVP_SPEC_STATE line.
+ * elsewhere: append an allow comment for the spec-state rule to the
+ * DLVP_SPEC_STATE line (the stale-suppression rule keeps the exact
+ * spelling out of this prose — a literal example here would register
+ * as a suppression of this very header).
  */
 
 #ifndef DLVP_COMMON_SPEC_STATE_HH

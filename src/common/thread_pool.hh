@@ -21,6 +21,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/annotations.hh"
+
 namespace dlvp
 {
 
@@ -77,11 +79,13 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::vector<std::thread> workers_;
+    std::vector<std::thread> workers_; // written only in ctor/dtor
     std::deque<std::function<void()>> queue_;
+    DLVP_GUARDED_BY(m_);
     std::mutex m_;
     std::condition_variable cv_;
     bool stop_ = false;
+    DLVP_GUARDED_BY(m_);
 };
 
 } // namespace dlvp

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "common/annotations.hh"
 #include "common/logging.hh"
 #include "common/run_error.hh"
 #include "trace/funct_stream.hh"
@@ -184,6 +185,7 @@ OoOCore::firstFetchFunctional(InstSeqNum seq, const TraceInst &inst)
 void
 OoOCore::fetchStage()
 {
+    DLVP_HOT;
     if (fetchHaltSeq_ != kNoSeq) {
         ++stats_.fetchHaltCycles;
         return;
@@ -223,6 +225,7 @@ OoOCore::fetchStage()
                 curFetchGroup_ = kNoAddr;
                 fetchHaltSeq_ = s.seq;
                 if (dbgHalt_)
+                    // dlvp-analyze: allow(hot-path) -- debug-gated
                     fprintf(stderr, "halt at seq=%llu pc=%llx cls=%d cyc=%llu\n",
                         (unsigned long long)s.seq, (unsigned long long)inst.pc,
                         (int)inst.cls, (unsigned long long)now_);
@@ -244,6 +247,9 @@ OoOCore::fetchOne(const TraceInst &inst)
     const InstSeqNum seq = nextFetch_++;
     ++stats_.fetchedInsts;
 
+    // Slots are recycled: the deque plateaus at robSize + frontend
+    // capacity after warmup, so steady-state cycles never allocate.
+    // dlvp-analyze: allow(hot-path) -- recycled, bounded by robSize
     window_.emplace_back();
     InstState &s = window_.back();
     s.seq = seq;
@@ -465,6 +471,7 @@ OoOCore::activatePredictions(InstState &s)
     s.vpSource = source;
     s.vpWrong = would_be_wrong;
     if (dbgAct_ && s.seq % 1000 < 3)
+        // dlvp-analyze: allow(hot-path) -- debug-gated
         fprintf(stderr,
                 "act seq=%llu pc=%llx mask=%x src=%u disp=%llu "
                 "probeReady=%llu\n",
@@ -480,6 +487,7 @@ OoOCore::activatePredictions(InstState &s)
 void
 OoOCore::dispatchStage()
 {
+    DLVP_HOT;
     unsigned n = 0;
     while (n < params_.dispatchWidth) {
         // Dispatch proceeds strictly in program order.
@@ -519,6 +527,7 @@ OoOCore::dispatchStage()
         if (inst.isStore() || inst.cls == OpClass::Atomic) {
             ++stqCount_;
             // In-order dispatch keeps the STQ seq list ascending.
+            // dlvp-analyze: allow(hot-path) -- bounded by stqSize
             storeSeqs_.push_back(s->seq);
         }
         freePhys_ -= inst.numDests;
@@ -637,9 +646,11 @@ OoOCore::markReady(InstState &s)
     // list's tail), so push_back keeps the list sorted; completion
     // wakeups can land anywhere and take the sorted-insert path.
     if (readyList_.empty() || readyList_.back() < s.seq) {
+        // dlvp-analyze: allow(hot-path) -- bounded by iqSize
         readyList_.push_back(s.seq);
         return;
     }
+    // dlvp-analyze: allow(hot-path) -- bounded by iqSize
     readyList_.insert(std::lower_bound(readyList_.begin(),
                                        readyList_.end(), s.seq),
                       s.seq);
@@ -687,6 +698,8 @@ OoOCore::registerWakeups(InstState &s)
             continue; // value-predicted: ready from rename onward
         if (p.completed && p.completeCycle <= now_)
             continue;
+        // Waiter lists are recycled with their window slots.
+        // dlvp-analyze: allow(hot-path) -- recycled, bounded by srcs
         p.waiters.push_back(s.seq);
         ready = false;
     }
@@ -727,6 +740,7 @@ OoOCore::issueLoad(InstState &s)
 void
 OoOCore::issueStage()
 {
+    DLVP_HOT;
     unsigned generic_free =
         params_.issueWidth - params_.lsLanes; // 6 generic lanes
     unsigned ls_free = params_.lsLanes;
@@ -773,6 +787,7 @@ OoOCore::issueStage()
                     for (unsigned k = 0; k < 16; ++k) {
                         const std::uint64_t cnt = wait_cnt[k];
                         if (cnt)
+                            // dlvp-analyze: allow(hot-path) -- debug
                             fprintf(stderr, "wait cls=%u avg=%.2f "
                                             "n=%llu\n",
                                     k,
@@ -824,6 +839,7 @@ OoOCore::issueStage()
     if (kept != i) {
         std::move(readyList_.begin() + i, readyList_.end(),
                   readyList_.begin() + kept);
+        // dlvp-analyze: allow(hot-path) -- shrink-only resize
         readyList_.resize(kept + (n - i));
     }
 
@@ -833,6 +849,7 @@ OoOCore::issueStage()
 void
 OoOCore::probeStage(unsigned free_ls_lanes)
 {
+    DLVP_HOT;
     if (!accelAddr_)
         return;
     paq_.expire(now_, stats_.paqDrops);
@@ -908,10 +925,12 @@ OoOCore::validatePrediction(InstState &s)
     if (s.vpSource == 1 && s.apPredicted &&
         s.apAddr == inst.memAddr && vp_.useLscd) {
         // Correct address, wrong value: an in-flight store conflicted.
+        // dlvp-analyze: allow(hot-path) -- misprediction path, rare
         lscd_.insert(inst.pc);
         accel_->invalidateAddress(inst.pc, s.apSlot, s.lphSnap);
         ++stats_.lscdInserts;
         if (dbgLscd_)
+            // dlvp-analyze: allow(hot-path) -- debug-gated
             fprintf(stderr,
                     "lscd insert pc=%llx site=%llu seq=%llu cyc=%llu "
                     "addr=%llx nd=%u sz=%u pred=[%llx %llx] "
@@ -949,6 +968,7 @@ OoOCore::completeInst(InstState &s)
             fetchResumeCycle_ = s.completeCycle + 1;
             curFetchGroup_ = kNoAddr;
             if (dbgHalt_)
+                // dlvp-analyze: allow(hot-path) -- debug-gated
                 fprintf(stderr, "resume seq=%llu cyc=%llu\n",
                     (unsigned long long)s.seq, (unsigned long long)now_);
         }
@@ -1018,6 +1038,7 @@ OoOCore::completeInst(InstState &s)
 void
 OoOCore::completeStage()
 {
+    DLVP_HOT;
     prfPortsUsed_ = 0;
     // The completion wheel holds exactly the issued-but-unprocessed
     // instructions, bucketed by completion cycle: drain this cycle's
@@ -1142,6 +1163,7 @@ OoOCore::applyFlush()
 void
 OoOCore::commitStage()
 {
+    DLVP_HOT;
     unsigned n = 0;
     while (n < params_.commitWidth && !window_.empty()) {
         InstState &s = window_.front();
@@ -1218,6 +1240,7 @@ OoOCore::commitStage()
             if (accelActive_)
                 ++stats_.vpEligibleLoads;
             if (s.vpActiveMask && dbgCov_)
+                // dlvp-analyze: allow(hot-path) -- debug-gated
                 fprintf(stderr, "cov pc=%llx\n",
                         (unsigned long long)inst.pc);
             if (s.vpActiveMask) {
@@ -1282,6 +1305,7 @@ OoOCore::commitStage()
 void
 OoOCore::fastForward(Cycle deadline)
 {
+    DLVP_HOT;
     // Skip cycles in which no stage can make progress, jumping now_
     // straight to the earliest cycle where something happens. Every
     // condition that could make a stage act before the target must be
@@ -1411,6 +1435,7 @@ OoOCore::beginRun(std::size_t warmup_insts)
 bool
 OoOCore::stepUntil(InstSeqNum target_committed)
 {
+    DLVP_HOT;
     using WallClock = std::chrono::steady_clock;
     RunControl &rc = runCtl_;
     const InstSeqNum stop =

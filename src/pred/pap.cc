@@ -1,5 +1,6 @@
 #include "pap.hh"
 
+#include "common/annotations.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
 
@@ -75,6 +76,7 @@ Pap::victim(unsigned set) const
 Pap::Prediction
 Pap::predict(Addr group_pc, unsigned slot, std::uint64_t hist)
 {
+    DLVP_HOT;
     ++lookups_;
     Prediction pred;
     const std::uint64_t k = key(group_pc, slot);

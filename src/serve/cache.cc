@@ -258,6 +258,7 @@ ResultCache::quarantineFile(const std::string &key)
 void
 ResultCache::compactJournalLocked()
 {
+    DLVP_REQUIRES(m_);
     std::string body;
     for (const auto &kv : index_)
         if (!kv.second.quarantined)
@@ -501,6 +502,7 @@ ResultCache::put(const std::string &key, const std::string &payload)
 void
 ResultCache::recountEntriesLocked()
 {
+    DLVP_REQUIRES(m_);
     std::size_t n = 0;
     for (const auto &kv : index_)
         if (!kv.second.quarantined)

@@ -45,6 +45,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/annotations.hh"
 #include "core/params.hh"
 #include "sim/sample_spec.hh"
 
@@ -175,7 +176,9 @@ class ResultCache
     mutable std::mutex m_;
     std::string dir_;
     std::map<std::string, Entry> index_;
+    DLVP_GUARDED_BY(m_);
     Stats stats_;
+    DLVP_GUARDED_BY(m_);
 };
 
 } // namespace dlvp::serve

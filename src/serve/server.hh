@@ -52,6 +52,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "core/params.hh"
 #include "serve/cache.hh"
 #include "serve/json.hh"
@@ -189,12 +190,16 @@ class Server
     std::condition_variable qcv_;
     /** Per-client FIFO-within-priority queues (fairness unit). */
     std::map<std::string, std::deque<std::shared_ptr<Job>>> queues_;
+    DLVP_GUARDED_BY(qm_);
     std::size_t queuedTotal_ = 0;
+    DLVP_GUARDED_BY(qm_);
     /** Round-robin cursor: last client a worker served. */
     std::string rrCursor_;
+    DLVP_GUARDED_BY(qm_);
 
     mutable std::mutex im_;
     std::vector<std::shared_ptr<Job>> inflight_;
+    DLVP_GUARDED_BY(im_);
 
     /**
      * Lock order: qm_ may nest sm_ inside it (admission bumps
@@ -202,9 +207,11 @@ class Server
      */
     mutable std::mutex sm_;
     ServerStats stats_;
+    DLVP_GUARDED_BY(sm_);
 
     mutable std::mutex cm_;
     std::vector<std::unique_ptr<ConnSlot>> conns_;
+    DLVP_GUARDED_BY(cm_);
 };
 
 } // namespace dlvp::serve

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/run_error.hh"
 #include "core/core_stats.hh"
 #include "core/params.hh"
@@ -102,9 +103,11 @@ class TraceStore
     std::map<std::pair<std::string, std::size_t>,
              std::shared_ptr<Slot>>
         cache_;
+    DLVP_GUARDED_BY(m_);
     /** Failed build attempts per key; bounds rebuild retries. */
     std::map<std::pair<std::string, std::size_t>, unsigned>
         failedAttempts_;
+    DLVP_GUARDED_BY(m_);
     std::atomic<std::size_t> builds_{0};
 };
 

@@ -1,0 +1,27 @@
+// Hot-path trip fixture: step() is tagged DLVP_HOT and both contains
+// a banned call directly (printf: I/O) and reaches container growth
+// through the callee record(). Never compiled.
+
+#include <cstdio>
+#include <vector>
+
+class Pipe
+{
+  public:
+    void
+    step()
+    {
+        DLVP_HOT;
+        printf("tick\n"); // trips: I/O directly on the hot path
+        record(1);        // trips transitively: record() grows log_
+    }
+
+  private:
+    void
+    record(int v)
+    {
+        log_.push_back(v);
+    }
+
+    std::vector<int> log_;
+};

@@ -1,0 +1,32 @@
+// Hot-path clean fixture: the tagged function sticks to arithmetic,
+// array indexing, and allocation-free callees; the throw statement is
+// exempt (the failure path may allocate its message).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+class Wheel
+{
+  public:
+    std::uint64_t
+    advance(std::uint64_t n)
+    {
+        DLVP_HOT;
+        if (n >= slots_.size())
+            throw std::out_of_range("slot " + std::to_string(n));
+        cursor_ = bump(cursor_ + n);
+        return slots_[cursor_];
+    }
+
+  private:
+    std::uint64_t
+    bump(std::uint64_t v) const
+    {
+        return v & (slots_.size() - 1);
+    }
+
+    std::vector<std::uint64_t> slots_ = std::vector<std::uint64_t>(8);
+    std::uint64_t cursor_ = 0;
+};

@@ -1,0 +1,9 @@
+// Layering trip fixture: a core-layer file reaching up into serve —
+// the exact back-edge the shipped manifest (tools/analyze/layers.txt)
+// must reject. Never compiled.
+
+#include "serve/server.hh"
+
+#include "common/logging.hh"
+
+int coreReachingUp = 0;

@@ -1,0 +1,8 @@
+// Layering clean fixture: serve sits above core in the DAG, so this
+// downward include is allowed by the shipped manifest.
+
+#include "core/params.hh"
+
+#include "common/logging.hh"
+
+int serveReachingDown = 0;

@@ -1,0 +1,27 @@
+// Lock-discipline trip fixture: `balance_` is declared guarded by
+// `m_`, but peek() reads it with no lock held and no DLVP_REQUIRES
+// tag. Never compiled; parsed by tests/test_analyze.cc.
+
+#include <mutex>
+
+class Account
+{
+  public:
+    void
+    deposit(long n)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        balance_ += n;
+    }
+
+    long
+    peek() const
+    {
+        return balance_; // trips: no lock held here
+    }
+
+  private:
+    mutable std::mutex m_;
+    long balance_ = 0;
+    DLVP_GUARDED_BY(m_);
+};

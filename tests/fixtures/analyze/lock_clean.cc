@@ -1,0 +1,43 @@
+// Lock-discipline clean fixture: every access to the guarded members
+// happens under a lock scope, inside a DLVP_REQUIRES-tagged helper,
+// or in the constructor (single-threaded by definition).
+
+#include <mutex>
+#include <shared_mutex>
+
+class Ledger
+{
+  public:
+    Ledger() { balance_ = 100; } // ctor: exempt
+
+    void
+    deposit(long n)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        balance_ += n;
+        bumpLocked();
+    }
+
+    long
+    read() const
+    {
+        std::shared_lock<std::shared_mutex> lock(rw_);
+        return shadow_;
+    }
+
+  private:
+    void
+    bumpLocked()
+    {
+        DLVP_REQUIRES(m_);
+        ++balance_;
+    }
+
+    mutable std::mutex m_;
+    long balance_ = 0;
+    DLVP_GUARDED_BY(m_);
+
+    mutable std::shared_mutex rw_;
+    long shadow_ = 0;
+    DLVP_GUARDED_BY(rw_);
+};

@@ -1,0 +1,7 @@
+// Stale-suppression trip fixture: one allow comment names a rule
+// that finds nothing on its line (stale), another names a rule that
+// does not exist (typo). Never compiled.
+
+int counter = 0; // dlvp-analyze: allow(determinism)
+
+int typoed = 0; // dlvp-analyze: allow(determinsm)

@@ -1,0 +1,10 @@
+// Stale-suppression clean fixture: the allow comment actually
+// silences a determinism finding on its line, so it is not stale.
+
+#include <cstdlib>
+
+void
+seedLegacyLibrary()
+{
+    std::srand(1); // dlvp-analyze: allow(determinism)
+}

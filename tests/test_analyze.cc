@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@ using dlvp::analyze::AnalyzeConfig;
 using dlvp::analyze::Finding;
 using dlvp::analyze::runAnalysis;
 using dlvp::analyze::stripCommentsAndStrings;
+using dlvp::analyze::suggestRule;
 
 namespace
 {
@@ -294,26 +296,293 @@ TEST(AnalyzeAccelRegistry, PinnedKeysAndSuppressionAreClean)
 }
 
 // ---------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+shippedLayersManifest()
+{
+    namespace fs = std::filesystem;
+    return (fs::path(DLVP_ANALYZE_REPO_ROOT) / "tools" / "analyze" /
+            "layers.txt")
+        .string();
+}
+
+} // namespace
+
+// The acceptance back-edge: a core-layer file including a serve
+// header must be rejected by the *shipped* manifest, not a synthetic
+// one — this is the edge the DAG exists to forbid.
+TEST(AnalyzeLayering, ShippedManifestRejectsCoreToServeBackEdge)
+{
+    AnalyzeConfig config;
+    config.rootPath = fixture("layering");
+    config.layersPath = shippedLayersManifest();
+    config.files = {fixture("layering/src/core/uses_serve.cc")};
+    config.rules = {"layering"};
+    const auto findings = runAnalysis(config);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "layering");
+    EXPECT_EQ(findings[0].line, 5u);
+    EXPECT_TRUE(anyMessageContains(
+        findings, "'core' may not include 'serve/server.hh'"));
+}
+
+TEST(AnalyzeLayering, DownwardIncludeIsClean)
+{
+    AnalyzeConfig config;
+    config.rootPath = fixture("layering");
+    config.layersPath = shippedLayersManifest();
+    config.files = {fixture("layering/src/serve/uses_core.cc")};
+    config.rules = {"layering"};
+    const auto findings = runAnalysis(config);
+    EXPECT_TRUE(findings.empty())
+        << findings.front().file << ":" << findings.front().line
+        << ": " << findings.front().message;
+}
+
+TEST(AnalyzeLayering, CyclicManifestIsRejected)
+{
+    AnalyzeConfig config;
+    config.layersPath = fixture("layers_cycle.txt");
+    config.rules = {"layering"};
+    const auto findings = runAnalysis(config);
+    EXPECT_TRUE(anyMessageContains(findings,
+                                   "dependency cycle in the layering "
+                                   "manifest"));
+    EXPECT_TRUE(anyMessageContains(
+        findings, "depends on 'nowhere', which the manifest does "
+                  "not declare"));
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.rule, "layering") << f.message;
+}
+
+// The shipped manifest itself must be well-formed: no diagnostics
+// even with no files to scan.
+TEST(AnalyzeLayering, ShippedManifestIsWellFormed)
+{
+    AnalyzeConfig config;
+    config.layersPath = shippedLayersManifest();
+    config.rules = {"layering"};
+    const auto findings = runAnalysis(config);
+    EXPECT_TRUE(findings.empty())
+        << findings.front().message;
+}
+
+// ---------------------------------------------------------------------
+// lock-discipline
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeLockDiscipline, FlagsUnlockedGuardedAccess)
+{
+    const auto findings =
+        lintFile(fixture("lock_bad.cc"), "lock-discipline");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "lock-discipline");
+    EXPECT_TRUE(anyMessageContains(findings, "'balance_'"));
+    EXPECT_TRUE(anyMessageContains(findings, "'peek'"));
+    EXPECT_TRUE(anyMessageContains(findings, "DLVP_REQUIRES"));
+}
+
+TEST(AnalyzeLockDiscipline, LockScopesRequiresAndCtorAreClean)
+{
+    const auto findings =
+        lintFile(fixture("lock_clean.cc"), "lock-discipline");
+    EXPECT_TRUE(findings.empty())
+        << findings.front().file << ":" << findings.front().line
+        << ": " << findings.front().message;
+}
+
+// ---------------------------------------------------------------------
+// hot-path
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeHotPath, FlagsDirectAndTransitiveBannedCalls)
+{
+    const auto findings =
+        lintFile(fixture("hot_bad.cc"), "hot-path");
+    EXPECT_TRUE(anyMessageContains(findings, "I/O 'printf'"));
+    EXPECT_TRUE(anyMessageContains(findings, "'push_back'"));
+    EXPECT_TRUE(anyMessageContains(findings, "via 'record'"));
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.rule, "hot-path") << f.message;
+}
+
+TEST(AnalyzeHotPath, AllocationFreeBodyAndThrowSpanAreClean)
+{
+    const auto findings =
+        lintFile(fixture("hot_clean.cc"), "hot-path");
+    EXPECT_TRUE(findings.empty())
+        << findings.front().file << ":" << findings.front().line
+        << ": " << findings.front().message;
+}
+
+// ---------------------------------------------------------------------
+// stale-suppression
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeStaleSuppression, FlagsUnusedAllowAndUnknownRule)
+{
+    AnalyzeConfig config;
+    config.files = {fixture("stale_bad.cc")};
+    config.rules = {"determinism", "stale-suppression"};
+    const auto findings = runAnalysis(config);
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_TRUE(anyMessageContains(
+        findings, "suppression of 'determinism' silences nothing"));
+    EXPECT_TRUE(anyMessageContains(
+        findings, "unknown rule 'determinsm'"));
+    EXPECT_TRUE(anyMessageContains(
+        findings, "did you mean 'determinism'?"));
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.rule, "stale-suppression") << f.message;
+}
+
+TEST(AnalyzeStaleSuppression, UsedSuppressionIsClean)
+{
+    AnalyzeConfig config;
+    config.files = {fixture("stale_clean.cc")};
+    config.rules = {"determinism", "stale-suppression"};
+    const auto findings = runAnalysis(config);
+    EXPECT_TRUE(findings.empty())
+        << findings.front().file << ":" << findings.front().line
+        << ": " << findings.front().message;
+}
+
+// ---------------------------------------------------------------------
+// did-you-mean
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeSuggestRule, SuggestsNearMissesAndRejectsGarbage)
+{
+    EXPECT_EQ(suggestRule("lock-dicipline"), "lock-discipline");
+    EXPECT_EQ(suggestRule("determinsm"), "determinism");
+    EXPECT_EQ(suggestRule("hotpath"), "hot-path");
+    EXPECT_EQ(suggestRule("qqqqqqqqqq"), "");
+}
+
+// ---------------------------------------------------------------------
+// JSON output
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeJson, EmitsSchemaEscapedFieldsAndCount)
+{
+    std::vector<Finding> findings = {
+        {"determinism", "a\"b.cc", 3, "uses 'rand()'\nbadly"},
+    };
+    std::ostringstream os;
+    dlvp::analyze::printFindingsJson(findings, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"schema\":\"dlvp-analyze-v1\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"rule\":\"determinism\""),
+              std::string::npos);
+    EXPECT_NE(out.find("a\\\"b.cc"), std::string::npos);
+    EXPECT_NE(out.find("\\n"), std::string::npos);
+    EXPECT_NE(out.find("\"count\":1"), std::string::npos);
+    // Raw newlines would break line-oriented consumers.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+// ---------------------------------------------------------------------
+// Incremental cache
+// ---------------------------------------------------------------------
+
+// A warm run must replay byte-identical findings, and an edit must
+// invalidate exactly that file: after swapping the trip fixture for
+// the clean one, the warm result equals a cold run on the new text.
+TEST(AnalyzeCache, WarmRunReplaysAndEditInvalidates)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "dlvp_analyze_cache";
+    fs::create_directories(dir);
+    const fs::path src = dir / "guarded.cc";
+    fs::copy_file(fixture("lock_bad.cc"), src,
+                  fs::copy_options::overwrite_existing);
+
+    AnalyzeConfig config;
+    config.files = {src.string()};
+    config.rules = {"lock-discipline"};
+    config.cachePath = (dir / "analyze.cache").string();
+
+    const auto cold = runAnalysis(config);
+    ASSERT_FALSE(cold.empty());
+    ASSERT_TRUE(fs::exists(config.cachePath));
+
+    const auto warm = runAnalysis(config);
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_EQ(cold[i].rule, warm[i].rule);
+        EXPECT_EQ(cold[i].file, warm[i].file);
+        EXPECT_EQ(cold[i].line, warm[i].line);
+        EXPECT_EQ(cold[i].message, warm[i].message);
+    }
+
+    fs::copy_file(fixture("lock_clean.cc"), src,
+                  fs::copy_options::overwrite_existing);
+    const auto warmEdited = runAnalysis(config);
+
+    AnalyzeConfig fresh = config;
+    fresh.cachePath = (dir / "fresh.cache").string();
+    const auto coldEdited = runAnalysis(fresh);
+    EXPECT_EQ(warmEdited.size(), coldEdited.size());
+    EXPECT_TRUE(warmEdited.empty());
+}
+
+// Suppression uses are cached too: a warm stale-suppression pass must
+// agree with the cold one instead of flagging every cached allow.
+TEST(AnalyzeCache, WarmStaleSuppressionMatchesCold)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "dlvp_analyze_cache_stale";
+    fs::create_directories(dir);
+    AnalyzeConfig config;
+    config.files = {fixture("stale_clean.cc")};
+    config.rules = {"determinism", "stale-suppression"};
+    config.cachePath = (dir / "analyze.cache").string();
+
+    const auto cold = runAnalysis(config);
+    EXPECT_TRUE(cold.empty());
+    const auto warm = runAnalysis(config);
+    EXPECT_TRUE(warm.empty())
+        << warm.front().file << ":" << warm.front().line << ": "
+        << warm.front().message;
+}
+
+// ---------------------------------------------------------------------
 // Acceptance: the shipped source tree lints clean
 // ---------------------------------------------------------------------
 
+// Every rule family — the per-file PR-5 set plus layering,
+// lock-discipline, hot-path, and stale-suppression — over every
+// scanned top-level directory. config.rules stays empty so a rule
+// added later is covered here by default.
 TEST(AnalyzeRepo, SourceTreeIsClean)
 {
     AnalyzeConfig config;
     namespace fs = std::filesystem;
     const fs::path root = DLVP_ANALYZE_REPO_ROOT;
-    for (const char *sub : {"src", "tools"}) {
+    for (const char *sub : {"src", "tools", "bench", "examples"}) {
+        if (!fs::exists(root / sub))
+            continue;
         for (const auto &entry :
              fs::recursive_directory_iterator(root / sub)) {
             if (!entry.is_regular_file())
                 continue;
             const std::string ext = entry.path().extension().string();
-            if (ext == ".cc" || ext == ".hh")
+            if (ext == ".cc" || ext == ".hh" || ext == ".cpp")
                 config.files.push_back(entry.path().string());
         }
     }
     std::sort(config.files.begin(), config.files.end());
     ASSERT_FALSE(config.files.empty());
+    config.rootPath = root.string();
+    config.layersPath = shippedLayersManifest();
     config.coreStatsPath =
         (root / "src" / "core" / "core_stats.hh").string();
     config.goldenStatsPath =

@@ -1,7 +1,6 @@
 #include "analyze.hh"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -11,225 +10,25 @@
 #include <set>
 #include <sstream>
 
+#include "cache.hh"
+#include "model.hh"
+#include "rules.hh"
+
 namespace fs = std::filesystem;
 
 namespace dlvp::analyze
 {
 
+using detail::Reporter;
+using detail::SourceFile;
+using detail::SuppressionUse;
+using detail::Token;
+
 namespace
 {
 
-constexpr const char *kRuleDeterminism = "determinism";
-constexpr const char *kRuleStatsRegistry = "stats-registry";
-constexpr const char *kRuleSpecState = "spec-state";
-constexpr const char *kRuleErrorTaxonomy = "error-taxonomy";
-constexpr const char *kRuleAccelRegistry = "accel-registry";
-
-// ---------------------------------------------------------------------
-// Source model
-// ---------------------------------------------------------------------
-
-/** One token of stripped source: an identifier or a punctuator char. */
-struct Token
-{
-    std::string text;
-    unsigned line = 0;
-
-    bool isIdent() const
-    {
-        const char c = text.empty() ? '\0' : text[0];
-        return c == '_' || std::isalpha(static_cast<unsigned char>(c));
-    }
-};
-
-struct SourceFile
-{
-    std::string path;
-    std::vector<std::string> raw;  ///< raw lines, index 0 = line 1
-    std::vector<std::string> code; ///< comment/string-stripped lines
-    std::vector<Token> tokens;     ///< tokens of the stripped text
-    /** Rules suppressed per line (1-based index into raw). */
-    std::map<unsigned, std::set<std::string>> allow;
-};
-
-std::vector<std::string>
-splitLines(const std::string &text)
-{
-    std::vector<std::string> lines;
-    std::string cur;
-    for (char c : text) {
-        if (c == '\n') {
-            lines.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    if (!cur.empty())
-        lines.push_back(cur);
-    return lines;
-}
-
-std::vector<Token>
-tokenize(const std::vector<std::string> &lines)
-{
-    std::vector<Token> toks;
-    for (std::size_t li = 0; li < lines.size(); ++li) {
-        const std::string &s = lines[li];
-        const unsigned lineNo = static_cast<unsigned>(li + 1);
-        std::size_t i = 0;
-        while (i < s.size()) {
-            const char c = s[i];
-            if (std::isspace(static_cast<unsigned char>(c))) {
-                ++i;
-            } else if (c == '_' ||
-                       std::isalnum(static_cast<unsigned char>(c))) {
-                std::size_t j = i;
-                while (j < s.size() &&
-                       (s[j] == '_' ||
-                        std::isalnum(static_cast<unsigned char>(s[j]))))
-                    ++j;
-                toks.push_back({s.substr(i, j - i), lineNo});
-                i = j;
-            } else if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
-                toks.push_back({"::", lineNo});
-                i += 2;
-            } else if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
-                toks.push_back({"->", lineNo});
-                i += 2;
-            } else {
-                toks.push_back({std::string(1, c), lineNo});
-                ++i;
-            }
-        }
-    }
-    return toks;
-}
-
-/** Parse "// dlvp-analyze: allow(rule[,rule])" suppressions. */
-void
-collectSuppressions(SourceFile &f)
-{
-    static const std::regex re(
-        R"(dlvp-analyze:\s*allow\(([A-Za-z\-, ]+)\))");
-    for (std::size_t li = 0; li < f.raw.size(); ++li) {
-        std::smatch m;
-        if (!std::regex_search(f.raw[li], m, re))
-            continue;
-        std::set<std::string> rules;
-        std::string rule;
-        std::istringstream ss(m[1].str());
-        while (std::getline(ss, rule, ',')) {
-            rule.erase(std::remove_if(rule.begin(), rule.end(),
-                                      [](unsigned char c) {
-                                          return std::isspace(c);
-                                      }),
-                       rule.end());
-            if (!rule.empty())
-                rules.insert(rule);
-        }
-        // The comment covers its own line and the next one, so it can
-        // trail the flagged statement or sit on the line above it.
-        const unsigned lineNo = static_cast<unsigned>(li + 1);
-        f.allow[lineNo].insert(rules.begin(), rules.end());
-        f.allow[lineNo + 1].insert(rules.begin(), rules.end());
-    }
-}
-
-bool
-loadFile(const std::string &path, SourceFile &out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string text = buf.str();
-    out.path = path;
-    out.raw = splitLines(text);
-    out.code = splitLines(stripCommentsAndStrings(text));
-    out.tokens = tokenize(out.code);
-    collectSuppressions(out);
-    return true;
-}
-
-class Reporter
-{
-  public:
-    explicit Reporter(std::vector<Finding> &out) : out_(out) {}
-
-    void
-    report(const SourceFile &f, unsigned line, const std::string &rule,
-           std::string message)
-    {
-        const auto it = f.allow.find(line);
-        if (it != f.allow.end() && it->second.count(rule))
-            return;
-        out_.push_back({rule, f.path, line, std::move(message)});
-    }
-
-  private:
-    std::vector<Finding> &out_;
-};
-
-// ---------------------------------------------------------------------
-// Token-stream helpers
-// ---------------------------------------------------------------------
-
-/**
- * Starting with toks[i] == "<", return the index just past the
- * matching ">" (npos-like toks.size() when unbalanced).
- */
-std::size_t
-skipAngles(const std::vector<Token> &toks, std::size_t i)
-{
-    int depth = 0;
-    for (; i < toks.size(); ++i) {
-        if (toks[i].text == "<")
-            ++depth;
-        else if (toks[i].text == ">" && --depth == 0)
-            return i + 1;
-    }
-    return toks.size();
-}
-
-/** Index just past the ")" matching toks[i] == "(". */
-std::size_t
-skipParens(const std::vector<Token> &toks, std::size_t i)
-{
-    int depth = 0;
-    for (; i < toks.size(); ++i) {
-        if (toks[i].text == "(")
-            ++depth;
-        else if (toks[i].text == ")" && --depth == 0)
-            return i + 1;
-    }
-    return toks.size();
-}
-
-/** Index just past the "}" matching toks[i] == "{". */
-std::size_t
-skipBraces(const std::vector<Token> &toks, std::size_t i)
-{
-    int depth = 0;
-    for (; i < toks.size(); ++i) {
-        if (toks[i].text == "{")
-            ++depth;
-        else if (toks[i].text == "}" && --depth == 0)
-            return i + 1;
-    }
-    return toks.size();
-}
-
-bool
-containsNoCase(const std::string &haystack, const std::string &needle)
-{
-    std::string h = haystack;
-    std::transform(h.begin(), h.end(), h.begin(), [](unsigned char c) {
-        return static_cast<char>(std::tolower(c));
-    });
-    return h.find(needle) != std::string::npos;
-}
+/** Folded into the cache's config hash: bump on any rule change. */
+constexpr const char *kAnalyzerVersion = "dlvp-analyze-v2";
 
 // ---------------------------------------------------------------------
 // Rule: determinism
@@ -251,7 +50,7 @@ unorderedNames(const std::vector<Token> &toks)
             continue;
         if (toks[i + 1].text != "<")
             continue;
-        std::size_t j = skipAngles(toks, i + 1);
+        std::size_t j = detail::skipAngles(toks, i + 1);
         if (j < toks.size() && toks[j].isIdent())
             names.insert(toks[j].text);
     }
@@ -286,7 +85,7 @@ runDeterminismRule(const SourceFile &f, const SourceFile *sibling,
         if (!t.isIdent())
             continue;
         if (kBannedIdents.count(t.text)) {
-            rep.report(f, t.line, kRuleDeterminism,
+            rep.report(f, t.line, detail::kRuleDeterminism,
                        "'" + t.text +
                            "' is nondeterministic across runs; use a "
                            "seeded generator / steady_clock");
@@ -304,7 +103,7 @@ runDeterminismRule(const SourceFile &f, const SourceFile *sibling,
                 (i < 2 || toks[i - 2].text != "std"))
                 continue; // qualified into a non-std namespace
         }
-        rep.report(f, t.line, kRuleDeterminism,
+        rep.report(f, t.line, detail::kRuleDeterminism,
                    "call to '" + t.text +
                        "()' injects wall-clock/libc randomness into "
                        "simulation code");
@@ -321,7 +120,7 @@ runDeterminismRule(const SourceFile &f, const SourceFile *sibling,
     for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
         if (toks[i].text != "for" || toks[i + 1].text != "(")
             continue;
-        const std::size_t end = skipParens(toks, i + 1);
+        const std::size_t end = detail::skipParens(toks, i + 1);
         // Find the range-for ':' at top parenthesis depth.
         int depth = 0;
         std::size_t colon = 0;
@@ -346,7 +145,7 @@ runDeterminismRule(const SourceFile &f, const SourceFile *sibling,
             if (toks[j].isIdent())
                 last = toks[j].text;
         if (!last.empty() && unordered.count(last)) {
-            rep.report(f, toks[i].line, kRuleDeterminism,
+            rep.report(f, toks[i].line, detail::kRuleDeterminism,
                        "range-for over unordered container '" + last +
                            "'; iteration order is not deterministic");
         }
@@ -373,7 +172,7 @@ runDeterminismRule(const SourceFile &f, const SourceFile *sibling,
             } else if (txt == "," && depth == 1) {
                 break;
             } else if (txt == "*" && depth == 1) {
-                rep.report(f, toks[i].line, kRuleDeterminism,
+                rep.report(f, toks[i].line, detail::kRuleDeterminism,
                            "pointer-keyed std::" + toks[i].text +
                                "; key order is allocation order, not "
                                "deterministic");
@@ -422,7 +221,7 @@ runStatsRegistryRule(const SourceFile &f, const std::string &macroName,
         break;
     }
     if (macroLine == 0) {
-        rep.report(f, 1, kRuleStatsRegistry,
+        rep.report(f, 1, detail::kRuleStatsRegistry,
                    "registry X-macro '" + macroName + "' not found");
         return;
     }
@@ -434,12 +233,12 @@ runStatsRegistryRule(const SourceFile &f, const std::string &macroName,
         if (toks[i].text == "struct" && toks[i + 1].text == structName &&
             toks[i + 2].text == "{") {
             bodyBegin = i + 2;
-            bodyEnd = skipBraces(toks, i + 2);
+            bodyEnd = detail::skipBraces(toks, i + 2);
             break;
         }
     }
     if (bodyBegin == toks.size()) {
-        rep.report(f, macroLine, kRuleStatsRegistry,
+        rep.report(f, macroLine, detail::kRuleStatsRegistry,
                    "struct '" + structName + "' not found");
         return;
     }
@@ -473,18 +272,18 @@ runStatsRegistryRule(const SourceFile &f, const std::string &macroName,
 
     for (const auto &[name, info] : fields) {
         if (!macroEntries.count(name))
-            rep.report(f, info.line, kRuleStatsRegistry,
+            rep.report(f, info.line, detail::kRuleStatsRegistry,
                        "field '" + name + "' missing from " +
                            macroName +
                            " (sweeps/goldens will silently skip it)");
         if (!info.zeroInit)
-            rep.report(f, info.line, kRuleStatsRegistry,
+            rep.report(f, info.line, detail::kRuleStatsRegistry,
                        "field '" + name +
                            "' is not zero-initialized ('= 0')");
     }
     for (const auto &[name, line] : macroEntries) {
         if (!fields.count(name))
-            rep.report(f, line, kRuleStatsRegistry,
+            rep.report(f, line, detail::kRuleStatsRegistry,
                        "registry entry '" + name +
                            "' names no field of " + structName);
     }
@@ -545,21 +344,22 @@ runAccelRegistryRule(const std::vector<SourceFile *> &sources,
     }
 
     if (registered.empty()) {
-        rep.report(golden, 1, kRuleAccelRegistry,
+        rep.report(golden, 1, detail::kRuleAccelRegistry,
                    "no DLVP_ACCEL(\"...\") registration sites found "
                    "in the accelerator sources");
         return;
     }
     for (const auto &[key, site] : registered) {
         if (!pinned.count(key))
-            rep.report(*site.first, site.second, kRuleAccelRegistry,
+            rep.report(*site.first, site.second,
+                       detail::kRuleAccelRegistry,
                        "accelerator '" + key +
                            "' is registered but pinned by no golden "
                            "CoreStats row (no bit-identity anchor)");
     }
     for (const auto &[key, line] : pinned) {
         if (!registered.count(key))
-            rep.report(golden, line, kRuleAccelRegistry,
+            rep.report(golden, line, detail::kRuleAccelRegistry,
                        "golden row pins accelerator '" + key +
                            "', which no DLVP_ACCEL site registers");
     }
@@ -571,7 +371,7 @@ runAccelRegistryRule(const std::vector<SourceFile *> &sources,
 
 /**
  * Identifiers appearing inside bodies of functions whose name
- * contains @p nameFragment (case-insensitive), over a component's
+ * contains one of @p fragments (case-insensitive), over a component's
  * token stream. "applyFlush" bodies count as restore sites.
  */
 void
@@ -584,11 +384,11 @@ collectFunctionBodyIdents(const std::vector<Token> &toks,
             continue;
         bool wanted = false;
         for (const std::string &frag : fragments)
-            if (containsNoCase(toks[i].text, frag))
+            if (detail::containsNoCase(toks[i].text, frag))
                 wanted = true;
         if (!wanted)
             continue;
-        std::size_t j = skipParens(toks, i + 1);
+        std::size_t j = detail::skipParens(toks, i + 1);
         // Skip qualifiers (const, noexcept, trailing return) up to
         // the body '{'; a ';' first means it was only a declaration
         // or a call.
@@ -597,7 +397,7 @@ collectFunctionBodyIdents(const std::vector<Token> &toks,
             ++j;
         if (j >= toks.size() || toks[j].text != "{")
             continue;
-        const std::size_t end = skipBraces(toks, j);
+        const std::size_t end = detail::skipBraces(toks, j);
         for (std::size_t k = j + 1; k + 1 < end; ++k)
             if (toks[k].isIdent())
                 out.insert(toks[k].text);
@@ -670,11 +470,11 @@ runSpecStateRule(const SourceFile &f, const SourceFile *sibling,
             }
         }
         if (!saved)
-            rep.report(f, tag.line, kRuleSpecState,
+            rep.report(f, tag.line, detail::kRuleSpecState,
                        "speculative member '" + tag.member +
                            "' has no snapshot site in its component");
         if (!restored)
-            rep.report(f, tag.line, kRuleSpecState,
+            rep.report(f, tag.line, detail::kRuleSpecState,
                        "speculative member '" + tag.member +
                            "' has no restore site on the flush path");
     }
@@ -710,7 +510,7 @@ runErrorTaxonomyRule(const SourceFile &f, Reporter &rep)
                 lastIdent.empty())
                 continue; // rethrow
             if (lastIdent != "RunError")
-                rep.report(f, t.line, kRuleErrorTaxonomy,
+                rep.report(f, t.line, detail::kRuleErrorTaxonomy,
                            "throw of non-RunError type; job-reachable "
                            "code must use the RunError taxonomy");
             continue;
@@ -726,10 +526,60 @@ runErrorTaxonomyRule(const SourceFile &f, Reporter &rep)
             if (prev == "::" && (i < 2 || toks[i - 2].text != "std"))
                 continue;
         }
-        rep.report(f, t.line, kRuleErrorTaxonomy,
+        rep.report(f, t.line, detail::kRuleErrorTaxonomy,
                    "call to '" + t.text +
                        "()' kills the whole process; job-reachable "
                        "code must throw RunError instead");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: stale-suppression
+// ---------------------------------------------------------------------
+
+/**
+ * Every allow() comment must earn its keep: each rule it names must
+ * be a real rule, and — when that rule actually ran this analysis —
+ * must have silenced at least one would-be finding. The rule is
+ * self-exempt (an unused allow of stale-suppression itself is not
+ * detected; one stale comment cannot hide another's staleness).
+ */
+void
+runStaleSuppressionRule(const std::vector<const SourceFile *> &files,
+                        const std::set<SuppressionUse> &used,
+                        const std::set<std::string> &ranRules,
+                        Reporter &rep)
+{
+    const auto &known = allRules();
+    for (const SourceFile *f : files) {
+        for (const auto &[origin, rules] : f->allowAtOrigin) {
+            for (const std::string &rule : rules) {
+                if (std::find(known.begin(), known.end(), rule) ==
+                    known.end()) {
+                    const std::string hint = suggestRule(rule);
+                    rep.report(*f, origin,
+                               detail::kRuleStaleSuppression,
+                               "suppression names unknown rule '" +
+                                   rule + "'" +
+                                   (hint.empty()
+                                        ? ""
+                                        : "; did you mean '" + hint +
+                                              "'?"));
+                    continue;
+                }
+                if (rule == detail::kRuleStaleSuppression)
+                    continue;
+                if (!ranRules.count(rule))
+                    continue; // can't judge a rule that didn't run
+                if (!used.count({f->path, origin, rule}))
+                    rep.report(*f, origin,
+                               detail::kRuleStaleSuppression,
+                               "suppression of '" + rule +
+                                   "' silences nothing on this or "
+                                   "the next line; delete it or move "
+                                   "it to the offending site");
+            }
+        }
     }
 }
 
@@ -746,21 +596,64 @@ ruleEnabled(const AnalyzeConfig &config, const std::string &rule)
            config.rules.end();
 }
 
-/** The .cc for a .hh (and vice versa), when it exists on disk. */
-std::optional<std::string>
-siblingPath(const std::string &path)
+bool
+isSourceExt(const std::string &path)
 {
-    fs::path p(path);
-    const std::string ext = p.extension().string();
-    const char *other = ext == ".hh" ? ".cc" : ext == ".cc" ? ".hh" : "";
-    if (*other == '\0')
-        return std::nullopt;
-    fs::path sib = p;
-    sib.replace_extension(other);
-    std::error_code ec;
-    if (!fs::exists(sib, ec))
-        return std::nullopt;
-    return sib.string();
+    const std::string ext = fs::path(path).extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp";
+}
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t prev = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = prev;
+        }
+    }
+    return row[b.size()];
+}
+
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
 }
 
 } // namespace
@@ -769,13 +662,35 @@ const std::vector<std::string> &
 allRules()
 {
     static const std::vector<std::string> rules = {
-        kRuleDeterminism,
-        kRuleStatsRegistry,
-        kRuleSpecState,
-        kRuleErrorTaxonomy,
-        kRuleAccelRegistry,
+        detail::kRuleDeterminism,
+        detail::kRuleStatsRegistry,
+        detail::kRuleSpecState,
+        detail::kRuleErrorTaxonomy,
+        detail::kRuleAccelRegistry,
+        detail::kRuleLayering,
+        detail::kRuleLockDiscipline,
+        detail::kRuleHotPath,
+        detail::kRuleStaleSuppression,
     };
     return rules;
+}
+
+std::string
+suggestRule(const std::string &name)
+{
+    std::string best;
+    std::size_t bestDist = std::string::npos;
+    for (const std::string &rule : allRules()) {
+        const std::size_t d = editDistance(name, rule);
+        if (d < bestDist) {
+            bestDist = d;
+            best = rule;
+        }
+    }
+    // Same tolerance as dlvp_cli's config did-you-mean: a third of
+    // the name's length, but never tighter than 2 edits.
+    const std::size_t limit = std::max<std::size_t>(2, name.size() / 3);
+    return bestDist <= limit ? best : "";
 }
 
 std::string
@@ -881,69 +796,226 @@ stripCommentsAndStrings(const std::string &source)
 std::vector<Finding>
 runAnalysis(const AnalyzeConfig &config)
 {
+    using namespace detail;
+
     std::vector<Finding> findings;
     Reporter rep(findings);
 
-    // Cache loaded files so a sibling listed explicitly is parsed once.
-    std::map<std::string, SourceFile> cache;
-    const auto load = [&cache](const std::string &path) -> SourceFile * {
-        auto it = cache.find(path);
-        if (it != cache.end())
+    // ---- Manifest (layering) -------------------------------------
+    LayerManifest manifest;
+    bool haveManifest = false;
+    std::vector<Finding> manifestFindings;
+    if (!config.layersPath.empty() &&
+        ruleEnabled(config, kRuleLayering)) {
+        if (loadLayerManifest(config.layersPath, manifest,
+                              manifestFindings))
+            haveManifest = true;
+        else
+            findings.push_back({"usage", config.layersPath, 0,
+                                "cannot read layering manifest"});
+    }
+
+    // ---- Model: every file is loaded exactly once ----------------
+    std::map<std::string, SourceFile> modelCache;
+    const auto load =
+        [&modelCache](const std::string &path) -> SourceFile * {
+        auto it = modelCache.find(path);
+        if (it != modelCache.end())
             return &it->second;
         SourceFile f;
         if (!loadFile(path, f))
             return nullptr;
-        return &cache.emplace(path, std::move(f)).first->second;
+        return &modelCache.emplace(path, std::move(f)).first->second;
     };
 
-    for (const std::string &path : config.files) {
+    // Primary files, first occurrence wins.
+    std::vector<std::string> primaries;
+    {
+        std::set<std::string> seen;
+        for (const std::string &p : config.files)
+            if (seen.insert(p).second)
+                primaries.push_back(p);
+    }
+
+    // The set of rules that will actually execute; the staleness
+    // check only judges suppressions of rules that ran.
+    std::set<std::string> ranRules;
+    for (const char *r : {kRuleDeterminism, kRuleSpecState,
+                          kRuleErrorTaxonomy, kRuleLockDiscipline})
+        if (ruleEnabled(config, r))
+            ranRules.insert(r);
+    if (haveManifest && ruleEnabled(config, kRuleLayering))
+        ranRules.insert(kRuleLayering);
+    if (!config.coreStatsPath.empty() &&
+        ruleEnabled(config, kRuleStatsRegistry))
+        ranRules.insert(kRuleStatsRegistry);
+    if (!config.goldenStatsPath.empty() &&
+        !config.accelSourcePaths.empty() &&
+        ruleEnabled(config, kRuleAccelRegistry))
+        ranRules.insert(kRuleAccelRegistry);
+    if (ruleEnabled(config, kRuleHotPath))
+        ranRules.insert(kRuleHotPath);
+
+    // ---- Config hash: gates the whole incremental cache ----------
+    std::uint64_t configHash = fnv1a(kAnalyzerVersion);
+    for (const std::string &r : ranRules)
+        configHash = fnv1a(r, configHash ^ 0x9e3779b97f4a7c15ULL);
+    if (ruleEnabled(config, kRuleStaleSuppression))
+        configHash = fnv1a(kRuleStaleSuppression, configHash);
+    configHash = fnv1a(config.statsMacroName, configHash);
+    configHash = fnv1a(config.statsStructName, configHash);
+    configHash = fnv1a(config.rootPath, configHash);
+    configHash = fnv1a(manifest.rawText, configHash);
+    configHash = fnv1a(config.coreStatsPath, configHash);
+    configHash = fnv1a(config.goldenStatsPath, configHash);
+    for (const std::string &p : config.accelSourcePaths)
+        configHash = fnv1a(p, configHash ^ 0xff51afd7ed558ccdULL);
+
+    AnalysisCache oldCache, newCache;
+    newCache.configHash = configHash;
+    const bool haveCache =
+        !config.cachePath.empty() &&
+        loadAnalysisCache(config.cachePath, configHash, oldCache);
+
+    // ---- Per-file phase ------------------------------------------
+    std::vector<const SourceFile *> loadedPrimaries;
+    for (const std::string &path : primaries) {
         SourceFile *f = load(path);
         if (!f) {
             findings.push_back({"usage", path, 0, "cannot read file"});
             continue;
         }
+        loadedPrimaries.push_back(f);
         SourceFile *sibling = nullptr;
         if (auto sib = siblingPath(path))
             sibling = load(*sib);
-        if (ruleEnabled(config, kRuleDeterminism))
-            runDeterminismRule(*f, sibling, rep);
-        if (ruleEnabled(config, kRuleSpecState))
-            runSpecStateRule(*f, sibling, rep);
-        if (ruleEnabled(config, kRuleErrorTaxonomy))
-            runErrorTaxonomyRule(*f, rep);
-    }
+        const std::uint64_t sibHash =
+            sibling ? sibling->contentHash : 0;
 
+        if (haveCache) {
+            const auto it = oldCache.perFile.find(path);
+            if (it != oldCache.perFile.end() &&
+                it->second.hash == f->contentHash &&
+                it->second.sibHash == sibHash) {
+                findings.insert(findings.end(),
+                                it->second.findings.begin(),
+                                it->second.findings.end());
+                for (const SuppressionUse &u : it->second.uses)
+                    rep.recordUse(u);
+                newCache.perFile.emplace(path, it->second);
+                continue;
+            }
+        }
+
+        std::vector<Finding> local;
+        Reporter localRep(local);
+        if (ruleEnabled(config, kRuleDeterminism))
+            runDeterminismRule(*f, sibling, localRep);
+        if (ruleEnabled(config, kRuleSpecState))
+            runSpecStateRule(*f, sibling, localRep);
+        if (ruleEnabled(config, kRuleErrorTaxonomy))
+            runErrorTaxonomyRule(*f, localRep);
+        if (haveManifest)
+            runLayeringRule(*f, manifest, config.rootPath, localRep);
+        if (ruleEnabled(config, kRuleLockDiscipline))
+            runLockDisciplineRule(*f, sibling, localRep);
+
+        FileCacheEntry entry;
+        entry.hash = f->contentHash;
+        entry.sibHash = sibHash;
+        entry.findings = local;
+        entry.uses.assign(localRep.uses().begin(),
+                          localRep.uses().end());
+        findings.insert(findings.end(), local.begin(), local.end());
+        for (const SuppressionUse &u : localRep.uses())
+            rep.recordUse(u);
+        newCache.perFile.emplace(path, std::move(entry));
+    }
+    findings.insert(findings.end(), manifestFindings.begin(),
+                    manifestFindings.end());
+
+    // ---- Global phase --------------------------------------------
+    // Out-of-band inputs are loaded (and hashed) up front so the
+    // global key covers them even on the replay path.
+    SourceFile *coreStats = nullptr;
     if (!config.coreStatsPath.empty() &&
         ruleEnabled(config, kRuleStatsRegistry)) {
-        SourceFile *f = load(config.coreStatsPath);
-        if (!f) {
+        coreStats = load(config.coreStatsPath);
+        if (!coreStats)
             findings.push_back({"usage", config.coreStatsPath, 0,
                                 "cannot read stats header"});
-        } else {
-            runStatsRegistryRule(*f, config.statsMacroName,
-                                 config.statsStructName, rep);
-        }
     }
-
+    SourceFile *golden = nullptr;
+    std::vector<SourceFile *> accelSources;
     if (!config.goldenStatsPath.empty() &&
         !config.accelSourcePaths.empty() &&
         ruleEnabled(config, kRuleAccelRegistry)) {
-        SourceFile *g = load(config.goldenStatsPath);
-        if (!g) {
+        golden = load(config.goldenStatsPath);
+        if (!golden)
             findings.push_back({"usage", config.goldenStatsPath, 0,
                                 "cannot read golden stats table"});
-        } else {
-            std::vector<SourceFile *> sources;
-            for (const std::string &p : config.accelSourcePaths) {
-                if (SourceFile *sf = load(p))
-                    sources.push_back(sf);
-                else
-                    findings.push_back(
-                        {"usage", p, 0, "cannot read file"});
-            }
-            runAccelRegistryRule(sources, *g, rep);
+        for (const std::string &p : config.accelSourcePaths) {
+            if (SourceFile *sf = load(p))
+                accelSources.push_back(sf);
+            else
+                findings.push_back({"usage", p, 0, "cannot read file"});
         }
     }
+
+    std::uint64_t globalHash = configHash;
+    for (const auto &[path, file] : modelCache) {
+        globalHash = fnv1a(path, globalHash);
+        globalHash ^= file.contentHash;
+        globalHash *= 1099511628211ULL;
+    }
+
+    const bool wantGlobal =
+        coreStats || golden || ruleEnabled(config, kRuleHotPath) ||
+        ruleEnabled(config, kRuleStaleSuppression);
+    if (wantGlobal && haveCache && oldCache.global.valid &&
+        oldCache.global.hash == globalHash) {
+        findings.insert(findings.end(),
+                        oldCache.global.findings.begin(),
+                        oldCache.global.findings.end());
+        newCache.global = oldCache.global;
+    } else if (wantGlobal) {
+        std::vector<Finding> globalFindings;
+        Reporter globalRep(globalFindings);
+
+        if (coreStats)
+            runStatsRegistryRule(*coreStats, config.statsMacroName,
+                                 config.statsStructName, globalRep);
+        if (golden)
+            runAccelRegistryRule(accelSources, *golden, globalRep);
+
+        if (ruleEnabled(config, kRuleHotPath)) {
+            std::vector<const SourceFile *> indexed;
+            for (const auto &[path, file] : modelCache)
+                if (isSourceExt(path))
+                    indexed.push_back(&file);
+            const FunctionIndex index = buildFunctionIndex(indexed);
+            runHotPathRule(index, globalRep);
+        }
+
+        if (ruleEnabled(config, kRuleStaleSuppression)) {
+            std::set<SuppressionUse> used = rep.uses();
+            used.insert(globalRep.uses().begin(),
+                        globalRep.uses().end());
+            runStaleSuppressionRule(loadedPrimaries, used, ranRules,
+                                    globalRep);
+        }
+
+        findings.insert(findings.end(), globalFindings.begin(),
+                        globalFindings.end());
+        newCache.global.valid = true;
+        newCache.global.hash = globalHash;
+        newCache.global.findings = std::move(globalFindings);
+        newCache.global.uses.assign(globalRep.uses().begin(),
+                                    globalRep.uses().end());
+    }
+
+    if (!config.cachePath.empty())
+        saveAnalysisCache(config.cachePath, newCache);
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
@@ -969,6 +1041,32 @@ printFindings(const std::vector<Finding> &findings, std::ostream &os)
     else
         os << "dlvp-analyze: " << findings.size() << " finding"
            << (findings.size() == 1 ? "" : "s") << "\n";
+}
+
+void
+printFindingsJson(const std::vector<Finding> &findings,
+                  std::ostream &os)
+{
+    std::string out = "{\"schema\":\"dlvp-analyze-v1\",\"findings\":[";
+    bool first = true;
+    for (const Finding &f : findings) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"rule\":\"";
+        appendJsonEscaped(out, f.rule);
+        out += "\",\"file\":\"";
+        appendJsonEscaped(out, f.file);
+        out += "\",\"line\":";
+        out += std::to_string(f.line);
+        out += ",\"message\":\"";
+        appendJsonEscaped(out, f.message);
+        out += "\"}";
+    }
+    out += "],\"count\":";
+    out += std::to_string(findings.size());
+    out += "}";
+    os << out << "\n";
 }
 
 } // namespace dlvp::analyze

@@ -1,0 +1,201 @@
+#include "cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace dlvp::analyze::detail
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "dlvp-analyze-cache-v1";
+
+/** Paths/rules are single space-free words on a cache line. */
+bool
+plainWord(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+            return false;
+    return true;
+}
+
+bool
+plainMessage(const std::string &s)
+{
+    return s.find('\n') == std::string::npos &&
+           s.find('\r') == std::string::npos;
+}
+
+void
+writeFinding(std::ostream &os, const Finding &f)
+{
+    os << "f " << f.line << " " << f.rule << " " << f.file << " "
+       << f.message << "\n";
+}
+
+void
+writeUse(std::ostream &os, const SuppressionUse &u)
+{
+    os << "u " << u.originLine << " " << u.rule << " " << u.file
+       << "\n";
+}
+
+bool
+parseFinding(std::istringstream &ss, Finding &out)
+{
+    if (!(ss >> out.line >> out.rule >> out.file))
+        return false;
+    std::getline(ss, out.message);
+    if (!out.message.empty() && out.message.front() == ' ')
+        out.message.erase(0, 1);
+    return true;
+}
+
+bool
+parseUse(std::istringstream &ss, SuppressionUse &out)
+{
+    return static_cast<bool>(ss >> out.originLine >> out.rule >>
+                             out.file);
+}
+
+} // namespace
+
+bool
+loadAnalysisCache(const std::string &path,
+                  std::uint64_t expectedConfigHash, AnalysisCache &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::string header;
+    if (!std::getline(in, header))
+        return false;
+    std::istringstream hs(header);
+    std::string magic;
+    std::uint64_t configHash = 0;
+    if (!(hs >> magic >> configHash) || magic != kMagic ||
+        configHash != expectedConfigHash)
+        return false;
+
+    AnalysisCache cache;
+    cache.configHash = configHash;
+    FileCacheEntry *cur = nullptr;
+    bool inGlobal = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ss(line);
+        std::string tag;
+        ss >> tag;
+        if (tag == "F") {
+            std::uint64_t hash = 0, sibHash = 0;
+            std::string fpath;
+            if (!(ss >> hash >> sibHash >> fpath))
+                return false;
+            FileCacheEntry entry;
+            entry.hash = hash;
+            entry.sibHash = sibHash;
+            cur = &cache.perFile.emplace(fpath, std::move(entry))
+                       .first->second;
+            inGlobal = false;
+        } else if (tag == "G") {
+            if (!(ss >> cache.global.hash))
+                return false;
+            cache.global.valid = true;
+            cur = nullptr;
+            inGlobal = true;
+        } else if (tag == "f") {
+            Finding f;
+            if (!parseFinding(ss, f))
+                return false;
+            if (inGlobal)
+                cache.global.findings.push_back(std::move(f));
+            else if (cur)
+                cur->findings.push_back(std::move(f));
+            else
+                return false;
+        } else if (tag == "u") {
+            SuppressionUse u;
+            if (!parseUse(ss, u))
+                return false;
+            if (inGlobal)
+                cache.global.uses.push_back(std::move(u));
+            else if (cur)
+                cur->uses.push_back(std::move(u));
+            else
+                return false;
+        } else {
+            return false; // unknown tag: treat the cache as corrupt
+        }
+    }
+    out = std::move(cache);
+    return true;
+}
+
+bool
+saveAnalysisCache(const std::string &path, const AnalysisCache &cache)
+{
+    // Refuse to write anything the parser could misread; the only
+    // cost of not caching is one cold re-run.
+    const auto entryClean = [](const std::vector<Finding> &findings,
+                               const std::vector<SuppressionUse>
+                                   &uses) {
+        for (const Finding &f : findings)
+            if (!plainWord(f.rule) || !plainWord(f.file) ||
+                !plainMessage(f.message))
+                return false;
+        for (const SuppressionUse &u : uses)
+            if (!plainWord(u.rule) || !plainWord(u.file))
+                return false;
+        return true;
+    };
+    for (const auto &[fpath, entry] : cache.perFile)
+        if (!plainWord(fpath) ||
+            !entryClean(entry.findings, entry.uses))
+            return false;
+    if (!entryClean(cache.global.findings, cache.global.uses))
+        return false;
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return false;
+        os << kMagic << " " << cache.configHash << "\n";
+        for (const auto &[fpath, entry] : cache.perFile) {
+            os << "F " << entry.hash << " " << entry.sibHash << " "
+               << fpath << "\n";
+            for (const Finding &f : entry.findings)
+                writeFinding(os, f);
+            for (const SuppressionUse &u : entry.uses)
+                writeUse(os, u);
+        }
+        if (cache.global.valid) {
+            os << "G " << cache.global.hash << "\n";
+            for (const Finding &f : cache.global.findings)
+                writeFinding(os, f);
+            for (const SuppressionUse &u : cache.global.uses)
+                writeUse(os, u);
+        }
+        if (!os)
+            return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace dlvp::analyze::detail

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Incremental result cache for dlvp-analyze (DESIGN.md §10).
+ *
+ * Soundness model: findings are grouped by what can invalidate them.
+ *
+ *   per-file  determinism, spec-state, error-taxonomy, layering,
+ *             lock-discipline — a file's findings depend only on the
+ *             file itself and its .hh/.cc sibling, so they replay
+ *             when both content hashes match. (Layering also depends
+ *             on the manifest; the manifest bytes are folded into
+ *             the config hash, which gates the whole cache.)
+ *   global    stats-registry, accel-registry, hot-path,
+ *             stale-suppression — these see the whole analyzed set
+ *             (the call-graph walk can cross any include edge, stale
+ *             detection needs every rule's suppression usage), so
+ *             they replay only when the combined hash of every
+ *             analyzed file plus the out-of-band inputs (stats
+ *             header, golden table, accel sources) matches.
+ *
+ * Suppression uses are cached alongside findings: a cache hit must
+ * feed the stale-suppression rule exactly what a cold run would.
+ *
+ * The format is a line-oriented text file, versioned by the header
+ * token; any parse doubt or version/config mismatch discards the
+ * cache (worst case: one cold run).
+ */
+
+#ifndef DLVP_TOOLS_ANALYZE_CACHE_HH
+#define DLVP_TOOLS_ANALYZE_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model.hh"
+
+namespace dlvp::analyze::detail
+{
+
+struct FileCacheEntry
+{
+    std::uint64_t hash = 0;    ///< content hash of the file
+    std::uint64_t sibHash = 0; ///< content hash of its sibling (0: none)
+    std::vector<Finding> findings;
+    std::vector<SuppressionUse> uses;
+};
+
+struct GlobalCacheEntry
+{
+    bool valid = false;
+    std::uint64_t hash = 0; ///< combined hash of every global input
+    std::vector<Finding> findings;
+    std::vector<SuppressionUse> uses;
+};
+
+struct AnalysisCache
+{
+    std::uint64_t configHash = 0;
+    std::map<std::string, FileCacheEntry> perFile; ///< keyed by path
+    GlobalCacheEntry global;
+};
+
+/**
+ * Load @p path into @p out. Returns false (out untouched) when the
+ * file is missing, malformed, from another format version, or was
+ * written under a different config hash.
+ */
+bool loadAnalysisCache(const std::string &path,
+                       std::uint64_t expectedConfigHash,
+                       AnalysisCache &out);
+
+/** Rewrite @p path atomically (temp + rename). */
+bool saveAnalysisCache(const std::string &path,
+                       const AnalysisCache &cache);
+
+} // namespace dlvp::analyze::detail
+
+#endif // DLVP_TOOLS_ANALYZE_CACHE_HH

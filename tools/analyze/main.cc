@@ -3,9 +3,10 @@
  * dlvp-analyze CLI: run the repo's static-analysis rules over the
  * source tree (or an explicit file list) and exit nonzero on findings.
  *
- *   dlvp-analyze --root .                        # lint src/ + tools/
+ *   dlvp-analyze --root .                        # lint the whole tree
  *   dlvp-analyze --compile-commands build/compile_commands.json
  *   dlvp-analyze --rule determinism src/trace/memory_image.cc
+ *   dlvp-analyze --cache build/analyze.cache --json   # CI mode
  *   dlvp-analyze --core-stats tests/fixtures/analyze/bad_stats.hh \
  *                --rule stats-registry            # fixture mode
  */
@@ -36,6 +37,14 @@ usage(std::ostream &os)
           "  --root <dir>              repo root to scan (default: .)\n"
           "  --compile-commands <json> add translation units from a\n"
           "                            compile_commands.json\n"
+          "  --layers <txt>            layering manifest (default:\n"
+          "                            <root>/tools/analyze/layers.txt;\n"
+          "                            'none' disables)\n"
+          "  --cache <file>            incremental result cache: warm\n"
+          "                            runs replay findings for\n"
+          "                            unchanged files\n"
+          "  --json                    machine-readable findings on\n"
+          "                            stdout instead of file:line\n"
           "  --core-stats <hdr>        stats header for the registry\n"
           "                            rule (default:\n"
           "                            <root>/src/core/core_stats.hh;\n"
@@ -58,17 +67,17 @@ usage(std::ostream &os)
     os << "\n  --list-rules              print rule names and exit\n"
           "  -h, --help                this text\n"
           "\n"
-          "With no explicit files, every .cc/.hh under <root>/src and\n"
-          "<root>/tools is analyzed. Exit status: 0 clean, 1 findings,\n"
-          "2 usage error.\n";
+          "With no explicit files, every .cc/.hh/.cpp under <root>/src,\n"
+          "<root>/tools, <root>/bench, and <root>/examples is analyzed.\n"
+          "Exit status: 0 clean, 1 findings, 2 usage error.\n";
 }
 
-/** All .cc/.hh files under root/src and root/tools, sorted. */
+/** All C++ sources under the scanned top-level directories, sorted. */
 std::vector<std::string>
 defaultFileSet(const fs::path &root)
 {
     std::vector<std::string> files;
-    for (const char *sub : {"src", "tools"}) {
+    for (const char *sub : {"src", "tools", "bench", "examples"}) {
         const fs::path dir = root / sub;
         std::error_code ec;
         if (!fs::exists(dir, ec))
@@ -81,7 +90,7 @@ defaultFileSet(const fs::path &root)
             if (!it->is_regular_file())
                 continue;
             const std::string ext = it->path().extension().string();
-            if (ext == ".cc" || ext == ".hh")
+            if (ext == ".cc" || ext == ".hh" || ext == ".cpp")
                 files.push_back(it->path().string());
         }
     }
@@ -124,6 +133,9 @@ main(int argc, char **argv)
     bool coreStatsSet = false;
     std::string goldenStats;
     bool goldenStatsSet = false;
+    std::string layers;
+    bool layersSet = false;
+    bool json = false;
     std::vector<std::string> accelSrcs;
     AnalyzeConfig config;
     std::vector<std::string> explicitFiles;
@@ -145,6 +157,8 @@ main(int argc, char **argv)
             for (const std::string &r : dlvp::analyze::allRules())
                 std::cout << r << "\n";
             return 0;
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--root") {
             const char *v = value();
             if (!v)
@@ -155,6 +169,17 @@ main(int argc, char **argv)
             if (!v)
                 return 2;
             compileCommands = v;
+        } else if (arg == "--layers") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            layers = v;
+            layersSet = true;
+        } else if (arg == "--cache") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            config.cachePath = v;
         } else if (arg == "--core-stats") {
             const char *v = value();
             if (!v)
@@ -180,7 +205,12 @@ main(int argc, char **argv)
             if (std::find(known.begin(), known.end(), v) ==
                 known.end()) {
                 std::cerr << "dlvp-analyze: unknown rule '" << v
-                          << "'\n";
+                          << "'";
+                const std::string hint =
+                    dlvp::analyze::suggestRule(v);
+                if (!hint.empty())
+                    std::cerr << " (did you mean '" << hint << "'?)";
+                std::cerr << "\n";
                 return 2;
             }
             config.rules.push_back(v);
@@ -194,6 +224,7 @@ main(int argc, char **argv)
         }
     }
 
+    config.rootPath = root;
     if (!explicitFiles.empty()) {
         config.files = explicitFiles;
     } else {
@@ -212,6 +243,16 @@ main(int argc, char **argv)
             if (fs::exists(f, ec) && seen.insert(f).second)
                 config.files.push_back(std::move(f));
         }
+    }
+
+    if (layersSet) {
+        config.layersPath = layers == "none" ? "" : layers;
+    } else {
+        const fs::path def =
+            fs::path(root) / "tools" / "analyze" / "layers.txt";
+        std::error_code ec;
+        if (fs::exists(def, ec))
+            config.layersPath = def.string();
     }
 
     if (coreStatsSet) {
@@ -256,6 +297,9 @@ main(int argc, char **argv)
 
     const std::vector<Finding> findings =
         dlvp::analyze::runAnalysis(config);
-    dlvp::analyze::printFindings(findings, std::cout);
+    if (json)
+        dlvp::analyze::printFindingsJson(findings, std::cout);
+    else
+        dlvp::analyze::printFindings(findings, std::cout);
     return findings.empty() ? 0 : 1;
 }
